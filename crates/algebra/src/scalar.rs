@@ -1,0 +1,319 @@
+//! Scalar (non-sequence-valued) expression IR: the subscript language of
+//! the algebra operators. In the physical engine these compile to NVM
+//! programs (paper §5.2.2); nested sequence-valued sub-plans are reached
+//! through aggregation expressions (paper §5.2.3).
+
+use xpath_syntax::{ArithOp, CompOp};
+
+use crate::ops::{Attr, LogicalOp};
+use crate::value::Const;
+
+/// Comparison evaluation mode, fixed by semantic analysis where the static
+/// types are known; `Dyn` applies the full XPath runtime rules (used when
+/// a variable of unknown type is involved).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpMode {
+    /// Compare as numbers.
+    Num,
+    /// Compare as strings.
+    Str,
+    /// Compare as booleans.
+    Bool,
+    /// Decide by runtime types.
+    Dyn,
+}
+
+/// Conversion targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConvKind {
+    /// `number(…)`
+    ToNumber,
+    /// `string(…)`
+    ToString,
+    /// `boolean(…)`
+    ToBoolean,
+}
+
+/// Pure string functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrFn {
+    /// `concat` (n-ary, n ≥ 2).
+    Concat,
+    /// `contains(a, b)`
+    Contains,
+    /// `starts-with(a, b)`
+    StartsWith,
+    /// `substring-before(a, b)`
+    SubstringBefore,
+    /// `substring-after(a, b)`
+    SubstringAfter,
+    /// `substring(s, start[, len])` (2- or 3-ary).
+    Substring,
+    /// `string-length(s)`
+    StringLength,
+    /// `normalize-space(s)`
+    NormalizeSpace,
+    /// `translate(s, from, to)`
+    Translate,
+}
+
+/// Numeric functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumFn {
+    /// `floor`
+    Floor,
+    /// `ceiling`
+    Ceiling,
+    /// `round` (XPath semantics: half towards +∞).
+    Round,
+}
+
+/// Node-identity functions (operand must be node-valued or Null).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFn {
+    /// `name(n)`
+    Name,
+    /// `local-name(n)`
+    LocalName,
+    /// `namespace-uri(n)` (always "" — names are stored verbatim).
+    NamespaceUri,
+}
+
+/// Aggregation functions of the 𝔄 operator (paper §3.6.2 and §5.2.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count()`
+    Count,
+    /// `sum()` over the aggregated attribute (number conversion per node).
+    Sum,
+    /// Internal `exists()` — true for non-empty input; evaluated with
+    /// premature termination ("smart aggregation").
+    Exists,
+    /// Internal `max()` — numeric maximum of the attribute.
+    Max,
+    /// Internal `min()` — numeric minimum.
+    Min,
+    /// First node in document order (string()/name() over node-sets).
+    FirstNode,
+}
+
+impl AggFunc {
+    /// True if one input tuple suffices to finish the aggregate.
+    pub fn early_exit(self) -> bool {
+        matches!(self, AggFunc::Exists)
+    }
+}
+
+/// An aggregation over a nested sequence-valued plan: 𝔄_{a;f}(plan),
+/// consumed as an atomic value (paper footnote 4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggExpr {
+    /// The aggregation function.
+    pub func: AggFunc,
+    /// The nested plan producing the aggregated sequence.
+    pub plan: Box<LogicalOp>,
+    /// The attribute of the nested tuples to aggregate over.
+    pub over: Attr,
+    /// True if the nested plan has no free attributes (then the physical
+    /// engine evaluates it once and caches the result instead of
+    /// re-running it per outer tuple).
+    pub independent: bool,
+}
+
+/// Scalar expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScalarExpr {
+    /// Constant.
+    Const(Const),
+    /// Attribute (register) reference; `position()`/`last()` compile to
+    /// references to the `cp`/`cs` attributes (paper §3.3.3/§3.3.4).
+    Attr(Attr),
+    /// Runtime variable lookup (`$v`, bound by the execution context).
+    Var(String),
+    /// Short-circuit conjunction.
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Short-circuit disjunction.
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Negation.
+    Not(Box<ScalarExpr>),
+    /// Comparison with a fixed mode.
+    Compare {
+        /// Operator.
+        op: CompOp,
+        /// Evaluation mode.
+        mode: CmpMode,
+        /// Left operand.
+        lhs: Box<ScalarExpr>,
+        /// Right operand.
+        rhs: Box<ScalarExpr>,
+    },
+    /// Arithmetic.
+    Arith(ArithOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Unary minus.
+    Neg(Box<ScalarExpr>),
+    /// Explicit conversion.
+    Convert(ConvKind, Box<ScalarExpr>),
+    /// String function application.
+    StrFn(StrFn, Vec<ScalarExpr>),
+    /// Numeric function application.
+    NumFn(NumFn, Box<ScalarExpr>),
+    /// Node function application.
+    NodeFn(NodeFn, Box<ScalarExpr>),
+    /// `lang(s)` — checks xml:lang on ancestor-or-self of the node held by
+    /// the given context attribute.
+    Lang(Box<ScalarExpr>, Attr),
+    /// `deref(s)` — ID string to node (paper §3.6.3).
+    Deref(Box<ScalarExpr>),
+    /// `root(n)` — the document node of the node held by the operand
+    /// (start of absolute paths, §3.1.2).
+    RootOf(Box<ScalarExpr>),
+    /// Nested aggregation.
+    Agg(AggExpr),
+}
+
+impl ScalarExpr {
+    /// Convenience constructors used heavily by the translation.
+    pub fn attr(name: impl Into<Attr>) -> ScalarExpr {
+        ScalarExpr::Attr(name.into())
+    }
+
+    /// Numeric constant.
+    pub fn num(n: f64) -> ScalarExpr {
+        ScalarExpr::Const(Const::Num(n))
+    }
+
+    /// String constant.
+    pub fn str(s: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Const(Const::Str(s.into()))
+    }
+
+    /// Boolean constant.
+    pub fn boolean(b: bool) -> ScalarExpr {
+        ScalarExpr::Const(Const::Bool(b))
+    }
+
+    /// Collect the attribute names this expression references, including
+    /// free attributes of nested plans.
+    pub fn collect_attr_refs(&self, out: &mut Vec<Attr>) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Var(_) => {}
+            ScalarExpr::Attr(a) => out.push(a.clone()),
+            ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) => {
+                a.collect_attr_refs(out);
+                b.collect_attr_refs(out);
+            }
+            ScalarExpr::Not(a)
+            | ScalarExpr::Neg(a)
+            | ScalarExpr::Convert(_, a)
+            | ScalarExpr::NumFn(_, a)
+            | ScalarExpr::NodeFn(_, a)
+            | ScalarExpr::Deref(a)
+            | ScalarExpr::RootOf(a) => a.collect_attr_refs(out),
+            ScalarExpr::Lang(a, ctx) => {
+                a.collect_attr_refs(out);
+                out.push(ctx.clone());
+            }
+            ScalarExpr::Compare { lhs, rhs, .. } => {
+                lhs.collect_attr_refs(out);
+                rhs.collect_attr_refs(out);
+            }
+            ScalarExpr::Arith(_, a, b) => {
+                a.collect_attr_refs(out);
+                b.collect_attr_refs(out);
+            }
+            ScalarExpr::StrFn(_, args) => {
+                for a in args {
+                    a.collect_attr_refs(out);
+                }
+            }
+            ScalarExpr::Agg(agg) => {
+                for a in agg.plan.free_attrs() {
+                    out.push(a);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalarExpr::Const(Const::Bool(b)) => write!(f, "{b}()"),
+            ScalarExpr::Const(Const::Num(n)) => write!(f, "{n}"),
+            ScalarExpr::Const(Const::Str(s)) => write!(f, "'{s}'"),
+            ScalarExpr::Attr(a) => write!(f, "{a}"),
+            ScalarExpr::Var(v) => write!(f, "${v}"),
+            ScalarExpr::And(a, b) => write!(f, "({a} and {b})"),
+            ScalarExpr::Or(a, b) => write!(f, "({a} or {b})"),
+            ScalarExpr::Not(a) => write!(f, "not({a})"),
+            ScalarExpr::Compare { op, lhs, rhs, .. } => {
+                write!(f, "({lhs} {} {rhs})", op.symbol())
+            }
+            ScalarExpr::Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            ScalarExpr::Neg(a) => write!(f, "(-{a})"),
+            ScalarExpr::Convert(ConvKind::ToNumber, a) => write!(f, "number({a})"),
+            ScalarExpr::Convert(ConvKind::ToString, a) => write!(f, "string({a})"),
+            ScalarExpr::Convert(ConvKind::ToBoolean, a) => write!(f, "boolean({a})"),
+            ScalarExpr::StrFn(func, args) => {
+                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{func:?}({})", parts.join(", "))
+            }
+            ScalarExpr::NumFn(func, a) => write!(f, "{func:?}({a})"),
+            ScalarExpr::NodeFn(func, a) => write!(f, "{func:?}({a})"),
+            ScalarExpr::Lang(a, ctx) => write!(f, "lang({a}; {ctx})"),
+            ScalarExpr::Deref(a) => write!(f, "deref({a})"),
+            ScalarExpr::RootOf(a) => write!(f, "root({a})"),
+            ScalarExpr::Agg(agg) => write!(f, "𝔄[{:?}; {}](…)", agg.func, agg.over),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::LogicalOp;
+
+    #[test]
+    fn attr_ref_collection() {
+        let e = ScalarExpr::And(
+            Box::new(ScalarExpr::Compare {
+                op: CompOp::Eq,
+                mode: CmpMode::Num,
+                lhs: Box::new(ScalarExpr::attr("cp")),
+                rhs: Box::new(ScalarExpr::attr("cs")),
+            }),
+            Box::new(ScalarExpr::Not(Box::new(ScalarExpr::attr("flag")))),
+        );
+        let mut refs = Vec::new();
+        e.collect_attr_refs(&mut refs);
+        assert_eq!(refs, vec!["cp".to_owned(), "cs".to_owned(), "flag".to_owned()]);
+    }
+
+    #[test]
+    fn agg_contributes_free_attrs_of_plan() {
+        // Nested plan: Υ_{c1:c0/child::*}(□) — free attr c0.
+        let plan = LogicalOp::unnest_map(
+            LogicalOp::Singleton,
+            "c0",
+            "c1",
+            xmlstore::Axis::Child,
+            xpath_syntax::NodeTest::Wildcard,
+        );
+        let agg = ScalarExpr::Agg(AggExpr {
+            func: AggFunc::Count,
+            plan: Box::new(plan),
+            over: "c1".into(),
+            independent: false,
+        });
+        let mut refs = Vec::new();
+        agg.collect_attr_refs(&mut refs);
+        assert_eq!(refs, vec!["c0".to_owned()]);
+    }
+
+    #[test]
+    fn early_exit_only_for_exists() {
+        assert!(AggFunc::Exists.early_exit());
+        assert!(!AggFunc::Count.early_exit());
+        assert!(!AggFunc::Sum.early_exit());
+    }
+}

@@ -1,0 +1,226 @@
+//! The universe of the algebra (paper §2.2.1): atomic XPath values, nodes,
+//! and ordered tuple sequences; tuples map attributes to values.
+
+use std::rc::Rc;
+
+use xmlstore::{NodeId, XmlStore};
+use xpath_syntax::xvalue;
+
+/// A runtime value: the union of the atomic XPath types, document nodes
+/// and (nested) tuple sequences.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Absent / unbound attribute slot.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// IEEE-754 double.
+    Num(f64),
+    /// String (shared — cloning a tuple must be cheap).
+    Str(Rc<str>),
+    /// A document node.
+    Node(NodeId),
+    /// A materialised nested tuple sequence (value of a nested attribute).
+    Seq(Rc<Vec<Tuple>>),
+}
+
+/// A tuple: a register frame indexed by attribute slots (the attribute
+/// manager assigns the slots at code-generation time, paper §5.1).
+pub type Tuple = Vec<Value>;
+
+impl Value {
+    /// String conversion per XPath `string()`; nodes use their
+    /// string-value, which needs the store.
+    pub fn to_str(&self, store: &dyn XmlStore) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => if *b { "true" } else { "false" }.to_owned(),
+            Value::Num(n) => xvalue::number_to_string(*n),
+            Value::Str(s) => s.to_string(),
+            Value::Node(n) => store.string_value(*n),
+            Value::Seq(ts) => {
+                // string() of a node sequence: string-value of the first
+                // node in document order (empty for an empty sequence).
+                // Sequences store the node in their `cn` slot by
+                // convention; find the first node value.
+                first_node_in_doc_order(ts, store)
+                    .map(|n| store.string_value(n))
+                    .unwrap_or_default()
+            }
+        }
+    }
+
+    /// Number conversion per XPath `number()`.
+    pub fn to_num(&self, store: &dyn XmlStore) -> f64 {
+        match self {
+            Value::Null => f64::NAN,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Num(n) => *n,
+            Value::Str(s) => xvalue::string_to_number(s),
+            Value::Node(_) | Value::Seq(_) => xvalue::string_to_number(&self.to_str(store)),
+        }
+    }
+
+    /// Boolean conversion per XPath `boolean()`.
+    pub fn to_bool(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => xvalue::number_to_boolean(*n),
+            Value::Str(s) => xvalue::string_to_boolean(s),
+            Value::Node(_) => true,
+            Value::Seq(ts) => !ts.is_empty(),
+        }
+    }
+
+    /// The node held by this value, if it is one.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Value::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Scan a materialised sequence for the document-order-first node in any
+/// slot (sequences produced by the engine hold their node in one slot; we
+/// take the minimum-order node value of each tuple).
+fn first_node_in_doc_order(ts: &[Tuple], store: &dyn XmlStore) -> Option<NodeId> {
+    let mut best: Option<(u64, NodeId)> = None;
+    for t in ts {
+        for v in t {
+            if let Value::Node(n) = v {
+                let o = store.order(*n);
+                if best.is_none_or(|(bo, _)| o < bo) {
+                    best = Some((o, *n));
+                }
+            }
+        }
+    }
+    best.map(|(_, n)| n)
+}
+
+/// Compile-time constants embedded in plans.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Const {
+    /// Boolean constant.
+    Bool(bool),
+    /// Numeric constant.
+    Num(f64),
+    /// String constant.
+    Str(String),
+}
+
+impl Const {
+    /// Lift into a runtime value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Const::Bool(b) => Value::Bool(*b),
+            Const::Num(n) => Value::Num(*n),
+            Const::Str(s) => Value::Str(Rc::from(s.as_str())),
+        }
+    }
+}
+
+/// The result of a complete query: one of the four XPath 1.0 types.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutput {
+    /// Node-set (duplicate-free; order unspecified per XPath 1.0 §2.1 —
+    /// our engines return document order for determinism).
+    Nodes(Vec<NodeId>),
+    /// Boolean result.
+    Bool(bool),
+    /// Numeric result.
+    Num(f64),
+    /// String result.
+    Str(String),
+}
+
+impl QueryOutput {
+    /// Boolean conversion of the whole result.
+    pub fn to_bool(&self) -> bool {
+        match self {
+            QueryOutput::Nodes(ns) => !ns.is_empty(),
+            QueryOutput::Bool(b) => *b,
+            QueryOutput::Num(n) => xvalue::number_to_boolean(*n),
+            QueryOutput::Str(s) => xvalue::string_to_boolean(s),
+        }
+    }
+
+    /// The node-set, if this is one.
+    pub fn as_nodes(&self) -> Option<&[NodeId]> {
+        match self {
+            QueryOutput::Nodes(ns) => Some(ns),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::parse_document;
+
+    #[test]
+    fn conversions_against_store() {
+        let store = parse_document("<a>12<b>34</b></a>").unwrap();
+        let a = store.first_child(store.root()).unwrap();
+        let v = Value::Node(a);
+        assert_eq!(v.to_str(&store), "1234");
+        assert_eq!(v.to_num(&store), 1234.0);
+        assert!(v.to_bool());
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        let store = parse_document("<a/>").unwrap();
+        assert_eq!(Value::Bool(true).to_str(&store), "true");
+        assert_eq!(Value::Bool(false).to_num(&store), 0.0);
+        assert_eq!(Value::Num(3.0).to_str(&store), "3");
+        assert!(Value::Str(Rc::from("0")).to_bool(), "non-empty string is true");
+        assert!(!Value::Num(0.0).to_bool());
+        assert!(Value::Null.to_num(&store).is_nan());
+        assert!(!Value::Null.to_bool());
+    }
+
+    #[test]
+    fn seq_string_takes_first_in_doc_order() {
+        let store = parse_document("<r><a>first</a><b>second</b></r>").unwrap();
+        let r = store.first_child(store.root()).unwrap();
+        let a = store.first_child(r).unwrap();
+        let b = store.next_sibling(a).unwrap();
+        // Sequence deliberately out of document order.
+        let seq = Value::Seq(Rc::new(vec![vec![Value::Node(b)], vec![Value::Node(a)]]));
+        assert_eq!(seq.to_str(&store), "first");
+        assert!(seq.to_bool());
+        let empty = Value::Seq(Rc::new(vec![]));
+        assert_eq!(empty.to_str(&store), "");
+        assert!(!empty.to_bool());
+    }
+
+    #[test]
+    fn const_lifting() {
+        assert!(matches!(Const::Bool(true).to_value(), Value::Bool(true)));
+        assert!(matches!(Const::Num(2.0).to_value(), Value::Num(n) if n == 2.0));
+        assert!(matches!(Const::Str("x".into()).to_value(), Value::Str(s) if &*s == "x"));
+    }
+
+    #[test]
+    fn query_output_bool() {
+        assert!(QueryOutput::Nodes(vec![NodeId(1)]).to_bool());
+        assert!(!QueryOutput::Nodes(vec![]).to_bool());
+        assert!(!QueryOutput::Str(String::new()).to_bool());
+        assert!(QueryOutput::Num(0.5).to_bool());
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the §4 ablations: canonical vs improved
+//! translation, MemoX on/off, smart-aggregation early exit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{tree_document, Evaluator};
+use compiler::TranslateOptions;
+
+fn ablations(c: &mut Criterion) {
+    let doc = tree_document(2000);
+
+    let dup_query = "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id";
+    let mut group = c.benchmark_group("ablation/dup_heavy_path");
+    group.sample_size(10);
+    group.bench_function("canonical", |b| {
+        b.iter(|| Evaluator::NatixCanonical.run(&doc, dup_query))
+    });
+    group.bench_function("improved", |b| {
+        b.iter(|| Evaluator::NatixImproved.run(&doc, dup_query))
+    });
+    group.finish();
+
+    let memo_query = "/xdoc/descendant::*[count(descendant::c/following::*) > 0]/attribute::id";
+    let no_memo = TranslateOptions { memoize_inner: false, ..TranslateOptions::improved() };
+    let mut group = c.benchmark_group("ablation/inner_path_memo");
+    group.sample_size(10);
+    group.bench_function("memo_off", |b| {
+        b.iter(|| Evaluator::NatixWith(no_memo).run(&doc, memo_query))
+    });
+    group.bench_function("memo_on", |b| {
+        b.iter(|| Evaluator::NatixImproved.run(&doc, memo_query))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation/smart_aggregation");
+    group.sample_size(10);
+    group.bench_function("exists_early_exit", |b| {
+        b.iter(|| {
+            Evaluator::NatixImproved.run(&doc, "/xdoc/descendant::*[descendant::a]/attribute::id")
+        })
+    });
+    group.bench_function("count_full", |b| {
+        b.iter(|| {
+            Evaluator::NatixImproved
+                .run(&doc, "/xdoc/descendant::*[count(descendant::a) > 0]/attribute::id")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmarks for paper Fig. 10: the DBLP workload on the
+//! synthetic DBLP document (5000 records by default; the `fig10` binary
+//! scales further).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{dblp_document, Evaluator, FIG10_QUERIES};
+
+fn dblp_queries(c: &mut Criterion) {
+    let doc = dblp_document(5_000);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for (i, query) in FIG10_QUERIES.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new("natix", i + 1), query, |b, q| {
+            b.iter(|| Evaluator::NatixImproved.run(&doc, q))
+        });
+        group.bench_with_input(BenchmarkId::new("interp", i + 1), query, |b, q| {
+            b.iter(|| Evaluator::ContextList.run(&doc, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dblp_queries);
+criterion_main!(benches);

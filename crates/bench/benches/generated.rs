@@ -1,0 +1,30 @@
+//! Criterion benchmarks for paper Figs. 6–9: Fig. 5 queries over
+//! generated documents, algebraic engine vs interpreter.
+//!
+//! Sizes are kept to the small family by default so `cargo bench`
+//! finishes promptly; the `fig6_9` binary sweeps the full range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{tree_document, Evaluator, FIG5_QUERIES};
+
+fn generated_documents(c: &mut Criterion) {
+    let sizes = [2000usize, 4000];
+    let docs: Vec<_> = sizes.iter().map(|&s| (s, tree_document(s))).collect();
+    for (name, query) in FIG5_QUERIES {
+        let mut group = c.benchmark_group(format!("fig6_9/{name}"));
+        group.sample_size(10);
+        for (s, doc) in &docs {
+            group.bench_with_input(BenchmarkId::new("natix", s), doc, |b, d| {
+                b.iter(|| Evaluator::NatixImproved.run(d, query))
+            });
+            group.bench_with_input(BenchmarkId::new("interp", s), doc, |b, d| {
+                b.iter(|| Evaluator::ContextList.run(d, query))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, generated_documents);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment E7 — the Gottlob exponential blow-up family: queries
+//! `//b/parent::a/child::b/parent::a/…` multiply context duplicates with
+//! every `parent/child` pair. A naive evaluator (no intermediate dedup)
+//! takes exponential time; the algebraic plans with pushed-down duplicate
+//! elimination stay polynomial.
+//!
+//! Prints: `pairs, naive_contexts, naive_ms, natix_ms, canonical_ms`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin blowup [--width N] [--max-pairs N]
+//! ```
+
+use std::time::Instant;
+
+use bench::{ms, Evaluator};
+use xmlstore::ArenaBuilder;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let width = get("--width", 4);
+    let max_pairs = get("--max-pairs", 9);
+
+    // <r><a><b/>×width</a></r> — each parent::a/child::b pair multiplies
+    // the naive context list by `width`.
+    let mut b = ArenaBuilder::new();
+    b.start_element("r");
+    b.start_element("a");
+    for _ in 0..width {
+        b.start_element("b");
+        b.end_element();
+    }
+    b.end_element();
+    b.end_element();
+    let store = b.finish();
+
+    println!("# E7: exponential blow-up family (width {width})");
+    println!("pairs,naive_contexts,naive_ms,natix_ms,canonical_ms");
+    for pairs in 1..=max_pairs {
+        let mut q = String::from("/r/a/b");
+        for _ in 0..pairs {
+            q.push_str("/parent::a/child::b");
+        }
+        let growth = interp::naive_context_growth(&store, &q).expect("growth");
+        let contexts = *growth.last().expect("non-empty");
+
+        let t0 = Instant::now();
+        std::hint::black_box(Evaluator::Naive.run(&store, &q));
+        let naive = t0.elapsed();
+
+        let t0 = Instant::now();
+        std::hint::black_box(Evaluator::NatixImproved.run(&store, &q));
+        let natix = t0.elapsed();
+
+        let t0 = Instant::now();
+        std::hint::black_box(Evaluator::NatixCanonical.run(&store, &q));
+        let canonical = t0.elapsed();
+
+        println!(
+            "{pairs},{contexts},{},{},{}",
+            ms(naive),
+            ms(natix),
+            ms(canonical)
+        );
+    }
+    println!("# naive_contexts grows as width^pairs; natix stays flat (dedup pushdown)");
+}

@@ -1,0 +1,36 @@
+//! Experiment E5 — paper Fig. 10: the 13 DBLP queries, interpreter
+//! (≙ Xalan) vs algebraic engine (≙ Natix). Prints the same table rows as
+//! the paper: `path, xalan_ms, natix_ms, result_cardinality`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig10 [--records N] [--runs N]
+//! ```
+
+use bench::{dblp_document, ms, time_query, Evaluator, FIG10_QUERIES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let records = get("--records", 50_000);
+    let runs = get("--runs", 3);
+
+    eprintln!("generating synthetic DBLP with {records} records…");
+    let doc = dblp_document(records);
+
+    println!("# Paper Fig. 10: queries against (synthetic) DBLP, times in ms");
+    println!("# {records} records, {runs} runs per cell (median)");
+    println!("{:<75} {:>12} {:>12} {:>8}", "path", "interp(Xalan)", "natix", "|result|");
+    for q in FIG10_QUERIES {
+        let interp = time_query(Evaluator::ContextList, &doc, q, runs);
+        let natix = time_query(Evaluator::NatixImproved, &doc, q, runs);
+        let out = Evaluator::NatixImproved.run(&doc, q);
+        let cardinality = out.as_nodes().map(|n| n.len()).unwrap_or(0);
+        println!("{q:<75} {:>12} {:>12} {cardinality:>8}", ms(interp), ms(natix));
+    }
+}

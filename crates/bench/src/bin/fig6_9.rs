@@ -1,0 +1,64 @@
+//! Experiments E1–E4 — paper Figs. 6–9: execution time of the four Fig. 5
+//! queries over generated documents of growing size, for the algebraic
+//! engine (Natix) and the main-memory interpreters (xsltproc/Xalan stand-
+//! ins). Prints one series block per query, CSV-ish rows:
+//!
+//! `query, elements, natix_ms, interp_ms, naive_ms`
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig6_9 [--runs N] [--max-elems N] [--skip-naive]
+//! ```
+
+use bench::{ms, time_query, tree_document, Evaluator, FIG5_QUERIES, LARGE_SIZES, SMALL_SIZES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let runs = get("--runs", 3);
+    let max_elems = get("--max-elems", 80_000);
+    // q2 (preceding-sibling/following) is quadratic-ish for every engine;
+    // cap its sweep separately so the full harness stays tractable.
+    let heavy_cap = get("--heavy-cap", 20_000);
+    let skip_naive = args.iter().any(|a| a == "--skip-naive");
+
+    let sizes: Vec<usize> = SMALL_SIZES
+        .iter()
+        .chain(LARGE_SIZES.iter())
+        .copied()
+        .filter(|&s| s <= max_elems)
+        .collect();
+
+    println!("# Paper Figs. 6-9: Fig. 5 queries over generated documents");
+    println!("# runs per point: {runs} (median); times in ms; compile+execute, parse excluded");
+    let docs: Vec<_> = sizes
+        .iter()
+        .map(|&s| {
+            eprintln!("generating document with {s} elements…");
+            (s, tree_document(s))
+        })
+        .collect();
+
+    for (name, query) in FIG5_QUERIES {
+        println!("\n## figure for {name}: {query}");
+        println!("query,elements,natix_ms,interp_ms,naive_ms");
+        let cap = if name == "q2" { heavy_cap } else { usize::MAX };
+        for (s, doc) in docs.iter().filter(|(s, _)| *s <= cap) {
+            let natix = time_query(Evaluator::NatixImproved, doc, query, runs);
+            let interp = time_query(Evaluator::ContextList, doc, query, runs);
+            // The naive evaluator blows up on these queries exactly like
+            // the paper's weakest baselines: keep it to small documents.
+            let naive = if !skip_naive && *s <= 4000 {
+                ms(time_query(Evaluator::Naive, doc, query, 1))
+            } else {
+                "-".to_owned()
+            };
+            println!("{name},{s},{},{},{naive}", ms(natix), ms(interp));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Experiment E10 — storage substrate: the same queries against the
+//! in-memory arena store and the paged disk store under different buffer
+//! sizes, with buffer-manager statistics. This exercises the paper's
+//! "evaluate directly on the persistent representation through the page
+//! buffer" property (§5.2.2) and shows the cost of page faults.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin storage [--elems N] [--runs N]
+//! ```
+
+use bench::{ms, tree_document};
+use compiler::TranslateOptions;
+use xmlstore::diskstore::DiskStore;
+use xmlstore::tmp::TempPath;
+use xmlstore::XmlStore;
+
+fn median_time(store: &dyn XmlStore, q: &str, runs: usize) -> std::time::Duration {
+    let mut samples = Vec::new();
+    for _ in 0..runs.max(1) {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(
+            nqe::evaluate(store, q, &TranslateOptions::improved()).expect("evaluate"),
+        );
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let elems = get("--elems", 20_000);
+    let runs = get("--runs", 3);
+
+    eprintln!("generating document with {elems} elements…");
+    let arena = tree_document(elems);
+    let path = TempPath::new(".natix");
+    xmlstore::diskstore::create_store_file(&arena, path.path()).expect("store file");
+    let file_kib = std::fs::metadata(path.path()).expect("metadata").len() / 1024;
+
+    let queries = [
+        "count(/xdoc/descendant::*)",
+        "/child::xdoc/descendant::*/ancestor::*/attribute::id",
+        "/xdoc/*/*[position() = last()]/@id",
+        "string(//*[@id='999'])",
+    ];
+
+    println!("# E10: arena vs paged disk store ({elems} elements, {file_kib} KiB page file)");
+    println!("# times in ms (median of {runs}); buffer stats accumulated per store instance");
+    for q in queries {
+        println!("\nquery: {q}");
+        let t = median_time(&arena, q, runs);
+        println!("  arena                 {:>10} ms", ms(t));
+        for frames in [8usize, 64, 4096] {
+            let disk = DiskStore::open(path.path(), frames).expect("open disk store");
+            let t = median_time(&disk, q, runs);
+            let s = disk.buffer_stats();
+            let hit_rate = s.hits as f64 / (s.hits + s.misses).max(1) as f64 * 100.0;
+            println!(
+                "  disk {frames:>5} frames    {:>10} ms   ({:.2}% hit rate, {} evictions)",
+                ms(t),
+                hit_rate,
+                s.evictions
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Shared infrastructure for the experiment harnesses reproducing the
+//! paper's evaluation (§6): query sets, document builders, and a uniform
+//! evaluator interface over the algebraic engine and the baseline
+//! interpreters.
+
+use std::time::{Duration, Instant};
+
+use compiler::TranslateOptions;
+use interp::{InterpOptions, Interpreter};
+use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
+use xmlstore::{ArenaStore, XmlStore};
+
+/// The paper's Fig. 5 queries (full axis names; the figure abbreviates
+/// desc/anc/pre-sib/fol/par).
+pub const FIG5_QUERIES: [(&str, &str); 4] = [
+    ("q1", "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id"),
+    ("q2", "/child::xdoc/descendant::*/preceding-sibling::*/following::*/attribute::id"),
+    ("q3", "/child::xdoc/descendant::*/ancestor::*/ancestor::*/attribute::id"),
+    ("q4", "/child::xdoc/child::*/parent::*/descendant::*/attribute::id"),
+];
+
+/// The paper's Fig. 10 queries (rows in table order; row 7 of the figure
+/// is the two-path union printed across two lines).
+pub const FIG10_QUERIES: [&str; 13] = [
+    "/dblp/article/title",
+    "/dblp/*/title",
+    "/dblp/article[position() = 3]/title",
+    "/dblp/article[position() < 100]/title",
+    "/dblp/article[position() = last()]/title",
+    "/dblp/article[position()=last()-10]/title",
+    "/dblp/article/title | /dblp/inproceedings/title",
+    "/dblp/article[count(author)=4]/@key",
+    "/dblp/article[year='1991']/@key",
+    "/dblp/inproceedings[year='1991']/@key",
+    "/dblp/*[author='Guido Moerkotte']/@key",
+    "/dblp/inproceedings[@key='conf/er/LockemannM91']/title",
+    "/dblp/inproceedings[author='Guido Moerkotte'][position()=last()]/title",
+];
+
+/// The paper's small documents: 2000–8000 elements (fanout 6).
+pub const SMALL_SIZES: [usize; 4] = [2000, 4000, 6000, 8000];
+
+/// The paper's large documents: 10000–80000 elements (fanout 10, depth 5).
+pub const LARGE_SIZES: [usize; 4] = [10_000, 20_000, 40_000, 80_000];
+
+/// Build a paper-configuration document of `elements` elements.
+pub fn tree_document(elements: usize) -> ArenaStore {
+    if elements <= 8000 {
+        generate_tree(TreeParams::small(elements))
+    } else {
+        generate_tree(TreeParams::large(elements))
+    }
+}
+
+/// Build the synthetic DBLP document.
+pub fn dblp_document(records: usize) -> ArenaStore {
+    generate_dblp(DblpParams { records, seed: 42 })
+}
+
+/// The evaluators compared by the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Evaluator {
+    /// Algebraic engine, improved translation (≙ Natix).
+    NatixImproved,
+    /// Algebraic engine, canonical translation (§3 only).
+    NatixCanonical,
+    /// Algebraic engine, improved + property pruning (beyond-paper
+    /// extension E9).
+    NatixExtended,
+    /// Algebraic engine with custom options (ablations).
+    NatixWith(TranslateOptions),
+    /// Context-list main-memory interpreter (≙ Xalan).
+    ContextList,
+    /// Naive interpreter without intermediate dedup (≙ worst-case
+    /// pre-Gottlob evaluation).
+    Naive,
+}
+
+impl Evaluator {
+    /// Short display label used in harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Evaluator::NatixImproved => "natix",
+            Evaluator::NatixCanonical => "natix-canonical",
+            Evaluator::NatixExtended => "natix-extended",
+            Evaluator::NatixWith(_) => "natix-custom",
+            Evaluator::ContextList => "interp",
+            Evaluator::Naive => "naive",
+        }
+    }
+
+    /// Compile + execute (the paper's measured quantity excludes document
+    /// loading but includes compilation, §6.2).
+    pub fn run(&self, store: &dyn XmlStore, query: &str) -> algebra::QueryOutput {
+        match self {
+            Evaluator::NatixImproved => {
+                nqe::evaluate(store, query, &TranslateOptions::improved()).expect("evaluate")
+            }
+            Evaluator::NatixCanonical => {
+                nqe::evaluate(store, query, &TranslateOptions::canonical()).expect("evaluate")
+            }
+            Evaluator::NatixExtended => {
+                nqe::evaluate(store, query, &TranslateOptions::extended()).expect("evaluate")
+            }
+            Evaluator::NatixWith(opts) => nqe::evaluate(store, query, opts).expect("evaluate"),
+            Evaluator::ContextList => Interpreter::new(store, InterpOptions::context_list())
+                .evaluate(query, store.root())
+                .expect("evaluate"),
+            Evaluator::Naive => Interpreter::new(store, InterpOptions::naive())
+                .evaluate(query, store.root())
+                .expect("evaluate"),
+        }
+    }
+}
+
+/// Median wall-clock time of `runs` evaluations.
+pub fn time_query(ev: Evaluator, store: &dyn XmlStore, query: &str, runs: usize) -> Duration {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let out = ev.run(store, query);
+        samples.push(t0.elapsed());
+        std::hint::black_box(out);
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Render a duration in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_experiment_queries_run_on_small_documents() {
+        let tree = tree_document(60);
+        for (_, q) in FIG5_QUERIES {
+            let a = Evaluator::NatixImproved.run(&tree, q);
+            let b = Evaluator::ContextList.run(&tree, q);
+            assert_eq!(a, b, "{q}");
+        }
+        let dblp = dblp_document(80);
+        for q in FIG10_QUERIES {
+            let a = Evaluator::NatixImproved.run(&dblp, q);
+            let b = Evaluator::ContextList.run(&dblp, q);
+            assert_eq!(a, b, "{q}");
+        }
+    }
+
+    #[test]
+    fn timing_returns_nonzero() {
+        let tree = tree_document(50);
+        let d = time_query(Evaluator::NatixImproved, &tree, "count(//*)", 3);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Translation of XPath 1.0 into the logical algebra — the paper's core
+//! contribution (§3 canonical translation, §4 improved translation).
+//!
+//! Entry point: [`compile`] (query string → [`CompiledQuery`]), or
+//! [`translate`] for an already-analyzed AST. [`TranslateOptions`] selects
+//! between the canonical and improved translations and exposes each §4
+//! improvement separately for ablation studies.
+
+pub mod options;
+pub mod pipeline;
+pub mod properties;
+pub mod translate;
+
+pub use options::TranslateOptions;
+pub use pipeline::{compile, compile_ast, PipelineError};
+pub use translate::{translate, CompileError, CompiledQuery};

@@ -1,0 +1,77 @@
+//! Translation switches. The canonical translation (paper §3) and the
+//! improved translation (paper §4) are points in this option space; the
+//! individual flags exist so the ablation benchmarks can isolate each
+//! improvement.
+
+/// Options controlling the translation into the algebra.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslateOptions {
+    /// §4.2.1 — stacked translation of outer paths: steps consume the
+    /// previous step's output directly instead of going through d-joins.
+    pub stacked_outer: bool,
+    /// §4.1 — duplicate elimination pushed after every ppd step instead of
+    /// only once at the top.
+    pub push_dedup: bool,
+    /// §4.2.2 — memoize inner (predicate) relative paths with MemoX.
+    pub memoize_inner: bool,
+    /// §4.3.2 — split predicate clauses into cheap/expensive, evaluate
+    /// cheap first and memoize expensive clause values (χ^mat).
+    pub split_expensive: bool,
+    /// Beyond the paper: prune Π^D/Sort operators proven redundant by the
+    /// order/duplicate property analysis of Hidders & Michiels (the
+    /// refinement §4.1 cites as ref. [13] but skips).
+    pub prune_properties: bool,
+}
+
+impl TranslateOptions {
+    /// The canonical translation of paper §3: d-joins everywhere, one
+    /// final duplicate elimination, no memoization.
+    pub fn canonical() -> TranslateOptions {
+        TranslateOptions {
+            stacked_outer: false,
+            push_dedup: false,
+            memoize_inner: false,
+            split_expensive: false,
+            prune_properties: false,
+        }
+    }
+
+    /// The improved translation of paper §4 (the default).
+    pub fn improved() -> TranslateOptions {
+        TranslateOptions {
+            stacked_outer: true,
+            push_dedup: true,
+            memoize_inner: true,
+            split_expensive: true,
+            prune_properties: false,
+        }
+    }
+
+    /// The improved translation plus the [13]-style property pruning
+    /// (an extension beyond the paper; see DESIGN.md).
+    pub fn extended() -> TranslateOptions {
+        TranslateOptions { prune_properties: true, ..TranslateOptions::improved() }
+    }
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions::improved()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = TranslateOptions::canonical();
+        assert!(!c.stacked_outer && !c.push_dedup && !c.memoize_inner && !c.split_expensive);
+        let i = TranslateOptions::improved();
+        assert!(i.stacked_outer && i.push_dedup && i.memoize_inner && i.split_expensive);
+        assert!(!i.prune_properties, "pruning is a beyond-paper extension");
+        assert_eq!(TranslateOptions::default(), i);
+        assert!(TranslateOptions::extended().prune_properties);
+    }
+}

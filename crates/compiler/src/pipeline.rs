@@ -1,0 +1,307 @@
+//! The six-phase compilation pipeline (paper §5.1):
+//! (1) parsing → (2) normalization → (3) semantic analysis →
+//! (4) rewrite (constant folding) → (5) translation into the algebra →
+//! (6) code generation.
+//!
+//! Phases 1–4 live in the `xpath-syntax` crate (normalization runs lazily
+//! per predicate during translation); phase 5 is [`crate::translate`];
+//! phase 6 (physical plan + NVM assembly) is the `nqe` crate.
+
+use xpath_syntax::{frontend, Expr, FrontendError};
+
+use crate::options::TranslateOptions;
+use crate::translate::{translate, CompileError, CompiledQuery};
+
+/// Any error of the compilation pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// Parsing or semantic analysis failed.
+    Frontend(FrontendError),
+    /// Translation into the algebra failed.
+    Translate(CompileError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Frontend(e) => write!(f, "{e}"),
+            PipelineError::Translate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<FrontendError> for PipelineError {
+    fn from(e: FrontendError) -> Self {
+        PipelineError::Frontend(e)
+    }
+}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        PipelineError::Translate(e)
+    }
+}
+
+/// Compile a query string into the logical algebra.
+pub fn compile(query: &str, opts: &TranslateOptions) -> Result<CompiledQuery, PipelineError> {
+    let ast = frontend(query)?;
+    Ok(translate(&ast, opts)?)
+}
+
+/// Compile an already-analyzed AST (used when the caller wants to inspect
+/// or transform the AST between phases).
+pub fn compile_ast(ast: &Expr, opts: &TranslateOptions) -> Result<CompiledQuery, PipelineError> {
+    Ok(translate(ast, opts)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::explain::explain;
+    use algebra::LogicalOp;
+
+    fn seq(query: &str, opts: &TranslateOptions) -> LogicalOp {
+        match compile(query, opts).unwrap_or_else(|e| panic!("compile `{query}`: {e}")) {
+            CompiledQuery::Sequence(p) => p,
+            CompiledQuery::Scalar(s) => panic!("expected sequence plan, got scalar {s}"),
+        }
+    }
+
+    fn scal(query: &str, opts: &TranslateOptions) -> algebra::ScalarExpr {
+        match compile(query, opts).unwrap() {
+            CompiledQuery::Scalar(s) => s,
+            CompiledQuery::Sequence(p) => panic!("expected scalar, got plan\n{}", explain(&p)),
+        }
+    }
+
+    #[test]
+    fn canonical_path_is_djoin_chain_fig2() {
+        // Fig. 2 shape: Π^D(χ_cn(… <Υ><Υ>…)).
+        let plan = seq("/a/b", &TranslateOptions::canonical());
+        let text = explain(&plan);
+        assert!(text.contains("Π^D[cn]"), "{text}");
+        assert!(text.contains("<>"), "{text}");
+        assert_eq!(text.matches("Υ[").count(), 2, "{text}");
+        assert!(text.contains("root("), "{text}");
+    }
+
+    #[test]
+    fn improved_outer_path_is_stacked_fig3() {
+        // Fig. 3 shape: linear operator stack, no d-joins.
+        let plan = seq("/a/descendant::b/c", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(!text.contains("<>"), "stacked translation must not use d-joins:\n{text}");
+        assert_eq!(text.matches("Υ[").count(), 3, "{text}");
+        // descendant is ppd → a pushed-down dedup besides the final one.
+        assert!(text.matches("Π^D").count() >= 2, "{text}");
+    }
+
+    #[test]
+    fn canonical_has_single_final_dedup() {
+        let plan = seq("/a/descendant::b/c", &TranslateOptions::canonical());
+        let text = explain(&plan);
+        assert_eq!(text.matches("Π^D").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn positional_predicate_adds_counter() {
+        let plan = seq("/a/b[position() = 2]", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(text.contains("counter++"), "{text}");
+        assert!(!text.contains("Tmp^cs"), "no last() → no Tmp^cs:\n{text}");
+    }
+
+    #[test]
+    fn last_predicate_adds_tmpcs() {
+        let plan = seq("/a/b[position() = last()]", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(text.contains("counter++"), "{text}");
+        assert!(text.contains("Tmp^cs"), "{text}");
+        // Stacked translation: grouped by the input context attribute.
+        assert!(text.contains("by c"), "{text}");
+    }
+
+    #[test]
+    fn canonical_last_predicate_ungrouped() {
+        let plan = seq("/a/b[last()]", &TranslateOptions::canonical());
+        let text = explain(&plan);
+        assert!(text.contains("Tmp^cs[cs"), "{text}");
+        assert!(!text.contains(" by "), "canonical Tmp^cs has no group attr:\n{text}");
+    }
+
+    #[test]
+    fn nested_path_predicate_rebinds_cn_and_memoizes() {
+        let plan = seq(
+            "/a/descendant::b[count(descendant::c/following::*) = 1000]",
+            &TranslateOptions::improved(),
+        );
+        let text = explain(&plan);
+        assert!(text.contains("Π[cn:"), "cn rebinding expected:\n{text}");
+        assert!(text.contains("𝔐["), "MemoX expected for inner path:\n{text}");
+        assert!(text.contains("χ^mat"), "expensive clause memoised:\n{text}");
+    }
+
+    #[test]
+    fn canonical_no_memox() {
+        let plan = seq(
+            "/a/descendant::b[count(descendant::c/following::*) = 1000]",
+            &TranslateOptions::canonical(),
+        );
+        let text = explain(&plan);
+        assert!(!text.contains("𝔐["), "{text}");
+        assert!(!text.contains("χ^mat"), "{text}");
+    }
+
+    #[test]
+    fn union_concat_dedup() {
+        let plan = seq("/a/b | /a/c", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(text.contains("⊕"), "{text}");
+        assert!(text.contains("Π^D[u"), "{text}");
+    }
+
+    #[test]
+    fn filter_with_positional_sorts() {
+        let plan = seq("(/a/b | /a/c)[2]", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(text.contains("Sort["), "{text}");
+        assert!(text.contains("counter++"), "{text}");
+    }
+
+    #[test]
+    fn filter_without_positional_does_not_sort() {
+        let plan = seq("(/a/b | /a/c)[@x = '1']", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(!text.contains("Sort["), "{text}");
+    }
+
+    #[test]
+    fn scalar_count_query() {
+        let s = scal("count(/a/b)", &TranslateOptions::improved());
+        let text = s.to_string();
+        assert!(text.contains("𝔄[Count"), "{text}");
+    }
+
+    #[test]
+    fn nodeset_equality_uses_semijoin() {
+        let plan = seq("/r/a[b = c]", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(text.contains("⋉["), "{text}");
+    }
+
+    #[test]
+    fn nodeset_relational_uses_min_max() {
+        let s = scal("/a/b < /a/c", &TranslateOptions::improved());
+        // Top-level comparison is boolean → scalar.
+        let text = format!("{s}");
+        assert!(text.contains("𝔄[Exists"), "{text}");
+        // Max aggregate appears within the nested plan's selection.
+        let plan_text = match &s {
+            algebra::ScalarExpr::Agg(a) => explain(&a.plan),
+            other => panic!("{other}"),
+        };
+        assert!(plan_text.contains("𝔄[Max"), "{plan_text}");
+    }
+
+    #[test]
+    fn id_translation_tokenizes_and_derefs() {
+        let plan = seq("id('a b c')", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(text.contains("tokenize"), "{text}");
+        assert!(text.contains("deref"), "{text}");
+    }
+
+    #[test]
+    fn id_of_nodeset() {
+        let plan = seq("id(/a/b)", &TranslateOptions::improved());
+        let text = explain(&plan);
+        assert!(text.contains("tokenize"), "{text}");
+        assert!(text.contains("deref"), "{text}");
+    }
+
+    #[test]
+    fn absolute_inner_path_is_stacked() {
+        let plan = seq("/a/b[/r/c]", &TranslateOptions::improved());
+        let text = explain(&plan);
+        // The inner absolute path appears under a (nested) marker without
+        // d-joins of its own.
+        let nested_start = text.find("(nested)").expect("nested plan rendered");
+        assert!(!text[nested_start..].contains("<>"), "{text}");
+    }
+
+    #[test]
+    fn relative_inner_path_keeps_djoin_shape() {
+        let plan = seq(
+            "/a/b[descendant::c/following::d]",
+            &TranslateOptions::improved(),
+        );
+        let text = explain(&plan);
+        let nested_start = text.find("(nested)").expect("nested plan rendered");
+        assert!(text[nested_start..].contains("<>"), "{text}");
+    }
+
+    #[test]
+    fn fig4_combined_shape() {
+        // Fig. 4: /a1::t1/a2::t2[a4::t4/a5::t5][position()=last()]/a3::t3
+        let plan = seq(
+            "/descendant::a[child::b/child::c][position() = last()]/child::d",
+            &TranslateOptions::improved(),
+        );
+        let text = explain(&plan);
+        assert!(text.contains("Tmp^cs"), "{text}");
+        assert!(text.contains("counter++"), "{text}");
+        assert!(text.contains("(nested)"), "{text}");
+        assert!(text.contains("Π[cn:"), "{text}");
+    }
+
+    #[test]
+    fn scalar_queries() {
+        assert!(matches!(
+            compile("1 + 2", &TranslateOptions::improved()).unwrap(),
+            CompiledQuery::Scalar(_)
+        ));
+        assert!(matches!(
+            compile("'a' = 'b'", &TranslateOptions::improved()).unwrap(),
+            CompiledQuery::Scalar(_)
+        ));
+        assert!(matches!(
+            compile("string-length(/a)", &TranslateOptions::improved()).unwrap(),
+            CompiledQuery::Scalar(_)
+        ));
+    }
+
+    #[test]
+    fn variables_as_nodesets_rejected() {
+        assert!(compile("$v/a", &TranslateOptions::improved()).is_err());
+        // Atomic variable uses are fine.
+        assert!(compile("/a[@x = $v]", &TranslateOptions::improved()).is_ok());
+    }
+
+    #[test]
+    fn fig5_and_fig10_queries_compile() {
+        let opts = TranslateOptions::improved();
+        for q in [
+            "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id",
+            "/child::xdoc/descendant::*/preceding-sibling::*/following::*/attribute::id",
+            "/child::xdoc/descendant::*/ancestor::*/ancestor::*/attribute::id",
+            "/child::xdoc/child::*/parent::*/descendant::*/attribute::id",
+            "/dblp/article/title",
+            "/dblp/*/title",
+            "/dblp/article[position() = 3]/title",
+            "/dblp/article[position() < 100]/title",
+            "/dblp/article[position() = last()]/title",
+            "/dblp/article[position()=last()-10]/title",
+            "/dblp/article/title | /dblp/inproceedings/title",
+            "/dblp/article[count(author)=4]/@key",
+            "/dblp/article[year='1991']/@key",
+            "/dblp/*[author='Guido Moerkotte']/@key",
+            "/dblp/inproceedings[@key='conf/er/LockemannM91']/title",
+            "/dblp/inproceedings[author='Guido Moerkotte'][position()=last()]/title",
+        ] {
+            compile(q, &opts).unwrap_or_else(|e| panic!("{q}: {e}"));
+            compile(q, &TranslateOptions::canonical()).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Order/duplicate property inference over logical plans, in the spirit
+//! of Hidders & Michiels ("Avoiding unnecessary ordering operations in
+//! XPath", paper ref. [13]) — the refinement the paper mentions in §4.1
+//! but skips. A conservative three-flag lattice is inferred per result
+//! attribute and used to prune provably redundant Π^D and Sort operators.
+//!
+//! The flags describe the stream of values of one node attribute:
+//! * `distinct` — no node occurs twice,
+//! * `ordered`  — non-decreasing document order,
+//! * `disjoint` — no node is an ancestor of another.
+//!
+//! Key transitions (all proofs rely on the preorder property: if
+//! `p1 < p2` and `p2 ∉ subtree(p1)`, the whole subtree of `p1` precedes
+//! `p2`):
+//! * `child`      (d, o, j) → (d, o∧j, j)
+//! * `attribute`  (d, o, j) → (d, o, ⊤)
+//! * `self`       (d, o, j) → (d, o, j)
+//! * `descendant[-or-self]` (d, o, j) → (d∧j, o∧j, ⊥)
+//! * every other axis → ⊥ (conservative)
+
+use xmlstore::Axis;
+
+use algebra::scalar::ScalarExpr;
+use algebra::LogicalOp;
+
+/// Stream properties of one node attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Props {
+    /// Duplicate-free.
+    pub distinct: bool,
+    /// Non-decreasing document order.
+    pub ordered: bool,
+    /// No ancestor/descendant pairs.
+    pub disjoint: bool,
+}
+
+impl Props {
+    /// All guarantees (single-tuple streams).
+    pub fn single() -> Props {
+        Props { distinct: true, ordered: true, disjoint: true }
+    }
+
+    /// No guarantees.
+    pub fn none() -> Props {
+        Props { distinct: false, ordered: false, disjoint: false }
+    }
+}
+
+fn axis_transition(axis: Axis, p: Props) -> Props {
+    match axis {
+        Axis::Child => Props {
+            distinct: p.distinct,
+            // Duplicate parents interleave their (repeated) child runs,
+            // so order needs distinctness as well as disjointness.
+            ordered: p.ordered && p.disjoint && p.distinct,
+            disjoint: p.disjoint,
+        },
+        Axis::Attribute => Props { distinct: p.distinct, ordered: p.ordered, disjoint: true },
+        Axis::SelfAxis => p,
+        Axis::Descendant | Axis::DescendantOrSelf => Props {
+            distinct: p.distinct && p.disjoint,
+            ordered: p.ordered && p.disjoint && p.distinct,
+            disjoint: false,
+        },
+        _ => Props::none(),
+    }
+}
+
+/// Infer the properties of `attr`'s value stream at the output of `plan`.
+pub fn props_of(plan: &LogicalOp, attr: &str) -> Props {
+    match plan {
+        // A singleton stream trivially satisfies everything.
+        LogicalOp::Singleton => Props::single(),
+        LogicalOp::Select { input, .. }
+        | LogicalOp::CounterMap { input, .. }
+        | LogicalOp::MemoMap { input, .. }
+        | LogicalOp::TmpCs { input, .. }
+        | LogicalOp::MemoX { input, .. } => {
+            // Filters keep subsequences; tuple-extending maps keep the
+            // stream; both preserve all three properties.
+            props_of(input, attr)
+        }
+        LogicalOp::DedupBy { input, attr: a, .. } => {
+            let mut p = props_of(input, attr);
+            if a == attr {
+                p.distinct = true;
+            }
+            p
+        }
+        LogicalOp::SortBy { input, attr: a, .. } => {
+            let mut p = props_of(input, attr);
+            if a == attr {
+                p.ordered = true;
+            }
+            p
+        }
+        LogicalOp::Rename { input, from, to } => {
+            if to == attr {
+                props_of(input, from)
+            } else {
+                props_of(input, attr)
+            }
+        }
+        LogicalOp::MapExpr { input, attr: a, expr } => {
+            if a == attr {
+                match expr {
+                    // Alias of another attribute.
+                    ScalarExpr::Attr(b) => props_of(input, b),
+                    // root(cn) maps every tuple to the same node:
+                    // guarantees hold only for single-tuple inputs.
+                    ScalarExpr::RootOf(_) => {
+                        if matches!(**input, LogicalOp::Singleton) {
+                            Props::single()
+                        } else {
+                            Props::none()
+                        }
+                    }
+                    _ => Props::none(),
+                }
+            } else {
+                props_of(input, attr)
+            }
+        }
+        LogicalOp::UnnestMap { input, context, attr: a, axis, .. } => {
+            if a == attr {
+                axis_transition(*axis, props_of(input, context))
+            } else {
+                // The stream is expanded: other attributes repeat.
+                Props::none()
+            }
+        }
+        // Joins, unions and tokenisation give no guarantees.
+        LogicalOp::DJoin { .. }
+        | LogicalOp::Cross { .. }
+        | LogicalOp::SemiJoin { .. }
+        | LogicalOp::AntiJoin { .. }
+        | LogicalOp::Concat { .. }
+        | LogicalOp::TokenizeMap { .. } => Props::none(),
+    }
+}
+
+/// Remove Π^D and Sort operators whose guarantees the input already
+/// provides. Recurses into nested plans of scalar subscripts.
+pub fn prune(plan: LogicalOp) -> LogicalOp {
+    let plan = map_children(plan, prune);
+    match plan {
+        LogicalOp::DedupBy { input, attr } => {
+            if props_of(&input, &attr).distinct {
+                *input
+            } else {
+                LogicalOp::DedupBy { input, attr }
+            }
+        }
+        LogicalOp::SortBy { input, attr } => {
+            if props_of(&input, &attr).ordered {
+                *input
+            } else {
+                LogicalOp::SortBy { input, attr }
+            }
+        }
+        other => other,
+    }
+}
+
+fn map_children(plan: LogicalOp, f: fn(LogicalOp) -> LogicalOp) -> LogicalOp {
+    use LogicalOp as L;
+    match plan {
+        L::Singleton => L::Singleton,
+        L::Select { input, pred } => {
+            L::Select { input: Box::new(f(*input)), pred: prune_scalar(pred) }
+        }
+        L::DedupBy { input, attr } => L::DedupBy { input: Box::new(f(*input)), attr },
+        L::Rename { input, from, to } => L::Rename { input: Box::new(f(*input)), from, to },
+        L::MapExpr { input, attr, expr } => {
+            L::MapExpr { input: Box::new(f(*input)), attr, expr: prune_scalar(expr) }
+        }
+        L::CounterMap { input, attr, reset_on } => {
+            L::CounterMap { input: Box::new(f(*input)), attr, reset_on }
+        }
+        L::MemoMap { input, attr, expr, key } => {
+            L::MemoMap { input: Box::new(f(*input)), attr, expr: prune_scalar(expr), key }
+        }
+        L::DJoin { left, right } => {
+            L::DJoin { left: Box::new(f(*left)), right: Box::new(f(*right)) }
+        }
+        L::Cross { left, right } => {
+            L::Cross { left: Box::new(f(*left)), right: Box::new(f(*right)) }
+        }
+        L::SemiJoin { left, right, pred } => L::SemiJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            pred: prune_scalar(pred),
+        },
+        L::AntiJoin { left, right, pred } => L::AntiJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            pred: prune_scalar(pred),
+        },
+        L::UnnestMap { input, context, attr, axis, test } => {
+            L::UnnestMap { input: Box::new(f(*input)), context, attr, axis, test }
+        }
+        L::TokenizeMap { input, attr, expr } => {
+            L::TokenizeMap { input: Box::new(f(*input)), attr, expr: prune_scalar(expr) }
+        }
+        L::Concat { parts } => L::Concat { parts: parts.into_iter().map(f).collect() },
+        L::SortBy { input, attr } => L::SortBy { input: Box::new(f(*input)), attr },
+        L::TmpCs { input, cs, group } => L::TmpCs { input: Box::new(f(*input)), cs, group },
+        L::MemoX { input, key } => L::MemoX { input: Box::new(f(*input)), key },
+    }
+}
+
+/// Prune nested plans inside a scalar expression (top-level scalar
+/// queries).
+pub fn prune_scalar_expr(e: ScalarExpr) -> ScalarExpr {
+    prune_scalar(e)
+}
+
+fn prune_scalar(e: ScalarExpr) -> ScalarExpr {
+    use ScalarExpr as S;
+    match e {
+        S::Agg(mut agg) => {
+            agg.plan = Box::new(prune(*agg.plan));
+            S::Agg(agg)
+        }
+        S::And(a, b) => S::And(Box::new(prune_scalar(*a)), Box::new(prune_scalar(*b))),
+        S::Or(a, b) => S::Or(Box::new(prune_scalar(*a)), Box::new(prune_scalar(*b))),
+        S::Not(a) => S::Not(Box::new(prune_scalar(*a))),
+        S::Neg(a) => S::Neg(Box::new(prune_scalar(*a))),
+        S::Compare { op, mode, lhs, rhs } => S::Compare {
+            op,
+            mode,
+            lhs: Box::new(prune_scalar(*lhs)),
+            rhs: Box::new(prune_scalar(*rhs)),
+        },
+        S::Arith(op, a, b) => {
+            S::Arith(op, Box::new(prune_scalar(*a)), Box::new(prune_scalar(*b)))
+        }
+        S::Convert(k, a) => S::Convert(k, Box::new(prune_scalar(*a))),
+        S::StrFn(f, args) => S::StrFn(f, args.into_iter().map(prune_scalar).collect()),
+        S::NumFn(f, a) => S::NumFn(f, Box::new(prune_scalar(*a))),
+        S::NodeFn(f, a) => S::NodeFn(f, Box::new(prune_scalar(*a))),
+        S::Lang(a, ctx) => S::Lang(Box::new(prune_scalar(*a)), ctx),
+        S::Deref(a) => S::Deref(Box::new(prune_scalar(*a))),
+        S::RootOf(a) => S::RootOf(Box::new(prune_scalar(*a))),
+        leaf @ (S::Const(_) | S::Attr(_) | S::Var(_)) => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::TranslateOptions;
+    use crate::translate::{translate, CompiledQuery};
+    use algebra::explain::explain;
+    use xpath_syntax::frontend;
+
+    fn plan(q: &str) -> LogicalOp {
+        let opts = TranslateOptions::improved();
+        match translate(&frontend(q).unwrap(), &opts).unwrap() {
+            CompiledQuery::Sequence(p) => p,
+            CompiledQuery::Scalar(s) => panic!("scalar {s}"),
+        }
+    }
+
+    #[test]
+    fn child_chain_is_distinct_and_ordered() {
+        let p = plan("/a/b/c");
+        // The final dedup is prunable.
+        let pruned = prune(p);
+        let text = explain(&pruned);
+        assert!(!text.contains("Π^D"), "{text}");
+    }
+
+    #[test]
+    fn attribute_step_preserves_order() {
+        let pruned = prune(plan("/a/b/@id"));
+        let text = explain(&pruned);
+        assert!(!text.contains("Π^D"), "{text}");
+    }
+
+    #[test]
+    fn descendant_from_root_is_distinct() {
+        // A single descendant step from the (singleton) root: distinct,
+        // so both the pushed and the final dedups go away.
+        let pruned = prune(plan("/descendant::a"));
+        let text = explain(&pruned);
+        assert!(!text.contains("Π^D"), "{text}");
+    }
+
+    #[test]
+    fn double_slash_keeps_child_distinct_but_not_parent_paths() {
+        // //a = descendant-or-self::node()/child::a: child of nested
+        // contexts stays distinct (single parent per node).
+        let pruned = prune(plan("//a"));
+        let text = explain(&pruned);
+        assert!(!text.contains("Π^D"), "{text}");
+        // parent::* genuinely produces duplicates: dedup must survive.
+        let pruned = prune(plan("/a/b/parent::*"));
+        let text = explain(&pruned);
+        assert!(text.contains("Π^D"), "{text}");
+    }
+
+    #[test]
+    fn descendant_of_nested_contexts_keeps_dedup() {
+        // //a//b: the second descendant step starts from possibly nested
+        // a's — duplicates are possible, dedup must stay.
+        let pruned = prune(plan("//a//b"));
+        let text = explain(&pruned);
+        assert!(text.contains("Π^D"), "{text}");
+    }
+
+    #[test]
+    fn filter_sort_pruned_on_ordered_input() {
+        // (/a/b)[2] sorts before the positional predicate; a child chain
+        // is already ordered.
+        let pruned = prune(plan("(/a/b)[2]"));
+        let text = explain(&pruned);
+        assert!(!text.contains("Sort["), "{text}");
+        // A union is not provably ordered: Sort must stay.
+        let pruned = prune(plan("(/a/b | /a/c)[2]"));
+        let text = explain(&pruned);
+        assert!(text.contains("Sort["), "{text}");
+    }
+
+    #[test]
+    fn transition_table() {
+        let all = Props::single();
+        let child = axis_transition(Axis::Child, all);
+        assert!(child.distinct && child.ordered && child.disjoint);
+        let desc = axis_transition(Axis::Descendant, all);
+        assert!(desc.distinct && desc.ordered && !desc.disjoint);
+        let child_of_desc = axis_transition(Axis::Child, desc);
+        assert!(child_of_desc.distinct && !child_of_desc.ordered);
+        let attr = axis_transition(Axis::Attribute, desc);
+        assert!(attr.distinct && attr.ordered && attr.disjoint);
+        let anc = axis_transition(Axis::Ancestor, all);
+        assert_eq!(anc, Props::none());
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline main-memory XPath 1.0 interpreters (the paper's comparison
+//! subjects, §6): a context-list interpreter (Xalan-like) and a naive
+//! variant without intermediate duplicate elimination (worst-case
+//! exponential), sharing one recursive evaluator.
+
+pub mod contextlist;
+pub mod naive;
+
+pub use contextlist::{InterpError, InterpOptions, Interpreter};
+pub use naive::{evaluate_naive, naive_context_growth};
+
+use std::collections::HashMap;
+
+use algebra::QueryOutput;
+use xmlstore::{NodeId, XmlStore};
+
+/// Convenience: context-list evaluation from the document node.
+pub fn evaluate(store: &dyn XmlStore, query: &str) -> Result<QueryOutput, InterpError> {
+    Interpreter::new(store, InterpOptions::context_list()).evaluate(query, store.root())
+}
+
+/// Convenience: context-list evaluation with explicit context and vars.
+pub fn evaluate_with(
+    store: &dyn XmlStore,
+    query: &str,
+    ctx: NodeId,
+    vars: &HashMap<String, algebra::Value>,
+) -> Result<QueryOutput, InterpError> {
+    Interpreter::with_vars(store, InterpOptions::context_list(), vars).evaluate(query, ctx)
+}

@@ -1,0 +1,76 @@
+//! The naive configuration: no intermediate duplicate elimination.
+//!
+//! With duplicate context nodes preserved between steps, the work of a
+//! step multiplies with the duplicates produced by its predecessors —
+//! the exponential behaviour Gottlob et al. diagnosed in early XPath
+//! engines (paper §1/§4). The E7 experiment (`bench` crate) measures this
+//! against the polynomial algebraic plans.
+
+use xmlstore::{NodeId, XmlStore};
+
+use algebra::QueryOutput;
+
+use crate::contextlist::{InterpError, InterpOptions, Interpreter};
+
+/// Evaluate with the naive strategy (no intermediate dedup).
+pub fn evaluate_naive(
+    store: &dyn XmlStore,
+    query: &str,
+    ctx: NodeId,
+) -> Result<QueryOutput, InterpError> {
+    Interpreter::new(store, InterpOptions::naive()).evaluate(query, ctx)
+}
+
+/// Number of context nodes a naive evaluation would carry after each
+/// step (diagnostic used by tests and the blow-up experiment).
+pub fn naive_context_growth(store: &dyn XmlStore, query: &str) -> Result<Vec<usize>, InterpError> {
+    use xpath_syntax::{Expr, PathStart};
+    let ast = xpath_syntax::frontend(query).map_err(|e| InterpError { message: e.to_string() })?;
+    let Expr::Path(path) = &ast else {
+        return Err(InterpError { message: "expected a location path".into() });
+    };
+    let mut cur: Vec<NodeId> = match path.start {
+        PathStart::Root => vec![store.root()],
+        _ => vec![store.root()],
+    };
+    let interp = Interpreter::new(store, InterpOptions::naive());
+    let mut sizes = Vec::with_capacity(path.steps.len());
+    for step in &path.steps {
+        let mut next = Vec::new();
+        for &cn in &cur {
+            let step_path = Expr::Path(xpath_syntax::PathExpr {
+                start: PathStart::ContextNode,
+                steps: vec![step.clone()],
+            });
+            if let QueryOutput::Nodes(ns) = interp.evaluate_ast(&step_path, cn)? {
+                next.extend(ns);
+            }
+        }
+        sizes.push(next.len());
+        cur = next;
+    }
+    Ok(sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::parse_document;
+
+    #[test]
+    fn duplicates_multiply_without_dedup() {
+        // <r><a><b/><b/></a></r> — b/parent::a/child::b from both b's
+        // yields 4 context nodes naively, 2 with dedup.
+        let s = parse_document("<r><a><b/><b/></a></r>").unwrap();
+        let growth = naive_context_growth(&s, "/r/a/b/parent::a/child::b").unwrap();
+        assert_eq!(growth, vec![1, 1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn naive_results_still_correct() {
+        let s = parse_document("<r><a><b/><b/></a></r>").unwrap();
+        let out = evaluate_naive(&s, "count(/r/a/b/parent::a/child::b)", s.root()).unwrap();
+        // count() sees the de-duplicated set (final semantics preserved).
+        assert_eq!(out, QueryOutput::Num(2.0));
+    }
+}

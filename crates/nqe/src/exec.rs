@@ -1,0 +1,102 @@
+//! Executor: runs a physical query against a store, providing the
+//! top-level execution context (context node, `$` variables) that binds
+//! the plan's free attributes (paper §2.2.2).
+
+use std::collections::HashMap;
+
+use xmlstore::{NodeId, XmlStore};
+
+use algebra::{QueryOutput, Tuple, Value};
+use compiler::{compile, PipelineError, TranslateOptions};
+
+use crate::codegen::{build_physical, PhysicalQuery};
+
+/// Shared read-only state available to every iterator and NVM program.
+pub struct Runtime<'a> {
+    /// The document store.
+    pub store: &'a dyn XmlStore,
+    /// `$` variable bindings.
+    pub vars: &'a HashMap<String, Value>,
+}
+
+impl PhysicalQuery {
+    /// Execute against `store` with `ctx` as the context node.
+    ///
+    /// A `PhysicalQuery` is bound to one store: node tests resolve
+    /// interned names and memo tables key on node identities on first
+    /// execution, so reuse the object only against the same store.
+    pub fn execute(
+        &mut self,
+        store: &dyn XmlStore,
+        vars: &HashMap<String, Value>,
+        ctx: NodeId,
+    ) -> QueryOutput {
+        let rt = Runtime { store, vars };
+        match self {
+            PhysicalQuery::Sequence { root, frame } => {
+                let mut seed: Tuple = vec![Value::Null; frame.width];
+                seed[frame.cn] = Value::Node(ctx);
+                seed[frame.cp] = Value::Num(1.0);
+                seed[frame.cs] = Value::Num(1.0);
+                root.open(&rt, &seed);
+                let mut nodes: Vec<NodeId> = Vec::new();
+                while let Some(t) = root.next(&rt) {
+                    if let Some(n) = t[frame.cn].as_node() {
+                        nodes.push(n);
+                    }
+                }
+                root.close();
+                // XPath 1.0 node-sets are unordered (paper §2.1); we
+                // return document order for determinism.
+                nodes.sort_by_key(|&n| store.order(n));
+                nodes.dedup();
+                QueryOutput::Nodes(nodes)
+            }
+            PhysicalQuery::Scalar { pred, frame } => {
+                let mut seed: Tuple = vec![Value::Null; frame.width];
+                seed[frame.cn] = Value::Node(ctx);
+                seed[frame.cp] = Value::Num(1.0);
+                seed[frame.cs] = Value::Num(1.0);
+                match pred.eval(&rt, &seed) {
+                    Value::Bool(b) => QueryOutput::Bool(b),
+                    Value::Num(n) => QueryOutput::Num(n),
+                    Value::Str(s) => QueryOutput::Str(s.to_string()),
+                    Value::Node(n) => QueryOutput::Nodes(vec![n]),
+                    Value::Null => QueryOutput::Str(String::new()),
+                    Value::Seq(ts) => {
+                        let mut nodes: Vec<NodeId> = ts
+                            .iter()
+                            .flat_map(|t| t.iter().filter_map(|v| v.as_node()))
+                            .collect();
+                        nodes.sort_by_key(|&n| store.order(n));
+                        nodes.dedup();
+                        QueryOutput::Nodes(nodes)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One-stop evaluation: compile `query`, lower it, execute it with the
+/// document node as context.
+pub fn evaluate(
+    store: &dyn XmlStore,
+    query: &str,
+    opts: &TranslateOptions,
+) -> Result<QueryOutput, PipelineError> {
+    evaluate_with(store, query, opts, store.root(), &HashMap::new())
+}
+
+/// Evaluation with an explicit context node and variable bindings.
+pub fn evaluate_with(
+    store: &dyn XmlStore,
+    query: &str,
+    opts: &TranslateOptions,
+    ctx: NodeId,
+    vars: &HashMap<String, Value>,
+) -> Result<QueryOutput, PipelineError> {
+    let compiled = compile(query, opts)?;
+    let mut phys = build_physical(&compiled);
+    Ok(phys.execute(store, vars, ctx))
+}

@@ -1,0 +1,221 @@
+//! Tuple-at-a-time pipeline operators: □, σ, χ, renaming copies, the
+//! positional counter map (with group reset, §4.3.1) and ⊕.
+
+use algebra::attrmgr::Slot;
+use algebra::{Tuple, Value};
+
+use crate::exec::Runtime;
+use crate::iter::{CompiledPred, GroupKey, PhysIter};
+
+/// □ — one tuple: the seed (the outer binding), which makes the dependent
+/// branch of a d-join see the left tuple's attributes.
+pub struct SingletonIter {
+    seed: Tuple,
+    done: bool,
+}
+
+impl SingletonIter {
+    /// New singleton scan of the given frame width (used before the first
+    /// `open` seeds it).
+    pub fn new() -> SingletonIter {
+        SingletonIter { seed: Tuple::new(), done: true }
+    }
+}
+
+impl Default for SingletonIter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysIter for SingletonIter {
+    fn open(&mut self, _rt: &Runtime<'_>, seed: &Tuple) {
+        self.seed = seed.clone();
+        self.done = false;
+    }
+
+    fn next(&mut self, _rt: &Runtime<'_>) -> Option<Tuple> {
+        if self.done {
+            None
+        } else {
+            self.done = true;
+            Some(std::mem::take(&mut self.seed))
+        }
+    }
+}
+
+/// σ — selection.
+pub struct SelectIter {
+    input: Box<dyn PhysIter>,
+    pred: CompiledPred,
+}
+
+impl SelectIter {
+    /// New selection.
+    pub fn new(input: Box<dyn PhysIter>, pred: CompiledPred) -> SelectIter {
+        SelectIter { input, pred }
+    }
+}
+
+impl PhysIter for SelectIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        loop {
+            let t = self.input.next(rt)?;
+            if self.pred.eval(rt, &t).to_bool() {
+                return Some(t);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// χ — map: extend the tuple with a computed attribute.
+pub struct MapIter {
+    input: Box<dyn PhysIter>,
+    out: Slot,
+    expr: CompiledPred,
+}
+
+impl MapIter {
+    /// New map.
+    pub fn new(input: Box<dyn PhysIter>, out: Slot, expr: CompiledPred) -> MapIter {
+        MapIter { input, out, expr }
+    }
+}
+
+impl PhysIter for MapIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        let mut t = self.input.next(rt)?;
+        let v = self.expr.eval(rt, &t);
+        t[self.out] = v;
+        Some(t)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// Π_{a':a} compiled to a register copy (emitted only when the attribute
+/// manager could not alias the two names, paper §5.1).
+pub struct RenameCopyIter {
+    input: Box<dyn PhysIter>,
+    from: Slot,
+    to: Slot,
+}
+
+impl RenameCopyIter {
+    /// New copy-rename.
+    pub fn new(input: Box<dyn PhysIter>, from: Slot, to: Slot) -> RenameCopyIter {
+        RenameCopyIter { input, from, to }
+    }
+}
+
+impl PhysIter for RenameCopyIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        let mut t = self.input.next(rt)?;
+        t[self.to] = t[self.from].clone();
+        Some(t)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// χ_cp:counter++ — the position counter (§3.3.3); resets when the
+/// grouping attribute changes (stacked translation, §4.3.1).
+pub struct CounterIter {
+    input: Box<dyn PhysIter>,
+    out: Slot,
+    reset_on: Option<Slot>,
+    count: f64,
+    last_group: Option<GroupKey>,
+}
+
+impl CounterIter {
+    /// New counter map.
+    pub fn new(input: Box<dyn PhysIter>, out: Slot, reset_on: Option<Slot>) -> CounterIter {
+        CounterIter { input, out, reset_on, count: 0.0, last_group: None }
+    }
+}
+
+impl PhysIter for CounterIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+        self.count = 0.0;
+        self.last_group = None;
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        let mut t = self.input.next(rt)?;
+        if let Some(slot) = self.reset_on {
+            let key = GroupKey::of(t.get(slot).unwrap_or(&Value::Null), rt);
+            if self.last_group.as_ref() != Some(&key) {
+                self.count = 0.0;
+                self.last_group = Some(key);
+            }
+        }
+        self.count += 1.0;
+        t[self.out] = Value::Num(self.count);
+        Some(t)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// ⊕ — sequence concatenation.
+pub struct ConcatIter {
+    parts: Vec<Box<dyn PhysIter>>,
+    seed: Tuple,
+    idx: usize,
+    opened: bool,
+}
+
+impl ConcatIter {
+    /// New concatenation.
+    pub fn new(parts: Vec<Box<dyn PhysIter>>) -> ConcatIter {
+        ConcatIter { parts, seed: Tuple::new(), idx: 0, opened: false }
+    }
+}
+
+impl PhysIter for ConcatIter {
+    fn open(&mut self, _rt: &Runtime<'_>, seed: &Tuple) {
+        self.seed = seed.clone();
+        self.idx = 0;
+        self.opened = false;
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        while self.idx < self.parts.len() {
+            if !self.opened {
+                self.parts[self.idx].open(rt, &self.seed);
+                self.opened = true;
+            }
+            if let Some(t) = self.parts[self.idx].next(rt) {
+                return Some(t);
+            }
+            self.parts[self.idx].close();
+            self.idx += 1;
+            self.opened = false;
+        }
+        None
+    }
+}

@@ -1,0 +1,323 @@
+//! Materialising operators: duplicate elimination, document-order sort,
+//! the context-size operator Tmp^cs/Tmp^cs_c (§5.2.4), the MemoX
+//! sequence memo (§4.2.2) and the memoizing map χ^mat (§4.3.2).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use algebra::attrmgr::Slot;
+use algebra::{Tuple, Value};
+
+use crate::exec::Runtime;
+use crate::iter::{CompiledPred, GroupKey, PhysIter};
+
+/// Π^D_a — duplicate elimination on one attribute, keeping the first
+/// occurrence and all other attributes.
+pub struct DedupIter {
+    input: Box<dyn PhysIter>,
+    slot: Slot,
+    seen: HashSet<GroupKey>,
+}
+
+impl DedupIter {
+    /// New duplicate elimination.
+    pub fn new(input: Box<dyn PhysIter>, slot: Slot) -> DedupIter {
+        DedupIter { input, slot, seen: HashSet::new() }
+    }
+}
+
+impl PhysIter for DedupIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+        self.seen.clear();
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        loop {
+            let t = self.input.next(rt)?;
+            let key = GroupKey::of(t.get(self.slot).unwrap_or(&Value::Null), rt);
+            if self.seen.insert(key) {
+                return Some(t);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// Sort_a — materialise and sort by document order of the node attribute
+/// (filter expressions with positional predicates, §3.4.2). Stable; tuples
+/// with unbound attributes sort last.
+pub struct SortIter {
+    input: Box<dyn PhysIter>,
+    slot: Slot,
+    buffer: Option<Vec<Tuple>>,
+    pos: usize,
+}
+
+impl SortIter {
+    /// New sort.
+    pub fn new(input: Box<dyn PhysIter>, slot: Slot) -> SortIter {
+        SortIter { input, slot, buffer: None, pos: 0 }
+    }
+}
+
+impl PhysIter for SortIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+        self.buffer = None;
+        self.pos = 0;
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        if self.buffer.is_none() {
+            let mut buf = Vec::new();
+            while let Some(t) = self.input.next(rt) {
+                buf.push(t);
+            }
+            self.input.close();
+            let slot = self.slot;
+            buf.sort_by_key(|t| {
+                t.get(slot)
+                    .and_then(|v| v.as_node())
+                    .map_or(u64::MAX, |n| rt.store.order(n))
+            });
+            self.buffer = Some(buf);
+        }
+        let buf = self.buffer.as_mut().expect("filled above");
+        if self.pos < buf.len() {
+            let t = std::mem::take(&mut buf[self.pos]);
+            self.pos += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn close(&mut self) {
+        self.buffer = None;
+        self.pos = 0;
+    }
+}
+
+/// Tmp^cs / Tmp^cs_c (paper §5.2.4): materialise one context group at a
+/// time, annotate every tuple of the group with the context size, replay.
+/// A single implementation covers both variants — `group = None` treats
+/// the whole input as one context.
+pub struct TmpCsIter {
+    input: Box<dyn PhysIter>,
+    cs: Slot,
+    group: Option<Slot>,
+    buf: VecDeque<Tuple>,
+    lookahead: Option<Tuple>,
+    exhausted: bool,
+}
+
+impl TmpCsIter {
+    /// New context-size operator.
+    pub fn new(input: Box<dyn PhysIter>, cs: Slot, group: Option<Slot>) -> TmpCsIter {
+        TmpCsIter { input, cs, group, buf: VecDeque::new(), lookahead: None, exhausted: false }
+    }
+
+    fn fill_group(&mut self, rt: &Runtime<'_>) {
+        let first = match self.lookahead.take() {
+            Some(t) => Some(t),
+            None => self.input.next(rt),
+        };
+        let Some(first) = first else {
+            self.exhausted = true;
+            return;
+        };
+        let group_key = self
+            .group
+            .map(|slot| GroupKey::of(first.get(slot).unwrap_or(&Value::Null), rt));
+        let mut group = vec![first];
+        loop {
+            match self.input.next(rt) {
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+                Some(t) => {
+                    let same = match (&group_key, self.group) {
+                        (Some(k), Some(slot)) => {
+                            &GroupKey::of(t.get(slot).unwrap_or(&Value::Null), rt) == k
+                        }
+                        _ => true,
+                    };
+                    if same {
+                        group.push(t);
+                    } else {
+                        self.lookahead = Some(t);
+                        break;
+                    }
+                }
+            }
+        }
+        let cs = Value::Num(group.len() as f64);
+        for mut t in group {
+            t[self.cs] = cs.clone();
+            self.buf.push_back(t);
+        }
+    }
+}
+
+impl PhysIter for TmpCsIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+        self.buf.clear();
+        self.lookahead = None;
+        self.exhausted = false;
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        loop {
+            if let Some(t) = self.buf.pop_front() {
+                return Some(t);
+            }
+            if self.exhausted && self.lookahead.is_none() {
+                return None;
+            }
+            self.fill_group(rt);
+            if self.buf.is_empty() && self.exhausted && self.lookahead.is_none() {
+                return None;
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.buf.clear();
+        self.lookahead = None;
+    }
+}
+
+/// 𝔐 — MemoX (§4.2.2): memoise the producer's tuple sequence keyed by
+/// the free variable (context node) bound at `open`. A cache hit replays
+/// the stored sequence without engaging the producer. Partially consumed
+/// evaluations are not cached (early exit must stay correct).
+pub struct MemoXIter {
+    input: Box<dyn PhysIter>,
+    key: Slot,
+    table: HashMap<GroupKey, Rc<Vec<Tuple>>>,
+    mode: MemoMode,
+    /// Statistics: cache hits (observable for tests/ablations).
+    pub hits: u64,
+    /// Statistics: cache misses.
+    pub misses: u64,
+}
+
+enum MemoMode {
+    Idle,
+    Replay { seq: Rc<Vec<Tuple>>, pos: usize },
+    Record { key: GroupKey, acc: Vec<Tuple> },
+}
+
+impl MemoXIter {
+    /// New MemoX.
+    pub fn new(input: Box<dyn PhysIter>, key: Slot) -> MemoXIter {
+        MemoXIter { input, key, table: HashMap::new(), mode: MemoMode::Idle, hits: 0, misses: 0 }
+    }
+}
+
+impl PhysIter for MemoXIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        let key = GroupKey::of(seed.get(self.key).unwrap_or(&Value::Null), rt);
+        if let Some(seq) = self.table.get(&key) {
+            self.hits += 1;
+            self.mode = MemoMode::Replay { seq: seq.clone(), pos: 0 };
+        } else {
+            self.misses += 1;
+            self.input.open(rt, seed);
+            self.mode = MemoMode::Record { key, acc: Vec::new() };
+        }
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        match &mut self.mode {
+            MemoMode::Idle => None,
+            MemoMode::Replay { seq, pos } => {
+                let t = seq.get(*pos).cloned();
+                if t.is_some() {
+                    *pos += 1;
+                }
+                t
+            }
+            MemoMode::Record { key, acc } => match self.input.next(rt) {
+                Some(t) => {
+                    acc.push(t.clone());
+                    Some(t)
+                }
+                None => {
+                    let key = key.clone();
+                    let acc = std::mem::take(acc);
+                    self.table.insert(key, Rc::new(acc));
+                    self.mode = MemoMode::Idle;
+                    None
+                }
+            },
+        }
+    }
+
+    fn close(&mut self) {
+        // A close before exhaustion discards the partial recording.
+        if matches!(self.mode, MemoMode::Record { .. }) {
+            self.input.close();
+        }
+        self.mode = MemoMode::Idle;
+    }
+}
+
+/// χ^mat — memoizing map for expensive predicate clauses (§4.3.2, after
+/// Hellerstein & Naughton): caches the subscript value per key attribute.
+pub struct MemoMapIter {
+    input: Box<dyn PhysIter>,
+    out: Slot,
+    key: Slot,
+    expr: CompiledPred,
+    cache: HashMap<GroupKey, Value>,
+    /// Statistics: cache hits.
+    pub hits: u64,
+}
+
+impl MemoMapIter {
+    /// New memoizing map.
+    pub fn new(
+        input: Box<dyn PhysIter>,
+        out: Slot,
+        key: Slot,
+        expr: CompiledPred,
+    ) -> MemoMapIter {
+        MemoMapIter { input, out, key, expr, cache: HashMap::new(), hits: 0 }
+    }
+}
+
+impl PhysIter for MemoMapIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        let mut t = self.input.next(rt)?;
+        let key = GroupKey::of(t.get(self.key).unwrap_or(&Value::Null), rt);
+        let v = match self.cache.get(&key) {
+            Some(v) => {
+                self.hits += 1;
+                v.clone()
+            }
+            None => {
+                let v = self.expr.eval(rt, &t);
+                self.cache.insert(key, v.clone());
+                v
+            }
+        };
+        t[self.out] = v;
+        Some(t)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}

@@ -1,0 +1,129 @@
+//! Join operators: the dependency join (d-join, §3.1.1) and the
+//! semi-/anti-joins of the node-set comparison translation (§3.6.2).
+
+use algebra::attrmgr::Slot;
+use algebra::Tuple;
+
+use crate::exec::Runtime;
+use crate::iter::{CompiledPred, PhysIter};
+
+/// `<>` — d-join: for every left tuple, re-open the dependent side seeded
+/// with that tuple and stream its results. This is the free-variable
+/// binding mechanism of the canonical translation.
+pub struct DJoinIter {
+    left: Box<dyn PhysIter>,
+    right: Box<dyn PhysIter>,
+    right_active: bool,
+}
+
+impl DJoinIter {
+    /// New d-join.
+    pub fn new(left: Box<dyn PhysIter>, right: Box<dyn PhysIter>) -> DJoinIter {
+        DJoinIter { left, right, right_active: false }
+    }
+}
+
+impl PhysIter for DJoinIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.left.open(rt, seed);
+        self.right_active = false;
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        loop {
+            if self.right_active {
+                if let Some(t) = self.right.next(rt) {
+                    return Some(t);
+                }
+                self.right.close();
+                self.right_active = false;
+            }
+            let lt = self.left.next(rt)?;
+            self.right.open(rt, &lt);
+            self.right_active = true;
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        if self.right_active {
+            self.right.close();
+            self.right_active = false;
+        }
+    }
+}
+
+/// ⋉_p / ▷_p — semi-join and anti-join. The match side is evaluated once
+/// per open (it has no dependency on left tuples, only on the enclosing
+/// seed) and materialised; each probe tuple is emitted when a match
+/// exists (`anti = false`) or when none does (`anti = true`). The probe
+/// loop terminates on the first match — the existential early exit of
+/// §5.2.5 at the join level.
+pub struct SemiJoinIter {
+    left: Box<dyn PhysIter>,
+    right: Box<dyn PhysIter>,
+    pred: CompiledPred,
+    /// Slots the match side defines: its values are merged into the probe
+    /// tuple before predicate evaluation (tuple concatenation `∘`).
+    right_defined: Vec<Slot>,
+    anti: bool,
+    seed: Tuple,
+    right_mat: Option<Vec<Tuple>>,
+}
+
+impl SemiJoinIter {
+    /// New semi-join (`anti = false`) or anti-join (`anti = true`).
+    pub fn new(
+        left: Box<dyn PhysIter>,
+        right: Box<dyn PhysIter>,
+        pred: CompiledPred,
+        right_defined: Vec<Slot>,
+        anti: bool,
+    ) -> SemiJoinIter {
+        SemiJoinIter { left, right, pred, right_defined, anti, seed: Tuple::new(), right_mat: None }
+    }
+}
+
+impl PhysIter for SemiJoinIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.left.open(rt, seed);
+        self.seed = seed.clone();
+        self.right_mat = None;
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        if self.right_mat.is_none() {
+            self.right.open(rt, &self.seed);
+            let mut mat = Vec::new();
+            while let Some(t) = self.right.next(rt) {
+                mat.push(t);
+            }
+            self.right.close();
+            self.right_mat = Some(mat);
+        }
+        'probe: loop {
+            let lt = self.left.next(rt)?;
+            let mat = self.right_mat.as_ref().expect("materialised above");
+            for rtup in mat {
+                let mut merged = lt.clone();
+                for &s in &self.right_defined {
+                    merged[s] = rtup[s].clone();
+                }
+                if self.pred.eval(rt, &merged).to_bool() {
+                    if self.anti {
+                        continue 'probe;
+                    }
+                    return Some(lt);
+                }
+            }
+            if self.anti {
+                return Some(lt);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right_mat = None;
+    }
+}

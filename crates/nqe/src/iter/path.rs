@@ -1,0 +1,187 @@
+//! Navigation operators: Υ (unnest-map over an axis + node test, §3.2)
+//! and the tokenising unnest used by `id()` (§3.6.3).
+
+use std::collections::VecDeque;
+
+use xmlstore::{Axis, AxisCursor, NameId, NodeId, NodeKind};
+use xpath_syntax::{KindTest, NodeTest};
+
+use algebra::attrmgr::Slot;
+use algebra::{Tuple, Value};
+
+use crate::exec::Runtime;
+use crate::iter::{CompiledPred, PhysIter};
+
+/// Node test resolved against a concrete store (name → `NameId`).
+#[derive(Clone, Debug)]
+enum ResolvedTest {
+    /// A name that does not occur in the document: matches nothing.
+    Impossible,
+    /// Principal-kind node with this interned name.
+    Name(NodeKind, NameId),
+    /// Any node of the principal kind (`*`).
+    AnyPrincipal(NodeKind),
+    /// `prefix:*` — principal kind, textual name starts with `prefix:`.
+    Prefix(NodeKind, String),
+    /// `node()`
+    AnyNode,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction(target?)`
+    Pi(Option<NameId>),
+}
+
+impl ResolvedTest {
+    fn resolve(test: &NodeTest, axis: Axis, rt: &Runtime<'_>) -> ResolvedTest {
+        let principal = axis.principal_kind();
+        match test {
+            NodeTest::Name(n) => match rt.store.intern_lookup(n) {
+                Some(id) => ResolvedTest::Name(principal, id),
+                None => ResolvedTest::Impossible,
+            },
+            NodeTest::Wildcard => ResolvedTest::AnyPrincipal(principal),
+            NodeTest::NsWildcard(p) => ResolvedTest::Prefix(principal, format!("{p}:")),
+            NodeTest::Kind(KindTest::Node) => ResolvedTest::AnyNode,
+            NodeTest::Kind(KindTest::Text) => ResolvedTest::Text,
+            NodeTest::Kind(KindTest::Comment) => ResolvedTest::Comment,
+            NodeTest::Kind(KindTest::Pi(None)) => ResolvedTest::Pi(None),
+            NodeTest::Kind(KindTest::Pi(Some(target))) => match rt.store.intern_lookup(target) {
+                Some(id) => ResolvedTest::Pi(Some(id)),
+                None => ResolvedTest::Impossible,
+            },
+        }
+    }
+
+    fn matches(&self, n: NodeId, rt: &Runtime<'_>) -> bool {
+        let store = rt.store;
+        match self {
+            ResolvedTest::Impossible => false,
+            ResolvedTest::Name(kind, id) => {
+                store.kind(n) == *kind && store.name(n) == Some(*id)
+            }
+            ResolvedTest::AnyPrincipal(kind) => store.kind(n) == *kind,
+            ResolvedTest::Prefix(kind, prefix) => {
+                store.kind(n) == *kind && store.node_name(n).starts_with(prefix)
+            }
+            ResolvedTest::AnyNode => true,
+            ResolvedTest::Text => store.kind(n) == NodeKind::Text,
+            ResolvedTest::Comment => store.kind(n) == NodeKind::Comment,
+            ResolvedTest::Pi(target) => {
+                store.kind(n) == NodeKind::ProcessingInstruction
+                    && target.is_none_or(|t| store.name(n) == Some(t))
+            }
+        }
+    }
+}
+
+/// Υ_{c:c₀/axis::test} — for each input tuple, emit one tuple per node
+/// reached over the axis (in axis order) that passes the node test. The
+/// axis cursor navigates the store directly — there is no intermediate
+/// node materialisation (paper §5.2.2).
+pub struct UnnestMapIter {
+    input: Box<dyn PhysIter>,
+    ctx: Slot,
+    out: Slot,
+    axis: Axis,
+    test: NodeTest,
+    resolved: Option<ResolvedTest>,
+    current: Option<(Tuple, AxisCursor)>,
+}
+
+impl UnnestMapIter {
+    /// New unnest-map.
+    pub fn new(
+        input: Box<dyn PhysIter>,
+        ctx: Slot,
+        out: Slot,
+        axis: Axis,
+        test: NodeTest,
+    ) -> UnnestMapIter {
+        UnnestMapIter { input, ctx, out, axis, test, resolved: None, current: None }
+    }
+}
+
+impl PhysIter for UnnestMapIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+        self.current = None;
+        if self.resolved.is_none() {
+            self.resolved = Some(ResolvedTest::resolve(&self.test, self.axis, rt));
+        }
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        let resolved = self.resolved.as_ref().expect("opened");
+        if matches!(resolved, ResolvedTest::Impossible) {
+            return None;
+        }
+        loop {
+            if let Some((tuple, cursor)) = &mut self.current {
+                while let Some(n) = cursor.advance(rt.store) {
+                    if resolved.matches(n, rt) {
+                        let mut out = tuple.clone();
+                        out[self.out] = Value::Node(n);
+                        return Some(out);
+                    }
+                }
+                self.current = None;
+            }
+            let t = self.input.next(rt)?;
+            let Some(node) = t.get(self.ctx).and_then(|v| v.as_node()) else {
+                continue; // unbound context yields nothing
+            };
+            let cursor = AxisCursor::new(rt.store, self.axis, node);
+            self.current = Some((t, cursor));
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.current = None;
+    }
+}
+
+/// Υ_{t:tokenize(e)} — one tuple per whitespace-separated token of the
+/// string subscript (`id()` support, §3.6.3).
+pub struct TokenizeIter {
+    input: Box<dyn PhysIter>,
+    out: Slot,
+    expr: CompiledPred,
+    pending: VecDeque<Tuple>,
+}
+
+impl TokenizeIter {
+    /// New tokenizer.
+    pub fn new(input: Box<dyn PhysIter>, out: Slot, expr: CompiledPred) -> TokenizeIter {
+        TokenizeIter { input, out, expr, pending: VecDeque::new() }
+    }
+}
+
+impl PhysIter for TokenizeIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.input.open(rt, seed);
+        self.pending.clear();
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(t);
+            }
+            let t = self.input.next(rt)?;
+            let s = self.expr.eval(rt, &t).to_str(rt.store);
+            for token in s.split_ascii_whitespace() {
+                let mut out = t.clone();
+                out[self.out] = Value::Str(token.into());
+                self.pending.push_back(out);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.pending.clear();
+    }
+}

@@ -1,0 +1,21 @@
+//! NQE — the Natix Query Execution engine (paper §5.2): an iterator-based
+//! physical algebra executing translated XPath plans directly against the
+//! storage interface, plus the NVM bytecode machine for scalar subscripts.
+//!
+//! * [`iter`] — one physical iterator per logical operator,
+//! * [`nvm`] — the register VM evaluating subscripts (with nested
+//!   iterator access and smart aggregation),
+//! * [`codegen`] — logical plan → iterators + NVM programs (slot
+//!   resolution through the attribute manager),
+//! * [`exec`] — the executor and the [`exec::evaluate`] convenience entry
+//!   point.
+
+pub mod codegen;
+pub mod exec;
+pub mod iter;
+pub mod nvm;
+pub mod profile;
+
+pub use codegen::{build_physical, build_physical_profiled, FrameInfo, PhysicalQuery};
+pub use profile::{OpStats, Profile};
+pub use exec::{evaluate, evaluate_with, Runtime};

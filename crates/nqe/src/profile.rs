@@ -1,0 +1,94 @@
+//! Physical-operator profiling: per-iterator open/tuple counters, the
+//! instrumentation behind the paper's "profiling NQE has provided us with
+//! hints" (§6.2). Enabled by building the plan with
+//! [`crate::codegen::build_physical_profiled`]; every iterator is wrapped
+//! by a counting adapter, so profiling costs nothing when off.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use algebra::Tuple;
+
+use crate::exec::Runtime;
+use crate::iter::PhysIter;
+
+/// Counters of one physical operator.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// `open()` calls (d-join dependents re-open per left tuple).
+    pub opens: u64,
+    /// Tuples produced.
+    pub tuples: u64,
+}
+
+/// One profiled operator: label, plan depth, counters.
+pub struct ProfileEntry {
+    /// Operator label in the paper's notation (σ, Υ, Π^D, …).
+    pub label: String,
+    /// Depth in the (logical) plan tree.
+    pub depth: usize,
+    /// Shared counters, updated by the wrapper during execution.
+    pub stats: Rc<RefCell<OpStats>>,
+}
+
+/// The profile of a whole plan, in plan order (pre-order).
+#[derive(Default)]
+pub struct Profile {
+    /// Entries in plan order.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl Profile {
+    /// Render as an indented table.
+    pub fn report(&self) -> String {
+        let mut out = String::from("opens      tuples     operator\n");
+        for e in &self.entries {
+            let s = e.stats.borrow();
+            out.push_str(&format!(
+                "{:<10} {:<10} {}{}\n",
+                s.opens,
+                s.tuples,
+                "  ".repeat(e.depth),
+                e.label
+            ));
+        }
+        out
+    }
+
+    /// Total tuples produced across all operators (a work measure).
+    pub fn total_tuples(&self) -> u64 {
+        self.entries.iter().map(|e| e.stats.borrow().tuples).sum()
+    }
+}
+
+/// Counting adapter around any physical iterator.
+pub struct ProfiledIter {
+    inner: Box<dyn PhysIter>,
+    stats: Rc<RefCell<OpStats>>,
+}
+
+impl ProfiledIter {
+    /// Wrap `inner`, registering counters shared with a [`Profile`].
+    pub fn new(inner: Box<dyn PhysIter>, stats: Rc<RefCell<OpStats>>) -> ProfiledIter {
+        ProfiledIter { inner, stats }
+    }
+}
+
+impl PhysIter for ProfiledIter {
+    fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
+        self.stats.borrow_mut().opens += 1;
+        self.inner.open(rt, seed);
+    }
+
+    fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        let t = self.inner.next(rt);
+        if t.is_some() {
+            self.stats.borrow_mut().tuples += 1;
+        }
+        t
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+}

@@ -1,0 +1,595 @@
+//! In-memory arena document store.
+//!
+//! Nodes live in one contiguous `Vec`; links are indices. Document order is
+//! assigned while building (the builder runs in document order by
+//! construction) so order comparison is a single integer compare.
+
+use std::collections::HashMap;
+
+use crate::node::{NameId, NodeId, NodeKind};
+use crate::store::XmlStore;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct NodeData {
+    kind: NodeKind,
+    name: u32,  // NameId or NIL
+    value: Option<Box<str>>,
+    parent: u32,
+    first_child: u32,
+    last_child: u32,
+    next_sibling: u32,
+    prev_sibling: u32,
+    first_attr: u32,
+    last_attr: u32,
+    order: u32,
+}
+
+impl NodeData {
+    fn new(kind: NodeKind, order: u32) -> NodeData {
+        NodeData {
+            kind,
+            name: NIL,
+            value: None,
+            parent: NIL,
+            first_child: NIL,
+            last_child: NIL,
+            next_sibling: NIL,
+            prev_sibling: NIL,
+            first_attr: NIL,
+            last_attr: NIL,
+            order,
+        }
+    }
+}
+
+/// Interning name dictionary shared by builder and store.
+#[derive(Default, Clone, Debug)]
+pub struct NameTable {
+    map: HashMap<Box<str>, NameId>,
+    names: Vec<Box<str>>,
+}
+
+impl NameTable {
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(name.into());
+        self.map.insert(name.into(), id);
+        id
+    }
+
+    /// Look up without interning.
+    pub fn lookup(&self, name: &str) -> Option<NameId> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolve an id back to text. Panics on foreign ids.
+    pub fn text(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of distinct names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no names were interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate names in id order (used by the disk serializer).
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_ref())
+    }
+}
+
+/// Completed, immutable in-memory document.
+#[derive(Clone, Debug)]
+pub struct ArenaStore {
+    nodes: Vec<NodeData>,
+    names: NameTable,
+    id_index: HashMap<Box<str>, NodeId>,
+}
+
+impl ArenaStore {
+    /// Access to the name dictionary (used by the disk serializer).
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    #[inline]
+    fn node(&self, n: NodeId) -> &NodeData {
+        &self.nodes[n.index()]
+    }
+
+    fn opt(v: u32) -> Option<NodeId> {
+        (v != NIL).then_some(NodeId(v))
+    }
+
+    /// Raw value without cloning (arena-only fast path).
+    pub fn value_ref(&self, n: NodeId) -> Option<&str> {
+        self.node(n).value.as_deref()
+    }
+
+    // ----- update support (see crate::update for the public API) ---------
+
+    pub(crate) fn set_value_raw(&mut self, n: NodeId, content: &str) {
+        self.nodes[n.index()].value = Some(content.into());
+    }
+
+    pub(crate) fn intern(&mut self, name: &str) -> NameId {
+        self.names.intern(name)
+    }
+
+    fn push_node(&mut self, kind: NodeKind, name: Option<NameId>, value: Option<&str>) -> u32 {
+        let mut data = NodeData::new(kind, 0);
+        data.name = name.map_or(NIL, |x| x.0);
+        data.value = value.map(Into::into);
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(data);
+        idx
+    }
+
+    pub(crate) fn alloc_attribute(&mut self, owner: NodeId, name: NameId, value: &str) -> NodeId {
+        let idx = self.push_node(NodeKind::Attribute, Some(name), Some(value));
+        self.nodes[idx as usize].parent = owner.0;
+        let o = &mut self.nodes[owner.index()];
+        if o.first_attr == NIL {
+            o.first_attr = idx;
+        } else {
+            let last = o.last_attr;
+            self.nodes[last as usize].next_sibling = idx;
+            self.nodes[idx as usize].prev_sibling = last;
+        }
+        self.nodes[owner.index()].last_attr = idx;
+        NodeId(idx)
+    }
+
+    pub(crate) fn alloc_child(
+        &mut self,
+        parent: NodeId,
+        kind: NodeKind,
+        name: Option<NameId>,
+        value: Option<&str>,
+    ) -> NodeId {
+        let idx = self.push_node(kind, name, value);
+        self.nodes[idx as usize].parent = parent.0;
+        let p = &mut self.nodes[parent.index()];
+        if p.first_child == NIL {
+            p.first_child = idx;
+        } else {
+            let last = p.last_child;
+            self.nodes[last as usize].next_sibling = idx;
+            self.nodes[idx as usize].prev_sibling = last;
+        }
+        self.nodes[parent.index()].last_child = idx;
+        NodeId(idx)
+    }
+
+    pub(crate) fn alloc_before(
+        &mut self,
+        parent: NodeId,
+        sibling: NodeId,
+        kind: NodeKind,
+        name: Option<NameId>,
+        value: Option<&str>,
+    ) -> NodeId {
+        let idx = self.push_node(kind, name, value);
+        self.nodes[idx as usize].parent = parent.0;
+        let prev = self.nodes[sibling.index()].prev_sibling;
+        self.nodes[idx as usize].next_sibling = sibling.0;
+        self.nodes[idx as usize].prev_sibling = prev;
+        self.nodes[sibling.index()].prev_sibling = idx;
+        if prev == NIL {
+            self.nodes[parent.index()].first_child = idx;
+        } else {
+            self.nodes[prev as usize].next_sibling = idx;
+        }
+        NodeId(idx)
+    }
+
+    pub(crate) fn unlink(&mut self, n: NodeId) {
+        let (parent, prev, next) = {
+            let d = self.node(n);
+            (d.parent, d.prev_sibling, d.next_sibling)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next_sibling = next;
+        } else if parent != NIL {
+            self.nodes[parent as usize].first_child = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev_sibling = prev;
+        } else if parent != NIL {
+            self.nodes[parent as usize].last_child = prev;
+        }
+        let d = &mut self.nodes[n.index()];
+        d.parent = NIL;
+        d.prev_sibling = NIL;
+        d.next_sibling = NIL;
+    }
+
+    pub(crate) fn unlink_attribute(&mut self, owner: NodeId, attr: NodeId) {
+        let (prev, next) = {
+            let d = self.node(attr);
+            (d.prev_sibling, d.next_sibling)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next_sibling = next;
+        } else {
+            self.nodes[owner.index()].first_attr = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev_sibling = prev;
+        } else {
+            self.nodes[owner.index()].last_attr = prev;
+        }
+        let d = &mut self.nodes[attr.index()];
+        d.parent = NIL;
+        d.prev_sibling = NIL;
+        d.next_sibling = NIL;
+    }
+
+    /// Re-derive document order with a pre-order pass over the reachable
+    /// tree (attributes right after their element), and rebuild the ID
+    /// index so removed elements no longer resolve.
+    pub(crate) fn renumber(&mut self) {
+        let id_name = self.names.lookup("id");
+        let mut order = 0u32;
+        let mut id_index = HashMap::new();
+        // Iterative pre-order walk.
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(idx) = stack.pop() {
+            self.nodes[idx as usize].order = order;
+            order += 1;
+            // Attributes directly after the element.
+            let mut a = self.nodes[idx as usize].first_attr;
+            while a != NIL {
+                self.nodes[a as usize].order = order;
+                order += 1;
+                if id_name.is_some() && self.nodes[a as usize].name == id_name.unwrap().0 {
+                    if let Some(v) = self.nodes[a as usize].value.clone() {
+                        id_index.entry(v).or_insert(NodeId(idx));
+                    }
+                }
+                a = self.nodes[a as usize].next_sibling;
+            }
+            // Children pushed in reverse so the leftmost pops first.
+            let mut kids = Vec::new();
+            let mut c = self.nodes[idx as usize].first_child;
+            while c != NIL {
+                kids.push(c);
+                c = self.nodes[c as usize].next_sibling;
+            }
+            for &k in kids.iter().rev() {
+                stack.push(k);
+            }
+        }
+        self.id_index = id_index;
+    }
+}
+
+impl XmlStore for ArenaStore {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn kind(&self, n: NodeId) -> NodeKind {
+        self.node(n).kind
+    }
+
+    fn name(&self, n: NodeId) -> Option<NameId> {
+        let v = self.node(n).name;
+        (v != NIL).then_some(NameId(v))
+    }
+
+    fn value(&self, n: NodeId) -> Option<String> {
+        self.node(n).value.as_deref().map(str::to_owned)
+    }
+
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(n).parent)
+    }
+
+    fn first_child(&self, n: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(n).first_child)
+    }
+
+    fn last_child(&self, n: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(n).last_child)
+    }
+
+    fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(n).next_sibling)
+    }
+
+    fn prev_sibling(&self, n: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(n).prev_sibling)
+    }
+
+    fn first_attribute(&self, n: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(n).first_attr)
+    }
+
+    fn order(&self, n: NodeId) -> u64 {
+        self.node(n).order as u64
+    }
+
+    fn intern_lookup(&self, name: &str) -> Option<NameId> {
+        self.names.lookup(name)
+    }
+
+    fn name_text(&self, id: NameId) -> String {
+        self.names.text(id).to_owned()
+    }
+
+    fn element_by_id(&self, idval: &str) -> Option<NodeId> {
+        self.id_index.get(idval).copied()
+    }
+}
+
+/// Event-style builder producing an [`ArenaStore`].
+///
+/// Calls must arrive in document order: `start_element`, then its
+/// `attribute`s, then content, then `end_element`. The XML parser and the
+/// synthetic generators both drive this interface.
+pub struct ArenaBuilder {
+    nodes: Vec<NodeData>,
+    names: NameTable,
+    stack: Vec<u32>,
+    id_index: HashMap<Box<str>, NodeId>,
+    id_name: NameId,
+    order: u32,
+}
+
+impl Default for ArenaBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArenaBuilder {
+    /// Fresh builder containing only the document node.
+    pub fn new() -> ArenaBuilder {
+        let mut names = NameTable::default();
+        let id_name = names.intern("id");
+        let doc = NodeData::new(NodeKind::Document, 0);
+        ArenaBuilder {
+            nodes: vec![doc],
+            names,
+            stack: vec![0],
+            id_index: HashMap::new(),
+            id_name,
+            order: 1,
+        }
+    }
+
+    fn next_order(&mut self) -> u32 {
+        let o = self.order;
+        self.order += 1;
+        o
+    }
+
+    fn append_child(&mut self, mut data: NodeData) -> NodeId {
+        let parent = *self.stack.last().expect("builder stack underflow");
+        let idx = self.nodes.len() as u32;
+        data.parent = parent;
+        let p = &mut self.nodes[parent as usize];
+        if p.first_child == NIL {
+            p.first_child = idx;
+        } else {
+            let last = p.last_child;
+            self.nodes[last as usize].next_sibling = idx;
+            data.prev_sibling = last;
+        }
+        self.nodes[parent as usize].last_child = idx;
+        self.nodes.push(data);
+        NodeId(idx)
+    }
+
+    /// Open an element; subsequent content goes under it until
+    /// [`ArenaBuilder::end_element`].
+    pub fn start_element(&mut self, name: &str) -> NodeId {
+        let order = self.next_order();
+        let name = self.names.intern(name);
+        let mut data = NodeData::new(NodeKind::Element, order);
+        data.name = name.0;
+        let id = self.append_child(data);
+        self.stack.push(id.0);
+        id
+    }
+
+    /// Attach an attribute to the currently open element. Must be called
+    /// before any child content is added.
+    pub fn attribute(&mut self, name: &str, value: &str) -> NodeId {
+        let owner = *self.stack.last().expect("attribute outside element");
+        assert!(
+            self.nodes[owner as usize].kind == NodeKind::Element,
+            "attribute outside element"
+        );
+        assert!(
+            self.nodes[owner as usize].first_child == NIL,
+            "attributes must precede child content"
+        );
+        let order = self.next_order();
+        let name_id = self.names.intern(name);
+        let mut data = NodeData::new(NodeKind::Attribute, order);
+        data.name = name_id.0;
+        data.value = Some(value.into());
+        data.parent = owner;
+        let idx = self.nodes.len() as u32;
+        let o = &mut self.nodes[owner as usize];
+        if o.first_attr == NIL {
+            o.first_attr = idx;
+        } else {
+            let last = o.last_attr;
+            self.nodes[last as usize].next_sibling = idx;
+            data.prev_sibling = last;
+        }
+        self.nodes[owner as usize].last_attr = idx;
+        if name_id == self.id_name {
+            self.id_index.entry(value.into()).or_insert(NodeId(owner));
+        }
+        self.nodes.push(data);
+        NodeId(idx)
+    }
+
+    /// Close the currently open element.
+    pub fn end_element(&mut self) {
+        assert!(self.stack.len() > 1, "end_element without start_element");
+        self.stack.pop();
+    }
+
+    fn leaf(&mut self, kind: NodeKind, value: &str) -> NodeId {
+        let order = self.next_order();
+        let mut data = NodeData::new(kind, order);
+        data.value = Some(value.into());
+        self.append_child(data)
+    }
+
+    /// Append a text node. Empty text is dropped (no-op) to match the XPath
+    /// data model, which has no empty text nodes.
+    pub fn text(&mut self, content: &str) -> Option<NodeId> {
+        if content.is_empty() {
+            return None;
+        }
+        Some(self.leaf(NodeKind::Text, content))
+    }
+
+    /// Append a comment node.
+    pub fn comment(&mut self, content: &str) -> NodeId {
+        self.leaf(NodeKind::Comment, content)
+    }
+
+    /// Append a processing instruction.
+    pub fn processing_instruction(&mut self, target: &str, content: &str) -> NodeId {
+        let order = self.next_order();
+        let name = self.names.intern(target);
+        let mut data = NodeData::new(NodeKind::ProcessingInstruction, order);
+        data.name = name.0;
+        data.value = Some(content.into());
+        self.append_child(data)
+    }
+
+    /// Finish building. Panics if elements are still open.
+    pub fn finish(self) -> ArenaStore {
+        assert_eq!(self.stack.len(), 1, "unclosed elements at finish()");
+        ArenaStore {
+            nodes: self.nodes,
+            names: self.names,
+            id_index: self.id_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ArenaStore {
+        let mut b = ArenaBuilder::new();
+        b.start_element("root");
+        b.attribute("id", "0");
+        b.start_element("a");
+        b.attribute("id", "1");
+        b.text("hello");
+        b.end_element();
+        b.comment("note");
+        b.start_element("b");
+        b.processing_instruction("php", "echo");
+        b.end_element();
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn structure_links() {
+        let s = sample();
+        let root_el = s.first_child(s.root()).unwrap();
+        assert_eq!(s.kind(root_el), NodeKind::Element);
+        assert_eq!(s.node_name(root_el), "root");
+        let a = s.first_child(root_el).unwrap();
+        assert_eq!(s.node_name(a), "a");
+        let comment = s.next_sibling(a).unwrap();
+        assert_eq!(s.kind(comment), NodeKind::Comment);
+        let b = s.next_sibling(comment).unwrap();
+        assert_eq!(s.node_name(b), "b");
+        assert_eq!(s.next_sibling(b), None);
+        assert_eq!(s.prev_sibling(b), Some(comment));
+        assert_eq!(s.last_child(root_el), Some(b));
+        assert_eq!(s.parent(a), Some(root_el));
+    }
+
+    #[test]
+    fn attributes_not_on_child_axis() {
+        let s = sample();
+        let root_el = s.first_child(s.root()).unwrap();
+        let attr = s.first_attribute(root_el).unwrap();
+        assert_eq!(s.kind(attr), NodeKind::Attribute);
+        assert_eq!(s.parent(attr), Some(root_el));
+        let a = s.first_child(root_el).unwrap();
+        assert_ne!(a, attr);
+    }
+
+    #[test]
+    fn document_order_is_preorder_with_attrs_after_element() {
+        let s = sample();
+        let root_el = s.first_child(s.root()).unwrap();
+        let attr = s.first_attribute(root_el).unwrap();
+        let a = s.first_child(root_el).unwrap();
+        assert!(s.order(s.root()) < s.order(root_el));
+        assert!(s.order(root_el) < s.order(attr));
+        assert!(s.order(attr) < s.order(a));
+    }
+
+    #[test]
+    fn id_index_first_wins() {
+        let mut b = ArenaBuilder::new();
+        b.start_element("r");
+        b.start_element("x");
+        b.attribute("id", "k");
+        b.end_element();
+        b.start_element("y");
+        b.attribute("id", "k");
+        b.end_element();
+        b.end_element();
+        let s = b.finish();
+        let hit = s.element_by_id("k").unwrap();
+        assert_eq!(s.node_name(hit), "x");
+        assert_eq!(s.element_by_id("zzz"), None);
+    }
+
+    #[test]
+    fn empty_text_dropped() {
+        let mut b = ArenaBuilder::new();
+        b.start_element("r");
+        assert!(b.text("").is_none());
+        b.end_element();
+        let s = b.finish();
+        let r = s.first_child(s.root()).unwrap();
+        assert_eq!(s.first_child(r), None);
+    }
+
+    #[test]
+    fn pi_has_target_name_and_content() {
+        let s = sample();
+        let root_el = s.first_child(s.root()).unwrap();
+        let b = s.last_child(root_el).unwrap();
+        let pi = s.first_child(b).unwrap();
+        assert_eq!(s.kind(pi), NodeKind::ProcessingInstruction);
+        assert_eq!(s.node_name(pi), "php");
+        assert_eq!(s.value(pi).as_deref(), Some("echo"));
+    }
+
+    #[test]
+    fn element_count_counts_only_elements() {
+        let s = sample();
+        assert_eq!(s.element_count(), 3);
+    }
+}

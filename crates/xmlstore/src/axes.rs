@@ -1,0 +1,611 @@
+//! The thirteen XPath 1.0 axes as iterators in *axis order*.
+//!
+//! Forward axes yield document order; reverse axes (`ancestor`,
+//! `ancestor-or-self`, `preceding`, `preceding-sibling`, `parent`) yield
+//! reverse document order, so `position()` counted over an axis iterator is
+//! already the XPath proximity position.
+//!
+//! The `namespace` axis is accepted but yields nothing: the stores do not
+//! materialise namespace nodes (see crate docs).
+
+use crate::node::{NodeId, NodeKind};
+use crate::store::XmlStore;
+
+/// An XPath axis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Axis {
+    Child,
+    Descendant,
+    Parent,
+    Ancestor,
+    FollowingSibling,
+    PrecedingSibling,
+    Following,
+    Preceding,
+    Attribute,
+    Namespace,
+    SelfAxis,
+    DescendantOrSelf,
+    AncestorOrSelf,
+}
+
+impl Axis {
+    /// Parse an axis name as written in XPath (full names only; the
+    /// abbreviations of the paper's Fig. 5 are handled by the bench crate).
+    pub fn from_name(name: &str) -> Option<Axis> {
+        Some(match name {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "following" => Axis::Following,
+            "preceding" => Axis::Preceding,
+            "attribute" => Axis::Attribute,
+            "namespace" => Axis::Namespace,
+            "self" => Axis::SelfAxis,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            _ => return None,
+        })
+    }
+
+    /// Canonical axis name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+            Axis::Attribute => "attribute",
+            Axis::Namespace => "namespace",
+            Axis::SelfAxis => "self",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+        }
+    }
+
+    /// True for reverse axes (axis order = reverse document order).
+    pub fn is_reverse(self) -> bool {
+        matches!(
+            self,
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::Preceding
+                | Axis::PrecedingSibling
+        )
+    }
+
+    /// Principal node kind of the axis (XPath §2.3): attributes for the
+    /// attribute axis, elements otherwise (namespace axis unsupported).
+    pub fn principal_kind(self) -> NodeKind {
+        match self {
+            Axis::Attribute => NodeKind::Attribute,
+            _ => NodeKind::Element,
+        }
+    }
+
+    /// Paper §4.1: axes that *potentially produce duplicates* (ppd) when
+    /// applied to a duplicate-free context sequence.
+    pub fn is_ppd(self) -> bool {
+        matches!(
+            self,
+            Axis::Following
+                | Axis::FollowingSibling
+                | Axis::Preceding
+                | Axis::PrecedingSibling
+                | Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::Descendant
+                | Axis::DescendantOrSelf
+        )
+    }
+
+    /// True if, from any single context node, the axis result is guaranteed
+    /// duplicate-free *and* in document order already (used by the engines
+    /// to skip per-node sorting).
+    pub fn single_node_result_sorted(self) -> bool {
+        !self.is_reverse()
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deepest last descendant of `n` (the node that ends `n`'s subtree in
+/// document order), or `n` itself if it has no children.
+fn deepest_last(store: &dyn XmlStore, mut n: NodeId) -> NodeId {
+    while let Some(c) = store.last_child(n) {
+        n = c;
+    }
+    n
+}
+
+/// Next node in document preorder after `n`, optionally skipping `n`'s
+/// subtree. Attributes are not visited (they are not on the child axis);
+/// starting *from* an attribute climbs to its owner first.
+fn next_preorder(store: &dyn XmlStore, n: NodeId, skip_children: bool) -> Option<NodeId> {
+    let mut cur = if store.kind(n) == NodeKind::Attribute {
+        // Doc order continues with the owner's children.
+        let owner = store.parent(n)?;
+        if let Some(c) = store.first_child(owner) {
+            return Some(c);
+        }
+        owner
+    } else {
+        if !skip_children {
+            if let Some(c) = store.first_child(n) {
+                return Some(c);
+            }
+        }
+        n
+    };
+    loop {
+        if let Some(s) = store.next_sibling(cur) {
+            return Some(s);
+        }
+        cur = store.parent(cur)?;
+    }
+}
+
+enum State {
+    /// Yield exactly one node (`self` axis).
+    SelfOnly(Option<NodeId>),
+    /// Yield `self` next, then continue with ancestors (`ancestor-or-self`).
+    SelfFirst(NodeId),
+    /// Chain along a link function (parent / next_sibling / prev_sibling).
+    Parent(Option<NodeId>),
+    Ancestors(Option<NodeId>),
+    NextSiblings(Option<NodeId>),
+    PrevSiblings(Option<NodeId>),
+    Attributes(Option<NodeId>),
+    /// Preorder walk inside the subtree rooted at `root`; `cur` is the last
+    /// yielded node (None before the first).
+    Subtree { root: NodeId, cur: Option<NodeId>, include_self: bool },
+    /// Document-order walk for `following`.
+    Following(Option<NodeId>),
+    /// Reverse document-order walk for `preceding` (skipping ancestors):
+    /// consume the previous-sibling subtrees of each ancestor-or-self node,
+    /// each subtree in reverse preorder.
+    Preceding {
+        /// Ancestor-or-self node whose previous siblings are next.
+        anc: Option<NodeId>,
+        /// Active subtree walk: (subtree root, node to yield next).
+        walk: Option<(NodeId, NodeId)>,
+    },
+    Done,
+}
+
+/// Store-free axis cursor: holds only the traversal state, so physical
+/// operators can embed it without borrowing the store. Every advance takes
+/// the store explicitly.
+pub struct AxisCursor {
+    state: State,
+}
+
+impl AxisCursor {
+    /// Start the `axis` from context node `n`.
+    pub fn new(store: &dyn XmlStore, axis: Axis, n: NodeId) -> AxisCursor {
+        let kind = store.kind(n);
+        let state = match axis {
+            Axis::SelfAxis => State::SelfOnly(Some(n)),
+            Axis::Child => State::NextSiblings(store.first_child(n)),
+            Axis::Parent => State::Parent(store.parent(n)),
+            Axis::Ancestor => State::Ancestors(store.parent(n)),
+            Axis::AncestorOrSelf => State::SelfFirst(n),
+            Axis::FollowingSibling => {
+                if kind == NodeKind::Attribute {
+                    State::Done
+                } else {
+                    State::NextSiblings(store.next_sibling(n))
+                }
+            }
+            Axis::PrecedingSibling => {
+                if kind == NodeKind::Attribute {
+                    State::Done
+                } else {
+                    State::PrevSiblings(store.prev_sibling(n))
+                }
+            }
+            Axis::Attribute => {
+                if kind == NodeKind::Element {
+                    State::Attributes(store.first_attribute(n))
+                } else {
+                    State::Done
+                }
+            }
+            Axis::Namespace => State::Done,
+            Axis::Descendant => State::Subtree { root: n, cur: None, include_self: false },
+            Axis::DescendantOrSelf => State::Subtree { root: n, cur: None, include_self: true },
+            Axis::Following => State::Following(next_preorder(store, n, true)),
+            Axis::Preceding => {
+                let start = if kind == NodeKind::Attribute {
+                    store.parent(n).unwrap_or(n)
+                } else {
+                    n
+                };
+                State::Preceding { anc: Some(start), walk: None }
+            }
+        };
+        AxisCursor { state }
+    }
+
+    /// Next node on the axis, or `None` when exhausted.
+    pub fn advance(&mut self, store: &dyn XmlStore) -> Option<NodeId> {
+        match &mut self.state {
+            State::Done => None,
+            State::SelfOnly(n) => n.take(),
+            State::SelfFirst(n) => {
+                let n = *n;
+                self.state = State::Ancestors(store.parent(n));
+                Some(n)
+            }
+            State::Parent(p) => {
+                let r = p.take();
+                self.state = State::Done;
+                r
+            }
+            State::Ancestors(cur) => {
+                let r = *cur;
+                if let Some(n) = r {
+                    *cur = store.parent(n);
+                }
+                r
+            }
+            State::NextSiblings(cur) => {
+                let r = *cur;
+                if let Some(n) = r {
+                    *cur = store.next_sibling(n);
+                }
+                r
+            }
+            State::PrevSiblings(cur) => {
+                let r = *cur;
+                if let Some(n) = r {
+                    *cur = store.prev_sibling(n);
+                }
+                r
+            }
+            State::Attributes(cur) => {
+                let r = *cur;
+                if let Some(n) = r {
+                    *cur = store.next_sibling(n);
+                }
+                r
+            }
+            State::Subtree { root, cur, include_self } => {
+                let next = match cur {
+                    None => {
+                        if *include_self {
+                            Some(*root)
+                        } else {
+                            store.first_child(*root)
+                        }
+                    }
+                    Some(c) => {
+                        // Preorder advance bounded by `root`.
+                        if let Some(fc) = store.first_child(*c) {
+                            Some(fc)
+                        } else {
+                            let mut up = *c;
+                            loop {
+                                if up == *root {
+                                    break None;
+                                }
+                                if let Some(s) = store.next_sibling(up) {
+                                    break Some(s);
+                                }
+                                match store.parent(up) {
+                                    Some(p) => up = p,
+                                    None => break None,
+                                }
+                            }
+                        }
+                    }
+                };
+                match next {
+                    Some(n) => {
+                        *cur = Some(n);
+                        Some(n)
+                    }
+                    None => {
+                        self.state = State::Done;
+                        None
+                    }
+                }
+            }
+            State::Following(cur) => {
+                let r = *cur;
+                if let Some(n) = r {
+                    *cur = next_preorder(store, n, false);
+                }
+                r
+            }
+            State::Preceding { anc, walk } => {
+                loop {
+                    if let Some((root, cur)) = walk {
+                        let out = *cur;
+                        if out == *root {
+                            // Subtree done; continue with the root's own
+                            // previous sibling, if any.
+                            match store.prev_sibling(*root) {
+                                Some(ps) => *walk = Some((ps, deepest_last(store, ps))),
+                                None => *walk = None,
+                            }
+                        } else {
+                            // Reverse preorder step inside the subtree.
+                            *cur = match store.prev_sibling(*cur) {
+                                Some(ps) => deepest_last(store, ps),
+                                None => store.parent(*cur).expect("inside subtree"),
+                            };
+                        }
+                        return Some(out);
+                    }
+                    let a = match anc.take() {
+                        Some(a) => a,
+                        None => {
+                            self.state = State::Done;
+                            return None;
+                        }
+                    };
+                    *anc = store.parent(a);
+                    if let Some(ps) = store.prev_sibling(a) {
+                        *walk = Some((ps, deepest_last(store, ps)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterator adaptor over [`AxisCursor`] for callers that can hold the
+/// store borrow.
+pub struct AxisIter<'a> {
+    store: &'a dyn XmlStore,
+    cursor: AxisCursor,
+}
+
+impl<'a> AxisIter<'a> {
+    /// Start the `axis` from context node `n`.
+    pub fn new(store: &'a dyn XmlStore, axis: Axis, n: NodeId) -> AxisIter<'a> {
+        AxisIter { store, cursor: AxisCursor::new(store, axis, n) }
+    }
+}
+
+impl<'a> Iterator for AxisIter<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.cursor.advance(self.store)
+    }
+}
+
+/// Convenience: collect an axis into a vector (tests, interpreters).
+pub fn axis_nodes(store: &dyn XmlStore, axis: Axis, n: NodeId) -> Vec<NodeId> {
+    AxisIter::new(store, axis, n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::{ArenaBuilder, ArenaStore};
+    use crate::store::XmlStore;
+
+    /// <r><a><b/><c><d/></c></a><e/><f><g/></f></r>
+    fn sample() -> (ArenaStore, std::collections::HashMap<&'static str, NodeId>) {
+        let mut b = ArenaBuilder::new();
+        let mut m = std::collections::HashMap::new();
+        m.insert("r", b.start_element("r"));
+        m.insert("a", b.start_element("a"));
+        m.insert("b", b.start_element("b"));
+        b.end_element();
+        m.insert("c", b.start_element("c"));
+        m.insert("d", b.start_element("d"));
+        b.end_element();
+        b.end_element();
+        b.end_element();
+        m.insert("e", b.start_element("e"));
+        b.end_element();
+        m.insert("f", b.start_element("f"));
+        m.insert("g", b.start_element("g"));
+        b.end_element();
+        b.end_element();
+        b.end_element();
+        (b.finish(), m)
+    }
+
+    fn names(s: &ArenaStore, nodes: &[NodeId]) -> Vec<String> {
+        nodes.iter().map(|&n| s.node_name(n)).collect()
+    }
+
+    #[test]
+    fn child_axis() {
+        let (s, m) = sample();
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Child, m["r"])), ["a", "e", "f"]);
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Child, m["b"])), Vec::<String>::new());
+    }
+
+    #[test]
+    fn descendant_axis_in_doc_order() {
+        let (s, m) = sample();
+        assert_eq!(
+            names(&s, &axis_nodes(&s, Axis::Descendant, m["a"])),
+            ["b", "c", "d"]
+        );
+        assert_eq!(
+            names(&s, &axis_nodes(&s, Axis::Descendant, m["r"])),
+            ["a", "b", "c", "d", "e", "f", "g"]
+        );
+    }
+
+    #[test]
+    fn descendant_or_self_includes_self_first() {
+        let (s, m) = sample();
+        assert_eq!(
+            names(&s, &axis_nodes(&s, Axis::DescendantOrSelf, m["c"])),
+            ["c", "d"]
+        );
+    }
+
+    #[test]
+    fn ancestor_axes_reverse_order() {
+        let (s, m) = sample();
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Ancestor, m["d"])), ["c", "a", "r", ""]);
+        assert_eq!(
+            names(&s, &axis_nodes(&s, Axis::AncestorOrSelf, m["d"])),
+            ["d", "c", "a", "r", ""]
+        );
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Parent, m["d"])), ["c"]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let (s, m) = sample();
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::FollowingSibling, m["a"])), ["e", "f"]);
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::PrecedingSibling, m["f"])), ["e", "a"]);
+    }
+
+    #[test]
+    fn following_axis_excludes_descendants() {
+        let (s, m) = sample();
+        assert_eq!(
+            names(&s, &axis_nodes(&s, Axis::Following, m["a"])),
+            ["e", "f", "g"]
+        );
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Following, m["d"])), ["e", "f", "g"]);
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Following, m["g"])), Vec::<String>::new());
+    }
+
+    #[test]
+    fn preceding_axis_excludes_ancestors_reverse_order() {
+        let (s, m) = sample();
+        assert_eq!(
+            names(&s, &axis_nodes(&s, Axis::Preceding, m["e"])),
+            ["d", "c", "b", "a"]
+        );
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Preceding, m["d"])), ["b"]);
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Preceding, m["a"])), Vec::<String>::new());
+    }
+
+    #[test]
+    fn self_axis() {
+        let (s, m) = sample();
+        assert_eq!(axis_nodes(&s, Axis::SelfAxis, m["c"]), vec![m["c"]]);
+    }
+
+    #[test]
+    fn attribute_axis_only_from_elements() {
+        let mut b = ArenaBuilder::new();
+        b.start_element("x");
+        b.attribute("p", "1");
+        b.attribute("q", "2");
+        b.text("t");
+        b.end_element();
+        let s = b.finish();
+        let x = s.first_child(s.root()).unwrap();
+        let attrs = axis_nodes(&s, Axis::Attribute, x);
+        assert_eq!(names(&s, &attrs), ["p", "q"]);
+        let t = s.first_child(x).unwrap();
+        assert!(axis_nodes(&s, Axis::Attribute, t).is_empty());
+    }
+
+    #[test]
+    fn axes_from_attribute_node() {
+        let mut b = ArenaBuilder::new();
+        b.start_element("r");
+        b.start_element("x");
+        b.attribute("p", "1");
+        b.start_element("y");
+        b.end_element();
+        b.end_element();
+        b.start_element("z");
+        b.end_element();
+        b.end_element();
+        let s = b.finish();
+        let r = s.first_child(s.root()).unwrap();
+        let x = s.first_child(r).unwrap();
+        let p = s.first_attribute(x).unwrap();
+        // parent of attribute is the owner element
+        assert_eq!(axis_nodes(&s, Axis::Parent, p), vec![x]);
+        // attributes have no siblings on the sibling axes
+        assert!(axis_nodes(&s, Axis::FollowingSibling, p).is_empty());
+        assert!(axis_nodes(&s, Axis::PrecedingSibling, p).is_empty());
+        // following of the attribute includes the owner's subtree
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Following, p)), ["y", "z"]);
+        // preceding of the attribute = preceding of the owner
+        assert_eq!(
+            axis_nodes(&s, Axis::Preceding, p),
+            axis_nodes(&s, Axis::Preceding, x)
+        );
+    }
+
+    #[test]
+    fn axis_partition_property() {
+        // self ∪ ancestor ∪ descendant ∪ preceding ∪ following partitions
+        // the non-attribute nodes of the document (XPath §2.2).
+        let (s, m) = sample();
+        for &n in m.values() {
+            let mut all: Vec<NodeId> = Vec::new();
+            for ax in [
+                Axis::SelfAxis,
+                Axis::Ancestor,
+                Axis::Descendant,
+                Axis::Preceding,
+                Axis::Following,
+            ] {
+                all.extend(axis_nodes(&s, ax, n));
+            }
+            all.sort();
+            let mut expect: Vec<NodeId> = (0..s.node_count() as u32)
+                .map(NodeId)
+                .filter(|&x| s.kind(x) != NodeKind::Attribute)
+                .collect();
+            expect.sort();
+            all.dedup();
+            assert_eq!(all, expect, "partition failed for {}", s.node_name(n));
+        }
+    }
+
+    #[test]
+    fn axis_parse_roundtrip() {
+        for ax in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::FollowingSibling,
+            Axis::PrecedingSibling,
+            Axis::Following,
+            Axis::Preceding,
+            Axis::Attribute,
+            Axis::Namespace,
+            Axis::SelfAxis,
+            Axis::DescendantOrSelf,
+            Axis::AncestorOrSelf,
+        ] {
+            assert_eq!(Axis::from_name(ax.name()), Some(ax));
+        }
+        assert_eq!(Axis::from_name("sideways"), None);
+    }
+
+    #[test]
+    fn ppd_classification_matches_paper() {
+        use Axis::*;
+        for ax in [Following, FollowingSibling, Preceding, PrecedingSibling, Parent, Ancestor, AncestorOrSelf, Descendant, DescendantOrSelf] {
+            assert!(ax.is_ppd(), "{ax} should be ppd");
+        }
+        for ax in [Child, Attribute, SelfAxis, Namespace] {
+            assert!(!ax.is_ppd(), "{ax} should not be ppd");
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! Paged on-disk document store.
+//!
+//! This is the repo's stand-in for the Natix persistent document
+//! representation: queries navigate node records held in fixed-size pages
+//! behind the [`BufferManager`](crate::buffer::BufferManager) — no
+//! main-memory DOM is ever built (paper §5.2.2).
+//!
+//! File layout (all pages are [`PAGE_SIZE`] bytes):
+//!
+//! ```text
+//! page 0            header (magic, counts, region boundaries)
+//! names region      the name dictionary, a length-prefixed byte stream
+//! nodes region      fixed 40-byte node records, addressed arithmetically
+//! strings region    slotted pages holding value records, chained when a
+//!                   value exceeds one page
+//! ```
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::arena::{ArenaStore, NameTable};
+use crate::buffer::{BufferManager, BufferStats};
+use crate::node::{NameId, NodeId, NodeKind};
+use crate::page::{SlottedPage, SlottedPageBuilder, PAGE_SIZE};
+use crate::store::XmlStore;
+
+const MAGIC: &[u8; 8] = b"NATIXSTR";
+const NIL: u32 = u32::MAX;
+
+/// Bytes per node record.
+const NODE_REC: usize = 40;
+/// Node records per page.
+const NODES_PER_PAGE: usize = PAGE_SIZE / NODE_REC;
+/// Chain header inside a string record: next page (u32) + next slot (u16).
+const CHAIN_HDR: usize = 6;
+
+/// Errors raised while building or opening a disk store.
+#[derive(Debug)]
+pub enum DiskError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a Natix store or is structurally damaged.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Io(e) => write!(f, "I/O error: {e}"),
+            DiskError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> Self {
+        DiskError::Io(e)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Header {
+    node_count: u32,
+    names_start: u32,
+    names_bytes: u32,
+    nodes_start: u32,
+}
+
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+/// Serialise `store` into a page file at `path`.
+///
+/// Building goes through the in-memory representation once; opening the
+/// result with [`DiskStore::open`] then serves all navigation from pages.
+pub fn create_store_file(store: &ArenaStore, path: &Path) -> Result<(), DiskError> {
+    // --- names region ---------------------------------------------------
+    let mut names_blob = Vec::new();
+    for name in store.names().iter() {
+        let bytes = name.as_bytes();
+        names_blob.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        names_blob.extend_from_slice(bytes);
+    }
+    let names_pages = names_blob.len().div_ceil(PAGE_SIZE).max(1);
+
+    let node_count = store.node_count();
+    let node_pages = node_count.div_ceil(NODES_PER_PAGE).max(1);
+
+    let names_start = 1u32;
+    let nodes_start = names_start + names_pages as u32;
+    let strings_start = nodes_start + node_pages as u32;
+
+    // --- strings region (built first so node records know their refs) ---
+    let mut string_pages: Vec<SlottedPageBuilder> = vec![SlottedPageBuilder::new()];
+    // Insert `data` as a chain of records, returning the head (page, slot).
+    // Chains are built back-to-front so each segment knows its successor.
+    let mut insert_string = |data: &[u8]| -> (u32, u16) {
+        let seg_cap = SlottedPageBuilder::max_record() - CHAIN_HDR;
+        let mut next: (u32, u16) = (NIL, 0);
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            vec![&[][..]]
+        } else {
+            data.chunks(seg_cap).collect()
+        };
+        for chunk in chunks.iter().rev() {
+            let mut rec = Vec::with_capacity(CHAIN_HDR + chunk.len());
+            rec.extend_from_slice(&next.0.to_le_bytes());
+            rec.extend_from_slice(&next.1.to_le_bytes());
+            rec.extend_from_slice(chunk);
+            let slot = match string_pages.last_mut().expect("non-empty").insert(&rec) {
+                Some(s) => s,
+                None => {
+                    string_pages.push(SlottedPageBuilder::new());
+                    string_pages
+                        .last_mut()
+                        .expect("non-empty")
+                        .insert(&rec)
+                        .expect("segment fits an empty page")
+                }
+            };
+            next = (strings_start + (string_pages.len() - 1) as u32, slot);
+        }
+        next
+    };
+
+    // --- node records ----------------------------------------------------
+    let mut node_region = vec![0u8; node_pages * PAGE_SIZE];
+    for i in 0..node_count {
+        let n = NodeId(i as u32);
+        let page = i / NODES_PER_PAGE;
+        let off = page * PAGE_SIZE + (i % NODES_PER_PAGE) * NODE_REC;
+        let rec = &mut node_region[off..off + NODE_REC];
+        rec[0] = store.kind(n) as u8;
+        let enc = |v: Option<NodeId>| v.map_or(NIL, |x| x.0);
+        put_u32(rec, 4, store.name(n).map_or(NIL, |x| x.0));
+        put_u32(rec, 8, enc(store.parent(n)));
+        put_u32(rec, 12, enc(store.first_child(n)));
+        put_u32(rec, 16, enc(store.last_child(n)));
+        put_u32(rec, 20, enc(store.next_sibling(n)));
+        put_u32(rec, 24, enc(store.prev_sibling(n)));
+        put_u32(rec, 28, enc(store.first_attribute(n)));
+        put_u32(rec, 32, store.order(n) as u32);
+        match store.value_ref(n) {
+            None => {
+                put_u32(rec, 36, NIL);
+            }
+            Some(v) => {
+                let (vp, vs) = insert_string(v.as_bytes());
+                // Pack page (26 bits would do; we store page u32 in a
+                // side encoding: 36..40 = page, slot goes into rec[1..3]).
+                put_u32(rec, 36, vp);
+                rec[1..3].copy_from_slice(&vs.to_le_bytes());
+            }
+        }
+    }
+
+    // --- header ----------------------------------------------------------
+    let mut header = vec![0u8; PAGE_SIZE];
+    header[0..8].copy_from_slice(MAGIC);
+    put_u32(&mut header, 8, node_count as u32);
+    put_u32(&mut header, 12, names_start);
+    put_u32(&mut header, 16, names_blob.len() as u32);
+    put_u32(&mut header, 20, nodes_start);
+    put_u32(&mut header, 24, strings_start);
+    put_u32(&mut header, 28, store.names().len() as u32);
+
+    // --- write file -------------------------------------------------------
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(&header)?;
+    names_blob.resize(names_pages * PAGE_SIZE, 0);
+    file.write_all(&names_blob)?;
+    file.write_all(&node_region)?;
+    for p in string_pages {
+        file.write_all(&p.finish()[..])?;
+    }
+    file.flush()?;
+    Ok(())
+}
+
+/// Read-only paged document store.
+pub struct DiskStore {
+    buffer: BufferManager,
+    header: Header,
+    names: NameTable,
+    id_index: std::collections::HashMap<Box<str>, NodeId>,
+}
+
+impl DiskStore {
+    /// Open a store file with a buffer of `buffer_pages` frames.
+    pub fn open(path: &Path, buffer_pages: usize) -> Result<DiskStore, DiskError> {
+        let buffer = BufferManager::open(path, buffer_pages)?;
+        let h = buffer.pin(0)?;
+        if &h[0..8] != MAGIC {
+            return Err(DiskError::Corrupt("bad magic"));
+        }
+        let header = Header {
+            node_count: get_u32(&h[..], 8),
+            names_start: get_u32(&h[..], 12),
+            names_bytes: get_u32(&h[..], 16),
+            nodes_start: get_u32(&h[..], 20),
+        };
+        let name_count = get_u32(&h[..], 28);
+
+        // Load the name dictionary (kept resident; it is tiny relative to
+        // the document and node tests hit it constantly).
+        let mut blob = Vec::with_capacity(header.names_bytes as usize);
+        let npages = (header.names_bytes as usize).div_ceil(PAGE_SIZE).max(1);
+        for i in 0..npages {
+            let p = buffer.pin(header.names_start + i as u32)?;
+            let take = (header.names_bytes as usize - blob.len()).min(PAGE_SIZE);
+            blob.extend_from_slice(&p[..take]);
+        }
+        let mut names = NameTable::default();
+        let mut off = 0usize;
+        for _ in 0..name_count {
+            if off + 4 > blob.len() {
+                return Err(DiskError::Corrupt("name dictionary truncated"));
+            }
+            let len = get_u32(&blob, off) as usize;
+            off += 4;
+            let s = std::str::from_utf8(&blob[off..off + len])
+                .map_err(|_| DiskError::Corrupt("name dictionary not UTF-8"))?;
+            names.intern(s);
+            off += len;
+        }
+
+        let mut store = DiskStore {
+            buffer,
+            header,
+            names,
+            id_index: std::collections::HashMap::new(),
+        };
+        store.build_id_index()?;
+        Ok(store)
+    }
+
+    /// Serialise + reopen convenience used by tests and examples.
+    pub fn create_from(
+        arena: &ArenaStore,
+        path: &Path,
+        buffer_pages: usize,
+    ) -> Result<DiskStore, DiskError> {
+        create_store_file(arena, path)?;
+        DiskStore::open(path, buffer_pages)
+    }
+
+    fn build_id_index(&mut self) -> Result<(), DiskError> {
+        let Some(id_name) = self.names.lookup("id") else {
+            return Ok(());
+        };
+        let mut index = std::collections::HashMap::new();
+        for i in 0..self.header.node_count {
+            let n = NodeId(i);
+            if self.kind(n) == NodeKind::Attribute && self.name(n) == Some(id_name) {
+                if let (Some(v), Some(owner)) = (self.value(n), self.parent(n)) {
+                    index.entry(v.into_boxed_str()).or_insert(owner);
+                }
+            }
+        }
+        self.id_index = index;
+        Ok(())
+    }
+
+    /// Buffer-manager statistics (page hits/misses/evictions).
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.buffer.stats()
+    }
+
+    fn record(&self, n: NodeId) -> [u8; NODE_REC] {
+        assert!(n.0 < self.header.node_count, "node id out of range");
+        let page = self.header.nodes_start + n.0 / NODES_PER_PAGE as u32;
+        let off = (n.0 as usize % NODES_PER_PAGE) * NODE_REC;
+        let p = self.buffer.pin(page).expect("node page readable");
+        let mut rec = [0u8; NODE_REC];
+        rec.copy_from_slice(&p[off..off + NODE_REC]);
+        rec
+    }
+
+    fn link(&self, n: NodeId, field: usize) -> Option<NodeId> {
+        let v = get_u32(&self.record(n), field);
+        (v != NIL).then_some(NodeId(v))
+    }
+
+    fn read_string(&self, mut page: u32, mut slot: u16) -> String {
+        let mut out = Vec::new();
+        loop {
+            let p = self.buffer.pin(page).expect("string page readable");
+            let sp = SlottedPage::new(&p[..]);
+            let rec = sp.record(slot).expect("valid string slot");
+            let next_page = get_u32(rec, 0);
+            let next_slot = get_u16(rec, 4);
+            out.extend_from_slice(&rec[CHAIN_HDR..]);
+            if next_page == NIL {
+                break;
+            }
+            page = next_page;
+            slot = next_slot;
+        }
+        String::from_utf8(out).expect("stored strings are UTF-8")
+    }
+}
+
+impl XmlStore for DiskStore {
+    fn node_count(&self) -> usize {
+        self.header.node_count as usize
+    }
+
+    fn kind(&self, n: NodeId) -> NodeKind {
+        NodeKind::from_u8(self.record(n)[0]).expect("valid node kind on disk")
+    }
+
+    fn name(&self, n: NodeId) -> Option<NameId> {
+        let v = get_u32(&self.record(n), 4);
+        (v != NIL).then_some(NameId(v))
+    }
+
+    fn value(&self, n: NodeId) -> Option<String> {
+        let rec = self.record(n);
+        let vp = get_u32(&rec, 36);
+        if vp == NIL {
+            return None;
+        }
+        let vs = get_u16(&rec, 1);
+        Some(self.read_string(vp, vs))
+    }
+
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.link(n, 8)
+    }
+
+    fn first_child(&self, n: NodeId) -> Option<NodeId> {
+        self.link(n, 12)
+    }
+
+    fn last_child(&self, n: NodeId) -> Option<NodeId> {
+        self.link(n, 16)
+    }
+
+    fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        self.link(n, 20)
+    }
+
+    fn prev_sibling(&self, n: NodeId) -> Option<NodeId> {
+        self.link(n, 24)
+    }
+
+    fn first_attribute(&self, n: NodeId) -> Option<NodeId> {
+        self.link(n, 28)
+    }
+
+    fn order(&self, n: NodeId) -> u64 {
+        get_u32(&self.record(n), 32) as u64
+    }
+
+    fn intern_lookup(&self, name: &str) -> Option<NameId> {
+        self.names.lookup(name)
+    }
+
+    fn name_text(&self, id: NameId) -> String {
+        self.names.text(id).to_owned()
+    }
+
+    fn element_by_id(&self, idval: &str) -> Option<NodeId> {
+        self.id_index.get(idval).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+    use crate::serialize::to_xml;
+    use crate::tmp::TempPath;
+
+    fn roundtrip(xml: &str) -> (TempPath, DiskStore) {
+        let arena = parse_document(xml).unwrap();
+        let t = TempPath::new(".natix");
+        let disk = DiskStore::create_from(&arena, t.path(), 16).unwrap();
+        (t, disk)
+    }
+
+    #[test]
+    fn structure_preserved() {
+        let src = r#"<a x="1"><b>hello</b><!--c--><?pi data?><d><e/></d></a>"#;
+        let (_t, disk) = roundtrip(src);
+        assert_eq!(to_xml(&disk), src);
+    }
+
+    #[test]
+    fn orders_preserved() {
+        let src = "<a><b><c/></b><d/></a>";
+        let arena = parse_document(src).unwrap();
+        let t = TempPath::new(".natix");
+        let disk = DiskStore::create_from(&arena, t.path(), 4).unwrap();
+        assert_eq!(arena.node_count(), disk.node_count());
+        for i in 0..arena.node_count() as u32 {
+            let n = NodeId(i);
+            assert_eq!(arena.order(n), disk.order(n));
+            assert_eq!(arena.kind(n), disk.kind(n));
+            assert_eq!(arena.parent(n), disk.parent(n));
+            assert_eq!(arena.next_sibling(n), disk.next_sibling(n));
+        }
+    }
+
+    #[test]
+    fn long_text_chains_across_pages() {
+        let big = "x".repeat(3 * PAGE_SIZE);
+        let src = format!("<a><t>{big}</t></a>");
+        let (_t, disk) = roundtrip(&src);
+        let a = disk.first_child(disk.root()).unwrap();
+        let t = disk.first_child(a).unwrap();
+        assert_eq!(disk.string_value(t), big);
+    }
+
+    #[test]
+    fn id_index_rebuilt_on_open() {
+        let (_t, disk) = roundtrip(r#"<r><x id="k1"/><y id="k2"/></r>"#);
+        let x = disk.element_by_id("k1").unwrap();
+        assert_eq!(disk.node_name(x), "x");
+        assert!(disk.element_by_id("nope").is_none());
+    }
+
+    #[test]
+    fn small_buffer_still_correct_with_evictions() {
+        // Enough nodes to span several node pages, tiny buffer.
+        let mut xml = String::from("<r>");
+        for i in 0..1000 {
+            xml.push_str(&format!("<item n=\"{i}\">v{i}</item>"));
+        }
+        xml.push_str("</r>");
+        let arena = parse_document(&xml).unwrap();
+        let t = TempPath::new(".natix");
+        let disk = DiskStore::create_from(&arena, t.path(), 2).unwrap();
+        assert_eq!(to_xml(&disk), to_xml(&arena));
+        assert!(disk.buffer_stats().evictions > 0, "tiny buffer must evict");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let t = TempPath::new(".bad");
+        std::fs::write(t.path(), vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(matches!(
+            DiskStore::open(t.path(), 2),
+            Err(DiskError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_attribute_value_roundtrips() {
+        let (_t, disk) = roundtrip(r#"<a empty=""/>"#);
+        let a = disk.first_child(disk.root()).unwrap();
+        assert_eq!(disk.attribute_value(a, "empty").as_deref(), Some(""));
+    }
+}

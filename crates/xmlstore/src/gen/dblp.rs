@@ -1,0 +1,214 @@
+//! Synthetic DBLP document generator (paper §6.2.2 substitution).
+//!
+//! The paper runs its Fig. 10 workload on the real 216 MB DBLP dump. We
+//! generate a structurally equivalent document: a `dblp` root with a long
+//! list of publication records (`article`, `inproceedings`, `phdthesis`,
+//! `www`), each carrying a `key` attribute and `author`/`title`/`year`/
+//! `ee`/`pages` children. The name pool includes "Guido Moerkotte" and the
+//! key pool includes "conf/er/LockemannM91" so that every Fig. 10 query
+//! has non-trivial results.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arena::{ArenaBuilder, ArenaStore};
+
+/// Parameters of the synthetic DBLP document.
+#[derive(Clone, Copy, Debug)]
+pub struct DblpParams {
+    /// Number of publication records under the root.
+    pub records: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for DblpParams {
+    fn default() -> Self {
+        DblpParams { records: 10_000, seed: 42 }
+    }
+}
+
+const FIRST: [&str; 12] = [
+    "Guido", "Sven", "Carl-Christian", "Matthias", "Anna", "Boris", "Clara", "David", "Elena",
+    "Frank", "Grete", "Henrik",
+];
+const LAST: [&str; 12] = [
+    "Moerkotte", "Helmer", "Kanne", "Brantner", "Schmidt", "Keller", "Lang", "Maier", "Neumann",
+    "Olteanu", "Pichler", "Quass",
+];
+const TITLE_WORDS: [&str; 16] = [
+    "algebraic", "evaluation", "of", "XPath", "queries", "in", "native", "XML", "databases",
+    "optimization", "holistic", "joins", "pattern", "matching", "storage", "systems",
+];
+const VENUES: [&str; 6] = ["vldb", "sigmod", "icde", "edbt", "er", "wise"];
+const JOURNALS: [&str; 4] = ["tods", "vldbj", "sigmodrecord", "debu"];
+
+fn person(rng: &mut StdRng) -> String {
+    // Bias towards "Guido Moerkotte" so the Fig. 10 author queries select
+    // a realistic minority of records.
+    if rng.gen_ratio(1, 40) {
+        return "Guido Moerkotte".to_owned();
+    }
+    format!(
+        "{} {}",
+        FIRST[rng.gen_range(0..FIRST.len())],
+        LAST[rng.gen_range(0..LAST.len())]
+    )
+}
+
+fn title(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(4..9);
+    let mut t = String::new();
+    for i in 0..n {
+        if i > 0 {
+            t.push(' ');
+        }
+        t.push_str(TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())]);
+    }
+    t.push('.');
+    t
+}
+
+/// Generate the synthetic DBLP document.
+pub fn generate_dblp(params: DblpParams) -> ArenaStore {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = ArenaBuilder::new();
+    b.start_element("dblp");
+    b.attribute("id", "dblp-root");
+    for i in 0..params.records {
+        let kind_roll = rng.gen_range(0..100);
+        // One well-known inproceedings the Fig. 10 key-lookup query finds.
+        let landmark = i == params.records / 2;
+        let (elem, key) = if landmark {
+            ("inproceedings", "conf/er/LockemannM91".to_owned())
+        } else if kind_roll < 40 {
+            let j = JOURNALS[rng.gen_range(0..JOURNALS.len())];
+            ("article", format!("journals/{j}/entry{i}"))
+        } else if kind_roll < 90 {
+            let v = VENUES[rng.gen_range(0..VENUES.len())];
+            ("inproceedings", format!("conf/{v}/entry{i}"))
+        } else if kind_roll < 95 {
+            ("phdthesis", format!("phd/entry{i}"))
+        } else {
+            ("www", format!("www/entry{i}"))
+        };
+        b.start_element(elem);
+        b.attribute("key", &key);
+        b.attribute("id", &format!("rec{i}"));
+        let nauthors = rng.gen_range(1..=5);
+        for _ in 0..nauthors {
+            b.start_element("author");
+            b.text(&person(&mut rng));
+            b.end_element();
+        }
+        b.start_element("title");
+        b.text(&title(&mut rng));
+        b.end_element();
+        b.start_element("year");
+        b.text(&rng.gen_range(1980..=2004).to_string());
+        b.end_element();
+        if rng.gen_bool(0.7) {
+            b.start_element("pages");
+            let start = rng.gen_range(1..=800);
+            b.text(&format!("{}-{}", start, start + rng.gen_range(5..20)));
+            b.end_element();
+        }
+        if rng.gen_bool(0.5) {
+            b.start_element("ee");
+            b.text(&format!("db/{key}.html"));
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::{axis_nodes, Axis};
+    use crate::store::XmlStore;
+
+    fn small() -> ArenaStore {
+        generate_dblp(DblpParams { records: 400, seed: 7 })
+    }
+
+    #[test]
+    fn root_is_dblp_with_requested_records() {
+        let s = small();
+        let root = s.first_child(s.root()).unwrap();
+        assert_eq!(s.node_name(root), "dblp");
+        assert_eq!(axis_nodes(&s, Axis::Child, root).len(), 400);
+    }
+
+    #[test]
+    fn records_have_required_children() {
+        let s = small();
+        let root = s.first_child(s.root()).unwrap();
+        for rec in axis_nodes(&s, Axis::Child, root) {
+            let names: Vec<String> = axis_nodes(&s, Axis::Child, rec)
+                .iter()
+                .map(|&c| s.node_name(c))
+                .collect();
+            assert!(names.contains(&"author".to_owned()));
+            assert!(names.contains(&"title".to_owned()));
+            assert!(names.contains(&"year".to_owned()));
+            assert!(s.attribute_value(rec, "key").is_some());
+        }
+    }
+
+    #[test]
+    fn landmark_key_present_exactly_once_on_inproceedings() {
+        let s = small();
+        let root = s.first_child(s.root()).unwrap();
+        let hits: Vec<_> = axis_nodes(&s, Axis::Child, root)
+            .into_iter()
+            .filter(|&r| s.attribute_value(r, "key").as_deref() == Some("conf/er/LockemannM91"))
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(s.node_name(hits[0]), "inproceedings");
+    }
+
+    #[test]
+    fn moerkotte_occurs_sometimes() {
+        let s = small();
+        let root = s.first_child(s.root()).unwrap();
+        let mut hits = 0;
+        for rec in axis_nodes(&s, Axis::Child, root) {
+            for c in axis_nodes(&s, Axis::Child, rec) {
+                if s.node_name(c) == "author" && s.string_value(c) == "Guido Moerkotte" {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 0, "author pool must include Guido Moerkotte");
+        assert!(hits < 400, "but not on every record");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_dblp(DblpParams { records: 50, seed: 3 });
+        let b = generate_dblp(DblpParams { records: 50, seed: 3 });
+        let c = generate_dblp(DblpParams { records: 50, seed: 4 });
+        assert_eq!(crate::serialize::to_xml(&a), crate::serialize::to_xml(&b));
+        assert_ne!(crate::serialize::to_xml(&a), crate::serialize::to_xml(&c));
+    }
+
+    #[test]
+    fn years_in_range_and_1991_present() {
+        let s = generate_dblp(DblpParams { records: 2000, seed: 42 });
+        let root = s.first_child(s.root()).unwrap();
+        let mut saw_1991 = false;
+        for rec in axis_nodes(&s, Axis::Child, root) {
+            for c in axis_nodes(&s, Axis::Child, rec) {
+                if s.node_name(c) == "year" {
+                    let y: i32 = s.string_value(c).parse().unwrap();
+                    assert!((1980..=2004).contains(&y));
+                    saw_1991 |= y == 1991;
+                }
+            }
+        }
+        assert!(saw_1991, "Fig. 10 year queries need 1991 records");
+    }
+}

@@ -1,0 +1,7 @@
+//! Synthetic document generators used by the paper's evaluation.
+
+pub mod dblp;
+pub mod tree;
+
+pub use dblp::{generate_dblp, DblpParams};
+pub use tree::{generate_tree, TreeParams};

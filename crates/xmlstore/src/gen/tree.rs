@@ -1,0 +1,205 @@
+//! Breadth-first tree generator (paper §6.2.1).
+//!
+//! "The document generator follows a breadth first algorithm and fills
+//! every depth of the document with the given fanout until the maximum
+//! number of elements or depth is reached. The root element of every
+//! document has the name `xdoc`. Every element contains an attribute `id`
+//! which is consecutively numbered."
+//!
+//! Element names below the root cycle through a small alphabet so that
+//! name tests are also exercisable; the paper's queries only use `*` node
+//! tests, which ignore the names.
+
+use crate::arena::{ArenaBuilder, ArenaStore};
+
+/// Parameters of the generated document.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Upper bound on the number of elements (including the root).
+    pub max_elements: usize,
+    /// Children per element.
+    pub fanout: usize,
+    /// Maximum depth (root is depth 0).
+    pub max_depth: usize,
+}
+
+impl TreeParams {
+    /// The paper's small configuration family: 2000–8000 elements with
+    /// fanout 6. The paper states depth 4, but a fanout-6 tree of depth 4
+    /// holds at most 6⁰+…+6⁴ = 1555 elements — fewer than the 2000–8000
+    /// range — so the fill must spill into a fifth level; we use depth 5.
+    pub fn small(max_elements: usize) -> TreeParams {
+        TreeParams { max_elements, fanout: 6, max_depth: 5 }
+    }
+
+    /// The paper's large configuration family: 10000–80000 elements,
+    /// fanout 10, depth 5.
+    pub fn large(max_elements: usize) -> TreeParams {
+        TreeParams { max_elements, fanout: 10, max_depth: 5 }
+    }
+}
+
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+/// Generate a document per the paper's breadth-first algorithm.
+///
+/// Breadth-first *shape* with the usual document (pre-)order: we compute
+/// the number of levels that fit, then emit the tree depth-first so the
+/// builder sees document order, assigning ids level by level exactly as a
+/// breadth-first fill would.
+pub fn generate_tree(params: TreeParams) -> ArenaStore {
+    assert!(params.max_elements >= 1, "need at least the root element");
+    // Determine how many elements each level holds under the cap.
+    let mut level_sizes: Vec<usize> = vec![1];
+    let mut total = 1usize;
+    while level_sizes.len() <= params.max_depth {
+        let next = level_sizes.last().unwrap() * params.fanout.max(1);
+        if params.fanout == 0 || next == 0 {
+            break;
+        }
+        let next = next.min(params.max_elements - total);
+        if next == 0 {
+            break;
+        }
+        level_sizes.push(next);
+        total += next;
+        if total >= params.max_elements {
+            break;
+        }
+    }
+
+    // Breadth-first id assignment: the k-th element of level d (counting
+    // left to right) gets id  sum(level_sizes[..d]) + k.
+    let mut level_base = vec![0usize; level_sizes.len()];
+    for d in 1..level_sizes.len() {
+        level_base[d] = level_base[d - 1] + level_sizes[d - 1];
+    }
+
+    let mut b = ArenaBuilder::new();
+    // Recursive depth-first emission tracking each level's next BFS index.
+    let mut next_in_level = vec![0usize; level_sizes.len()];
+    emit(
+        &mut b,
+        0,
+        &level_sizes,
+        &level_base,
+        &mut next_in_level,
+        params.fanout,
+    );
+    b.finish()
+}
+
+fn emit(
+    b: &mut ArenaBuilder,
+    depth: usize,
+    level_sizes: &[usize],
+    level_base: &[usize],
+    next_in_level: &mut [usize],
+    fanout: usize,
+) {
+    let my_index = next_in_level[depth];
+    next_in_level[depth] += 1;
+    let id = level_base[depth] + my_index;
+    let name = if depth == 0 { "xdoc" } else { NAMES[id % NAMES.len()] };
+    b.start_element(name);
+    b.attribute("id", &id.to_string());
+    if depth + 1 < level_sizes.len() {
+        for _ in 0..fanout {
+            // Stop once the child level is exhausted (element cap hit).
+            if next_in_level[depth + 1] >= level_sizes[depth + 1] {
+                break;
+            }
+            // Only emit a child here if it "belongs" to this parent in the
+            // breadth-first fill: parent p gets children while the child
+            // level cursor is within p's fanout window.
+            let child_index = next_in_level[depth + 1];
+            if child_index / fanout != my_index {
+                break;
+            }
+            emit(b, depth + 1, level_sizes, level_base, next_in_level, fanout);
+        }
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::{axis_nodes, Axis};
+    use crate::store::XmlStore;
+
+    #[test]
+    fn root_named_xdoc_with_id_zero() {
+        let s = generate_tree(TreeParams { max_elements: 10, fanout: 3, max_depth: 3 });
+        let root = s.first_child(s.root()).unwrap();
+        assert_eq!(s.node_name(root), "xdoc");
+        assert_eq!(s.attribute_value(root, "id").as_deref(), Some("0"));
+    }
+
+    #[test]
+    fn element_cap_respected_exactly() {
+        for cap in [1, 2, 7, 50, 200] {
+            let s = generate_tree(TreeParams { max_elements: cap, fanout: 4, max_depth: 10 });
+            assert_eq!(s.element_count(), cap, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let s = generate_tree(TreeParams { max_elements: 100000, fanout: 2, max_depth: 3 });
+        let root = s.first_child(s.root()).unwrap();
+        // max node depth below root element is 3.
+        let mut max_depth = 0;
+        for n in axis_nodes(&s, Axis::Descendant, root) {
+            let mut d = 0;
+            let mut cur = n;
+            while let Some(p) = s.parent(cur) {
+                if p == root {
+                    break;
+                }
+                d += 1;
+                cur = p;
+            }
+            max_depth = max_depth.max(d + 1);
+        }
+        assert!(max_depth <= 3);
+        // Full binary-ish tree of depth 3: 1 + 2 + 4 + 8 = 15 elements.
+        assert_eq!(s.element_count(), 15);
+    }
+
+    #[test]
+    fn ids_consecutive_breadth_first() {
+        let s = generate_tree(TreeParams { max_elements: 13, fanout: 3, max_depth: 2 });
+        let root = s.first_child(s.root()).unwrap();
+        // Level 1 elements must have ids 1..=3 in sibling order.
+        let kids = axis_nodes(&s, Axis::Child, root);
+        let ids: Vec<String> = kids
+            .iter()
+            .filter_map(|&k| s.attribute_value(k, "id"))
+            .collect();
+        assert_eq!(ids, ["1", "2", "3"]);
+        // All ids unique and dense 0..n.
+        let mut all: Vec<usize> = axis_nodes(&s, Axis::DescendantOrSelf, root)
+            .iter()
+            .filter_map(|&n| s.attribute_value(n, "id"))
+            .map(|v| v.parse().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..s.element_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paper_configurations() {
+        let s = generate_tree(TreeParams::small(2000));
+        assert_eq!(s.element_count(), 2000);
+        let s = generate_tree(TreeParams::large(10000));
+        assert_eq!(s.element_count(), 10000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_tree(TreeParams::small(500));
+        let b = generate_tree(TreeParams::small(500));
+        assert_eq!(crate::serialize::to_xml(&a), crate::serialize::to_xml(&b));
+    }
+}

@@ -1,0 +1,43 @@
+//! XML substrate for the algebraic XPath engine.
+//!
+//! This crate plays the role of the Natix storage system in the paper
+//! (*Full-fledged Algebraic XPath Processing in Natix*, ICDE 2005): it owns
+//! the persistent representation of XML documents and the navigation
+//! primitives the physical algebra evaluates against.
+//!
+//! Contents:
+//! * [`node`] / [`store`] — the node model and the [`store::XmlStore`]
+//!   navigation trait shared by all stores and both engines,
+//! * [`arena`] — in-memory arena store and its event builder,
+//! * [`parser`] — a from-scratch XML 1.0 parser,
+//! * [`serialize`] — XML writer,
+//! * [`axes`] — all XPath axes as iterators in axis order,
+//! * [`page`] / [`buffer`] / [`diskstore`] — 8 KiB slotted pages, a
+//!   pin/unpin LRU buffer manager and the paged on-disk store,
+//! * [`gen`] — the paper's document generators (breadth-first trees and a
+//!   synthetic DBLP).
+//!
+//! Namespace handling: qualified names are stored verbatim and the
+//! `namespace` axis yields no nodes (the evaluation documents of the paper
+//! are namespace-free; this keeps the storage model faithful to what the
+//! experiments exercise).
+
+pub mod arena;
+pub mod axes;
+pub mod buffer;
+pub mod diskstore;
+pub mod gen;
+pub mod node;
+pub mod page;
+pub mod parser;
+pub mod serialize;
+pub mod store;
+pub mod tmp;
+pub mod update;
+
+pub use arena::{ArenaBuilder, ArenaStore, NameTable};
+pub use axes::{axis_nodes, Axis, AxisCursor, AxisIter};
+pub use node::{NameId, NodeId, NodeKind};
+pub use parser::{parse_document, XmlError};
+pub use serialize::{to_xml, to_xml_node};
+pub use store::XmlStore;

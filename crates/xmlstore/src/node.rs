@@ -1,0 +1,135 @@
+//! Core node model shared by all document stores.
+//!
+//! Nodes are identified by a dense [`NodeId`]; all structural information
+//! (kind, name, links, document order) is resolved through the
+//! [`XmlStore`](crate::store::XmlStore) trait, so the same identifier scheme
+//! works for the in-memory arena store and the paged disk store.
+
+use std::fmt;
+
+/// Identifier of a node within one document store.
+///
+/// `NodeId`s are dense (0 is always the document node) and only meaningful
+/// relative to the store that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The document (root) node of every store.
+    pub const DOCUMENT: NodeId = NodeId(0);
+
+    /// Index usable for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Interned name identifier (element/attribute/PI target names).
+///
+/// Name tests compare `NameId`s instead of strings; both stores keep a name
+/// dictionary mapping `NameId` to the textual name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+impl fmt::Debug for NameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "name#{}", self.0)
+    }
+}
+
+/// The seven XPath 1.0 node kinds.
+///
+/// Namespace nodes are recognised by the grammar but never materialised by
+/// the stores (see crate docs), so `Namespace` only appears in axis
+/// descriptions, never as the kind of a stored node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum NodeKind {
+    /// The document root (exactly one per store, always [`NodeId::DOCUMENT`]).
+    Document = 0,
+    /// An element node.
+    Element = 1,
+    /// An attribute node (reachable only via the attribute axis).
+    Attribute = 2,
+    /// A text node.
+    Text = 3,
+    /// A comment node.
+    Comment = 4,
+    /// A processing instruction.
+    ProcessingInstruction = 5,
+}
+
+impl NodeKind {
+    /// Decode from the on-disk tag byte.
+    pub fn from_u8(v: u8) -> Option<NodeKind> {
+        Some(match v {
+            0 => NodeKind::Document,
+            1 => NodeKind::Element,
+            2 => NodeKind::Attribute,
+            3 => NodeKind::Text,
+            4 => NodeKind::Comment,
+            5 => NodeKind::ProcessingInstruction,
+            _ => return None,
+        })
+    }
+
+    /// True for kinds that sit on the child axis of their parent.
+    pub fn is_child_kind(self) -> bool {
+        !matches!(self, NodeKind::Document | NodeKind::Attribute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_document_is_zero() {
+        assert_eq!(NodeId::DOCUMENT, NodeId(0));
+        assert_eq!(NodeId::DOCUMENT.index(), 0);
+    }
+
+    #[test]
+    fn node_kind_roundtrip() {
+        for k in [
+            NodeKind::Document,
+            NodeKind::Element,
+            NodeKind::Attribute,
+            NodeKind::Text,
+            NodeKind::Comment,
+            NodeKind::ProcessingInstruction,
+        ] {
+            assert_eq!(NodeKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(NodeKind::from_u8(17), None);
+    }
+
+    #[test]
+    fn child_kinds() {
+        assert!(NodeKind::Element.is_child_kind());
+        assert!(NodeKind::Text.is_child_kind());
+        assert!(NodeKind::Comment.is_child_kind());
+        assert!(NodeKind::ProcessingInstruction.is_child_kind());
+        assert!(!NodeKind::Attribute.is_child_kind());
+        assert!(!NodeKind::Document.is_child_kind());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+}

@@ -1,0 +1,158 @@
+//! Fixed-size slotted pages.
+//!
+//! The disk store keeps variable-length string records (text content,
+//! attribute values, the name dictionary) in slotted pages: a slot
+//! directory grows from the front of the page, record bodies grow from the
+//! back. Node records are fixed-size and addressed arithmetically, so they
+//! bypass the slot directory (see [`crate::diskstore`]).
+
+/// Size of every page in the store file.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Page header: number of slots (u16) + free-space offset (u16).
+const HEADER: usize = 4;
+/// Per-slot directory entry: offset (u16) + length (u16).
+const SLOT: usize = 4;
+
+/// A slotted page under construction (build phase only).
+pub struct SlottedPageBuilder {
+    data: Box<[u8; PAGE_SIZE]>,
+    nslots: u16,
+    /// First byte used by record bodies (they grow downward from the end).
+    body_start: usize,
+}
+
+impl Default for SlottedPageBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlottedPageBuilder {
+    /// Fresh empty page.
+    pub fn new() -> SlottedPageBuilder {
+        SlottedPageBuilder {
+            data: Box::new([0u8; PAGE_SIZE]),
+            nslots: 0,
+            body_start: PAGE_SIZE,
+        }
+    }
+
+    /// Free bytes available for one more record (including its slot entry).
+    pub fn free(&self) -> usize {
+        self.body_start - (HEADER + self.nslots as usize * SLOT)
+    }
+
+    /// Largest record body this page can still take.
+    pub fn capacity_for_record(&self) -> usize {
+        self.free().saturating_sub(SLOT)
+    }
+
+    /// Largest record body an *empty* page can take.
+    pub fn max_record() -> usize {
+        PAGE_SIZE - HEADER - SLOT
+    }
+
+    /// Append a record; returns its slot number, or `None` if it does not fit.
+    pub fn insert(&mut self, body: &[u8]) -> Option<u16> {
+        if body.len() > self.capacity_for_record() {
+            return None;
+        }
+        let off = self.body_start - body.len();
+        self.data[off..off + body.len()].copy_from_slice(body);
+        let slot = self.nslots;
+        let dir = HEADER + slot as usize * SLOT;
+        self.data[dir..dir + 2].copy_from_slice(&(off as u16).to_le_bytes());
+        self.data[dir + 2..dir + 4].copy_from_slice(&(body.len() as u16).to_le_bytes());
+        self.nslots += 1;
+        self.body_start = off;
+        Some(slot)
+    }
+
+    /// Number of records on the page.
+    pub fn slot_count(&self) -> u16 {
+        self.nslots
+    }
+
+    /// Finalise into raw page bytes.
+    pub fn finish(mut self) -> Box<[u8; PAGE_SIZE]> {
+        self.data[0..2].copy_from_slice(&self.nslots.to_le_bytes());
+        self.data[2..4].copy_from_slice(&(self.body_start as u16).to_le_bytes());
+        self.data
+    }
+}
+
+/// Read access to a finished slotted page.
+pub struct SlottedPage<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Interpret `data` (must be `PAGE_SIZE` bytes) as a slotted page.
+    pub fn new(data: &'a [u8]) -> SlottedPage<'a> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        SlottedPage { data }
+    }
+
+    /// Number of records on the page.
+    pub fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.data[0], self.data[1]])
+    }
+
+    /// Body of record `slot`, or `None` for an out-of-range slot.
+    pub fn record(&self, slot: u16) -> Option<&'a [u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let dir = HEADER + slot as usize * SLOT;
+        let off = u16::from_le_bytes([self.data[dir], self.data[dir + 1]]) as usize;
+        let len = u16::from_le_bytes([self.data[dir + 2], self.data[dir + 3]]) as usize;
+        self.data.get(off..off + len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut b = SlottedPageBuilder::new();
+        let s0 = b.insert(b"hello").unwrap();
+        let s1 = b.insert(b"").unwrap();
+        let s2 = b.insert(&[7u8; 100]).unwrap();
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        let bytes = b.finish();
+        let p = SlottedPage::new(&bytes[..]);
+        assert_eq!(p.slot_count(), 3);
+        assert_eq!(p.record(0), Some(&b"hello"[..]));
+        assert_eq!(p.record(1), Some(&b""[..]));
+        assert_eq!(p.record(2), Some(&[7u8; 100][..]));
+        assert_eq!(p.record(3), None);
+    }
+
+    #[test]
+    fn fills_up_and_rejects_overflow() {
+        let mut b = SlottedPageBuilder::new();
+        let max = SlottedPageBuilder::max_record();
+        assert!(b.insert(&vec![1u8; max + 1]).is_none());
+        assert!(b.insert(&vec![1u8; max]).is_some());
+        assert!(b.insert(b"x").is_none(), "page is full");
+    }
+
+    #[test]
+    fn many_small_records() {
+        let mut b = SlottedPageBuilder::new();
+        let mut n = 0u16;
+        while b.insert(&n.to_le_bytes()).is_some() {
+            n += 1;
+        }
+        // (PAGE_SIZE - HEADER) / (SLOT + 2) records of two bytes each.
+        assert_eq!(n as usize, (PAGE_SIZE - HEADER) / (SLOT + 2));
+        let bytes = b.finish();
+        let p = SlottedPage::new(&bytes[..]);
+        for i in 0..n {
+            assert_eq!(p.record(i), Some(&i.to_le_bytes()[..]));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! XML writer: serialise any [`XmlStore`] subtree back to markup.
+//!
+//! Used for round-trip testing, the examples, and for persisting generated
+//! documents to disk before loading them into the paged store.
+
+use crate::node::{NodeId, NodeKind};
+use crate::store::XmlStore;
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn write_node(store: &dyn XmlStore, n: NodeId, out: &mut String) {
+    match store.kind(n) {
+        NodeKind::Document => {
+            let mut c = store.first_child(n);
+            while let Some(ch) = c {
+                write_node(store, ch, out);
+                c = store.next_sibling(ch);
+            }
+        }
+        NodeKind::Element => {
+            let name = store.node_name(n);
+            out.push('<');
+            out.push_str(&name);
+            let mut a = store.first_attribute(n);
+            while let Some(att) = a {
+                out.push(' ');
+                out.push_str(&store.node_name(att));
+                out.push_str("=\"");
+                escape_attr(&store.value(att).unwrap_or_default(), out);
+                out.push('"');
+                a = store.next_sibling(att);
+            }
+            match store.first_child(n) {
+                None => out.push_str("/>"),
+                Some(first) => {
+                    out.push('>');
+                    let mut c = Some(first);
+                    while let Some(ch) = c {
+                        write_node(store, ch, out);
+                        c = store.next_sibling(ch);
+                    }
+                    out.push_str("</");
+                    out.push_str(&name);
+                    out.push('>');
+                }
+            }
+        }
+        NodeKind::Text => escape_text(&store.value(n).unwrap_or_default(), out),
+        NodeKind::Comment => {
+            out.push_str("<!--");
+            out.push_str(&store.value(n).unwrap_or_default());
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction => {
+            out.push_str("<?");
+            out.push_str(&store.node_name(n));
+            let v = store.value(n).unwrap_or_default();
+            if !v.is_empty() {
+                out.push(' ');
+                out.push_str(&v);
+            }
+            out.push_str("?>");
+        }
+        NodeKind::Attribute => {
+            // Standalone attribute serialisation: just its value.
+            escape_attr(&store.value(n).unwrap_or_default(), out);
+        }
+    }
+}
+
+/// Serialise the subtree rooted at `n`.
+pub fn to_xml_node(store: &dyn XmlStore, n: NodeId) -> String {
+    let mut out = String::new();
+    write_node(store, n, &mut out);
+    out
+}
+
+/// Serialise the whole document.
+pub fn to_xml(store: &dyn XmlStore) -> String {
+    to_xml_node(store, store.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<a x="1&amp;2"><b>hi &lt;there&gt;</b><!--c--><?p q?><d/></a>"#;
+        let store = parse_document(src).unwrap();
+        let out = to_xml(&store);
+        assert_eq!(out, src);
+        // And a second round trip is a fixpoint.
+        let store2 = parse_document(&out).unwrap();
+        assert_eq!(to_xml(&store2), out);
+    }
+
+    #[test]
+    fn quote_escaping_in_attributes() {
+        let store = parse_document(r#"<a t="say &quot;hi&quot;"/>"#).unwrap();
+        let out = to_xml(&store);
+        assert!(out.contains("&quot;hi&quot;"));
+        let again = parse_document(&out).unwrap();
+        let a = crate::store::XmlStore::first_child(&again, again.root()).unwrap();
+        assert_eq!(again.attribute_value(a, "t").as_deref(), Some("say \"hi\""));
+    }
+}

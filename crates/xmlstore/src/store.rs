@@ -1,0 +1,196 @@
+//! The [`XmlStore`] trait: the narrow navigation interface both query
+//! engines evaluate against.
+//!
+//! This mirrors the role of the Natix page-buffer navigation primitives
+//! (paper §5.2.2): location steps and node tests are resolved directly
+//! against the stored representation — no separate main-memory DOM is built.
+
+use crate::node::{NameId, NodeId, NodeKind};
+
+/// Read interface over one stored XML document.
+///
+/// Implemented by [`ArenaStore`](crate::arena::ArenaStore) (main memory) and
+/// [`DiskStore`](crate::diskstore::DiskStore) (slotted pages behind a buffer
+/// manager). All navigation used by the physical algebra goes through this
+/// trait, so plans are storage-agnostic.
+pub trait XmlStore {
+    /// The document node (always [`NodeId::DOCUMENT`]).
+    fn root(&self) -> NodeId {
+        NodeId::DOCUMENT
+    }
+
+    /// Total number of nodes (including the document node and attributes).
+    fn node_count(&self) -> usize;
+
+    /// Kind of `n`.
+    fn kind(&self, n: NodeId) -> NodeKind;
+
+    /// Interned name of `n` (elements, attributes, PI targets).
+    fn name(&self, n: NodeId) -> Option<NameId>;
+
+    /// Textual content of `n` (text, comment, attribute, PI payload).
+    /// `None` for elements and the document node.
+    fn value(&self, n: NodeId) -> Option<String>;
+
+    /// Parent node. Attributes report their owning element as parent even
+    /// though they are not on its child axis.
+    fn parent(&self, n: NodeId) -> Option<NodeId>;
+
+    /// First node on the child axis (attributes excluded).
+    fn first_child(&self, n: NodeId) -> Option<NodeId>;
+
+    /// Last node on the child axis.
+    fn last_child(&self, n: NodeId) -> Option<NodeId>;
+
+    /// Next sibling on the child axis (or within the attribute list, for
+    /// attribute nodes).
+    fn next_sibling(&self, n: NodeId) -> Option<NodeId>;
+
+    /// Previous sibling (see [`XmlStore::next_sibling`]).
+    fn prev_sibling(&self, n: NodeId) -> Option<NodeId>;
+
+    /// First attribute of an element, if any.
+    fn first_attribute(&self, n: NodeId) -> Option<NodeId>;
+
+    /// Document-order rank of `n`. Ranks totally order all nodes of the
+    /// document; attributes rank after their element and before its children.
+    fn order(&self, n: NodeId) -> u64;
+
+    /// Resolve a textual name to its interned id, if the name occurs in the
+    /// document at all. Name tests against unknown names match nothing.
+    fn intern_lookup(&self, name: &str) -> Option<NameId>;
+
+    /// Resolve an interned name back to text.
+    fn name_text(&self, id: NameId) -> String;
+
+    /// The element whose `id` attribute (DTD-less approximation of an ID
+    /// attribute, as in the paper's generated documents) equals `idval`.
+    fn element_by_id(&self, idval: &str) -> Option<NodeId>;
+
+    /// XPath string-value of `n`: concatenated descendant text for elements
+    /// and the document node, the content otherwise.
+    fn string_value(&self, n: NodeId) -> String {
+        match self.kind(n) {
+            NodeKind::Document | NodeKind::Element => {
+                let mut out = String::new();
+                self.collect_text(n, &mut out);
+                out
+            }
+            _ => self.value(n).unwrap_or_default(),
+        }
+    }
+
+    /// Append the concatenated text content of the subtree rooted at `n`.
+    fn collect_text(&self, n: NodeId, out: &mut String) {
+        let mut child = self.first_child(n);
+        while let Some(c) = child {
+            match self.kind(c) {
+                NodeKind::Text => {
+                    if let Some(v) = self.value(c) {
+                        out.push_str(&v);
+                    }
+                }
+                NodeKind::Element => self.collect_text(c, out),
+                _ => {}
+            }
+            child = self.next_sibling(c);
+        }
+    }
+
+    /// Name of `n` as text ("" if unnamed), i.e. the XPath `name()` result.
+    fn node_name(&self, n: NodeId) -> String {
+        self.name(n).map(|id| self.name_text(id)).unwrap_or_default()
+    }
+
+    /// Attribute of element `n` with the given interned name.
+    fn attribute_named(&self, n: NodeId, name: NameId) -> Option<NodeId> {
+        let mut a = self.first_attribute(n);
+        while let Some(att) = a {
+            if self.name(att) == Some(name) {
+                return Some(att);
+            }
+            a = self.next_sibling(att);
+        }
+        None
+    }
+
+    /// Convenience: attribute string value by textual name.
+    fn attribute_value(&self, n: NodeId, name: &str) -> Option<String> {
+        let id = self.intern_lookup(name)?;
+        self.attribute_named(n, id).and_then(|a| self.value(a))
+    }
+
+    /// True if `a` strictly precedes `b` in document order.
+    fn doc_lt(&self, a: NodeId, b: NodeId) -> bool {
+        self.order(a) < self.order(b)
+    }
+
+    /// True if `anc` is an ancestor of `n` (proper; `n` itself excluded).
+    fn is_ancestor(&self, anc: NodeId, n: NodeId) -> bool {
+        let mut cur = self.parent(n);
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Number of element nodes (used by generators/tests).
+    fn element_count(&self) -> usize {
+        (0..self.node_count() as u32)
+            .filter(|&i| self.kind(NodeId(i)) == NodeKind::Element)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::arena::ArenaBuilder;
+    use crate::store::XmlStore;
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let mut b = ArenaBuilder::new();
+        b.start_element("a");
+        b.text("x");
+        b.start_element("b");
+        b.text("y");
+        b.end_element();
+        b.text("z");
+        b.end_element();
+        let store = b.finish();
+        assert_eq!(store.string_value(store.root()), "xyz");
+    }
+
+    #[test]
+    fn attribute_value_lookup() {
+        let mut b = ArenaBuilder::new();
+        b.start_element("a");
+        b.attribute("id", "7");
+        b.attribute("k", "v");
+        b.end_element();
+        let store = b.finish();
+        let a = store.first_child(store.root()).unwrap();
+        assert_eq!(store.attribute_value(a, "k").as_deref(), Some("v"));
+        assert_eq!(store.attribute_value(a, "id").as_deref(), Some("7"));
+        assert_eq!(store.attribute_value(a, "missing"), None);
+    }
+
+    #[test]
+    fn is_ancestor_excludes_self() {
+        let mut b = ArenaBuilder::new();
+        b.start_element("a");
+        b.start_element("b");
+        b.end_element();
+        b.end_element();
+        let store = b.finish();
+        let a = store.first_child(store.root()).unwrap();
+        let bn = store.first_child(a).unwrap();
+        assert!(store.is_ancestor(a, bn));
+        assert!(store.is_ancestor(store.root(), bn));
+        assert!(!store.is_ancestor(a, a));
+        assert!(!store.is_ancestor(bn, a));
+    }
+}

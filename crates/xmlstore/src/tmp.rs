@@ -1,0 +1,57 @@
+//! Minimal self-deleting temporary files (test and example support).
+//!
+//! Kept in-tree instead of depending on an external `tempfile` crate; the
+//! disk-store tests, integration tests and examples all need scratch files.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A file path under the system temp directory, removed on drop.
+pub struct TempPath {
+    path: PathBuf,
+}
+
+impl TempPath {
+    /// Fresh unique path with the given suffix; the file is not created.
+    pub fn new(suffix: &str) -> TempPath {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "natix-{}-{}-{}{}",
+            std::process::id(),
+            n,
+            // Extra disambiguation across quick process-id reuse.
+            &format!("{:p}", &COUNTER)[2..],
+            suffix
+        ));
+        TempPath { path }
+    }
+
+    /// The path itself.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let a = TempPath::new(".bin");
+        let b = TempPath::new(".bin");
+        assert_ne!(a.path(), b.path());
+        std::fs::write(a.path(), b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+    }
+}

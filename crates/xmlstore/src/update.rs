@@ -1,0 +1,280 @@
+//! Document updates on the arena store.
+//!
+//! Natix stores documents in "recoverable, updatable form" (paper
+//! §5.2.2); the query engines in this repo only read, but the substrate
+//! supports mutation between queries:
+//!
+//! * in-place content updates (text/comment/PI content, attribute
+//!   values) — no structural change, document order untouched;
+//! * structural updates (insert element/text, remove subtree, add
+//!   attribute) — sibling links are spliced and document order is
+//!   re-derived by a single pre-order pass (O(n), simple and correct;
+//!   a gap-based scheme could amortise this, cf. ORDPATH-style labels).
+//!
+//! All `NodeId`s remain stable across updates; removed subtrees become
+//! unreachable but keep their slots (tombstones), so dense side tables
+//! keyed by `NodeId` stay valid. `node_count` keeps counting slots;
+//! reachability is what changes.
+
+use crate::arena::ArenaStore;
+use crate::node::{NodeId, NodeKind};
+use crate::store::XmlStore;
+
+/// Errors raised by update operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "update error: {}", self.message)
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, UpdateError> {
+    Err(UpdateError { message: m.into() })
+}
+
+impl ArenaStore {
+    /// Replace the content of a text, comment, PI or attribute node.
+    /// In-place: no structural or order changes.
+    pub fn set_content(&mut self, n: NodeId, content: &str) -> Result<(), UpdateError> {
+        match self.kind(n) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction
+            | NodeKind::Attribute => {
+                self.set_value_raw(n, content);
+                Ok(())
+            }
+            other => err(format!("cannot set content of a {other:?} node")),
+        }
+    }
+
+    /// Set (or add) an attribute on an element. Adding re-derives
+    /// document order; overwriting an existing attribute is in-place.
+    pub fn set_attribute(
+        &mut self,
+        element: NodeId,
+        name: &str,
+        value: &str,
+    ) -> Result<NodeId, UpdateError> {
+        if self.kind(element) != NodeKind::Element {
+            return err("attributes can only be set on elements");
+        }
+        let name_id = self.intern(name);
+        if let Some(existing) = self.attribute_named(element, name_id) {
+            self.set_value_raw(existing, value);
+            return Ok(existing);
+        }
+        let attr = self.alloc_attribute(element, name_id, value);
+        self.renumber();
+        Ok(attr)
+    }
+
+    /// Insert a new element as the last child of `parent`.
+    pub fn append_element(&mut self, parent: NodeId, name: &str) -> Result<NodeId, UpdateError> {
+        if !matches!(self.kind(parent), NodeKind::Element | NodeKind::Document) {
+            return err("children can only be appended to elements or the document");
+        }
+        if self.kind(parent) == NodeKind::Document && self.first_child(parent).is_some() {
+            return err("the document node already has a root element");
+        }
+        let name_id = self.intern(name);
+        let node = self.alloc_child(parent, NodeKind::Element, Some(name_id), None);
+        self.renumber();
+        Ok(node)
+    }
+
+    /// Insert a new text node as the last child of `parent`.
+    pub fn append_text(&mut self, parent: NodeId, content: &str) -> Result<NodeId, UpdateError> {
+        if self.kind(parent) != NodeKind::Element {
+            return err("text can only be appended to elements");
+        }
+        let node = self.alloc_child(parent, NodeKind::Text, None, Some(content));
+        self.renumber();
+        Ok(node)
+    }
+
+    /// Insert a new element immediately before `sibling`.
+    pub fn insert_element_before(
+        &mut self,
+        sibling: NodeId,
+        name: &str,
+    ) -> Result<NodeId, UpdateError> {
+        if !self.kind(sibling).is_child_kind() {
+            return err("insertion point must be on a child axis");
+        }
+        let Some(parent) = self.parent(sibling) else {
+            return err("insertion point has no parent");
+        };
+        let name_id = self.intern(name);
+        let node = self.alloc_before(parent, sibling, NodeKind::Element, Some(name_id), None);
+        self.renumber();
+        Ok(node)
+    }
+
+    /// Detach the subtree rooted at `n` (elements, text, comments, PIs).
+    /// The nodes become unreachable; their ids are not reused.
+    pub fn remove_subtree(&mut self, n: NodeId) -> Result<(), UpdateError> {
+        if !self.kind(n).is_child_kind() {
+            return err("only child-axis subtrees can be removed");
+        }
+        self.unlink(n);
+        self.renumber();
+        Ok(())
+    }
+
+    /// Remove an attribute from its element.
+    pub fn remove_attribute(&mut self, element: NodeId, name: &str) -> Result<bool, UpdateError> {
+        if self.kind(element) != NodeKind::Element {
+            return err("attributes can only be removed from elements");
+        }
+        let Some(name_id) = self.intern_lookup(name) else {
+            return Ok(false);
+        };
+        let Some(attr) = self.attribute_named(element, name_id) else {
+            return Ok(false);
+        };
+        self.unlink_attribute(element, attr);
+        self.renumber();
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::{axis_nodes, Axis};
+    use crate::parser::parse_document;
+    use crate::serialize::to_xml;
+
+    fn doc() -> ArenaStore {
+        parse_document(r#"<r><a x="1">one</a><b>two</b></r>"#).unwrap()
+    }
+
+    fn orders_valid(s: &ArenaStore) {
+        // Reachable nodes must have strictly increasing pre-order ranks.
+        let mut last = 0;
+        let mut stack = vec![s.root()];
+        while let Some(n) = stack.pop() {
+            let o = s.order(n);
+            if n != s.root() {
+                assert!(o > 0);
+            }
+            let _ = last;
+            last = o;
+            // parent < child, element < its attributes < its children
+            if let Some(p) = s.parent(n) {
+                assert!(s.order(p) < o, "parent order must precede");
+            }
+            let mut c = s.first_child(n);
+            while let Some(ch) = c {
+                stack.push(ch);
+                c = s.next_sibling(ch);
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_content_updates() {
+        let mut s = doc();
+        let r = s.first_child(s.root()).unwrap();
+        let a = s.first_child(r).unwrap();
+        let text = s.first_child(a).unwrap();
+        s.set_content(text, "uno").unwrap();
+        assert_eq!(s.string_value(a), "uno");
+        let attr = s.first_attribute(a).unwrap();
+        s.set_content(attr, "9").unwrap();
+        assert_eq!(s.attribute_value(a, "x").as_deref(), Some("9"));
+        // Elements reject content updates.
+        assert!(s.set_content(a, "nope").is_err());
+    }
+
+    #[test]
+    fn set_attribute_overwrites_or_adds() {
+        let mut s = doc();
+        let r = s.first_child(s.root()).unwrap();
+        let a = s.first_child(r).unwrap();
+        s.set_attribute(a, "x", "2").unwrap();
+        assert_eq!(s.attribute_value(a, "x").as_deref(), Some("2"));
+        s.set_attribute(a, "y", "new").unwrap();
+        assert_eq!(s.attribute_value(a, "y").as_deref(), Some("new"));
+        orders_valid(&s);
+        assert_eq!(to_xml(&s), r#"<r><a x="2" y="new">one</a><b>two</b></r>"#);
+    }
+
+    #[test]
+    fn append_and_insert_elements() {
+        let mut s = doc();
+        let r = s.first_child(s.root()).unwrap();
+        let c = s.append_element(r, "c").unwrap();
+        s.append_text(c, "three").unwrap();
+        let b = axis_nodes(&s, Axis::Child, r)[1];
+        s.insert_element_before(b, "mid").unwrap();
+        orders_valid(&s);
+        assert_eq!(
+            to_xml(&s),
+            r#"<r><a x="1">one</a><mid/><b>two</b><c>three</c></r>"#
+        );
+    }
+
+    #[test]
+    fn remove_subtree_and_attribute() {
+        let mut s = doc();
+        let r = s.first_child(s.root()).unwrap();
+        let a = s.first_child(r).unwrap();
+        s.remove_subtree(a).unwrap();
+        orders_valid(&s);
+        assert_eq!(to_xml(&s), "<r><b>two</b></r>");
+        let b = s.first_child(r).unwrap();
+        assert!(!s.remove_attribute(b, "nope").unwrap());
+        let mut s2 = doc();
+        let r2 = s2.first_child(s2.root()).unwrap();
+        let a2 = s2.first_child(r2).unwrap();
+        assert!(s2.remove_attribute(a2, "x").unwrap());
+        assert_eq!(to_xml(&s2), "<r><a>one</a><b>two</b></r>");
+    }
+
+    #[test]
+    fn queries_see_updates() {
+        let mut s = doc();
+        let r = s.first_child(s.root()).unwrap();
+        let c = s.append_element(r, "b").unwrap();
+        s.append_text(c, "again").unwrap();
+        // The axes reflect the new structure and order.
+        let bs = axis_nodes(&s, Axis::Descendant, r)
+            .into_iter()
+            .filter(|&n| s.node_name(n) == "b")
+            .count();
+        assert_eq!(bs, 2);
+        orders_valid(&s);
+    }
+
+    #[test]
+    fn document_root_constraints() {
+        let mut s = doc();
+        assert!(s.append_element(s.root(), "second-root").is_err());
+        let r = s.first_child(s.root()).unwrap();
+        assert!(s.remove_subtree(r).is_ok(), "removing the root element is allowed");
+        assert_eq!(to_xml(&s), "");
+        // Now a new root may be appended.
+        assert!(s.append_element(s.root(), "fresh").is_ok());
+        assert_eq!(to_xml(&s), "<fresh/>");
+    }
+
+    #[test]
+    fn persist_after_update_roundtrips() {
+        use crate::diskstore::DiskStore;
+        use crate::tmp::TempPath;
+        let mut s = doc();
+        let r = s.first_child(s.root()).unwrap();
+        let c = s.append_element(r, "c").unwrap();
+        s.append_text(c, "3").unwrap();
+        let t = TempPath::new(".natix");
+        let disk = DiskStore::create_from(&s, t.path(), 4).unwrap();
+        assert_eq!(to_xml(&disk), to_xml(&s));
+    }
+}

@@ -1,0 +1,423 @@
+//! Abstract syntax of XPath 1.0 expressions.
+//!
+//! The grammar follows the W3C recommendation; abbreviations (`//`, `.`,
+//! `..`, `@`, bare predicates) are expanded by the parser, so the AST only
+//! contains the unabbreviated forms.
+
+use xmlstore::Axis;
+
+/// Any XPath expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `e1 or e2`
+    Or(Box<Expr>, Box<Expr>),
+    /// `e1 and e2`
+    And(Box<Expr>, Box<Expr>),
+    /// `e1 <op> e2` for the six comparison operators.
+    Compare(CompOp, Box<Expr>, Box<Expr>),
+    /// `e1 <op> e2` for `+ - * div mod`.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `π1 | π2 | …` (flattened).
+    Union(Vec<Expr>),
+    /// A location path or general path expression.
+    Path(PathExpr),
+    /// `primary[p1][p2]…` — a filter expression with at least one predicate.
+    Filter(Box<Expr>, Vec<Predicate>),
+    /// String literal.
+    Literal(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `$name`
+    VarRef(String),
+    /// `name(arg, …)` — core library or conversion call.
+    FunctionCall(String, Vec<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CompOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompOp {
+    /// Operator as written in XPath.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "!=",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        }
+    }
+
+    /// The operator with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CompOp {
+        match self {
+            CompOp::Eq => CompOp::Eq,
+            CompOp::Ne => CompOp::Ne,
+            CompOp::Lt => CompOp::Gt,
+            CompOp::Le => CompOp::Ge,
+            CompOp::Gt => CompOp::Lt,
+            CompOp::Ge => CompOp::Le,
+        }
+    }
+
+    /// Apply to two numbers (the base semantics after conversions).
+    pub fn apply_numbers(self, a: f64, b: f64) -> bool {
+        match self {
+            CompOp::Eq => a == b,
+            CompOp::Ne => a != b,
+            CompOp::Lt => a < b,
+            CompOp::Le => a <= b,
+            CompOp::Gt => a > b,
+            CompOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl ArithOp {
+    /// Operator as written in XPath.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "div",
+            ArithOp::Mod => "mod",
+        }
+    }
+
+    /// Apply with XPath semantics (IEEE 754; `mod` is the remainder with
+    /// the sign of the dividend, like Java/C, not Euclidean).
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => a / b,
+            ArithOp::Mod => a % b,
+        }
+    }
+}
+
+/// Where a path starts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PathStart {
+    /// Absolute path: starts at `root(cn)`.
+    Root,
+    /// Relative path: starts at the context node `cn`.
+    ContextNode,
+    /// General path expression `e/π`: starts at every node of `e`.
+    Expr(Box<Expr>),
+}
+
+/// A location path (or general path expression).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathExpr {
+    /// Starting point.
+    pub start: PathStart,
+    /// The location steps, possibly empty (`/` alone selects the root).
+    pub steps: Vec<Step>,
+}
+
+/// One location step: axis, node test, predicates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub node_test: NodeTest,
+    /// Zero or more predicates, in syntactic order.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    /// Step without predicates.
+    pub fn new(axis: Axis, node_test: NodeTest) -> Step {
+        Step { axis, node_test, predicates: Vec::new() }
+    }
+}
+
+/// Node tests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeTest {
+    /// `name` — matches the principal node kind with this name.
+    Name(String),
+    /// `*` — any node of the principal kind.
+    Wildcard,
+    /// `prefix:*` — any principal-kind node whose name starts with
+    /// `prefix:` (names are kept verbatim, see xmlstore docs).
+    NsWildcard(String),
+    /// `node()`, `text()`, `comment()`, `processing-instruction(name?)`.
+    Kind(KindTest),
+}
+
+/// Node-type tests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KindTest {
+    /// `node()`
+    Node,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()` / `processing-instruction('target')`
+    Pi(Option<String>),
+}
+
+/// A predicate expression `[e]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predicate {
+    /// The bracketed expression.
+    pub expr: Expr,
+}
+
+impl Expr {
+    /// Shallow helper: is this a path (location path or `e/π`)?
+    pub fn is_path(&self) -> bool {
+        matches!(self, Expr::Path(_))
+    }
+
+    /// Walk the expression tree top-down. `enter_predicates` controls
+    /// whether the visitor descends into step/filter predicates (their
+    /// contents run under a *different* evaluation context).
+    pub fn visit(&self, enter_predicates: bool, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Or(a, b) | Expr::And(a, b) => {
+                a.visit(enter_predicates, f);
+                b.visit(enter_predicates, f);
+            }
+            Expr::Compare(_, a, b) | Expr::Arith(_, a, b) => {
+                a.visit(enter_predicates, f);
+                b.visit(enter_predicates, f);
+            }
+            Expr::Neg(a) => a.visit(enter_predicates, f),
+            Expr::Union(es) => {
+                for e in es {
+                    e.visit(enter_predicates, f);
+                }
+            }
+            Expr::Path(p) => {
+                if let PathStart::Expr(e) = &p.start {
+                    e.visit(enter_predicates, f);
+                }
+                if enter_predicates {
+                    for s in &p.steps {
+                        for pr in &s.predicates {
+                            pr.expr.visit(enter_predicates, f);
+                        }
+                    }
+                }
+            }
+            Expr::Filter(e, preds) => {
+                e.visit(enter_predicates, f);
+                if enter_predicates {
+                    for pr in preds {
+                        pr.expr.visit(enter_predicates, f);
+                    }
+                }
+            }
+            Expr::FunctionCall(_, args) => {
+                for a in args {
+                    a.visit(enter_predicates, f);
+                }
+            }
+            Expr::Literal(_) | Expr::Number(_) | Expr::VarRef(_) => {}
+        }
+    }
+
+    /// Does this expression (in the *current* context — predicates of
+    /// nested paths excluded) call one of the given functions?
+    pub fn calls_any(&self, names: &[&str]) -> bool {
+        let mut found = false;
+        self.visit(false, &mut |e| {
+            if let Expr::FunctionCall(n, _) = e {
+                if names.contains(&n.as_str()) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Does this expression contain a path sub-expression evaluated in the
+    /// current context (i.e. outside any predicate)?
+    pub fn contains_path(&self) -> bool {
+        let mut found = false;
+        self.visit(false, &mut |e| {
+            if e.is_path() {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Render an expression back to XPath-like syntax (diagnostics, plan
+/// explanations, tests).
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Compare(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+            Expr::Union(es) => {
+                let parts: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+                write!(f, "({})", parts.join(" | "))
+            }
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Filter(e, preds) => {
+                write!(f, "({e})")?;
+                for p in preds {
+                    write!(f, "[{}]", p.expr)?;
+                }
+                Ok(())
+            }
+            Expr::Literal(s) => write!(f, "'{s}'"),
+            Expr::Number(n) => write!(f, "{n}"),
+            Expr::VarRef(v) => write!(f, "${v}"),
+            Expr::FunctionCall(n, args) => {
+                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{n}({})", parts.join(", "))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.start {
+            PathStart::Root => write!(f, "/")?,
+            PathStart::ContextNode => {}
+            PathStart::Expr(e) => write!(f, "{e}/")?,
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}::{}", self.axis, self.node_test)?;
+        for p in &self.predicates {
+            write!(f, "[{}]", p.expr)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Wildcard => write!(f, "*"),
+            NodeTest::NsWildcard(p) => write!(f, "{p}:*"),
+            NodeTest::Kind(KindTest::Node) => write!(f, "node()"),
+            NodeTest::Kind(KindTest::Text) => write!(f, "text()"),
+            NodeTest::Kind(KindTest::Comment) => write!(f, "comment()"),
+            NodeTest::Kind(KindTest::Pi(None)) => write!(f, "processing-instruction()"),
+            NodeTest::Kind(KindTest::Pi(Some(t))) => {
+                write!(f, "processing-instruction('{t}')")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let e = Expr::Path(PathExpr {
+            start: PathStart::Root,
+            steps: vec![
+                Step::new(Axis::Child, NodeTest::Name("a".into())),
+                Step {
+                    axis: Axis::Descendant,
+                    node_test: NodeTest::Wildcard,
+                    predicates: vec![Predicate {
+                        expr: Expr::FunctionCall("position".into(), vec![]),
+                    }],
+                },
+            ],
+        });
+        assert_eq!(e.to_string(), "/child::a/descendant::*[position()]");
+    }
+
+    #[test]
+    fn calls_any_ignores_nested_predicates() {
+        // position() only occurs inside a nested step predicate.
+        let inner = Expr::Path(PathExpr {
+            start: PathStart::ContextNode,
+            steps: vec![Step {
+                axis: Axis::Child,
+                node_test: NodeTest::Name("x".into()),
+                predicates: vec![Predicate {
+                    expr: Expr::FunctionCall("position".into(), vec![]),
+                }],
+            }],
+        });
+        assert!(!inner.calls_any(&["position"]));
+        // ...but a top-level call is seen.
+        let top = Expr::And(
+            Box::new(inner),
+            Box::new(Expr::FunctionCall("last".into(), vec![])),
+        );
+        assert!(top.calls_any(&["last"]));
+        assert!(!top.calls_any(&["position"]));
+    }
+
+    #[test]
+    fn contains_path_sees_paths_not_in_predicates() {
+        let p = Expr::Path(PathExpr { start: PathStart::ContextNode, steps: vec![] });
+        assert!(p.contains_path());
+        assert!(!Expr::Number(1.0).contains_path());
+        let call = Expr::FunctionCall("count".into(), vec![p]);
+        assert!(call.contains_path());
+    }
+
+    #[test]
+    fn comp_op_flip() {
+        assert_eq!(CompOp::Lt.flip(), CompOp::Gt);
+        assert_eq!(CompOp::Le.flip(), CompOp::Ge);
+        assert_eq!(CompOp::Eq.flip(), CompOp::Eq);
+        assert!(CompOp::Le.apply_numbers(2.0, 2.0));
+        assert!(!CompOp::Lt.apply_numbers(2.0, 2.0));
+    }
+
+    #[test]
+    fn arith_mod_sign_follows_dividend() {
+        assert_eq!(ArithOp::Mod.apply(5.0, 2.0), 1.0);
+        assert_eq!(ArithOp::Mod.apply(5.0, -2.0), 1.0);
+        assert_eq!(ArithOp::Mod.apply(-5.0, 2.0), -1.0);
+        assert_eq!(ArithOp::Mod.apply(4.0, 2.0), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Rewrite phase (compiler phase 4, paper §5.1): constant folding.
+//!
+//! Pure scalar operators and functions with constant arguments are
+//! evaluated at compile time using the shared value semantics of
+//! [`crate::xvalue`], so both engines execute pre-folded plans.
+
+use crate::ast::{CompOp, Expr, PathStart, Predicate};
+use crate::xvalue;
+
+/// A compile-time constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Const {
+    /// Boolean constant.
+    Bool(bool),
+    /// Numeric constant.
+    Num(f64),
+    /// String constant.
+    Str(String),
+}
+
+impl Const {
+    fn to_expr(&self) -> Expr {
+        match self {
+            Const::Bool(true) => Expr::FunctionCall("true".into(), vec![]),
+            Const::Bool(false) => Expr::FunctionCall("false".into(), vec![]),
+            Const::Num(n) => {
+                if *n < 0.0 && !n.is_nan() {
+                    Expr::Neg(Box::new(Expr::Number(-*n)))
+                } else {
+                    Expr::Number(*n)
+                }
+            }
+            Const::Str(s) => Expr::Literal(s.clone()),
+        }
+    }
+
+    fn as_bool(&self) -> bool {
+        match self {
+            Const::Bool(b) => *b,
+            Const::Num(n) => xvalue::number_to_boolean(*n),
+            Const::Str(s) => xvalue::string_to_boolean(s),
+        }
+    }
+
+    fn as_num(&self) -> f64 {
+        match self {
+            Const::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Const::Num(n) => *n,
+            Const::Str(s) => xvalue::string_to_number(s),
+        }
+    }
+
+    fn as_str(&self) -> String {
+        match self {
+            Const::Bool(b) => if *b { "true" } else { "false" }.to_owned(),
+            Const::Num(n) => xvalue::number_to_string(*n),
+            Const::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// Extract the constant value of an expression, if it is one.
+pub fn as_const(e: &Expr) -> Option<Const> {
+    match e {
+        Expr::Number(n) => Some(Const::Num(*n)),
+        Expr::Literal(s) => Some(Const::Str(s.clone())),
+        Expr::Neg(inner) => as_const(inner).map(|c| Const::Num(-c.as_num())),
+        Expr::FunctionCall(name, args) if args.is_empty() => match name.as_str() {
+            "true" => Some(Const::Bool(true)),
+            "false" => Some(Const::Bool(false)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Fold constants bottom-up. Idempotent.
+pub fn fold(e: Expr) -> Expr {
+    match e {
+        Expr::Or(a, b) => {
+            let a = fold(*a);
+            let b = fold(*b);
+            match (as_const(&a), as_const(&b)) {
+                (Some(ca), Some(cb)) => Const::Bool(ca.as_bool() || cb.as_bool()).to_expr(),
+                // `true or e` folds even with non-constant e only when e is
+                // side-effect free — which all XPath expressions are.
+                (Some(ca), None) if ca.as_bool() => Const::Bool(true).to_expr(),
+                (Some(ca), None) if !ca.as_bool() => b,
+                (None, Some(cb)) if !cb.as_bool() => a,
+                _ => Expr::Or(Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::And(a, b) => {
+            let a = fold(*a);
+            let b = fold(*b);
+            match (as_const(&a), as_const(&b)) {
+                (Some(ca), Some(cb)) => Const::Bool(ca.as_bool() && cb.as_bool()).to_expr(),
+                (Some(ca), None) if !ca.as_bool() => Const::Bool(false).to_expr(),
+                (Some(ca), None) if ca.as_bool() => b,
+                (None, Some(cb)) if cb.as_bool() => a,
+                _ => Expr::And(Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Compare(op, a, b) => {
+            let a = fold(*a);
+            let b = fold(*b);
+            match (as_const(&a), as_const(&b)) {
+                (Some(ca), Some(cb)) => {
+                    let v = match op {
+                        CompOp::Eq | CompOp::Ne => {
+                            let eq = match (&ca, &cb) {
+                                (Const::Bool(_), _) | (_, Const::Bool(_)) => {
+                                    ca.as_bool() == cb.as_bool()
+                                }
+                                (Const::Num(_), _) | (_, Const::Num(_)) => {
+                                    ca.as_num() == cb.as_num()
+                                }
+                                _ => ca.as_str() == cb.as_str(),
+                            };
+                            if op == CompOp::Eq {
+                                eq
+                            } else {
+                                !eq
+                            }
+                        }
+                        _ => op.apply_numbers(ca.as_num(), cb.as_num()),
+                    };
+                    Const::Bool(v).to_expr()
+                }
+                _ => Expr::Compare(op, Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Arith(op, a, b) => {
+            let a = fold(*a);
+            let b = fold(*b);
+            match (as_const(&a), as_const(&b)) {
+                (Some(ca), Some(cb)) => Const::Num(op.apply(ca.as_num(), cb.as_num())).to_expr(),
+                _ => Expr::Arith(op, Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Neg(a) => {
+            let a = fold(*a);
+            match as_const(&a) {
+                Some(c) => Const::Num(-c.as_num()).to_expr(),
+                None => Expr::Neg(Box::new(a)),
+            }
+        }
+        Expr::Union(parts) => Expr::Union(parts.into_iter().map(fold).collect()),
+        Expr::Path(mut p) => {
+            if let PathStart::Expr(e) = p.start {
+                p.start = PathStart::Expr(Box::new(fold(*e)));
+            }
+            for s in &mut p.steps {
+                for pred in &mut s.predicates {
+                    pred.expr = fold(std::mem::replace(&mut pred.expr, Expr::Number(0.0)));
+                }
+            }
+            Expr::Path(p)
+        }
+        Expr::Filter(inner, preds) => Expr::Filter(
+            Box::new(fold(*inner)),
+            preds
+                .into_iter()
+                .map(|p| Predicate { expr: fold(p.expr) })
+                .collect(),
+        ),
+        Expr::FunctionCall(name, args) => {
+            let args: Vec<Expr> = args.into_iter().map(fold).collect();
+            fold_call(name, args)
+        }
+        lit => lit,
+    }
+}
+
+fn fold_call(name: String, args: Vec<Expr>) -> Expr {
+    let consts: Option<Vec<Const>> = args.iter().map(as_const).collect();
+    if let Some(c) = consts {
+        let folded = match (name.as_str(), c.as_slice()) {
+            ("boolean", [x]) => Some(Const::Bool(x.as_bool())),
+            ("not", [x]) => Some(Const::Bool(!x.as_bool())),
+            ("number", [x]) => Some(Const::Num(x.as_num())),
+            ("string", [x]) => Some(Const::Str(x.as_str())),
+            ("floor", [x]) => Some(Const::Num(x.as_num().floor())),
+            ("ceiling", [x]) => Some(Const::Num(x.as_num().ceil())),
+            ("round", [x]) => Some(Const::Num(xvalue::xpath_round(x.as_num()))),
+            ("string-length", [x]) => Some(Const::Num(xvalue::string_length(&x.as_str()))),
+            ("normalize-space", [x]) => Some(Const::Str(xvalue::normalize_space(&x.as_str()))),
+            ("contains", [a, b]) => Some(Const::Bool(a.as_str().contains(&b.as_str()))),
+            ("starts-with", [a, b]) => Some(Const::Bool(a.as_str().starts_with(&b.as_str()))),
+            ("substring-before", [a, b]) => {
+                Some(Const::Str(xvalue::substring_before(&a.as_str(), &b.as_str())))
+            }
+            ("substring-after", [a, b]) => {
+                Some(Const::Str(xvalue::substring_after(&a.as_str(), &b.as_str())))
+            }
+            ("substring", [s, p]) => {
+                Some(Const::Str(xvalue::xpath_substring(&s.as_str(), p.as_num(), None)))
+            }
+            ("substring", [s, p, l]) => Some(Const::Str(xvalue::xpath_substring(
+                &s.as_str(),
+                p.as_num(),
+                Some(l.as_num()),
+            ))),
+            ("translate", [s, f, t]) => {
+                Some(Const::Str(xvalue::translate(&s.as_str(), &f.as_str(), &t.as_str())))
+            }
+            ("concat", parts) if parts.len() >= 2 => {
+                Some(Const::Str(parts.iter().map(|p| p.as_str()).collect()))
+            }
+            _ => None,
+        };
+        if let Some(c) = folded {
+            return c.to_expr();
+        }
+    }
+    Expr::FunctionCall(name, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::semantic::analyze;
+
+    fn f(src: &str) -> String {
+        fold(analyze(parse(src).unwrap()).unwrap()).to_string()
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        assert_eq!(f("1 + 2 * 3"), "7");
+        assert_eq!(f("10 div 4"), "2.5");
+        assert_eq!(f("7 mod 3"), "1");
+        assert_eq!(f("-(3 + 4)"), "(-7)");
+        assert_eq!(f("last() - 10 + 0 * 3"), "((last() - 10) + 0)");
+    }
+
+    #[test]
+    fn comparisons_fold() {
+        assert_eq!(f("1 < 2"), "true()");
+        assert_eq!(f("'a' = 'b'"), "false()");
+        assert_eq!(f("2 = '2'"), "true()");
+        assert_eq!(f("true() = 'x'"), "true()");
+    }
+
+    #[test]
+    fn boolean_logic_folds_and_short_circuits() {
+        assert_eq!(f("true() and false()"), "false()");
+        assert_eq!(f("1 or 0"), "true()");
+        // constant-true absorbs the other operand
+        assert_eq!(f("true() or a"), "true()");
+        assert_eq!(f("false() and a"), "false()");
+        // constant-identity drops out
+        assert_eq!(f("true() and (a = 'x')"), "(child::a = 'x')");
+        assert_eq!(f("false() or (a = 'x')"), "(child::a = 'x')");
+    }
+
+    #[test]
+    fn string_functions_fold() {
+        assert_eq!(f("concat('a', 'b', 'c')"), "'abc'");
+        assert_eq!(f("contains('hello', 'ell')"), "true()");
+        assert_eq!(f("substring('12345', 2, 3)"), "'234'");
+        assert_eq!(f("translate('bar', 'abc', 'ABC')"), "'BAr'");
+        assert_eq!(f("string-length('abc')"), "3");
+        assert_eq!(f("normalize-space('  a  b ')"), "'a b'");
+    }
+
+    #[test]
+    fn conversions_fold() {
+        assert_eq!(f("number('3.5')"), "3.5");
+        assert_eq!(f("boolean(0)"), "false()");
+        assert_eq!(f("string(42)"), "'42'");
+        assert_eq!(f("floor(3.7)"), "3");
+        assert_eq!(f("ceiling(3.2)"), "4");
+        assert_eq!(f("round(2.5)"), "3");
+    }
+
+    #[test]
+    fn non_constants_left_alone() {
+        assert_eq!(f("a + 1"), "(number(child::a) + 1)");
+        assert_eq!(f("position() = 1"), "(position() = 1)");
+        assert_eq!(f("count(a)"), "count(child::a)");
+    }
+
+    #[test]
+    fn folds_inside_predicates() {
+        assert_eq!(f("a[1 + 1]"), "child::a[(position() = 2)]");
+        assert_eq!(f("a[@x = concat('y', 'z')]"), "child::a[(attribute::x = 'yz')]");
+    }
+
+    #[test]
+    fn idempotent() {
+        for src in ["1+2", "a[1+1]", "concat('a','b')", "a and true()"] {
+            let once = fold(analyze(parse(src).unwrap()).unwrap());
+            let twice = fold(once.clone());
+            assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn nan_comparisons() {
+        assert_eq!(f("number('x') = number('x')"), "false()", "NaN != NaN");
+        assert_eq!(f("number('x') < 1"), "false()");
+    }
+}

@@ -1,0 +1,156 @@
+//! The XPath 1.0 core function library: signatures used by semantic
+//! analysis (arity checking, implicit-conversion insertion) and by both
+//! execution engines.
+
+/// The four XPath 1.0 value types plus `Any` for polymorphic parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum XPathType {
+    /// Node-set (tuple sequence in the algebra).
+    NodeSet,
+    /// Boolean.
+    Boolean,
+    /// IEEE-754 double.
+    Number,
+    /// Unicode string.
+    String,
+    /// Parameter accepts any type (conversion is function-specific).
+    Any,
+}
+
+/// A function signature.
+#[derive(Clone, Debug)]
+pub struct Signature {
+    /// Function name as written in queries.
+    pub name: &'static str,
+    /// Minimum argument count.
+    pub min_args: usize,
+    /// Maximum argument count (`usize::MAX` = variadic).
+    pub max_args: usize,
+    /// Parameter types; the last entry repeats for variadic functions.
+    pub params: &'static [XPathType],
+    /// Result type.
+    pub result: XPathType,
+    /// True if the function's value depends on the context node even with
+    /// zero arguments (e.g. `string()`, `name()`), i.e. a missing argument
+    /// defaults to the context node.
+    pub context_default: bool,
+    /// True if the function reads context position/size.
+    pub positional: bool,
+}
+
+use XPathType::*;
+
+/// All 27 core functions, plus the internal `exists` aggregate the
+/// translation introduces for node-set-to-boolean conversion (paper §3.3.2
+/// and §3.6.2).
+pub static SIGNATURES: &[Signature] = &[
+    // Node-set functions
+    sig("last", 0, 0, &[], Number, false, true),
+    sig("position", 0, 0, &[], Number, false, true),
+    sig("count", 1, 1, &[NodeSet], Number, false, false),
+    sig("id", 1, 1, &[Any], NodeSet, false, false),
+    sig("local-name", 0, 1, &[NodeSet], String, true, false),
+    sig("namespace-uri", 0, 1, &[NodeSet], String, true, false),
+    sig("name", 0, 1, &[NodeSet], String, true, false),
+    // String functions
+    sig("string", 0, 1, &[Any], String, true, false),
+    sig("concat", 2, usize::MAX, &[String], String, false, false),
+    sig("starts-with", 2, 2, &[String, String], Boolean, false, false),
+    sig("contains", 2, 2, &[String, String], Boolean, false, false),
+    sig("substring-before", 2, 2, &[String, String], String, false, false),
+    sig("substring-after", 2, 2, &[String, String], String, false, false),
+    sig("substring", 2, 3, &[String, Number, Number], String, false, false),
+    sig("string-length", 0, 1, &[String], Number, true, false),
+    sig("normalize-space", 0, 1, &[String], String, true, false),
+    sig("translate", 3, 3, &[String, String, String], String, false, false),
+    // Boolean functions
+    sig("boolean", 1, 1, &[Any], Boolean, false, false),
+    sig("not", 1, 1, &[Boolean], Boolean, false, false),
+    sig("true", 0, 0, &[], Boolean, false, false),
+    sig("false", 0, 0, &[], Boolean, false, false),
+    sig("lang", 1, 1, &[String], Boolean, false, false),
+    // Number functions
+    sig("number", 0, 1, &[Any], Number, true, false),
+    sig("sum", 1, 1, &[NodeSet], Number, false, false),
+    sig("floor", 1, 1, &[Number], Number, false, false),
+    sig("ceiling", 1, 1, &[Number], Number, false, false),
+    sig("round", 1, 1, &[Number], Number, false, false),
+    // Internal: node-set existence aggregate (introduced by translation).
+    sig("exists", 1, 1, &[NodeSet], Boolean, false, false),
+];
+
+const fn sig(
+    name: &'static str,
+    min_args: usize,
+    max_args: usize,
+    params: &'static [XPathType],
+    result: XPathType,
+    context_default: bool,
+    positional: bool,
+) -> Signature {
+    Signature { name, min_args, max_args, params, result, context_default, positional }
+}
+
+/// Look up a function signature by name.
+pub fn lookup(name: &str) -> Option<&'static Signature> {
+    SIGNATURES.iter().find(|s| s.name == name)
+}
+
+/// Parameter type at position `i` (repeats the last for variadics).
+pub fn param_type(sig: &Signature, i: usize) -> XPathType {
+    if sig.params.is_empty() {
+        Any
+    } else {
+        *sig.params.get(i).unwrap_or(sig.params.last().expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_library_complete() {
+        // XPath 1.0 defines 27 core functions.
+        let core: Vec<&str> = SIGNATURES
+            .iter()
+            .map(|s| s.name)
+            .filter(|&n| n != "exists")
+            .collect();
+        assert_eq!(core.len(), 27);
+        for f in [
+            "last", "position", "count", "id", "local-name", "namespace-uri", "name", "string",
+            "concat", "starts-with", "contains", "substring-before", "substring-after",
+            "substring", "string-length", "normalize-space", "translate", "boolean", "not",
+            "true", "false", "lang", "number", "sum", "floor", "ceiling", "round",
+        ] {
+            assert!(lookup(f).is_some(), "{f} missing");
+        }
+    }
+
+    #[test]
+    fn arity_data() {
+        let c = lookup("concat").unwrap();
+        assert_eq!(c.min_args, 2);
+        assert_eq!(c.max_args, usize::MAX);
+        assert_eq!(param_type(c, 7), XPathType::String);
+        let s = lookup("substring").unwrap();
+        assert_eq!((s.min_args, s.max_args), (2, 3));
+        assert!(lookup("nonsense").is_none());
+    }
+
+    #[test]
+    fn positional_flags() {
+        assert!(lookup("position").unwrap().positional);
+        assert!(lookup("last").unwrap().positional);
+        assert!(!lookup("count").unwrap().positional);
+    }
+
+    #[test]
+    fn context_default_flags() {
+        for f in ["string", "number", "string-length", "normalize-space", "name", "local-name"] {
+            assert!(lookup(f).unwrap().context_default, "{f}");
+        }
+        assert!(!lookup("boolean").unwrap().context_default);
+    }
+}

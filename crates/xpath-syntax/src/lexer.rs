@@ -1,0 +1,541 @@
+//! XPath 1.0 tokenizer, including the disambiguation rules of W3C §3.7:
+//!
+//! * if the preceding token is an expression-ending token, `*` is the
+//!   multiply operator and `and`/`or`/`div`/`mod` are operator names;
+//! * an NCName followed by `(` is a function name or node-type test;
+//! * an NCName followed by `::` is an axis name.
+
+use std::fmt;
+
+/// A token with its source offset (bytes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: Tok,
+    /// Byte offset in the query string (for error messages).
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes removed).
+    Literal(String),
+    /// QName or NCName used as a name (element/function/axis name).
+    Name(String),
+    /// `name(` where the lexer has established the name is followed by `(`
+    /// (function call or node-type test). The `(` is *not* consumed.
+    FuncName(String),
+    /// Axis name followed by `::` (the `::` is *not* consumed).
+    AxisName(String),
+    /// `$qname`
+    Var(String),
+    /// `prefix:*`
+    NsWildcard(String),
+    Slash,
+    DoubleSlash,
+    Pipe,
+    Plus,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Star,
+    Multiply,
+    And,
+    Or,
+    Div,
+    Mod,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Dot,
+    DotDot,
+    At,
+    Comma,
+    ColonColon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Literal(s) => write!(f, "'{s}'"),
+            Tok::Name(s) | Tok::FuncName(s) | Tok::AxisName(s) => write!(f, "{s}"),
+            Tok::Var(s) => write!(f, "${s}"),
+            Tok::NsWildcard(p) => write!(f, "{p}:*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::DoubleSlash => write!(f, "//"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Star | Tok::Multiply => write!(f, "*"),
+            Tok::And => write!(f, "and"),
+            Tok::Or => write!(f, "or"),
+            Tok::Div => write!(f, "div"),
+            Tok::Mod => write!(f, "mod"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::At => write!(f, "@"),
+            Tok::Comma => write!(f, ","),
+            Tok::ColonColon => write!(f, "::"),
+        }
+    }
+}
+
+/// Lexical error with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// Byte offset in the query string.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexical error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ncname_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ncname_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// True if `t` can end an expression — the condition under which the
+/// following `*` / `and` / `or` / `div` / `mod` are operators.
+fn ends_expression(t: &Tok) -> bool {
+    matches!(
+        t,
+        Tok::Number(_)
+            | Tok::Literal(_)
+            | Tok::Name(_)
+            | Tok::NsWildcard(_)
+            | Tok::Var(_)
+            | Tok::RParen
+            | Tok::RBracket
+            | Tok::Dot
+            | Tok::DotDot
+            | Tok::Star
+    )
+}
+
+/// Tokenize a complete XPath expression.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = input.chars().collect();
+    // Byte offsets per char index for error reporting.
+    let mut offsets = Vec::with_capacity(chars.len() + 1);
+    {
+        let mut off = 0;
+        for c in &chars {
+            offsets.push(off);
+            off += c.len_utf8();
+        }
+        offsets.push(off);
+    }
+    let mut i = 0usize;
+    let mut out: Vec<Token> = Vec::new();
+    let mut prev: Option<Tok> = None;
+
+    macro_rules! push {
+        ($kind:expr, $at:expr) => {{
+            let k = $kind;
+            prev = Some(k.clone());
+            out.push(Token { kind: k, offset: offsets[$at] });
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                push!(Tok::LParen, start);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, start);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket, start);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket, start);
+                i += 1;
+            }
+            '@' => {
+                push!(Tok::At, start);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, start);
+                i += 1;
+            }
+            '|' => {
+                push!(Tok::Pipe, start);
+                i += 1;
+            }
+            '+' => {
+                push!(Tok::Plus, start);
+                i += 1;
+            }
+            '-' => {
+                push!(Tok::Minus, start);
+                i += 1;
+            }
+            '=' => {
+                push!(Tok::Eq, start);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ne, start);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "`!` must be followed by `=`".into(),
+                        offset: offsets[start],
+                    });
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Le, start);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt, start);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ge, start);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt, start);
+                    i += 1;
+                }
+            }
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    push!(Tok::DoubleSlash, start);
+                    i += 2;
+                } else {
+                    push!(Tok::Slash, start);
+                    i += 1;
+                }
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&':') {
+                    push!(Tok::ColonColon, start);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "stray `:` (names with prefixes are lexed as one token)"
+                            .into(),
+                        offset: offsets[start],
+                    });
+                }
+            }
+            '*' => {
+                // Disambiguation: after an expression-ending token `*` is
+                // the multiply operator, otherwise a wildcard name test.
+                let kind = if prev.as_ref().is_some_and(ends_expression) {
+                    Tok::Multiply
+                } else {
+                    Tok::Star
+                };
+                push!(kind, start);
+                i += 1;
+            }
+            '.' => {
+                if chars.get(i + 1) == Some(&'.') {
+                    push!(Tok::DotDot, start);
+                    i += 2;
+                } else if chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    // .5 style number
+                    let mut j = i + 1;
+                    while chars.get(j).is_some_and(|c| c.is_ascii_digit()) {
+                        j += 1;
+                    }
+                    let text: String = chars[i..j].iter().collect();
+                    let n: f64 = text.parse().expect("digits parse");
+                    push!(Tok::Number(n), start);
+                    i = j;
+                } else {
+                    push!(Tok::Dot, start);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while chars.get(j).is_some_and(|c| c.is_ascii_digit()) {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'.') {
+                    j += 1;
+                    while chars.get(j).is_some_and(|c| c.is_ascii_digit()) {
+                        j += 1;
+                    }
+                }
+                let text: String = chars[i..j].iter().collect();
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    message: format!("bad number `{text}`"),
+                    offset: offsets[start],
+                })?;
+                push!(Tok::Number(n), start);
+                i = j;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != quote {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset: offsets[start],
+                    });
+                }
+                let text: String = chars[i + 1..j].iter().collect();
+                push!(Tok::Literal(text), start);
+                i = j + 1;
+            }
+            '$' => {
+                i += 1;
+                if !chars.get(i).copied().is_some_and(is_ncname_start) {
+                    return Err(LexError {
+                        message: "expected variable name after `$`".into(),
+                        offset: offsets[start],
+                    });
+                }
+                let mut j = i;
+                while chars.get(j).copied().is_some_and(is_ncname_char) {
+                    j += 1;
+                }
+                // Optional prefix:local
+                if chars.get(j) == Some(&':')
+                    && chars.get(j + 1).copied().is_some_and(is_ncname_start)
+                {
+                    j += 1;
+                    while chars.get(j).copied().is_some_and(is_ncname_char) {
+                        j += 1;
+                    }
+                }
+                let text: String = chars[i..j].iter().collect();
+                push!(Tok::Var(text), start);
+                i = j;
+            }
+            c if is_ncname_start(c) => {
+                let mut j = i;
+                while chars.get(j).copied().is_some_and(is_ncname_char) {
+                    j += 1;
+                }
+                // QName / prefix:* handling. A single ':' joins two NCNames;
+                // '::' is the axis separator and is left alone.
+                let mut text: String = chars[i..j].iter().collect();
+                if chars.get(j) == Some(&':') && chars.get(j + 1) != Some(&':') {
+                    if chars.get(j + 1) == Some(&'*') {
+                        push!(Tok::NsWildcard(text), start);
+                        i = j + 2;
+                        continue;
+                    }
+                    if chars.get(j + 1).copied().is_some_and(is_ncname_start) {
+                        let mut k = j + 1;
+                        while chars.get(k).copied().is_some_and(is_ncname_char) {
+                            k += 1;
+                        }
+                        text.push(':');
+                        text.extend(&chars[j + 1..k]);
+                        j = k;
+                    }
+                }
+                // Operator-name disambiguation.
+                if prev.as_ref().is_some_and(ends_expression) {
+                    let op = match text.as_str() {
+                        "and" => Some(Tok::And),
+                        "or" => Some(Tok::Or),
+                        "div" => Some(Tok::Div),
+                        "mod" => Some(Tok::Mod),
+                        _ => None,
+                    };
+                    if let Some(op) = op {
+                        push!(op, start);
+                        i = j;
+                        continue;
+                    }
+                }
+                // Look ahead (skipping whitespace) for `(` or `::`.
+                let mut k = j;
+                while chars.get(k).is_some_and(|c| c.is_whitespace()) {
+                    k += 1;
+                }
+                let kind = if chars.get(k) == Some(&'(') {
+                    Tok::FuncName(text)
+                } else if chars.get(k) == Some(&':') && chars.get(k + 1) == Some(&':') {
+                    Tok::AxisName(text)
+                } else {
+                    Tok::Name(text)
+                };
+                push!(kind, start);
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: offsets[start],
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_path() {
+        assert_eq!(
+            kinds("/child::a/b"),
+            vec![
+                Tok::Slash,
+                Tok::AxisName("child".into()),
+                Tok::ColonColon,
+                Tok::Name("a".into()),
+                Tok::Slash,
+                Tok::Name("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // nametest * after '/' vs multiply after a name.
+        assert_eq!(kinds("a * b")[1], Tok::Multiply);
+        assert_eq!(kinds("/*")[1], Tok::Star);
+        assert_eq!(kinds("4 * 4")[1], Tok::Multiply);
+        assert_eq!(kinds("a/*")[2], Tok::Star);
+        assert_eq!(kinds("@*")[1], Tok::Star);
+        assert_eq!(kinds("(a) * 2")[3], Tok::Multiply);
+    }
+
+    #[test]
+    fn operator_name_disambiguation() {
+        // `and` after a name is the operator; at the start it is a name.
+        assert_eq!(kinds("a and b")[1], Tok::And);
+        assert_eq!(kinds("and")[0], Tok::Name("and".into()));
+        assert_eq!(kinds("div div div")[1], Tok::Div);
+        assert_eq!(kinds("mod mod mod")[0], Tok::Name("mod".into()));
+        assert_eq!(kinds("a or or")[1], Tok::Or);
+    }
+
+    #[test]
+    fn function_vs_nodetype_names() {
+        assert_eq!(kinds("count(a)")[0], Tok::FuncName("count".into()));
+        assert_eq!(kinds("text()")[0], Tok::FuncName("text".into()));
+        // With whitespace before the paren.
+        assert_eq!(kinds("count (a)")[0], Tok::FuncName("count".into()));
+    }
+
+    #[test]
+    fn numbers_and_literals() {
+        assert_eq!(kinds("2.75")[0], Tok::Number(2.75));
+        assert_eq!(kinds(".5")[0], Tok::Number(0.5));
+        assert_eq!(kinds("5.")[0], Tok::Number(5.0));
+        assert_eq!(kinds("'it'")[0], Tok::Literal("it".into()));
+        assert_eq!(kinds("\"dq\"")[0], Tok::Literal("dq".into()));
+    }
+
+    #[test]
+    fn variables() {
+        assert_eq!(kinds("$x + $ns:y")[0], Tok::Var("x".into()));
+        assert_eq!(kinds("$x + $ns:y")[2], Tok::Var("ns:y".into()));
+    }
+
+    #[test]
+    fn qnames_and_ns_wildcards() {
+        assert_eq!(kinds("ns:local")[0], Tok::Name("ns:local".into()));
+        assert_eq!(kinds("ns:*")[0], Tok::NsWildcard("ns".into()));
+        // `a::b` keeps `a` as an axis name.
+        assert_eq!(kinds("ancestor::b")[0], Tok::AxisName("ancestor".into()));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a<=b!=c>=d<e>f"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::Le,
+                Tok::Name("b".into()),
+                Tok::Ne,
+                Tok::Name("c".into()),
+                Tok::Ge,
+                Tok::Name("d".into()),
+                Tok::Lt,
+                Tok::Name("e".into()),
+                Tok::Gt,
+                Tok::Name("f".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("#").is_err());
+        let err = tokenize("abc #").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn double_slash_and_abbreviations() {
+        assert_eq!(
+            kinds("//a/..//."),
+            vec![
+                Tok::DoubleSlash,
+                Tok::Name("a".into()),
+                Tok::Slash,
+                Tok::DotDot,
+                Tok::DoubleSlash,
+                Tok::Dot
+            ]
+        );
+    }
+}

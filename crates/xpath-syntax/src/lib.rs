@@ -1,0 +1,78 @@
+//! XPath 1.0 front-end: lexer, parser, AST, semantic analysis,
+//! normalization and constant folding.
+//!
+//! These are phases 1–4 of the paper's six-phase compiler (§5.1):
+//! parsing → normalization → semantic analysis → rewrite. The output of
+//! [`frontend`] is a conversion-explicit, constant-folded AST ready for
+//! translation into the algebra (the `compiler` crate).
+
+pub mod ast;
+pub mod fold;
+pub mod functions;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod semantic;
+pub mod xvalue;
+
+pub use ast::{ArithOp, CompOp, Expr, KindTest, NodeTest, PathExpr, PathStart, Predicate, Step};
+pub use functions::XPathType;
+pub use normalize::{normalize_predicate, Clause, NormPredicate};
+pub use parser::{parse, ParseError};
+pub use semantic::{analyze, static_type, SemanticError};
+
+/// Front-end error: parse or semantic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrontendError {
+    /// Lexical/syntactic error.
+    Parse(ParseError),
+    /// Typing/arity error.
+    Semantic(SemanticError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "{e}"),
+            FrontendError::Semantic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<SemanticError> for FrontendError {
+    fn from(e: SemanticError) -> Self {
+        FrontendError::Semantic(e)
+    }
+}
+
+/// Run the complete front-end: parse, analyze, fold.
+pub fn frontend(query: &str) -> Result<Expr, FrontendError> {
+    let ast = parse(query)?;
+    let typed = analyze(ast)?;
+    Ok(fold::fold(typed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_pipeline() {
+        let e = frontend("/a/b[1 + 1]").unwrap();
+        assert_eq!(e.to_string(), "/child::a/child::b[(position() = 2)]");
+    }
+
+    #[test]
+    fn frontend_errors_propagate() {
+        assert!(matches!(frontend("///"), Err(FrontendError::Parse(_))));
+        assert!(matches!(frontend("bogus()"), Err(FrontendError::Semantic(_))));
+    }
+}

@@ -1,0 +1,210 @@
+//! Normalization (compiler phase 2/4 interplay, paper §3.3 and §4.3.2):
+//! predicates are decomposed into conjunctions of clauses, and each clause
+//! is classified for the translation:
+//!
+//! * `pos(p)`  — uses `position()` but not `last()`,
+//! * `last(p)` — uses `last()`,
+//! * nested paths (need `cn` rebinding, candidates for memoization),
+//! * `cheap(p)` / `exp(p)` — a simple instruction-count cost model.
+
+use crate::ast::Expr;
+
+/// Classification flags of one predicate clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clause {
+    /// The clause expression (a boolean-typed conjunct).
+    pub expr: Expr,
+    /// Calls `position()` in the current context.
+    pub uses_position: bool,
+    /// Calls `last()` in the current context.
+    pub uses_last: bool,
+    /// Contains a nested path evaluated from the current context node.
+    pub has_nested_path: bool,
+    /// Cost-model estimate (abstract instruction count).
+    pub cost: u32,
+    /// `cost > EXPENSIVE_THRESHOLD` or contains a nested path.
+    pub expensive: bool,
+}
+
+/// A normalized predicate: the conjunction of its clauses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormPredicate {
+    /// Clauses in evaluation order (cheap first after sorting).
+    pub clauses: Vec<Clause>,
+    /// Any clause uses `position()` (or `last()`, which implies a
+    /// position counter too).
+    pub uses_position: bool,
+    /// Any clause uses `last()`.
+    pub uses_last: bool,
+}
+
+/// Clauses costing more than this (paper: "number of instructions
+/// necessary to evaluate a clause") are classified expensive.
+pub const EXPENSIVE_THRESHOLD: u32 = 12;
+
+/// Abstract cost of evaluating `e` once: counts scalar operations; nested
+/// paths count as expensive because their cardinality is unbounded.
+pub fn cost(e: &Expr) -> u32 {
+    match e {
+        Expr::Or(a, b) | Expr::And(a, b) => 1 + cost(a) + cost(b),
+        Expr::Compare(_, a, b) | Expr::Arith(_, a, b) => 1 + cost(a) + cost(b),
+        Expr::Neg(a) => 1 + cost(a),
+        Expr::Union(parts) => parts.iter().map(cost).sum::<u32>() + 5,
+        // A path traversal: per-step axis scan. Weight each step heavily.
+        Expr::Path(p) => {
+            let start = match &p.start {
+                crate::ast::PathStart::Expr(e) => cost(e),
+                _ => 0,
+            };
+            start + 20 * p.steps.len().max(1) as u32
+        }
+        Expr::Filter(inner, preds) => {
+            cost(inner) + preds.iter().map(|p| cost(&p.expr)).sum::<u32>()
+        }
+        Expr::Literal(_) | Expr::Number(_) | Expr::VarRef(_) => 1,
+        Expr::FunctionCall(name, args) => {
+            let base = match name.as_str() {
+                "position" | "last" | "true" | "false" => 1,
+                "count" | "sum" | "exists" | "id" => 10,
+                "contains" | "starts-with" | "translate" | "normalize-space" => 4,
+                _ => 2,
+            };
+            base + args.iter().map(cost).sum::<u32>()
+        }
+    }
+}
+
+fn classify(expr: Expr) -> Clause {
+    let uses_position = expr.calls_any(&["position"]);
+    let uses_last = expr.calls_any(&["last"]);
+    let has_nested_path = expr.contains_path();
+    let c = cost(&expr);
+    Clause {
+        expensive: has_nested_path || c > EXPENSIVE_THRESHOLD,
+        cost: c,
+        uses_position,
+        uses_last,
+        has_nested_path,
+        expr,
+    }
+}
+
+/// Split the top-level conjunction `l1 and l2 and …` into clauses.
+fn split_conjuncts(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(a, b) => {
+            split_conjuncts(*a, out);
+            split_conjuncts(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Normalize one (semantically analyzed) predicate expression.
+///
+/// Clause order: cheap clauses before expensive ones, and within the same
+/// price class non-positional before positional (the translation wraps the
+/// positional machinery around the cheap prefix — paper §4.3.2). Sorting
+/// is stable, so the original order breaks ties (important for `and`
+/// short-circuit observability, which XPath doesn't guarantee anyway).
+pub fn normalize_predicate(e: Expr) -> NormPredicate {
+    let mut conjuncts = Vec::new();
+    split_conjuncts(e, &mut conjuncts);
+    let mut clauses: Vec<Clause> = conjuncts.into_iter().map(classify).collect();
+    clauses.sort_by_key(|c| (c.expensive, c.uses_last, c.uses_position, c.cost));
+    NormPredicate {
+        uses_position: clauses.iter().any(|c| c.uses_position || c.uses_last),
+        uses_last: clauses.iter().any(|c| c.uses_last),
+        clauses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::semantic::analyze;
+
+    fn norm(pred_src: &str) -> NormPredicate {
+        // Parse `a[<pred>]` and pull out the analyzed predicate.
+        let e = analyze(parse(&format!("a[{pred_src}]")).unwrap()).unwrap();
+        match e {
+            Expr::Path(p) => normalize_predicate(p.steps[0].predicates[0].expr.clone()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn conjunction_split() {
+        let n = norm("@x='1' and @y='2' and @z='3'");
+        assert_eq!(n.clauses.len(), 3);
+        assert!(!n.uses_position);
+        assert!(!n.uses_last);
+    }
+
+    #[test]
+    fn or_not_split() {
+        let n = norm("@x='1' or @y='2'");
+        assert_eq!(n.clauses.len(), 1);
+    }
+
+    #[test]
+    fn position_detection() {
+        let n = norm("position() = 2");
+        assert!(n.uses_position);
+        assert!(!n.uses_last);
+        let n = norm("position() = last()");
+        assert!(n.uses_position);
+        assert!(n.uses_last);
+        // Plain numeric predicate was rewritten to position()=n upstream.
+        let n = norm("7");
+        assert!(n.uses_position);
+    }
+
+    #[test]
+    fn last_implies_position_counter() {
+        let n = norm("last() > 3");
+        assert!(n.uses_last);
+        assert!(n.uses_position, "last() needs the cp counter too");
+    }
+
+    #[test]
+    fn nested_position_not_counted() {
+        // position() belongs to the inner path's context.
+        let n = norm("b[position()=1]");
+        assert!(!n.uses_position);
+        assert!(n.clauses[0].has_nested_path);
+    }
+
+    #[test]
+    fn nested_paths_are_expensive() {
+        let n = norm("count(descendant::c/following::*) = 1000");
+        assert!(n.clauses[0].expensive);
+        assert!(n.clauses[0].has_nested_path);
+        let n = norm("position() = 2");
+        assert!(!n.clauses[0].expensive);
+    }
+
+    #[test]
+    fn cheap_clauses_sorted_first() {
+        let n = norm("count(b) = 4 and position() = 1");
+        assert_eq!(n.clauses.len(), 2);
+        assert!(!n.clauses[0].expensive, "cheap positional clause first");
+        assert!(n.clauses[1].expensive);
+    }
+
+    #[test]
+    fn stable_order_within_class() {
+        let n = norm("@a='1' and @b='2'");
+        // Both cheap, equal flags and cost: original order preserved.
+        let texts: Vec<String> = n.clauses.iter().map(|c| c.expr.to_string()).collect();
+        assert!(texts[0].contains("attribute::a"), "{texts:?}");
+        assert!(texts[1].contains("attribute::b"), "{texts:?}");
+    }
+
+    #[test]
+    fn cost_monotone_in_structure() {
+        assert!(cost(&parse("a/b/c").unwrap()) > cost(&parse("a").unwrap()));
+        assert!(cost(&parse("count(a)").unwrap()) > cost(&parse("position()").unwrap()));
+    }
+}

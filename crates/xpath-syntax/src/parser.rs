@@ -1,0 +1,738 @@
+//! Recursive-descent parser for the full XPath 1.0 grammar.
+//!
+//! Abbreviations are expanded during parsing:
+//! * `//`  →  `/descendant-or-self::node()/`
+//! * `.`   →  `self::node()`
+//! * `..`  →  `parent::node()`
+//! * `@n`  →  `attribute::n`
+//! * `[e]` with no axis context stays a predicate.
+
+use xmlstore::Axis;
+
+use crate::ast::{CompOp, ArithOp, Expr, KindTest, NodeTest, PathExpr, PathStart, Predicate, Step};
+use crate::lexer::{tokenize, LexError, Tok, Token};
+
+/// Parse error (lexical or syntactic), with byte offset where known.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Byte offset in the query string (`None` = end of input).
+    pub offset: Option<usize>,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "XPath parse error at offset {o}: {}", self.message),
+            None => write!(f, "XPath parse error at end of input: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, offset: Some(e.offset) }
+    }
+}
+
+/// Parse a complete XPath 1.0 expression.
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.or_expr()?;
+    if let Some(t) = p.peek() {
+        return Err(ParseError {
+            message: format!("unexpected trailing token `{}`", t.kind),
+            offset: Some(t.offset),
+        });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kind(&self) -> Option<&Tok> {
+        self.peek().map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &Tok) -> bool {
+        if self.peek_kind() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &Tok) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected `{kind}`")))
+        }
+    }
+
+    fn err_here(&self, message: String) -> ParseError {
+        ParseError { message, offset: self.peek().map(|t| t.offset) }
+    }
+
+    // OrExpr ::= AndExpr ('or' AndExpr)*
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.and_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality_expr()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.equality_expr()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(Tok::Eq) => CompOp::Eq,
+                Some(Tok::Ne) => CompOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational_expr()?;
+            e = Expr::Compare(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(Tok::Lt) => CompOp::Lt,
+                Some(Tok::Le) => CompOp::Le,
+                Some(Tok::Gt) => CompOp::Gt,
+                Some(Tok::Ge) => CompOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive_expr()?;
+            e = Expr::Compare(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            e = Expr::Arith(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(Tok::Multiply) => ArithOp::Mul,
+                Some(Tok::Div) => ArithOp::Div,
+                Some(Tok::Mod) => ArithOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            e = Expr::Arith(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.union_expr()
+    }
+
+    fn union_expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.path_expr()?;
+        if self.peek_kind() != Some(&Tok::Pipe) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat(&Tok::Pipe) {
+            parts.push(self.path_expr()?);
+        }
+        Ok(Expr::Union(parts))
+    }
+
+    /// True if the upcoming tokens start a location path rather than a
+    /// filter (primary) expression.
+    fn at_location_path(&self) -> bool {
+        match self.peek_kind() {
+            Some(
+                Tok::Slash
+                | Tok::DoubleSlash
+                | Tok::Dot
+                | Tok::DotDot
+                | Tok::At
+                | Tok::Star
+                | Tok::Name(_)
+                | Tok::NsWildcard(_)
+                | Tok::AxisName(_),
+            ) => true,
+            Some(Tok::FuncName(n)) => {
+                matches!(n.as_str(), "node" | "text" | "comment" | "processing-instruction")
+            }
+            _ => false,
+        }
+    }
+
+    // PathExpr ::= LocationPath
+    //            | FilterExpr (('/'|'//') RelativeLocationPath)?
+    fn path_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.at_location_path() {
+            return self.location_path();
+        }
+        let filter = self.filter_expr()?;
+        match self.peek_kind() {
+            Some(Tok::Slash) => {
+                self.bump();
+                let mut steps = Vec::new();
+                self.relative_location_path(&mut steps)?;
+                Ok(Expr::Path(PathExpr { start: PathStart::Expr(Box::new(filter)), steps }))
+            }
+            Some(Tok::DoubleSlash) => {
+                self.bump();
+                let mut steps =
+                    vec![Step::new(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node))];
+                self.relative_location_path(&mut steps)?;
+                Ok(Expr::Path(PathExpr { start: PathStart::Expr(Box::new(filter)), steps }))
+            }
+            _ => Ok(filter),
+        }
+    }
+
+    // FilterExpr ::= PrimaryExpr Predicate*
+    fn filter_expr(&mut self) -> Result<Expr, ParseError> {
+        let primary = self.primary_expr()?;
+        let mut preds = Vec::new();
+        while self.peek_kind() == Some(&Tok::LBracket) {
+            self.bump();
+            let e = self.or_expr()?;
+            self.expect(&Tok::RBracket)?;
+            preds.push(Predicate { expr: e });
+        }
+        if preds.is_empty() {
+            Ok(primary)
+        } else {
+            Ok(Expr::Filter(Box::new(primary), preds))
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let t = self.bump().ok_or(ParseError {
+            message: "unexpected end of expression".into(),
+            offset: None,
+        })?;
+        match t.kind {
+            Tok::Var(name) => Ok(Expr::VarRef(name)),
+            Tok::LParen => {
+                let e = self.or_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Literal(s) => Ok(Expr::Literal(s)),
+            Tok::Number(n) => Ok(Expr::Number(n)),
+            Tok::FuncName(name) => {
+                self.expect(&Tok::LParen)?;
+                let mut args = Vec::new();
+                if self.peek_kind() != Some(&Tok::RParen) {
+                    loop {
+                        args.push(self.or_expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::FunctionCall(name, args))
+            }
+            other => Err(ParseError {
+                message: format!("unexpected token `{other}` in expression"),
+                offset: Some(t.offset),
+            }),
+        }
+    }
+
+    // LocationPath ::= RelativeLocationPath | AbsoluteLocationPath
+    fn location_path(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind() {
+            Some(Tok::Slash) => {
+                self.bump();
+                let mut steps = Vec::new();
+                if self.at_step() {
+                    self.relative_location_path(&mut steps)?;
+                }
+                Ok(Expr::Path(PathExpr { start: PathStart::Root, steps }))
+            }
+            Some(Tok::DoubleSlash) => {
+                self.bump();
+                let mut steps =
+                    vec![Step::new(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node))];
+                self.relative_location_path(&mut steps)?;
+                Ok(Expr::Path(PathExpr { start: PathStart::Root, steps }))
+            }
+            _ => {
+                let mut steps = Vec::new();
+                self.relative_location_path(&mut steps)?;
+                Ok(Expr::Path(PathExpr { start: PathStart::ContextNode, steps }))
+            }
+        }
+    }
+
+    fn at_step(&self) -> bool {
+        match self.peek_kind() {
+            Some(
+                Tok::Dot
+                | Tok::DotDot
+                | Tok::At
+                | Tok::Star
+                | Tok::Name(_)
+                | Tok::NsWildcard(_)
+                | Tok::AxisName(_),
+            ) => true,
+            Some(Tok::FuncName(n)) => {
+                matches!(n.as_str(), "node" | "text" | "comment" | "processing-instruction")
+            }
+            _ => false,
+        }
+    }
+
+    // RelativeLocationPath ::= Step (('/'|'//') Step)*
+    fn relative_location_path(&mut self, steps: &mut Vec<Step>) -> Result<(), ParseError> {
+        loop {
+            steps.push(self.step()?);
+            match self.peek_kind() {
+                Some(Tok::Slash) => {
+                    self.bump();
+                }
+                Some(Tok::DoubleSlash) => {
+                    self.bump();
+                    steps.push(Step::new(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node)));
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    // Step ::= '.' | '..' | AxisSpecifier NodeTest Predicate*
+    fn step(&mut self) -> Result<Step, ParseError> {
+        if self.eat(&Tok::Dot) {
+            return Ok(Step::new(Axis::SelfAxis, NodeTest::Kind(KindTest::Node)));
+        }
+        if self.eat(&Tok::DotDot) {
+            return Ok(Step::new(Axis::Parent, NodeTest::Kind(KindTest::Node)));
+        }
+        let axis = if self.eat(&Tok::At) {
+            Axis::Attribute
+        } else if let Some(Tok::AxisName(name)) = self.peek_kind() {
+            let name = name.clone();
+            let axis = Axis::from_name(&name)
+                .ok_or_else(|| self.err_here(format!("unknown axis `{name}`")))?;
+            self.bump();
+            self.expect(&Tok::ColonColon)?;
+            axis
+        } else {
+            Axis::Child
+        };
+        let node_test = self.node_test()?;
+        let mut predicates = Vec::new();
+        while self.peek_kind() == Some(&Tok::LBracket) {
+            self.bump();
+            let e = self.or_expr()?;
+            self.expect(&Tok::RBracket)?;
+            predicates.push(Predicate { expr: e });
+        }
+        Ok(Step { axis, node_test, predicates })
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, ParseError> {
+        let t = self.bump().ok_or(ParseError {
+            message: "expected a node test".into(),
+            offset: None,
+        })?;
+        match t.kind {
+            Tok::Star => Ok(NodeTest::Wildcard),
+            Tok::Name(n) | Tok::AxisName(n) => Ok(NodeTest::Name(n)),
+            Tok::NsWildcard(p) => Ok(NodeTest::NsWildcard(p)),
+            Tok::FuncName(n) => {
+                self.expect(&Tok::LParen)?;
+                let test = match n.as_str() {
+                    "node" => NodeTest::Kind(KindTest::Node),
+                    "text" => NodeTest::Kind(KindTest::Text),
+                    "comment" => NodeTest::Kind(KindTest::Comment),
+                    "processing-instruction" => {
+                        if let Some(Tok::Literal(target)) = self.peek_kind() {
+                            let target = target.clone();
+                            self.bump();
+                            NodeTest::Kind(KindTest::Pi(Some(target)))
+                        } else {
+                            NodeTest::Kind(KindTest::Pi(None))
+                        }
+                    }
+                    other => {
+                        return Err(ParseError {
+                            message: format!("`{other}(` is not a node test"),
+                            offset: Some(t.offset),
+                        })
+                    }
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(test)
+            }
+            other => Err(ParseError {
+                message: format!("expected a node test, found `{other}`"),
+                offset: Some(t.offset),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Expr {
+        parse(src).unwrap_or_else(|e| panic!("parse `{src}`: {e}"))
+    }
+
+    #[test]
+    fn absolute_and_relative_paths() {
+        match p("/a/b") {
+            Expr::Path(path) => {
+                assert_eq!(path.start, PathStart::Root);
+                assert_eq!(path.steps.len(), 2);
+                assert_eq!(path.steps[0].axis, Axis::Child);
+                assert_eq!(path.steps[0].node_test, NodeTest::Name("a".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("a") {
+            Expr::Path(path) => assert_eq!(path.start, PathStart::ContextNode),
+            other => panic!("{other:?}"),
+        }
+        // `/` alone: root, no steps.
+        match p("/") {
+            Expr::Path(path) => {
+                assert_eq!(path.start, PathStart::Root);
+                assert!(path.steps.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn abbreviations_expand() {
+        match p("//a") {
+            Expr::Path(path) => {
+                assert_eq!(path.steps.len(), 2);
+                assert_eq!(path.steps[0].axis, Axis::DescendantOrSelf);
+                assert_eq!(path.steps[0].node_test, NodeTest::Kind(KindTest::Node));
+                assert_eq!(path.steps[1].axis, Axis::Child);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("../@id") {
+            Expr::Path(path) => {
+                assert_eq!(path.steps[0].axis, Axis::Parent);
+                assert_eq!(path.steps[1].axis, Axis::Attribute);
+                assert_eq!(path.steps[1].node_test, NodeTest::Name("id".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(".") {
+            Expr::Path(path) => {
+                assert_eq!(path.steps[0].axis, Axis::SelfAxis);
+                assert_eq!(path.steps[0].node_test, NodeTest::Kind(KindTest::Node));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_axes() {
+        for (src, axis) in [
+            ("ancestor::a", Axis::Ancestor),
+            ("ancestor-or-self::a", Axis::AncestorOrSelf),
+            ("descendant-or-self::a", Axis::DescendantOrSelf),
+            ("following::a", Axis::Following),
+            ("following-sibling::a", Axis::FollowingSibling),
+            ("preceding::a", Axis::Preceding),
+            ("preceding-sibling::a", Axis::PrecedingSibling),
+            ("self::a", Axis::SelfAxis),
+            ("namespace::a", Axis::Namespace),
+        ] {
+            match p(src) {
+                Expr::Path(path) => assert_eq!(path.steps[0].axis, axis, "{src}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_parse() {
+        match p("a[1][@id='x']") {
+            Expr::Path(path) => {
+                let preds = &path.steps[0].predicates;
+                assert_eq!(preds.len(), 2);
+                assert_eq!(preds[0].expr, Expr::Number(1.0));
+                match &preds[1].expr {
+                    Expr::Compare(CompOp::Eq, lhs, rhs) => {
+                        assert!(matches!(**lhs, Expr::Path(_)));
+                        assert_eq!(**rhs, Expr::Literal("x".into()));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // or < and < equality < relational < additive < multiplicative < unary
+        match p("1 or 2 and 3") {
+            Expr::Or(_, rhs) => assert!(matches!(*rhs, Expr::And(_, _))),
+            other => panic!("{other:?}"),
+        }
+        match p("1 = 2 < 3") {
+            Expr::Compare(CompOp::Eq, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Compare(CompOp::Lt, _, _)))
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("1 + 2 * 3") {
+            Expr::Arith(ArithOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Arith(ArithOp::Mul, _, _)))
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("-a = b") {
+            Expr::Compare(CompOp::Eq, lhs, _) => assert!(matches!(*lhs, Expr::Neg(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_flattened_left_to_right() {
+        match p("a | b | c") {
+            Expr::Union(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_calls() {
+        match p("count(a) + sum(b/c)") {
+            Expr::Arith(ArithOp::Add, lhs, _) => match *lhs {
+                Expr::FunctionCall(ref n, ref args) => {
+                    assert_eq!(n, "count");
+                    assert_eq!(args.len(), 1);
+                }
+                ref other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        match p("concat('a', 'b', 'c')") {
+            Expr::FunctionCall(n, args) => {
+                assert_eq!(n, "concat");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("true()") {
+            Expr::FunctionCall(n, args) => {
+                assert_eq!(n, "true");
+                assert!(args.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_expressions() {
+        match p("(a | b)[1]") {
+            Expr::Filter(inner, preds) => {
+                assert!(matches!(*inner, Expr::Union(_)));
+                assert_eq!(preds.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Filter followed by a path.
+        match p("id('x')/child::a") {
+            Expr::Path(path) => {
+                assert!(matches!(path.start, PathStart::Expr(_)));
+                assert_eq!(path.steps.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Filter followed by //.
+        match p("$v//a") {
+            Expr::Path(path) => {
+                assert!(matches!(path.start, PathStart::Expr(_)));
+                assert_eq!(path.steps.len(), 2);
+                assert_eq!(path.steps[0].axis, Axis::DescendantOrSelf);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_type_tests() {
+        match p("text()") {
+            Expr::Path(path) => {
+                assert_eq!(path.steps[0].node_test, NodeTest::Kind(KindTest::Text))
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("processing-instruction('php')") {
+            Expr::Path(path) => assert_eq!(
+                path.steps[0].node_test,
+                NodeTest::Kind(KindTest::Pi(Some("php".into())))
+            ),
+            other => panic!("{other:?}"),
+        }
+        match p("comment() | node()") {
+            Expr::Union(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_fig5_queries_parse() {
+        for q in [
+            "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id",
+            "/child::xdoc/descendant::*/preceding-sibling::*/following::*/attribute::id",
+            "/child::xdoc/descendant::*/ancestor::*/ancestor::*/attribute::id",
+            "/child::xdoc/child::*/parent::*/descendant::*/attribute::id",
+        ] {
+            p(q);
+        }
+    }
+
+    #[test]
+    fn paper_fig10_queries_parse() {
+        for q in [
+            "/dblp/article/title",
+            "/dblp/*/title",
+            "/dblp/article[position() = 3]/title",
+            "/dblp/article[position() < 100]/title",
+            "/dblp/article[position() = last()]/title",
+            "/dblp/article[position()=last()-10]/title",
+            "/dblp/article/title | /dblp/inproceedings/title",
+            "/dblp/article[count(author)=4]/@key",
+            "/dblp/article[year='1991']/@key",
+            "/dblp/inproceedings[year='1991']/@key",
+            "/dblp/*[author='Guido Moerkotte']/@key",
+            "/dblp/inproceedings[@key='conf/er/LockemannM91']/title",
+            "/dblp/inproceedings[author='Guido Moerkotte'][position()=last()]/title",
+        ] {
+            p(q);
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("/a/").is_err());
+        assert!(parse("a[").is_err());
+        assert!(parse("a]").is_err());
+        assert!(parse("count(").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("sideways::a").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("()").is_err());
+    }
+
+    #[test]
+    fn double_slash_inside_path() {
+        match p("a//b") {
+            Expr::Path(path) => {
+                assert_eq!(path.steps.len(), 3);
+                assert_eq!(path.steps[1].axis, Axis::DescendantOrSelf);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_parse_fixpoint() {
+        // Rendering an AST and re-parsing it must reach a fixpoint.
+        for q in [
+            "/a/b[2]/c[@x='1']",
+            "//a[b and not(c)] | /d",
+            "count(/a/b) + sum(//c) * 2",
+            "(//a)[last()]/ancestor-or-self::*[position() mod 2 = 1]",
+            "id('x y')/@id",
+            "substring(concat('a', string(/r)), 2, 3)",
+            "processing-instruction('t') | comment() | text()",
+        ] {
+            let once = parse(q).unwrap();
+            let rendered = once.to_string();
+            let twice = parse(&rendered)
+                .unwrap_or_else(|e| panic!("re-parse of `{rendered}`: {e}"));
+            assert_eq!(once, twice, "{q}");
+        }
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let e = p("a[b[c=1]/d]");
+        // structure: path a with predicate path b[...]/d
+        match e {
+            Expr::Path(path) => {
+                let pred = &path.steps[0].predicates[0].expr;
+                match pred {
+                    Expr::Path(inner) => {
+                        assert_eq!(inner.steps.len(), 2);
+                        assert_eq!(inner.steps[0].predicates.len(), 1);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Semantic analysis (compiler phase 3, paper §5.1).
+//!
+//! * checks function names and arities against the core library,
+//! * derives the static type of every sub-expression (XPath 1.0 is
+//!   statically typed apart from variables),
+//! * makes every implicit conversion explicit as a function call
+//!   (`boolean(…)`, `number(…)`, `string(…)`), so later phases never
+//!   convert implicitly — exactly the paper's "all implicit conversions
+//!   have also been added as function calls",
+//! * rewrites numeric predicates `[e]` into `[position() = e]`,
+//! * supplies the implicit context-node argument of `string()`, `name()`
+//!   etc.
+
+use xmlstore::Axis;
+
+use crate::ast::{CompOp, Expr, KindTest, NodeTest, PathExpr, PathStart, Predicate, Step};
+use crate::functions::{lookup, param_type, XPathType};
+
+/// Semantic error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemanticError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semantic error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SemanticError> {
+    Err(SemanticError { message: message.into() })
+}
+
+/// Static type of an (analyzed or raw) expression. Variables are `Any`.
+pub fn static_type(e: &Expr) -> XPathType {
+    match e {
+        Expr::Or(..) | Expr::And(..) | Expr::Compare(..) => XPathType::Boolean,
+        Expr::Arith(..) | Expr::Neg(..) | Expr::Number(_) => XPathType::Number,
+        Expr::Union(..) | Expr::Path(..) => XPathType::NodeSet,
+        Expr::Filter(inner, _) => static_type(inner),
+        Expr::Literal(_) => XPathType::String,
+        Expr::VarRef(_) => XPathType::Any,
+        Expr::FunctionCall(name, _) => {
+            lookup(name).map(|s| s.result).unwrap_or(XPathType::Any)
+        }
+    }
+}
+
+fn call(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::FunctionCall(name.to_owned(), args)
+}
+
+fn context_node_path() -> Expr {
+    Expr::Path(PathExpr {
+        start: PathStart::ContextNode,
+        steps: vec![Step::new(Axis::SelfAxis, NodeTest::Kind(KindTest::Node))],
+    })
+}
+
+/// Wrap `e` so its type becomes `want` (no-op if it already is, or if
+/// either side is `Any`).
+fn convert(e: Expr, want: XPathType) -> Expr {
+    let have = static_type(&e);
+    if have == want || want == XPathType::Any {
+        return e;
+    }
+    match want {
+        XPathType::Boolean => call("boolean", vec![e]),
+        XPathType::Number => call("number", vec![e]),
+        XPathType::String => call("string", vec![e]),
+        XPathType::NodeSet | XPathType::Any => e,
+    }
+}
+
+/// Run semantic analysis, producing the conversion-explicit tree.
+pub fn analyze(e: Expr) -> Result<Expr, SemanticError> {
+    rewrite(e)
+}
+
+fn rewrite(e: Expr) -> Result<Expr, SemanticError> {
+    Ok(match e {
+        Expr::Or(a, b) => {
+            let a = convert(rewrite(*a)?, XPathType::Boolean);
+            let b = convert(rewrite(*b)?, XPathType::Boolean);
+            Expr::Or(Box::new(a), Box::new(b))
+        }
+        Expr::And(a, b) => {
+            let a = convert(rewrite(*a)?, XPathType::Boolean);
+            let b = convert(rewrite(*b)?, XPathType::Boolean);
+            Expr::And(Box::new(a), Box::new(b))
+        }
+        Expr::Compare(op, a, b) => {
+            let a = rewrite(*a)?;
+            let b = rewrite(*b)?;
+            rewrite_compare(op, a, b)
+        }
+        Expr::Arith(op, a, b) => {
+            let a = convert(rewrite(*a)?, XPathType::Number);
+            let b = convert(rewrite(*b)?, XPathType::Number);
+            Expr::Arith(op, Box::new(a), Box::new(b))
+        }
+        Expr::Neg(a) => Expr::Neg(Box::new(convert(rewrite(*a)?, XPathType::Number))),
+        Expr::Union(parts) => {
+            let mut out = Vec::with_capacity(parts.len());
+            for p in parts {
+                let p = rewrite(p)?;
+                if static_type(&p) != XPathType::NodeSet && static_type(&p) != XPathType::Any {
+                    return err(format!("operand of `|` must be a node-set: `{p}`"));
+                }
+                out.push(p);
+            }
+            Expr::Union(out)
+        }
+        Expr::Path(p) => Expr::Path(rewrite_path(p)?),
+        Expr::Filter(inner, preds) => {
+            let inner = rewrite(*inner)?;
+            let t = static_type(&inner);
+            if t != XPathType::NodeSet && t != XPathType::Any {
+                return err(format!("filter expression must be a node-set: `{inner}`"));
+            }
+            let preds = preds
+                .into_iter()
+                .map(rewrite_predicate)
+                .collect::<Result<Vec<_>, _>>()?;
+            Expr::Filter(Box::new(inner), preds)
+        }
+        lit @ (Expr::Literal(_) | Expr::Number(_) | Expr::VarRef(_)) => lit,
+        Expr::FunctionCall(name, args) => rewrite_call(name, args)?,
+    })
+}
+
+fn rewrite_compare(op: CompOp, a: Expr, b: Expr) -> Expr {
+    use XPathType::*;
+    let (ta, tb) = (static_type(&a), static_type(&b));
+    // Node-sets get the existential semantics in the translation; only
+    // insert conversions between the primitive types here (XPath §3.4).
+    if ta == NodeSet || tb == NodeSet || ta == Any || tb == Any {
+        return Expr::Compare(op, Box::new(a), Box::new(b));
+    }
+    match op {
+        CompOp::Eq | CompOp::Ne => {
+            if ta == Boolean || tb == Boolean {
+                Expr::Compare(
+                    op,
+                    Box::new(convert(a, Boolean)),
+                    Box::new(convert(b, Boolean)),
+                )
+            } else if ta == Number || tb == Number {
+                Expr::Compare(op, Box::new(convert(a, Number)), Box::new(convert(b, Number)))
+            } else {
+                Expr::Compare(op, Box::new(a), Box::new(b))
+            }
+        }
+        // Relational comparisons always go through numbers.
+        _ => Expr::Compare(op, Box::new(convert(a, Number)), Box::new(convert(b, Number))),
+    }
+}
+
+fn rewrite_path(p: PathExpr) -> Result<PathExpr, SemanticError> {
+    let start = match p.start {
+        PathStart::Expr(e) => {
+            let e = rewrite(*e)?;
+            let t = static_type(&e);
+            if t != XPathType::NodeSet && t != XPathType::Any {
+                return err(format!("path start must be a node-set: `{e}`"));
+            }
+            PathStart::Expr(Box::new(e))
+        }
+        other => other,
+    };
+    let steps = p
+        .steps
+        .into_iter()
+        .map(|s| {
+            let predicates = s
+                .predicates
+                .into_iter()
+                .map(rewrite_predicate)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Step { axis: s.axis, node_test: s.node_test, predicates })
+        })
+        .collect::<Result<Vec<_>, SemanticError>>()?;
+    Ok(PathExpr { start, steps })
+}
+
+fn rewrite_predicate(p: Predicate) -> Result<Predicate, SemanticError> {
+    let e = rewrite(p.expr)?;
+    let e = match static_type(&e) {
+        // `[n]` means `[position() = n]` (XPath §2.4).
+        XPathType::Number => Expr::Compare(
+            CompOp::Eq,
+            Box::new(call("position", vec![])),
+            Box::new(e),
+        ),
+        XPathType::Boolean => e,
+        // Node-sets, strings and unknown-typed variables convert to
+        // boolean; the translation maps boolean(node-set) to the internal
+        // exists() aggregate (paper §3.3.2).
+        _ => call("boolean", vec![e]),
+    };
+    Ok(Predicate { expr: e })
+}
+
+fn rewrite_call(name: String, args: Vec<Expr>) -> Result<Expr, SemanticError> {
+    let Some(sig) = lookup(&name) else {
+        return err(format!("unknown function `{name}()`"));
+    };
+    let mut args = args
+        .into_iter()
+        .map(rewrite)
+        .collect::<Result<Vec<_>, _>>()?;
+    // Context-node default argument.
+    if args.is_empty() && sig.context_default {
+        args.push(context_node_path());
+    }
+    if args.len() < sig.min_args {
+        return err(format!(
+            "`{name}()` needs at least {} argument(s), got {}",
+            sig.min_args,
+            args.len()
+        ));
+    }
+    if args.len() > sig.max_args {
+        return err(format!(
+            "`{name}()` takes at most {} argument(s), got {}",
+            sig.max_args,
+            args.len()
+        ));
+    }
+    // Parameter conversions.
+    let args = args
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let want = param_type(sig, i);
+            let have = static_type(&a);
+            match want {
+                XPathType::NodeSet => {
+                    if have == XPathType::NodeSet || have == XPathType::Any {
+                        Ok(a)
+                    } else {
+                        err(format!(
+                            "argument {} of `{name}()` must be a node-set, got `{a}`",
+                            i + 1
+                        ))
+                    }
+                }
+                _ => Ok(convert(a, want)),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Expr::FunctionCall(name, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn a(src: &str) -> Expr {
+        analyze(parse(src).unwrap()).unwrap_or_else(|e| panic!("analyze `{src}`: {e}"))
+    }
+
+    #[test]
+    fn numeric_predicate_becomes_positional() {
+        let e = a("a[3]");
+        assert_eq!(e.to_string(), "child::a[(position() = 3)]");
+    }
+
+    #[test]
+    fn string_predicate_becomes_boolean() {
+        let e = a("a['x']");
+        assert_eq!(e.to_string(), "child::a[boolean('x')]");
+    }
+
+    #[test]
+    fn nodeset_predicate_becomes_boolean() {
+        let e = a("a[b]");
+        assert_eq!(e.to_string(), "child::a[boolean(child::b)]");
+    }
+
+    #[test]
+    fn boolean_predicate_untouched() {
+        let e = a("a[b = 'x']");
+        assert_eq!(e.to_string(), "child::a[(child::b = 'x')]");
+    }
+
+    #[test]
+    fn arith_operands_converted() {
+        let e = a("'2' + 1");
+        assert_eq!(e.to_string(), "(number('2') + 1)");
+        // Node-set operand also goes through number().
+        let e = a("a + 1");
+        assert_eq!(e.to_string(), "(number(child::a) + 1)");
+    }
+
+    #[test]
+    fn and_or_operands_converted() {
+        let e = a("a and 1");
+        assert_eq!(e.to_string(), "(boolean(child::a) and boolean(1))");
+    }
+
+    #[test]
+    fn compare_conversion_rules() {
+        // boolean wins for =
+        assert_eq!(a("true() = 'x'").to_string(), "(true() = boolean('x'))");
+        // number wins over string for =
+        assert_eq!(a("1 = '1'").to_string(), "(1 = number('1'))");
+        // strings compared directly
+        assert_eq!(a("'a' = 'b'").to_string(), "('a' = 'b')");
+        // relational always numeric
+        assert_eq!(a("'a' < 'b'").to_string(), "(number('a') < number('b'))");
+        // node-sets left alone (existential translation)
+        assert_eq!(a("a = b").to_string(), "(child::a = child::b)");
+        assert_eq!(a("a < 1").to_string(), "(child::a < 1)");
+    }
+
+    #[test]
+    fn context_default_arguments_supplied() {
+        assert_eq!(a("string()").to_string(), "string(self::node())");
+        assert_eq!(
+            a("string-length()").to_string(),
+            "string-length(string(self::node()))"
+        );
+        assert_eq!(a("name()").to_string(), "name(self::node())");
+        assert_eq!(a("normalize-space()").to_string(), "normalize-space(string(self::node()))");
+    }
+
+    #[test]
+    fn function_argument_conversions() {
+        assert_eq!(a("contains(a, 1)").to_string(), "contains(string(child::a), string(1))");
+        assert_eq!(a("not(a)").to_string(), "not(boolean(child::a))");
+        assert_eq!(a("floor('3.7')").to_string(), "floor(number('3.7'))");
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(analyze(parse("count()").unwrap()).is_err());
+        assert!(analyze(parse("count(a, b)").unwrap()).is_err());
+        assert!(analyze(parse("concat('x')").unwrap()).is_err());
+        assert!(analyze(parse("substring('x', 1, 2, 3)").unwrap()).is_err());
+        assert!(analyze(parse("true(1)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(analyze(parse("frobnicate(a)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn nodeset_parameter_type_enforced() {
+        assert!(analyze(parse("count('x')").unwrap()).is_err());
+        assert!(analyze(parse("sum(1)").unwrap()).is_err());
+        // Variables are allowed (type unknown until runtime).
+        assert!(analyze(parse("count($v)").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn union_operands_must_be_nodesets() {
+        assert!(analyze(parse("a | 'x'").unwrap()).is_err());
+        assert!(analyze(parse("a | $v").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn filter_base_must_be_nodeset() {
+        assert!(analyze(parse("('x')[1]").unwrap()).is_err());
+        assert!(analyze(parse("(a)[1]").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn variadic_concat_converts_all() {
+        assert_eq!(
+            a("concat(1, a, 'x')").to_string(),
+            "concat(string(1), string(child::a), 'x')"
+        );
+    }
+
+    #[test]
+    fn nested_path_predicates_rewritten() {
+        let e = a("a[b[2]]/c");
+        assert_eq!(
+            e.to_string(),
+            "child::a[boolean(child::b[(position() = 2)])]/child::c"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! `natix-cli` — load an XML document and run XPath queries against it.
+//!
+//! ```sh
+//! natix-cli doc.xml "/a/b[position() = last()]"     # one-shot query
+//! natix-cli doc.xml --explain "//a[b = 'x']"        # show the algebra plan
+//! natix-cli doc.xml --interactive                   # REPL
+//! natix-cli --generate tree:5000 --interactive      # built-in generators
+//! natix-cli doc.xml --persist doc.natix             # build a page file
+//! ```
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use natix::{Document, NatixError, QueryOutput, TranslateOptions, XPathEngine};
+use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
+use xmlstore::XmlStore;
+
+struct Args {
+    source: Option<String>,
+    generate: Option<String>,
+    persist: Option<String>,
+    explain: bool,
+    interactive: bool,
+    canonical: bool,
+    extended: bool,
+    time: bool,
+    queries: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        source: None,
+        generate: None,
+        persist: None,
+        explain: false,
+        interactive: false,
+        canonical: false,
+        extended: false,
+        time: false,
+        queries: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--explain" => args.explain = true,
+            "--interactive" | "-i" => args.interactive = true,
+            "--canonical" => args.canonical = true,
+            "--extended" => args.extended = true,
+            "--time" => args.time = true,
+            "--generate" => {
+                args.generate = Some(it.next().ok_or("--generate needs a spec")?);
+            }
+            "--persist" => {
+                args.persist = Some(it.next().ok_or("--persist needs a path")?);
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => {
+                if args.source.is_none() && args.generate.is_none() {
+                    args.source = Some(other.to_owned());
+                } else {
+                    args.queries.push(other.to_owned());
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "natix-cli — algebraic XPath 1.0 processing\n\n\
+         usage: natix-cli <doc.xml | doc.natix> [flags] [queries…]\n\
+         \x20      natix-cli --generate tree:N|dblp:N [flags] [queries…]\n\n\
+         flags:\n\
+         \x20 --interactive, -i   query REPL (`:explain <q>` shows plans)\n\
+         \x20 --explain           print the algebra plan instead of evaluating\n\
+         \x20 --canonical         use the canonical §3 translation\n\
+         \x20 --extended          improved translation + property pruning\n\
+         \x20 --time              print evaluation times\n\
+         \x20 --persist <path>    write the document as a Natix page file\n\
+         \x20 --generate <spec>   tree:<elements> or dblp:<records>"
+    );
+}
+
+fn load(args: &Args) -> Result<Document, String> {
+    if let Some(spec) = &args.generate {
+        let (kind, n) = spec.split_once(':').ok_or("generate spec is kind:N")?;
+        let n: usize = n.parse().map_err(|_| "generate count must be a number")?;
+        return Ok(match kind {
+            "tree" => Document::Arena(generate_tree(if n <= 8000 {
+                TreeParams::small(n)
+            } else {
+                TreeParams::large(n)
+            })),
+            "dblp" => Document::Arena(generate_dblp(DblpParams { records: n, seed: 42 })),
+            other => return Err(format!("unknown generator `{other}`")),
+        });
+    }
+    let path = args.source.as_ref().ok_or("no document given (see --help)")?;
+    if path.ends_with(".natix") {
+        return Document::open(std::path::Path::new(path), 256).map_err(|e| e.to_string());
+    }
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Document::parse(&xml).map_err(|e| e.to_string())
+}
+
+fn render(store: &dyn XmlStore, out: &QueryOutput) -> String {
+    match out {
+        QueryOutput::Nodes(ns) => {
+            let mut s = format!("{} node(s)", ns.len());
+            for &n in ns.iter().take(20) {
+                let name = store.node_name(n);
+                let text = store.string_value(n);
+                let text = if text.chars().count() > 60 {
+                    let prefix: String = text.chars().take(57).collect();
+                    format!("{prefix}…")
+                } else {
+                    text
+                };
+                s.push_str(&format!("\n  <{name}> {text}"));
+            }
+            if ns.len() > 20 {
+                s.push_str(&format!("\n  … and {} more", ns.len() - 20));
+            }
+            s
+        }
+        QueryOutput::Bool(b) => format!("boolean: {b}"),
+        QueryOutput::Num(n) => format!("number: {n}"),
+        QueryOutput::Str(s) => format!("string: \"{s}\""),
+    }
+}
+
+fn run_query(doc: &Document, engine: &XPathEngine, q: &str, explain: bool, time: bool) {
+    if explain {
+        match engine.explain(q) {
+            Ok(plan) => print!("{plan}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+        return;
+    }
+    let t0 = Instant::now();
+    let result: Result<QueryOutput, NatixError> = engine.evaluate(doc.store(), q);
+    let elapsed = t0.elapsed();
+    match result {
+        Ok(out) => {
+            println!("{}", render(doc.store(), &out));
+            if time {
+                println!("  [{elapsed:.2?}]");
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match load(&args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.persist {
+        match doc.persist(std::path::Path::new(path), 256) {
+            Ok(_) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let options = if args.canonical {
+        TranslateOptions::canonical()
+    } else if args.extended {
+        TranslateOptions::extended()
+    } else {
+        TranslateOptions::improved()
+    };
+    let engine = XPathEngine { options };
+
+    for q in &args.queries {
+        run_query(&doc, &engine, q, args.explain, args.time);
+    }
+
+    if args.interactive || (args.queries.is_empty() && args.persist.is_none()) {
+        println!(
+            "natix ({} nodes loaded) — enter XPath, `:explain <q>`, `:profile <q>`, or `:quit`",
+            doc.store().node_count()
+        );
+        let stdin = std::io::stdin();
+        loop {
+            print!("xpath> ");
+            std::io::stdout().flush().ok();
+            let mut line = String::new();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == ":quit" || line == ":q" {
+                break;
+            }
+            if let Some(q) = line.strip_prefix(":explain ") {
+                run_query(&doc, &engine, q.trim(), true, false);
+            } else if let Some(q) = line.strip_prefix(":profile ") {
+                match engine.profile(doc.store(), q.trim()) {
+                    Ok((out, report)) => {
+                        println!("{}", render(doc.store(), &out));
+                        print!("{report}");
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            } else {
+                run_query(&doc, &engine, line, false, true);
+            }
+        }
+    }
+}

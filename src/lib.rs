@@ -1,0 +1,201 @@
+//! # natix — algebraic XPath 1.0 processing
+//!
+//! A Rust reproduction of *Full-fledged Algebraic XPath Processing in
+//! Natix* (Brantner, Helmer, Kanne, Moerkotte — ICDE 2005): the first
+//! complete translation of XPath 1.0 into a database algebra over ordered
+//! tuple sequences, executed by an iterator-based physical engine directly
+//! against paged document storage.
+//!
+//! ```
+//! use natix::{Document, XPathEngine};
+//!
+//! let doc = Document::parse("<a><b>1</b><b>2</b></a>").unwrap();
+//! let engine = XPathEngine::new();
+//! let out = engine.evaluate(doc.store(), "count(/a/b)").unwrap();
+//! assert_eq!(out, natix::QueryOutput::Num(2.0));
+//! ```
+//!
+//! The crate is a facade over the workspace:
+//! * [`xmlstore`] — documents: arena store, paged disk store, parser, axes,
+//! * [`xpath_syntax`] — the XPath front-end (phases 1–4 of the compiler),
+//! * [`algebra`] — the logical algebra (paper Fig. 1),
+//! * [`compiler`] — the translation 𝒯[·] (canonical §3 / improved §4),
+//! * [`nqe`] — the physical algebra and NVM (phase 6 + execution),
+//! * [`interp`] — baseline main-memory interpreters (the paper's
+//!   comparison subjects).
+
+pub use algebra::{explain, LogicalOp, QueryOutput, ScalarExpr, Value};
+pub use compiler::{CompiledQuery, PipelineError, TranslateOptions};
+pub use nqe::{build_physical, PhysicalQuery};
+pub use xmlstore::{Axis, NodeId, NodeKind, XmlStore};
+
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Unified error type of the facade.
+#[derive(Debug)]
+pub enum NatixError {
+    /// XML parsing failed.
+    Xml(xmlstore::XmlError),
+    /// Query compilation failed.
+    Compile(PipelineError),
+    /// Disk store I/O or corruption.
+    Disk(xmlstore::diskstore::DiskError),
+}
+
+impl std::fmt::Display for NatixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NatixError::Xml(e) => write!(f, "{e}"),
+            NatixError::Compile(e) => write!(f, "{e}"),
+            NatixError::Disk(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NatixError {}
+
+impl From<xmlstore::XmlError> for NatixError {
+    fn from(e: xmlstore::XmlError) -> Self {
+        NatixError::Xml(e)
+    }
+}
+
+impl From<PipelineError> for NatixError {
+    fn from(e: PipelineError) -> Self {
+        NatixError::Compile(e)
+    }
+}
+
+impl From<xmlstore::diskstore::DiskError> for NatixError {
+    fn from(e: xmlstore::diskstore::DiskError) -> Self {
+        NatixError::Disk(e)
+    }
+}
+
+/// An XML document held in one of the two stores.
+pub enum Document {
+    /// Main-memory arena store.
+    Arena(xmlstore::ArenaStore),
+    /// Paged on-disk store behind the buffer manager.
+    Disk(xmlstore::diskstore::DiskStore),
+}
+
+impl Document {
+    /// Parse XML text into the in-memory store.
+    pub fn parse(xml: &str) -> Result<Document, NatixError> {
+        Ok(Document::Arena(xmlstore::parse_document(xml)?))
+    }
+
+    /// Persist an in-memory document as a page file and reopen it through
+    /// the buffer manager (`buffer_pages` resident frames).
+    pub fn persist(&self, path: &Path, buffer_pages: usize) -> Result<Document, NatixError> {
+        match self {
+            Document::Arena(a) => Ok(Document::Disk(
+                xmlstore::diskstore::DiskStore::create_from(a, path, buffer_pages)?,
+            )),
+            Document::Disk(_) => Err(NatixError::Disk(
+                xmlstore::diskstore::DiskError::Corrupt("already on disk"),
+            )),
+        }
+    }
+
+    /// Open an existing page file.
+    pub fn open(path: &Path, buffer_pages: usize) -> Result<Document, NatixError> {
+        Ok(Document::Disk(xmlstore::diskstore::DiskStore::open(path, buffer_pages)?))
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &dyn XmlStore {
+        match self {
+            Document::Arena(a) => a,
+            Document::Disk(d) => d,
+        }
+    }
+}
+
+/// The algebraic XPath engine: compile once, execute against any store.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct XPathEngine {
+    /// Translation options (improved by default).
+    pub options: TranslateOptions,
+}
+
+impl XPathEngine {
+    /// Engine with the improved translation (paper §4).
+    pub fn new() -> XPathEngine {
+        XPathEngine { options: TranslateOptions::improved() }
+    }
+
+    /// Engine with the canonical translation (paper §3).
+    pub fn canonical() -> XPathEngine {
+        XPathEngine { options: TranslateOptions::canonical() }
+    }
+
+    /// Compile a query to its logical algebra form.
+    pub fn compile(&self, query: &str) -> Result<CompiledQuery, NatixError> {
+        Ok(compiler::compile(query, &self.options)?)
+    }
+
+    /// Render the query plan in the paper's operator notation.
+    pub fn explain(&self, query: &str) -> Result<String, NatixError> {
+        Ok(match self.compile(query)? {
+            CompiledQuery::Sequence(plan) => explain::explain(&plan),
+            CompiledQuery::Scalar(s) => format!("scalar: {s}\n"),
+        })
+    }
+
+    /// Compile and execute with the document node as context.
+    pub fn evaluate(&self, store: &dyn XmlStore, query: &str) -> Result<QueryOutput, NatixError> {
+        Ok(nqe::evaluate(store, query, &self.options)?)
+    }
+
+    /// Execute with per-operator profiling; returns the result and the
+    /// profile report (opens/tuples per physical operator).
+    pub fn profile(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(QueryOutput, String), NatixError> {
+        let compiled = self.compile(query)?;
+        let (mut phys, profile) = nqe::build_physical_profiled(&compiled);
+        let out = phys.execute(store, &std::collections::HashMap::new(), store.root());
+        Ok((out, profile.report()))
+    }
+
+    /// Compile and execute with explicit context node and variables.
+    pub fn evaluate_with(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+        ctx: NodeId,
+        vars: &HashMap<String, Value>,
+    ) -> Result<QueryOutput, NatixError> {
+        Ok(nqe::evaluate_with(store, query, &self.options, ctx, vars)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_roundtrip() {
+        let doc = Document::parse("<a><b>x</b></a>").unwrap();
+        let engine = XPathEngine::new();
+        assert_eq!(
+            engine.evaluate(doc.store(), "string(/a/b)").unwrap(),
+            QueryOutput::Str("x".into())
+        );
+        let plan = engine.explain("/a/b").unwrap();
+        assert!(plan.contains("Υ["));
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(Document::parse("<a>").is_err());
+        let doc = Document::parse("<a/>").unwrap();
+        assert!(XPathEngine::new().evaluate(doc.store(), "///").is_err());
+        assert!(XPathEngine::new().evaluate(doc.store(), "bogus()").is_err());
+    }
+}

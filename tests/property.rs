@@ -1,0 +1,252 @@
+//! Property-based tests: random documents × random queries, with the
+//! three evaluators as mutual oracles, plus structural invariants of the
+//! stores and the parser.
+
+use proptest::prelude::*;
+
+use compiler::TranslateOptions;
+use interp::{InterpOptions, Interpreter};
+use xmlstore::{parse_document, to_xml, ArenaBuilder, ArenaStore, NodeId, NodeKind, XmlStore};
+
+// ---------- random documents -------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Tree {
+    Element { name: usize, attrs: Vec<(usize, String)>, children: Vec<Tree> },
+    Text(String),
+    Comment,
+}
+
+const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+const ATTRS: [&str; 3] = ["x", "y", "id"];
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        ("[a-z]{1,6}").prop_map(Tree::Text),
+        Just(Tree::Comment),
+        (0..NAMES.len()).prop_map(|name| Tree::Element {
+            name,
+            attrs: vec![],
+            children: vec![]
+        }),
+    ];
+    leaf.prop_recursive(4, 40, 5, |inner| {
+        (
+            0..NAMES.len(),
+            proptest::collection::vec((0..ATTRS.len(), "[0-9]{1,2}"), 0..3),
+            proptest::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(name, attrs, children)| Tree::Element { name, attrs, children })
+    })
+}
+
+fn build(t: &Tree, b: &mut ArenaBuilder) {
+    match t {
+        Tree::Element { name, attrs, children } => {
+            b.start_element(NAMES[*name]);
+            let mut seen = Vec::new();
+            for (a, v) in attrs {
+                if !seen.contains(a) {
+                    seen.push(*a);
+                    b.attribute(ATTRS[*a], v);
+                }
+            }
+            for c in children {
+                build(c, b);
+            }
+            b.end_element();
+        }
+        Tree::Text(s) => {
+            b.text(s);
+        }
+        Tree::Comment => {
+            b.comment("c");
+        }
+    }
+}
+
+fn make_store(t: &Tree) -> ArenaStore {
+    let mut b = ArenaBuilder::new();
+    // Wrap in a fixed root so the document always has one element root.
+    b.start_element("r");
+    build(t, &mut b);
+    b.end_element();
+    b.finish()
+}
+
+// ---------- random queries -----------------------------------------------
+
+fn axis_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("child"),
+        Just("descendant"),
+        Just("descendant-or-self"),
+        Just("parent"),
+        Just("ancestor"),
+        Just("ancestor-or-self"),
+        Just("following"),
+        Just("following-sibling"),
+        Just("preceding"),
+        Just("preceding-sibling"),
+        Just("self"),
+        Just("attribute"),
+    ]
+}
+
+fn node_test_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("*".to_owned()),
+        (0..NAMES.len()).prop_map(|i| NAMES[i].to_owned()),
+        Just("node()".to_owned()),
+        Just("text()".to_owned()),
+        Just("comment()".to_owned()),
+    ]
+}
+
+fn predicate_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1..4u32).prop_map(|k| format!("{k}")),
+        (1..3u32).prop_map(|k| format!("position() = last() - {k}")),
+        Just("position() mod 2 = 1".to_owned()),
+        Just("last() > 2".to_owned()),
+        (0..ATTRS.len()).prop_map(|i| format!("@{}", ATTRS[i])),
+        (0..ATTRS.len(), 0..100u32).prop_map(|(i, v)| format!("@{} = '{}'", ATTRS[i], v)),
+        (0..NAMES.len()).prop_map(|i| format!("count({}) > 1", NAMES[i])),
+        (0..NAMES.len()).prop_map(|i| NAMES[i].to_string()),
+        Just("not(*)".to_owned()),
+        Just("string-length(name()) = 1".to_owned()),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = String> {
+    (
+        axis_strategy(),
+        node_test_strategy(),
+        proptest::collection::vec(predicate_strategy(), 0..2),
+    )
+        .prop_map(|(axis, test, preds)| {
+            let mut s = format!("{axis}::{test}");
+            for p in preds {
+                s.push_str(&format!("[{p}]"));
+            }
+            s
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(step_strategy(), 1..4).prop_map(|steps| {
+        format!("/{}", steps.join("/"))
+    })
+}
+
+// ---------- oracle comparison ---------------------------------------------
+
+fn nodes_of(out: &algebra::QueryOutput) -> Vec<NodeId> {
+    out.as_nodes().expect("node-set").to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engines_agree_on_random_documents_and_queries(
+        t in tree_strategy(),
+        q in query_strategy(),
+    ) {
+        let store = make_store(&t);
+        let improved = nqe::evaluate(&store, &q, &TranslateOptions::improved());
+        let canonical = nqe::evaluate(&store, &q, &TranslateOptions::canonical());
+        let extended = nqe::evaluate(&store, &q, &TranslateOptions::extended());
+        let interp = Interpreter::new(&store, InterpOptions::context_list())
+            .evaluate(&q, store.root());
+        let (improved, canonical, extended, interp) = (
+            improved.expect("improved"),
+            canonical.expect("canonical"),
+            extended.expect("extended"),
+            interp.expect("interp"),
+        );
+        prop_assert_eq!(nodes_of(&improved), nodes_of(&canonical), "improved vs canonical: {}", q);
+        prop_assert_eq!(nodes_of(&improved), nodes_of(&extended), "improved vs extended: {}", q);
+        prop_assert_eq!(nodes_of(&improved), nodes_of(&interp), "algebraic vs interp: {}", q);
+    }
+
+    #[test]
+    fn results_are_duplicate_free_and_document_ordered(
+        t in tree_strategy(),
+        q in query_strategy(),
+    ) {
+        let store = make_store(&t);
+        let out = nqe::evaluate(&store, &q, &TranslateOptions::improved()).expect("eval");
+        let ns = nodes_of(&out);
+        for w in ns.windows(2) {
+            prop_assert!(store.order(w[0]) < store.order(w[1]));
+        }
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip(t in tree_strategy()) {
+        let store = make_store(&t);
+        let xml = to_xml(&store);
+        let reparsed = parse_document(&xml).expect("reparse");
+        prop_assert_eq!(to_xml(&reparsed), xml);
+    }
+
+    #[test]
+    fn document_order_is_total_and_preorder(t in tree_strategy()) {
+        let store = make_store(&t);
+        let n = store.node_count() as u32;
+        let mut orders: Vec<u64> = (0..n).map(|i| store.order(NodeId(i))).collect();
+        orders.sort_unstable();
+        orders.dedup();
+        prop_assert_eq!(orders.len(), n as usize, "orders must be unique");
+        // Parent precedes child; attributes precede children.
+        for i in 0..n {
+            let node = NodeId(i);
+            if let Some(p) = store.parent(node) {
+                prop_assert!(store.order(p) < store.order(node));
+            }
+        }
+    }
+
+    #[test]
+    fn axis_partition_on_random_documents(t in tree_strategy()) {
+        use xmlstore::{axis_nodes, Axis};
+        let store = make_store(&t);
+        // Pick a handful of nodes to keep runtime bounded.
+        let count = store.node_count() as u32;
+        for i in (0..count).step_by(7.max(count as usize / 5)) {
+            let node = NodeId(i);
+            if store.kind(node) == NodeKind::Attribute {
+                continue;
+            }
+            let mut all: Vec<NodeId> = Vec::new();
+            for ax in [Axis::SelfAxis, Axis::Ancestor, Axis::Descendant, Axis::Preceding, Axis::Following] {
+                all.extend(axis_nodes(&store, ax, node));
+            }
+            all.sort_unstable();
+            let before = all.len();
+            all.dedup();
+            prop_assert_eq!(all.len(), before, "axes must be disjoint");
+            let expected = (0..count)
+                .map(NodeId)
+                .filter(|&x| store.kind(x) != NodeKind::Attribute)
+                .count();
+            prop_assert_eq!(all.len(), expected, "axes must cover the document");
+        }
+    }
+
+    #[test]
+    fn disk_store_equals_arena_on_random_documents(t in tree_strategy()) {
+        let arena = make_store(&t);
+        let path = xmlstore::tmp::TempPath::new(".natix");
+        let disk = xmlstore::diskstore::DiskStore::create_from(&arena, path.path(), 3)
+            .expect("disk store");
+        prop_assert_eq!(to_xml(&disk), to_xml(&arena));
+        for i in 0..arena.node_count() as u32 {
+            let n = NodeId(i);
+            prop_assert_eq!(arena.kind(n), disk.kind(n));
+            prop_assert_eq!(arena.order(n), disk.order(n));
+            prop_assert_eq!(arena.parent(n), disk.parent(n));
+        }
+    }
+}

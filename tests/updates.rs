@@ -1,0 +1,92 @@
+//! Integration: document updates followed by queries on all evaluators.
+//! Updates must be equally visible to the algebraic engine and the
+//! interpreter, and re-persisting an updated arena must round-trip.
+
+use compiler::TranslateOptions;
+use interp::{InterpOptions, Interpreter};
+use natix::QueryOutput;
+use xmlstore::{parse_document, ArenaStore, XmlStore};
+
+fn agree(store: &ArenaStore, q: &str) -> QueryOutput {
+    let a = nqe::evaluate(store, q, &TranslateOptions::improved()).unwrap();
+    let b = Interpreter::new(store, InterpOptions::context_list())
+        .evaluate(q, store.root())
+        .unwrap();
+    assert_eq!(a, b, "{q}");
+    a
+}
+
+#[test]
+fn engines_see_structural_updates() {
+    let mut s = parse_document("<r><a>1</a><a>2</a></r>").unwrap();
+    assert_eq!(agree(&s, "count(/r/a)"), QueryOutput::Num(2.0));
+
+    let r = s.first_child(s.root()).unwrap();
+    let a3 = s.append_element(r, "a").unwrap();
+    s.append_text(a3, "3").unwrap();
+    assert_eq!(agree(&s, "count(/r/a)"), QueryOutput::Num(3.0));
+    assert_eq!(agree(&s, "string(/r/a[last()])"), QueryOutput::Str("3".into()));
+    assert_eq!(agree(&s, "sum(/r/a)"), QueryOutput::Num(6.0));
+
+    // Insert in the middle; positions shift.
+    let second = match agree(&s, "/r/a[2]") {
+        QueryOutput::Nodes(ns) => ns[0],
+        other => panic!("{other:?}"),
+    };
+    let mid = s.insert_element_before(second, "a").unwrap();
+    s.append_text(mid, "1.5").unwrap();
+    assert_eq!(agree(&s, "string(/r/a[2])"), QueryOutput::Str("1.5".into()));
+    assert_eq!(agree(&s, "count(/r/a)"), QueryOutput::Num(4.0));
+
+    // Remove the first.
+    let first = match agree(&s, "/r/a[1]") {
+        QueryOutput::Nodes(ns) => ns[0],
+        other => panic!("{other:?}"),
+    };
+    s.remove_subtree(first).unwrap();
+    assert_eq!(agree(&s, "string(/r/a[1])"), QueryOutput::Str("1.5".into()));
+    assert_eq!(agree(&s, "count(/r/a)"), QueryOutput::Num(3.0));
+}
+
+#[test]
+fn id_index_follows_updates() {
+    let mut s = parse_document(r#"<r><x id="one"/></r>"#).unwrap();
+    assert_eq!(agree(&s, "count(id('one'))"), QueryOutput::Num(1.0));
+    let r = s.first_child(s.root()).unwrap();
+    let y = s.append_element(r, "y").unwrap();
+    s.set_attribute(y, "id", "two").unwrap();
+    assert_eq!(agree(&s, "name(id('two'))"), QueryOutput::Str("y".into()));
+    // Removing the element drops its id.
+    let x = s.first_child(r).unwrap();
+    s.remove_subtree(x).unwrap();
+    assert_eq!(agree(&s, "count(id('one'))"), QueryOutput::Num(0.0));
+    assert_eq!(agree(&s, "count(id('two'))"), QueryOutput::Num(1.0));
+}
+
+#[test]
+fn updated_document_persists_and_requeries() {
+    use xmlstore::diskstore::DiskStore;
+    use xmlstore::tmp::TempPath;
+    let mut s = parse_document("<log></log>").unwrap();
+    let root = s.first_child(s.root()).unwrap();
+    for i in 0..50 {
+        let e = s.append_element(root, "entry").unwrap();
+        s.set_attribute(e, "seq", &i.to_string()).unwrap();
+        s.append_text(e, &format!("message {i}")).unwrap();
+    }
+    let t = TempPath::new(".natix");
+    let disk = DiskStore::create_from(&s, t.path(), 8).unwrap();
+    for q in [
+        "count(/log/entry)",
+        "string(/log/entry[last()]/@seq)",
+        "string(/log/entry[@seq='25'])",
+    ] {
+        let arena = nqe::evaluate(&s, q, &TranslateOptions::improved()).unwrap();
+        let paged = nqe::evaluate(&disk, q, &TranslateOptions::improved()).unwrap();
+        assert_eq!(arena, paged, "{q}");
+    }
+    assert_eq!(
+        nqe::evaluate(&disk, "count(/log/entry)", &TranslateOptions::improved()).unwrap(),
+        QueryOutput::Num(50.0)
+    );
+}
