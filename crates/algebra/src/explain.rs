@@ -63,7 +63,9 @@ fn render(plan: &LogicalOp, depth: usize, out: &mut String) {
     }
 }
 
-fn nested_plans(plan: &LogicalOp) -> Vec<&LogicalOp> {
+/// The nested sequence plans hanging off `plan`'s scalar subscripts
+/// (aggregate arguments inside predicates), in subscript order.
+pub fn nested_plans(plan: &LogicalOp) -> Vec<&LogicalOp> {
     let mut out = Vec::new();
     match plan {
         LogicalOp::Select { pred, .. }
@@ -74,6 +76,14 @@ fn nested_plans(plan: &LogicalOp) -> Vec<&LogicalOp> {
         | LogicalOp::TokenizeMap { expr, .. } => collect_nested(expr, &mut out),
         _ => {}
     }
+    out
+}
+
+/// The nested sequence plans inside a standalone scalar expression (the
+/// roots of a scalar query's profile).
+pub fn scalar_plans(e: &ScalarExpr) -> Vec<&LogicalOp> {
+    let mut out = Vec::new();
+    collect_nested(e, &mut out);
     out
 }
 

@@ -327,11 +327,7 @@ impl LogicalOp {
                 free.insert(a.clone());
             }
         }
-        fn scalar_flow(
-            e: &ScalarExpr,
-            defined: &BTreeSet<Attr>,
-            free: &mut BTreeSet<Attr>,
-        ) {
+        fn scalar_flow(e: &ScalarExpr, defined: &BTreeSet<Attr>, free: &mut BTreeSet<Attr>) {
             use crate::scalar::ScalarExpr as S;
             match e {
                 S::Const(_) | S::Var(_) => {}
@@ -480,11 +476,7 @@ mod tests {
 
     #[test]
     fn djoin_plan_is_closed_when_left_defines_context() {
-        let left = LogicalOp::map(
-            LogicalOp::Singleton,
-            "c0",
-            ScalarExpr::attr("cn"),
-        );
+        let left = LogicalOp::map(LogicalOp::Singleton, "c0", ScalarExpr::attr("cn"));
         let right = step(LogicalOp::Singleton, "c0", "c1");
         let plan = LogicalOp::djoin(left, right);
         // cn remains free (bound by the execution context).

@@ -12,12 +12,9 @@ fn ablations(c: &mut Criterion) {
     let dup_query = "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id";
     let mut group = c.benchmark_group("ablation/dup_heavy_path");
     group.sample_size(10);
-    group.bench_function("canonical", |b| {
-        b.iter(|| Evaluator::NatixCanonical.run(&doc, dup_query))
-    });
-    group.bench_function("improved", |b| {
-        b.iter(|| Evaluator::NatixImproved.run(&doc, dup_query))
-    });
+    group
+        .bench_function("canonical", |b| b.iter(|| Evaluator::NatixCanonical.run(&doc, dup_query)));
+    group.bench_function("improved", |b| b.iter(|| Evaluator::NatixImproved.run(&doc, dup_query)));
     group.finish();
 
     let memo_query = "/xdoc/descendant::*[count(descendant::c/following::*) > 0]/attribute::id";
@@ -27,9 +24,7 @@ fn ablations(c: &mut Criterion) {
     group.bench_function("memo_off", |b| {
         b.iter(|| Evaluator::NatixWith(no_memo).run(&doc, memo_query))
     });
-    group.bench_function("memo_on", |b| {
-        b.iter(|| Evaluator::NatixImproved.run(&doc, memo_query))
-    });
+    group.bench_function("memo_on", |b| b.iter(|| Evaluator::NatixImproved.run(&doc, memo_query)));
     group.finish();
 
     let mut group = c.benchmark_group("ablation/smart_aggregation");

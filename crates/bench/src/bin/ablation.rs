@@ -7,13 +7,50 @@
 //! * cheap/expensive predicate splitting with χ^mat (§4.3.2),
 //! * exists() early exit vs full count.
 //!
+//! With `--json <path>` the harness additionally writes a results file
+//! with, per measured variant, the timing and a per-operator
+//! EXPLAIN ANALYZE profile under that variant's own translation options
+//! (so e.g. the MemoX hit/miss gauges are directly comparable between
+//! the memo-on and memo-off rows).
+//!
 //! ```sh
-//! cargo run --release -p bench --bin ablation [--elems N] [--runs N]
+//! cargo run --release -p bench --bin ablation [--elems N] [--runs N] [--json out.json]
 //! ```
 
-use bench::{ms, time_query, tree_document, Evaluator};
+use std::time::Duration;
+
+use bench::{
+    arg_value, ms, ms_f, profile_report, time_query, tree_document, write_results_json, Evaluator,
+};
 use compiler::TranslateOptions;
-use xmlstore::ArenaBuilder;
+use nqe::Json;
+use xmlstore::{ArenaBuilder, XmlStore};
+
+/// Record one measured variant into the JSON results (no-op when the
+/// export is off).
+#[allow(clippy::too_many_arguments)]
+fn record(
+    results: &mut Vec<Json>,
+    enabled: bool,
+    experiment: &str,
+    variant: &str,
+    query: &str,
+    ev: Evaluator,
+    store: &dyn XmlStore,
+    t: Duration,
+) {
+    if !enabled {
+        return;
+    }
+    let profile = profile_report(ev, store, query).expect("profile");
+    results.push(Json::obj(vec![
+        ("experiment", Json::Str(experiment.to_owned())),
+        ("variant", Json::Str(variant.to_owned())),
+        ("query", Json::Str(query.to_owned())),
+        ("ms", Json::Num(ms_f(t))),
+        ("profile", profile),
+    ]));
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,6 +63,9 @@ fn main() {
     };
     let elems = get("--elems", 8000);
     let runs = get("--runs", 3);
+    let json_path = arg_value(&args, "--json");
+    let json_on = json_path.is_some();
+    let mut results: Vec<Json> = Vec::new();
 
     eprintln!("generating document with {elems} elements…");
     let doc = tree_document(elems);
@@ -55,8 +95,10 @@ fn main() {
     ] {
         println!("\nquery: {query}");
         for (label, opts) in variants {
-            let t = time_query(Evaluator::NatixWith(opts), &doc, query, runs);
+            let ev = Evaluator::NatixWith(opts);
+            let t = time_query(ev, &doc, query, runs);
             println!("  {label:<28} {:>10} ms", ms(t));
+            record(&mut results, json_on, "E6a", label, query, ev, &doc, t);
         }
     }
 
@@ -74,14 +116,14 @@ fn main() {
         "/xdoc/child::*[count(descendant::c/parent::*/descendant::*[@id = 'none']) = 0]/attribute::id",
     ] {
         println!("query: {memo_query}");
-        println!(
-            "  memo off  {:>10} ms",
-            ms(time_query(Evaluator::NatixWith(no_memo), &doc, memo_query, runs))
-        );
-        println!(
-            "  memo on   {:>10} ms",
-            ms(time_query(Evaluator::NatixWith(TranslateOptions::improved()), &doc, memo_query, runs))
-        );
+        let off_ev = Evaluator::NatixWith(no_memo);
+        let on_ev = Evaluator::NatixWith(TranslateOptions::improved());
+        let off = time_query(off_ev, &doc, memo_query, runs);
+        let on = time_query(on_ev, &doc, memo_query, runs);
+        println!("  memo off  {:>10} ms", ms(off));
+        println!("  memo on   {:>10} ms", ms(on));
+        record(&mut results, json_on, "E6b", "memo off", memo_query, off_ev, &doc, off);
+        record(&mut results, json_on, "E6b", "memo on", memo_query, on_ev, &doc, on);
     }
 
     // --- E6b': inner paths cannot be deduped between steps (§4.2.2), so
@@ -107,14 +149,13 @@ fn main() {
             inner.push_str("/parent::a/child::b");
         }
         let q = format!("/r/a/b[count({inner}) > 0]");
-        let off = time_query(Evaluator::NatixWith(no_memo), &blowup_doc, &q, 1);
-        let on = time_query(
-            Evaluator::NatixWith(TranslateOptions::improved()),
-            &blowup_doc,
-            &q,
-            1,
-        );
+        let off_ev = Evaluator::NatixWith(no_memo);
+        let on_ev = Evaluator::NatixWith(TranslateOptions::improved());
+        let off = time_query(off_ev, &blowup_doc, &q, 1);
+        let on = time_query(on_ev, &blowup_doc, &q, 1);
         println!("{pairs},{},{}", ms(off), ms(on));
+        record(&mut results, json_on, "E6b'", "memo off", &q, off_ev, &blowup_doc, off);
+        record(&mut results, json_on, "E6b'", "memo on", &q, on_ev, &blowup_doc, on);
     }
 
     // --- E6c: expensive-predicate splitting (§4.3.2) ---------------------
@@ -122,14 +163,14 @@ fn main() {
     let split_query = "/xdoc/descendant::*/parent::*[count(descendant::*) > 3][@id]/attribute::id";
     let no_split = TranslateOptions { split_expensive: false, ..TranslateOptions::improved() };
     println!("query: {split_query}");
-    println!(
-        "  split off {:>10} ms",
-        ms(time_query(Evaluator::NatixWith(no_split), &doc, split_query, runs))
-    );
-    println!(
-        "  split on  {:>10} ms",
-        ms(time_query(Evaluator::NatixWith(TranslateOptions::improved()), &doc, split_query, runs))
-    );
+    let off_ev = Evaluator::NatixWith(no_split);
+    let on_ev = Evaluator::NatixWith(TranslateOptions::improved());
+    let off = time_query(off_ev, &doc, split_query, runs);
+    let on = time_query(on_ev, &doc, split_query, runs);
+    println!("  split off {:>10} ms", ms(off));
+    println!("  split on  {:>10} ms", ms(on));
+    record(&mut results, json_on, "E6c", "split off", split_query, off_ev, &doc, off);
+    record(&mut results, json_on, "E6c", "split on", split_query, on_ev, &doc, on);
 
     // --- E9 (extension): [13]-style Π^D/Sort pruning ----------------------
     println!("\n# E9: order/duplicate property pruning (extension beyond the paper)");
@@ -141,18 +182,40 @@ fn main() {
         let base = time_query(Evaluator::NatixImproved, &doc, q, runs);
         let ext = time_query(Evaluator::NatixExtended, &doc, q, runs);
         println!("  {q}\n    improved {:>10} ms | +pruning {:>10} ms", ms(base), ms(ext));
+        record(&mut results, json_on, "E9", "improved", q, Evaluator::NatixImproved, &doc, base);
+        record(&mut results, json_on, "E9", "+pruning", q, Evaluator::NatixExtended, &doc, ext);
     }
 
     // --- E8: smart aggregation early exit (§5.2.5) -----------------------
     println!("\n# E8: exists() early exit vs full aggregation");
     let exists_query = "/xdoc/descendant::*[descendant::a]/attribute::id";
     let count_query = "/xdoc/descendant::*[count(descendant::a) > 0]/attribute::id";
-    println!(
-        "  boolean(path) / early exit {:>10} ms   ({exists_query})",
-        ms(time_query(Evaluator::NatixImproved, &doc, exists_query, runs))
+    let exists = time_query(Evaluator::NatixImproved, &doc, exists_query, runs);
+    let count = time_query(Evaluator::NatixImproved, &doc, count_query, runs);
+    println!("  boolean(path) / early exit {:>10} ms   ({exists_query})", ms(exists));
+    println!("  count(path) > 0 / full     {:>10} ms   ({count_query})", ms(count));
+    record(
+        &mut results,
+        json_on,
+        "E8",
+        "early exit",
+        exists_query,
+        Evaluator::NatixImproved,
+        &doc,
+        exists,
     );
-    println!(
-        "  count(path) > 0 / full     {:>10} ms   ({count_query})",
-        ms(time_query(Evaluator::NatixImproved, &doc, count_query, runs))
+    record(
+        &mut results,
+        json_on,
+        "E8",
+        "full count",
+        count_query,
+        Evaluator::NatixImproved,
+        &doc,
+        count,
     );
+
+    if let Some(path) = json_path {
+        write_results_json(&path, "ablation", results);
+    }
 }

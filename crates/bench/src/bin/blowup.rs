@@ -6,13 +6,18 @@
 //!
 //! Prints: `pairs, naive_contexts, naive_ms, natix_ms, canonical_ms`.
 //!
+//! With `--json <path>` the harness additionally writes a results file
+//! with per-query operator profiles of the improved algebraic run (the
+//! Π^D `dup_dropped` gauges show the pushdown soaking up the blow-up).
+//!
 //! ```sh
-//! cargo run --release -p bench --bin blowup [--width N] [--max-pairs N]
+//! cargo run --release -p bench --bin blowup [--width N] [--max-pairs N] [--json out.json]
 //! ```
 
 use std::time::Instant;
 
-use bench::{ms, Evaluator};
+use bench::{arg_value, ms, ms_f, profile_report, write_results_json, Evaluator};
+use nqe::Json;
 use xmlstore::ArenaBuilder;
 
 fn main() {
@@ -26,6 +31,8 @@ fn main() {
     };
     let width = get("--width", 4);
     let max_pairs = get("--max-pairs", 9);
+    let json_path = arg_value(&args, "--json");
+    let mut results: Vec<Json> = Vec::new();
 
     // <r><a><b/>×width</a></r> — each parent::a/child::b pair multiplies
     // the naive context list by `width`.
@@ -62,12 +69,22 @@ fn main() {
         std::hint::black_box(Evaluator::NatixCanonical.run(&store, &q));
         let canonical = t0.elapsed();
 
-        println!(
-            "{pairs},{contexts},{},{},{}",
-            ms(naive),
-            ms(natix),
-            ms(canonical)
-        );
+        println!("{pairs},{contexts},{},{},{}", ms(naive), ms(natix), ms(canonical));
+        if json_path.is_some() {
+            let profile = profile_report(Evaluator::NatixImproved, &store, &q).expect("profile");
+            results.push(Json::obj(vec![
+                ("pairs", Json::Num(pairs as f64)),
+                ("query", Json::Str(q.clone())),
+                ("naive_contexts", Json::Num(contexts as f64)),
+                ("naive_ms", Json::Num(ms_f(naive))),
+                ("natix_ms", Json::Num(ms_f(natix))),
+                ("canonical_ms", Json::Num(ms_f(canonical))),
+                ("profile", profile),
+            ]));
+        }
     }
     println!("# naive_contexts grows as width^pairs; natix stays flat (dedup pushdown)");
+    if let Some(path) = json_path {
+        write_results_json(&path, "blowup", results);
+    }
 }

@@ -5,11 +5,19 @@
 //!
 //! `query, elements, natix_ms, interp_ms, naive_ms`
 //!
+//! With `--json <path>` the harness additionally writes a results file
+//! carrying, per measured point, the timings and a per-operator
+//! EXPLAIN ANALYZE profile of the algebraic run.
+//!
 //! ```sh
-//! cargo run --release -p bench --bin fig6_9 [--runs N] [--max-elems N] [--skip-naive]
+//! cargo run --release -p bench --bin fig6_9 [--runs N] [--max-elems N] [--skip-naive] [--json out.json]
 //! ```
 
-use bench::{ms, time_query, tree_document, Evaluator, FIG5_QUERIES, LARGE_SIZES, SMALL_SIZES};
+use bench::{
+    arg_value, ms, ms_f, profile_report, time_query, tree_document, write_results_json, Evaluator,
+    FIG5_QUERIES, LARGE_SIZES, SMALL_SIZES,
+};
+use nqe::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,6 +34,8 @@ fn main() {
     // cap its sweep separately so the full harness stays tractable.
     let heavy_cap = get("--heavy-cap", 20_000);
     let skip_naive = args.iter().any(|a| a == "--skip-naive");
+    let json_path = arg_value(&args, "--json");
+    let mut results: Vec<Json> = Vec::new();
 
     let sizes: Vec<usize> = SMALL_SIZES
         .iter()
@@ -59,6 +69,21 @@ fn main() {
                 "-".to_owned()
             };
             println!("{name},{s},{},{},{naive}", ms(natix), ms(interp));
+            if json_path.is_some() {
+                let profile =
+                    profile_report(Evaluator::NatixImproved, doc, query).expect("profile");
+                results.push(Json::obj(vec![
+                    ("name", Json::Str(name.to_owned())),
+                    ("query", Json::Str(query.to_owned())),
+                    ("elements", Json::Num(*s as f64)),
+                    ("natix_ms", Json::Num(ms_f(natix))),
+                    ("interp_ms", Json::Num(ms_f(interp))),
+                    ("profile", profile),
+                ]));
+            }
         }
+    }
+    if let Some(path) = json_path {
+        write_results_json(&path, "fig6_9", results);
     }
 }

@@ -3,10 +3,12 @@
 //! evaluator interface over the algebraic engine and the baseline
 //! interpreters.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use compiler::TranslateOptions;
 use interp::{InterpOptions, Interpreter};
+use nqe::Json;
 use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
 use xmlstore::{ArenaStore, XmlStore};
 
@@ -14,7 +16,10 @@ use xmlstore::{ArenaStore, XmlStore};
 /// desc/anc/pre-sib/fol/par).
 pub const FIG5_QUERIES: [(&str, &str); 4] = [
     ("q1", "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id"),
-    ("q2", "/child::xdoc/descendant::*/preceding-sibling::*/following::*/attribute::id"),
+    (
+        "q2",
+        "/child::xdoc/descendant::*/preceding-sibling::*/following::*/attribute::id",
+    ),
     ("q3", "/child::xdoc/descendant::*/ancestor::*/ancestor::*/attribute::id"),
     ("q4", "/child::xdoc/child::*/parent::*/descendant::*/attribute::id"),
 ];
@@ -89,6 +94,18 @@ impl Evaluator {
         }
     }
 
+    /// Translation options, for the algebraic evaluators (the
+    /// interpreters have none and cannot be operator-profiled).
+    pub fn options(&self) -> Option<TranslateOptions> {
+        match self {
+            Evaluator::NatixImproved => Some(TranslateOptions::improved()),
+            Evaluator::NatixCanonical => Some(TranslateOptions::canonical()),
+            Evaluator::NatixExtended => Some(TranslateOptions::extended()),
+            Evaluator::NatixWith(opts) => Some(*opts),
+            Evaluator::ContextList | Evaluator::Naive => None,
+        }
+    }
+
     /// Compile + execute (the paper's measured quantity excludes document
     /// loading but includes compilation, §6.2).
     pub fn run(&self, store: &dyn XmlStore, query: &str) -> algebra::QueryOutput {
@@ -131,6 +148,45 @@ pub fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
+/// A duration in fractional milliseconds (for JSON exports).
+pub fn ms_f(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One instrumented evaluation: the full EXPLAIN ANALYZE report (compile
+/// phases, per-operator times/counters/gauges, result shape) as JSON.
+/// Runs the query once more with profiling on, so call it outside the
+/// timed samples.
+pub fn profile_report(ev: Evaluator, store: &dyn XmlStore, query: &str) -> Option<Json> {
+    let opts = ev.options()?;
+    let (_, report) =
+        nqe::explain_analyze(store, query, &opts, store.root(), &HashMap::new()).expect("analyze");
+    Some(report.to_json())
+}
+
+/// The value following `flag` in `args` (e.g. `--json out.json`).
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Write a bench results file: `{"bench": <name>, "results": [...]}`,
+/// pretty-printed. Each result element is harness-specific but always
+/// carries the query and, for algebraic evaluators, a `profile` field
+/// with the per-operator EXPLAIN ANALYZE export.
+pub fn write_results_json(path: &str, bench: &str, results: Vec<Json>) {
+    let doc = Json::obj(vec![
+        ("bench", Json::Str(bench.to_owned())),
+        ("results", Json::Arr(results)),
+    ]);
+    match std::fs::write(path, doc.pretty()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +212,16 @@ mod tests {
         let tree = tree_document(50);
         let d = time_query(Evaluator::NatixImproved, &tree, "count(//*)", 3);
         assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn profile_report_covers_algebraic_evaluators_only() {
+        let tree = tree_document(50);
+        let report = profile_report(Evaluator::NatixImproved, &tree, "/xdoc/child::*").unwrap();
+        let ops = report.get("operators").and_then(Json::as_arr).unwrap();
+        assert!(!ops.is_empty());
+        assert!(report.get("phases").is_some());
+        assert!(profile_report(Evaluator::Naive, &tree, "/xdoc").is_none());
+        assert!(profile_report(Evaluator::ContextList, &tree, "/xdoc").is_none());
     }
 }

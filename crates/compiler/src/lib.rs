@@ -9,8 +9,10 @@
 pub mod options;
 pub mod pipeline;
 pub mod properties;
+pub mod trace;
 pub mod translate;
 
 pub use options::TranslateOptions;
-pub use pipeline::{compile, compile_ast, PipelineError};
+pub use pipeline::{compile, compile_ast, compile_traced, PipelineError};
+pub use trace::{PhaseTiming, QueryTrace};
 pub use translate::{translate, CompileError, CompiledQuery};

@@ -7,9 +7,12 @@
 //! per predicate during translation); phase 5 is [`crate::translate`];
 //! phase 6 (physical plan + NVM assembly) is the `nqe` crate.
 
-use xpath_syntax::{frontend, Expr, FrontendError};
+use std::time::Instant;
+
+use xpath_syntax::{analyze, fold::fold, frontend, parse, Expr, FrontendError};
 
 use crate::options::TranslateOptions;
+use crate::trace::{record_fired_rewrites, QueryTrace};
 use crate::translate::{translate, CompileError, CompiledQuery};
 
 /// Any error of the compilation pipeline.
@@ -54,6 +57,67 @@ pub fn compile(query: &str, opts: &TranslateOptions) -> Result<CompiledQuery, Pi
 /// or transform the AST between phases).
 pub fn compile_ast(ast: &Expr, opts: &TranslateOptions) -> Result<CompiledQuery, PipelineError> {
     Ok(translate(ast, opts)?)
+}
+
+/// Compile with per-phase tracing: each pipeline phase is timed
+/// separately, fired rewrites are recorded and the final plan's
+/// statistics captured. Produces the same query as [`compile`]; the
+/// property-pruning extension runs as its own timed phase so its cost
+/// and effect are visible.
+pub fn compile_traced(
+    query: &str,
+    opts: &TranslateOptions,
+) -> Result<(CompiledQuery, QueryTrace), PipelineError> {
+    let mut trace = QueryTrace { query: query.to_owned(), ..QueryTrace::default() };
+
+    let t0 = Instant::now();
+    let ast = parse(query).map_err(FrontendError::from)?;
+    trace.add_phase("parse", t0.elapsed().as_nanos() as u64);
+
+    let t0 = Instant::now();
+    let typed = analyze(ast).map_err(FrontendError::from)?;
+    trace.add_phase("semantic", t0.elapsed().as_nanos() as u64);
+
+    let t0 = Instant::now();
+    let before = typed.to_string();
+    let folded = fold(typed);
+    if folded.to_string() != before {
+        trace.rewrites.push("constant-fold".to_owned());
+    }
+    trace.add_phase("fold", t0.elapsed().as_nanos() as u64);
+
+    // Translate with the pruning extension factored out so it can be
+    // timed as its own phase (normalization runs lazily per predicate
+    // inside translation, per §5.1).
+    let unpruned_opts = TranslateOptions { prune_properties: false, ..*opts };
+    let t0 = Instant::now();
+    let compiled = translate(&folded, &unpruned_opts)?;
+    trace.add_phase("translate", t0.elapsed().as_nanos() as u64);
+
+    trace.record_plan(&compiled);
+    let compiled = if opts.prune_properties {
+        let ops_before = trace.plan_ops;
+        let t0 = Instant::now();
+        let pruned = match compiled {
+            CompiledQuery::Sequence(plan) => {
+                CompiledQuery::Sequence(crate::properties::prune(plan))
+            }
+            CompiledQuery::Scalar(expr) => {
+                CompiledQuery::Scalar(crate::properties::prune_scalar_expr(expr))
+            }
+        };
+        trace.add_phase("prune", t0.elapsed().as_nanos() as u64);
+        trace.record_plan(&pruned);
+        trace.pruned_ops = ops_before.saturating_sub(trace.plan_ops);
+        if trace.pruned_ops > 0 {
+            trace.rewrites.push(format!("property-prune (-{} ops)", trace.pruned_ops));
+        }
+        pruned
+    } else {
+        compiled
+    };
+    record_fired_rewrites(&mut trace, &compiled);
+    Ok((compiled, trace))
 }
 
 #[cfg(test)]
@@ -233,10 +297,7 @@ mod tests {
 
     #[test]
     fn relative_inner_path_keeps_djoin_shape() {
-        let plan = seq(
-            "/a/b[descendant::c/following::d]",
-            &TranslateOptions::improved(),
-        );
+        let plan = seq("/a/b[descendant::c/following::d]", &TranslateOptions::improved());
         let text = explain(&plan);
         let nested_start = text.find("(nested)").expect("nested plan rendered");
         assert!(text[nested_start..].contains("<>"), "{text}");
@@ -270,6 +331,68 @@ mod tests {
             compile("string-length(/a)", &TranslateOptions::improved()).unwrap(),
             CompiledQuery::Scalar(_)
         ));
+    }
+
+    #[test]
+    fn traced_compile_matches_untraced_and_times_phases() {
+        for opts in [
+            TranslateOptions::canonical(),
+            TranslateOptions::improved(),
+            TranslateOptions::extended(),
+        ] {
+            for q in ["/a/descendant::b[count(c) = 2]/d", "count(/a/b)", "1 + 2"] {
+                let plain = compile(q, &opts).unwrap();
+                let (traced, trace) = compile_traced(q, &opts).unwrap();
+                // Tracing must not change the produced query.
+                let render = |c: &CompiledQuery| match c {
+                    CompiledQuery::Sequence(p) => explain(p),
+                    CompiledQuery::Scalar(s) => s.to_string(),
+                };
+                assert_eq!(render(&plain), render(&traced), "{q}");
+                let names: Vec<&str> = trace.phases.iter().map(|p| p.name.as_str()).collect();
+                assert!(
+                    names.starts_with(&["parse", "semantic", "fold", "translate"]),
+                    "{names:?}"
+                );
+                assert_eq!(names.contains(&"prune"), opts.prune_properties, "{names:?}");
+                assert!(trace.plan_ops > 0 || q == "1 + 2", "{q}: {}", trace.plan_ops);
+                assert_eq!(trace.query, q);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_rewrites_fire() {
+        // 1+1 folds to a position() = 2 rewrite in the predicate.
+        let (_, trace) = compile_traced("/a/b[1 + 1]", &TranslateOptions::improved()).unwrap();
+        assert!(trace.rewrites.iter().any(|r| r == "constant-fold"), "{:?}", trace.rewrites);
+        // An inner relative path gets memoized under the improved options…
+        let (_, trace) = compile_traced(
+            "/a/descendant::b[count(descendant::c/following::*) = 1000]",
+            &TranslateOptions::improved(),
+        )
+        .unwrap();
+        assert!(
+            trace.rewrites.iter().any(|r| r.starts_with("memoize-inner")),
+            "{:?}",
+            trace.rewrites
+        );
+        assert!(
+            trace.rewrites.iter().any(|r| r.starts_with("split-expensive")),
+            "{:?}",
+            trace.rewrites
+        );
+        // …but not under the canonical ones.
+        let (_, trace) = compile_traced(
+            "/a/descendant::b[count(descendant::c/following::*) = 1000]",
+            &TranslateOptions::canonical(),
+        )
+        .unwrap();
+        assert!(
+            !trace.rewrites.iter().any(|r| r.starts_with("memoize-inner")),
+            "{:?}",
+            trace.rewrites
+        );
     }
 
     #[test]

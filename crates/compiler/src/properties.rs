@@ -177,9 +177,12 @@ fn map_children(plan: LogicalOp, f: fn(LogicalOp) -> LogicalOp) -> LogicalOp {
         L::CounterMap { input, attr, reset_on } => {
             L::CounterMap { input: Box::new(f(*input)), attr, reset_on }
         }
-        L::MemoMap { input, attr, expr, key } => {
-            L::MemoMap { input: Box::new(f(*input)), attr, expr: prune_scalar(expr), key }
-        }
+        L::MemoMap { input, attr, expr, key } => L::MemoMap {
+            input: Box::new(f(*input)),
+            attr,
+            expr: prune_scalar(expr),
+            key,
+        },
         L::DJoin { left, right } => {
             L::DJoin { left: Box::new(f(*left)), right: Box::new(f(*right)) }
         }
@@ -232,9 +235,7 @@ fn prune_scalar(e: ScalarExpr) -> ScalarExpr {
             lhs: Box::new(prune_scalar(*lhs)),
             rhs: Box::new(prune_scalar(*rhs)),
         },
-        S::Arith(op, a, b) => {
-            S::Arith(op, Box::new(prune_scalar(*a)), Box::new(prune_scalar(*b)))
-        }
+        S::Arith(op, a, b) => S::Arith(op, Box::new(prune_scalar(*a)), Box::new(prune_scalar(*b))),
         S::Convert(k, a) => S::Convert(k, Box::new(prune_scalar(*a))),
         S::StrFn(f, args) => S::StrFn(f, args.into_iter().map(prune_scalar).collect()),
         S::NumFn(f, a) => S::NumFn(f, Box::new(prune_scalar(*a))),

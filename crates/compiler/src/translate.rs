@@ -61,7 +61,11 @@ impl ClauseCtx {
     /// Top-level context: the execution context provides `cp` = 1 and
     /// `cs` = 1 alongside the context node `cn`.
     fn top() -> ClauseCtx {
-        ClauseCtx { pos: Some("cp".into()), last: Some("cs".into()), node: "cn".into() }
+        ClauseCtx {
+            pos: Some("cp".into()),
+            last: Some("cs".into()),
+            node: "cn".into(),
+        }
     }
 }
 
@@ -73,8 +77,16 @@ pub fn translate(e: &Expr, opts: &TranslateOptions) -> Result<CompiledQuery, Com
             let (plan, attr) = tr.t_seq(e)?;
             let deduped = is_deduped_on(&plan, &attr);
             let plan = rename(plan, &attr, "cn");
-            let plan = if deduped { plan } else { LogicalOp::dedup(plan, "cn") };
-            let plan = if opts.prune_properties { crate::properties::prune(plan) } else { plan };
+            let plan = if deduped {
+                plan
+            } else {
+                LogicalOp::dedup(plan, "cn")
+            };
+            let plan = if opts.prune_properties {
+                crate::properties::prune(plan)
+            } else {
+                plan
+            };
             Ok(CompiledQuery::Sequence(plan))
         }
         _ => {
@@ -158,10 +170,8 @@ impl Translator {
         preds: &[Predicate],
     ) -> Result<(LogicalOp, Attr), CompileError> {
         let (mut plan, attr) = self.t_seq(inner)?;
-        let norms: Vec<NormPredicate> = preds
-            .iter()
-            .map(|p| normalize_predicate(p.expr.clone()))
-            .collect();
+        let norms: Vec<NormPredicate> =
+            preds.iter().map(|p| normalize_predicate(p.expr.clone())).collect();
         if norms.iter().any(|n| n.uses_position) {
             plan = LogicalOp::SortBy { input: Box::new(plan), attr: attr.clone() };
         }
@@ -427,10 +437,9 @@ impl Translator {
             Expr::Number(n) => ScalarExpr::num(*n),
             Expr::Literal(s) => ScalarExpr::str(s.clone()),
             Expr::VarRef(v) => ScalarExpr::Var(v.clone()),
-            Expr::Or(a, b) => ScalarExpr::Or(
-                Box::new(self.t_scalar(a, cctx)?),
-                Box::new(self.t_scalar(b, cctx)?),
-            ),
+            Expr::Or(a, b) => {
+                ScalarExpr::Or(Box::new(self.t_scalar(a, cctx)?), Box::new(self.t_scalar(b, cctx)?))
+            }
             Expr::And(a, b) => ScalarExpr::And(
                 Box::new(self.t_scalar(a, cctx)?),
                 Box::new(self.t_scalar(b, cctx)?),
@@ -488,7 +497,11 @@ impl Translator {
                 }
             }
             "number" | "string" => {
-                let kind = if name == "number" { ConvKind::ToNumber } else { ConvKind::ToString };
+                let kind = if name == "number" {
+                    ConvKind::ToNumber
+                } else {
+                    ConvKind::ToString
+                };
                 let inner = if static_type(&args[0]) == XPathType::NodeSet {
                     self.agg(AggFunc::FirstNode, &args[0])?
                 } else {
@@ -506,10 +519,8 @@ impl Translator {
                 ScalarExpr::NodeFn(func, Box::new(inner))
             }
             "concat" => {
-                let parts = args
-                    .iter()
-                    .map(|a| self.t_scalar(a, cctx))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let parts =
+                    args.iter().map(|a| self.t_scalar(a, cctx)).collect::<Result<Vec<_>, _>>()?;
                 ScalarExpr::StrFn(StrFn::Concat, parts)
             }
             "contains" | "starts-with" | "substring-before" | "substring-after" | "substring"
@@ -524,10 +535,8 @@ impl Translator {
                     "normalize-space" => StrFn::NormalizeSpace,
                     _ => StrFn::Translate,
                 };
-                let parts = args
-                    .iter()
-                    .map(|a| self.t_scalar(a, cctx))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let parts =
+                    args.iter().map(|a| self.t_scalar(a, cctx)).collect::<Result<Vec<_>, _>>()?;
                 ScalarExpr::StrFn(func, parts)
             }
             "floor" | "ceiling" | "round" => {
@@ -602,11 +611,7 @@ impl Translator {
                         Box::new(ScalarExpr::attr(a2)),
                     )),
                 };
-                let join = LogicalOp::SemiJoin {
-                    left: Box::new(pl1),
-                    right: Box::new(pl2),
-                    pred,
-                };
+                let join = LogicalOp::SemiJoin { left: Box::new(pl1), right: Box::new(pl2), pred };
                 Ok(ScalarExpr::Agg(AggExpr {
                     func: AggFunc::Exists,
                     independent: join.free_attrs().is_empty(),

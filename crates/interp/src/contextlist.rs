@@ -98,7 +98,8 @@ impl<'a> Interpreter<'a> {
     /// goes through the same front-end as the algebraic engine (parse,
     /// semantic analysis, constant folding).
     pub fn evaluate(&self, query: &str, ctx: NodeId) -> Result<QueryOutput, InterpError> {
-        let ast = xpath_syntax::frontend(query).map_err(|e| InterpError { message: e.to_string() })?;
+        let ast =
+            xpath_syntax::frontend(query).map_err(|e| InterpError { message: e.to_string() })?;
         self.eval(&ast, Ctx { node: ctx, pos: 1, size: 1 })
     }
 
@@ -118,9 +119,7 @@ impl<'a> Interpreter<'a> {
                 Some(Value::Node(n)) => QueryOutput::Nodes(vec![*n]),
                 _ => return err(format!("unbound variable ${v}")),
             },
-            Expr::Or(a, b) => {
-                QueryOutput::Bool(self.eval_bool(a, ctx)? || self.eval_bool(b, ctx)?)
-            }
+            Expr::Or(a, b) => QueryOutput::Bool(self.eval_bool(a, ctx)? || self.eval_bool(b, ctx)?),
             Expr::And(a, b) => {
                 QueryOutput::Bool(self.eval_bool(a, ctx)? && self.eval_bool(b, ctx)?)
             }
@@ -214,8 +213,7 @@ impl<'a> Interpreter<'a> {
         match (a, b) {
             (Nodes(na), Nodes(nb)) => {
                 // Existential over pairs of string-values.
-                let svb: Vec<String> =
-                    nb.iter().map(|&n| self.store.string_value(n)).collect();
+                let svb: Vec<String> = nb.iter().map(|&n| self.store.string_value(n)).collect();
                 na.iter().any(|&x| {
                     let sa = self.store.string_value(x);
                     svb.iter().any(|sb| match op {
@@ -241,10 +239,7 @@ impl<'a> Interpreter<'a> {
                         }
                     }
                     Num(pn) => ns.iter().any(|&n| {
-                        op.apply_numbers(
-                            xvalue::string_to_number(&self.store.string_value(n)),
-                            *pn,
-                        )
+                        op.apply_numbers(xvalue::string_to_number(&self.store.string_value(n)), *pn)
                     }),
                     Str(ps) => ns.iter().any(|&n| {
                         let sv = self.store.string_value(n);
@@ -327,7 +322,8 @@ impl<'a> Interpreter<'a> {
         let principal = axis.principal_kind();
         match test {
             NodeTest::Name(name) => {
-                store.kind(n) == principal && store.intern_lookup(name) == store.name(n)
+                store.kind(n) == principal
+                    && store.intern_lookup(name) == store.name(n)
                     && store.name(n).is_some()
             }
             NodeTest::Wildcard => store.kind(n) == principal,
@@ -365,12 +361,7 @@ impl<'a> Interpreter<'a> {
 
     // ----- function library -------------------------------------------------
 
-    fn eval_call(
-        &self,
-        name: &str,
-        args: &[Expr],
-        ctx: Ctx,
-    ) -> Result<QueryOutput, InterpError> {
+    fn eval_call(&self, name: &str, args: &[Expr], ctx: Ctx) -> Result<QueryOutput, InterpError> {
         Ok(match name {
             "last" => QueryOutput::Num(ctx.size as f64),
             "position" => QueryOutput::Num(ctx.pos as f64),
@@ -378,9 +369,7 @@ impl<'a> Interpreter<'a> {
             "sum" => {
                 let ns = self.eval_nodeset_arg(&args[0], ctx)?;
                 QueryOutput::Num(
-                    ns.iter()
-                        .map(|&n| xvalue::string_to_number(&self.store.string_value(n)))
-                        .sum(),
+                    ns.iter().map(|&n| xvalue::string_to_number(&self.store.string_value(n))).sum(),
                 )
             }
             "exists" => QueryOutput::Bool(!self.eval_nodeset_arg(&args[0], ctx)?.is_empty()),
@@ -501,10 +490,8 @@ mod tests {
     use xmlstore::parse_document;
 
     fn store() -> xmlstore::ArenaStore {
-        parse_document(
-            r#"<r><a id="1"><b>x</b><b>y</b></a><a id="2"><b>z</b></a><c>7</c></r>"#,
-        )
-        .unwrap()
+        parse_document(r#"<r><a id="1"><b>x</b><b>y</b></a><a id="2"><b>z</b></a><c>7</c></r>"#)
+            .unwrap()
     }
 
     fn run(q: &str) -> QueryOutput {
@@ -549,7 +536,11 @@ mod tests {
         let s = store();
         let naive = Interpreter::new(&s, InterpOptions::naive());
         let cl = Interpreter::new(&s, InterpOptions::context_list());
-        for q in ["count(//b)", "count(/r/a/b/parent::a)", "string(/r/a[2]/b[1])"] {
+        for q in [
+            "count(//b)",
+            "count(/r/a/b/parent::a)",
+            "string(/r/a[2]/b[1])",
+        ] {
             assert_eq!(
                 naive.evaluate(q, s.root()).unwrap(),
                 cl.evaluate(q, s.root()).unwrap(),

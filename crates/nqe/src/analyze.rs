@@ -1,0 +1,267 @@
+//! EXPLAIN ANALYZE: one report unifying the compile-phase trace
+//! ([`compiler::QueryTrace`]), the timed operator profile
+//! ([`crate::profile::Profile`]) and the query result — with a text
+//! renderer (the plan tree in the paper's σ/Υ/Π^D notation annotated
+//! with actual times, opens, tuples and gauges) and a stable JSON
+//! renderer (schema documented on [`AnalyzeReport::to_json`]).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use algebra::{QueryOutput, Value};
+use compiler::{compile_traced, PipelineError, QueryTrace, TranslateOptions};
+use xmlstore::{NodeId, XmlStore};
+
+use crate::codegen::build_physical_profiled;
+use crate::json::Json;
+use crate::profile::{fmt_nanos, Profile};
+
+/// The result of an `EXPLAIN ANALYZE` run: compile trace, operator
+/// profile, and the shape of the result.
+pub struct AnalyzeReport {
+    /// Per-phase compile timings, fired rewrites and plan statistics.
+    /// Extended with `codegen` and `execute` phases by [`explain_analyze`].
+    pub trace: QueryTrace,
+    /// Per-operator timings/counters/gauges.
+    pub profile: Profile,
+    /// Kind of the result (`nodes`, `bool`, `num`, `str`).
+    pub result_kind: &'static str,
+    /// Node count for node-set results, 1 otherwise.
+    pub result_count: usize,
+    /// Short rendering of the result (node-sets render as a count).
+    pub result_summary: String,
+}
+
+/// Compile, lower and execute `query` with full observability: every
+/// pipeline phase is timed (including code generation and execution,
+/// appended to the trace), every physical operator is profiled. Returns
+/// the result alongside the report.
+pub fn explain_analyze(
+    store: &dyn XmlStore,
+    query: &str,
+    opts: &TranslateOptions,
+    ctx: NodeId,
+    vars: &HashMap<String, Value>,
+) -> Result<(QueryOutput, AnalyzeReport), PipelineError> {
+    let (compiled, mut trace) = compile_traced(query, opts)?;
+
+    let t0 = Instant::now();
+    let (mut phys, profile) = build_physical_profiled(&compiled);
+    trace.add_phase("codegen", t0.elapsed().as_nanos() as u64);
+
+    let t0 = Instant::now();
+    let out = phys.execute(store, vars, ctx);
+    trace.add_phase("execute", t0.elapsed().as_nanos() as u64);
+
+    let (result_kind, result_count, result_summary) = describe(&out);
+    let report = AnalyzeReport { trace, profile, result_kind, result_count, result_summary };
+    Ok((out, report))
+}
+
+fn describe(out: &QueryOutput) -> (&'static str, usize, String) {
+    match out {
+        QueryOutput::Nodes(ns) => ("nodes", ns.len(), format!("{} node(s)", ns.len())),
+        QueryOutput::Bool(b) => ("bool", 1, b.to_string()),
+        QueryOutput::Num(n) => ("num", 1, n.to_string()),
+        QueryOutput::Str(s) => ("str", 1, format!("{s:?}")),
+    }
+}
+
+impl AnalyzeReport {
+    /// Render the full report as text: compile-phase breakdown, then the
+    /// operator tree annotated with actual time/opens/tuples/gauges, then
+    /// the result line.
+    pub fn text(&self) -> String {
+        let mut out = self.trace.report();
+        out.push('\n');
+        out.push_str("operators (actual):\n");
+        out.push_str(&self.profile.report());
+        out.push_str(&format!(
+            "result: {} in {} (plan time {})\n",
+            self.result_summary,
+            fmt_nanos(self.trace.total_nanos()),
+            fmt_nanos(self.profile.total_time().as_nanos() as u64),
+        ));
+        out
+    }
+
+    /// Export as JSON. Stable schema:
+    ///
+    /// ```json
+    /// {
+    ///   "query": "...",
+    ///   "phases": [{"name": "parse", "nanos": 123}, ...],
+    ///   "rewrites": ["memoize-inner ×1", ...],
+    ///   "plan": {"ops": 12, "depth": 5,
+    ///            "op_counts": {"Υ": 4, ...}, "pruned_ops": 0},
+    ///   "operators": [{"label": "Π^D[cn]", "depth": 0, "opens": 1,
+    ///                  "tuples": 10, "nanos": 123, "self_nanos": 50,
+    ///                  "gauges": {"dup_dropped": 2, ...}}, ...],
+    ///   "result": {"kind": "nodes", "count": 10},
+    ///   "total_nanos": 456
+    /// }
+    /// ```
+    ///
+    /// `operators` is in plan (pre-order) order; `depth` reconstructs the
+    /// tree. All times are wall-clock nanoseconds.
+    pub fn to_json(&self) -> Json {
+        let mut root = trace_json_fields(&self.trace);
+        root.push(("operators".to_owned(), profile_json(&self.profile)));
+        root.push((
+            "result".to_owned(),
+            Json::obj(vec![
+                ("kind", Json::Str(self.result_kind.to_owned())),
+                ("count", Json::Num(self.result_count as f64)),
+            ]),
+        ));
+        root.push(("total_nanos".to_owned(), Json::Num(self.trace.total_nanos() as f64)));
+        Json::Obj(root)
+    }
+}
+
+fn trace_json_fields(trace: &QueryTrace) -> Vec<(String, Json)> {
+    let phases = trace
+        .phases
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("name", Json::Str(p.name.clone())),
+                ("nanos", Json::Num(p.nanos as f64)),
+            ])
+        })
+        .collect();
+    let rewrites = trace.rewrites.iter().map(|r| Json::Str(r.clone())).collect();
+    let op_counts =
+        trace.op_counts.iter().map(|(k, n)| (k.clone(), Json::Num(*n as f64))).collect();
+    vec![
+        ("query".to_owned(), Json::Str(trace.query.clone())),
+        ("phases".to_owned(), Json::Arr(phases)),
+        ("rewrites".to_owned(), Json::Arr(rewrites)),
+        (
+            "plan".to_owned(),
+            Json::obj(vec![
+                ("ops", Json::Num(trace.plan_ops as f64)),
+                ("depth", Json::Num(trace.plan_depth as f64)),
+                ("op_counts", Json::Obj(op_counts)),
+                ("pruned_ops", Json::Num(trace.pruned_ops as f64)),
+            ]),
+        ),
+    ]
+}
+
+/// The operator profile alone as a JSON array (used by the bench
+/// binaries' per-query exports).
+pub fn profile_json(profile: &Profile) -> Json {
+    let self_nanos = profile.self_nanos();
+    Json::Arr(
+        profile
+            .entries
+            .iter()
+            .zip(&self_nanos)
+            .map(|(e, self_ns)| {
+                let s = e.stats.borrow();
+                let gauges = s.gauges.iter().map(|(k, v)| ((*k).to_owned(), Json::Num(*v as f64)));
+                Json::obj(vec![
+                    ("label", Json::Str(e.label.clone())),
+                    ("depth", Json::Num(e.depth as f64)),
+                    ("opens", Json::Num(s.opens as f64)),
+                    ("tuples", Json::Num(s.tuples as f64)),
+                    ("nanos", Json::Num(s.nanos as f64)),
+                    ("self_nanos", Json::Num(*self_ns as f64)),
+                    ("gauges", Json::Obj(gauges.collect())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::parse_document;
+
+    fn run(query: &str) -> (QueryOutput, AnalyzeReport) {
+        let store = parse_document("<r><a><b>x</b><b>y</b></a><a><b>x</b></a></r>").unwrap();
+        explain_analyze(&store, query, &TranslateOptions::improved(), store.root(), &HashMap::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn sequence_query_report() {
+        let (out, rep) = run("/r/a/b");
+        assert!(matches!(out, QueryOutput::Nodes(ref ns) if ns.len() == 3), "{out:?}");
+        assert_eq!(rep.result_kind, "nodes");
+        assert_eq!(rep.result_count, 3);
+        let text = rep.text();
+        assert!(text.contains("compile phases"), "{text}");
+        assert!(text.contains("codegen"), "{text}");
+        assert!(text.contains("execute"), "{text}");
+        assert!(text.contains("Υ["), "{text}");
+        assert!(text.contains("result: 3 node(s)"), "{text}");
+        // Every operator ran exactly once at the top level and the root
+        // produced the result tuples.
+        assert!(rep.profile.total_tuples() > 0);
+    }
+
+    #[test]
+    fn scalar_query_report_not_empty() {
+        let (out, rep) = run("count(/r/a/b)");
+        assert_eq!(out, QueryOutput::Num(3.0));
+        assert!(
+            !rep.profile.entries.is_empty(),
+            "scalar queries must still produce operator profiles"
+        );
+        assert!(rep.profile.entries[0].label.starts_with("scalar["));
+        // The nested plan operators hang below the synthetic root.
+        assert!(rep.profile.entries.len() > 1);
+        assert!(rep.profile.entries[1].depth > rep.profile.entries[0].depth);
+        let json = rep.to_json();
+        assert_eq!(
+            json.get("result").and_then(|r| r.get("kind")).and_then(Json::as_str),
+            Some("num")
+        );
+    }
+
+    #[test]
+    fn pure_scalar_still_profiled() {
+        let (out, rep) = run("1 + 2");
+        assert_eq!(out, QueryOutput::Num(3.0));
+        assert_eq!(rep.profile.entries.len(), 1, "synthetic scalar root expected");
+        assert_eq!(rep.profile.entries[0].stats.borrow().opens, 1);
+    }
+
+    #[test]
+    fn json_round_trips_and_has_schema_fields() {
+        let (_, rep) = run("/r/a[b = 'x']");
+        let json = rep.to_json();
+        let text = json.pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, json, "pretty JSON must parse back identically");
+        for key in [
+            "query",
+            "phases",
+            "rewrites",
+            "plan",
+            "operators",
+            "result",
+            "total_nanos",
+        ] {
+            assert!(back.get(key).is_some(), "missing {key}");
+        }
+        let ops = back.get("operators").and_then(Json::as_arr).unwrap();
+        assert!(!ops.is_empty());
+        for op in ops {
+            for key in [
+                "label",
+                "depth",
+                "opens",
+                "tuples",
+                "nanos",
+                "self_nanos",
+                "gauges",
+            ] {
+                assert!(op.get(key).is_some(), "operator missing {key}");
+            }
+        }
+    }
+}

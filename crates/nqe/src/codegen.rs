@@ -9,9 +9,9 @@ use algebra::LogicalOp;
 use compiler::CompiledQuery;
 
 use crate::iter::{
-    CompiledPred, ConcatIter, CounterIter, DJoinIter, DedupIter, MapIter, MemoMapIter,
-    MemoXIter, NestedEval, PhysIter, RenameCopyIter, SelectIter, SemiJoinIter, SingletonIter,
-    SortIter, TmpCsIter, TokenizeIter, UnnestMapIter,
+    CompiledPred, ConcatIter, CounterIter, DJoinIter, DedupIter, MapIter, MemoMapIter, MemoXIter,
+    NestedEval, PhysIter, RenameCopyIter, SelectIter, SemiJoinIter, SingletonIter, SortIter,
+    TmpCsIter, TokenizeIter, UnnestMapIter,
 };
 use crate::nvm::{Instr, Program, Reg};
 use crate::profile::{OpStats, Profile, ProfileEntry, ProfiledIter};
@@ -44,6 +44,10 @@ pub enum PhysicalQuery {
         pred: CompiledPred,
         /// Frame layout.
         frame: FrameInfo,
+        /// Profile counters for the top-level scalar evaluation itself
+        /// (`None` when built without profiling — the untimed path
+        /// allocates nothing).
+        stats: Option<std::rc::Rc<std::cell::RefCell<OpStats>>>,
     },
 }
 
@@ -76,10 +80,25 @@ fn build(q: &CompiledQuery, profile: Option<Profile>) -> (PhysicalQuery, Option<
             let wrapper = LogicalOp::select(LogicalOp::Singleton, expr.clone());
             let mut mgr = AttrManager::for_plan(&wrapper);
             let mut cg = Codegen { mgr: &mut mgr, profile, depth: 0 };
+            // With profiling on, synthesize a root entry for the scalar
+            // evaluation itself so the profile of a boolean/numeric query
+            // is never empty; nested sequence plans hang one level below.
+            let stats = cg.profile.as_mut().map(|p| {
+                let stats = std::rc::Rc::new(std::cell::RefCell::new(OpStats::default()));
+                p.entries.push(ProfileEntry {
+                    label: format!("scalar[{expr}]"),
+                    depth: 0,
+                    stats: stats.clone(),
+                });
+                stats
+            });
+            if stats.is_some() {
+                cg.depth = 1;
+            }
             let pred = cg.compile_pred(expr);
             let profile = cg.profile.take();
             let frame = finish_frame(&mut mgr);
-            (PhysicalQuery::Scalar { pred, frame }, profile)
+            (PhysicalQuery::Scalar { pred, frame, stats }, profile)
         }
     }
 }
@@ -215,11 +234,8 @@ impl Codegen<'_> {
         pred: &ScalarExpr,
         anti: bool,
     ) -> Box<dyn PhysIter> {
-        let right_defined: Vec<Slot> = right
-            .defined_attrs()
-            .iter()
-            .map(|a| self.mgr.slot(a))
-            .collect();
+        let right_defined: Vec<Slot> =
+            right.defined_attrs().iter().map(|a| self.mgr.slot(a)).collect();
         let left = self.build_iter(left);
         let right = self.build_iter(right);
         let pred = self.compile_pred(pred);
@@ -241,12 +257,7 @@ impl Codegen<'_> {
         r
     }
 
-    fn emit(
-        &mut self,
-        e: &ScalarExpr,
-        prog: &mut Program,
-        nested: &mut Vec<NestedEval>,
-    ) -> Reg {
+    fn emit(&mut self, e: &ScalarExpr, prog: &mut Program, nested: &mut Vec<NestedEval>) -> Reg {
         use ScalarExpr as S;
         match e {
             S::Const(c) => {

@@ -52,22 +52,28 @@ impl PhysicalQuery {
                 nodes.dedup();
                 QueryOutput::Nodes(nodes)
             }
-            PhysicalQuery::Scalar { pred, frame } => {
+            PhysicalQuery::Scalar { pred, frame, stats } => {
                 let mut seed: Tuple = vec![Value::Null; frame.width];
                 seed[frame.cn] = Value::Node(ctx);
                 seed[frame.cp] = Value::Num(1.0);
                 seed[frame.cs] = Value::Num(1.0);
-                match pred.eval(&rt, &seed) {
+                let t0 = stats.as_ref().map(|_| std::time::Instant::now());
+                let value = pred.eval(&rt, &seed);
+                if let (Some(stats), Some(t0)) = (stats, t0) {
+                    let mut s = stats.borrow_mut();
+                    s.nanos += t0.elapsed().as_nanos() as u64;
+                    s.opens += 1;
+                    s.tuples += 1;
+                }
+                match value {
                     Value::Bool(b) => QueryOutput::Bool(b),
                     Value::Num(n) => QueryOutput::Num(n),
                     Value::Str(s) => QueryOutput::Str(s.to_string()),
                     Value::Node(n) => QueryOutput::Nodes(vec![n]),
                     Value::Null => QueryOutput::Str(String::new()),
                     Value::Seq(ts) => {
-                        let mut nodes: Vec<NodeId> = ts
-                            .iter()
-                            .flat_map(|t| t.iter().filter_map(|v| v.as_node()))
-                            .collect();
+                        let mut nodes: Vec<NodeId> =
+                            ts.iter().flat_map(|t| t.iter().filter_map(|v| v.as_node())).collect();
                         nodes.sort_by_key(|&n| store.order(n));
                         nodes.dedup();
                         QueryOutput::Nodes(nodes)

@@ -9,7 +9,7 @@ use algebra::attrmgr::Slot;
 use algebra::{Tuple, Value};
 
 use crate::exec::Runtime;
-use crate::iter::{CompiledPred, GroupKey, PhysIter};
+use crate::iter::{CompiledPred, Gauge, GroupKey, PhysIter};
 
 /// Π^D_a — duplicate elimination on one attribute, keeping the first
 /// occurrence and all other attributes.
@@ -17,12 +17,14 @@ pub struct DedupIter {
     input: Box<dyn PhysIter>,
     slot: Slot,
     seen: HashSet<GroupKey>,
+    /// Statistics: input tuples dropped as duplicates (all opens).
+    pub dropped: u64,
 }
 
 impl DedupIter {
     /// New duplicate elimination.
     pub fn new(input: Box<dyn PhysIter>, slot: Slot) -> DedupIter {
-        DedupIter { input, slot, seen: HashSet::new() }
+        DedupIter { input, slot, seen: HashSet::new(), dropped: 0 }
     }
 }
 
@@ -39,11 +41,16 @@ impl PhysIter for DedupIter {
             if self.seen.insert(key) {
                 return Some(t);
             }
+            self.dropped += 1;
         }
     }
 
     fn close(&mut self) {
         self.input.close();
+    }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        out.push(("dup_dropped", self.dropped));
     }
 }
 
@@ -55,12 +62,24 @@ pub struct SortIter {
     slot: Slot,
     buffer: Option<Vec<Tuple>>,
     pos: usize,
+    /// Statistics: total tuples materialised for sorting (all opens).
+    pub sorted_tuples: u64,
+    /// Statistics: number of sort materialisations (one per consumed
+    /// open).
+    pub sort_runs: u64,
 }
 
 impl SortIter {
     /// New sort.
     pub fn new(input: Box<dyn PhysIter>, slot: Slot) -> SortIter {
-        SortIter { input, slot, buffer: None, pos: 0 }
+        SortIter {
+            input,
+            slot,
+            buffer: None,
+            pos: 0,
+            sorted_tuples: 0,
+            sort_runs: 0,
+        }
     }
 }
 
@@ -78,11 +97,11 @@ impl PhysIter for SortIter {
                 buf.push(t);
             }
             self.input.close();
+            self.sorted_tuples += buf.len() as u64;
+            self.sort_runs += 1;
             let slot = self.slot;
             buf.sort_by_key(|t| {
-                t.get(slot)
-                    .and_then(|v| v.as_node())
-                    .map_or(u64::MAX, |n| rt.store.order(n))
+                t.get(slot).and_then(|v| v.as_node()).map_or(u64::MAX, |n| rt.store.order(n))
             });
             self.buffer = Some(buf);
         }
@@ -100,6 +119,11 @@ impl PhysIter for SortIter {
         self.buffer = None;
         self.pos = 0;
     }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        out.push(("sort_input", self.sorted_tuples));
+        out.push(("sort_runs", self.sort_runs));
+    }
 }
 
 /// Tmp^cs / Tmp^cs_c (paper §5.2.4): materialise one context group at a
@@ -113,12 +137,25 @@ pub struct TmpCsIter {
     buf: VecDeque<Tuple>,
     lookahead: Option<Tuple>,
     exhausted: bool,
+    /// Statistics: total tuples materialised into group buffers.
+    pub materialized: u64,
+    /// Statistics: number of context groups materialised.
+    pub groups: u64,
 }
 
 impl TmpCsIter {
     /// New context-size operator.
     pub fn new(input: Box<dyn PhysIter>, cs: Slot, group: Option<Slot>) -> TmpCsIter {
-        TmpCsIter { input, cs, group, buf: VecDeque::new(), lookahead: None, exhausted: false }
+        TmpCsIter {
+            input,
+            cs,
+            group,
+            buf: VecDeque::new(),
+            lookahead: None,
+            exhausted: false,
+            materialized: 0,
+            groups: 0,
+        }
     }
 
     fn fill_group(&mut self, rt: &Runtime<'_>) {
@@ -130,9 +167,8 @@ impl TmpCsIter {
             self.exhausted = true;
             return;
         };
-        let group_key = self
-            .group
-            .map(|slot| GroupKey::of(first.get(slot).unwrap_or(&Value::Null), rt));
+        let group_key =
+            self.group.map(|slot| GroupKey::of(first.get(slot).unwrap_or(&Value::Null), rt));
         let mut group = vec![first];
         loop {
             match self.input.next(rt) {
@@ -157,6 +193,8 @@ impl TmpCsIter {
             }
         }
         let cs = Value::Num(group.len() as f64);
+        self.materialized += group.len() as u64;
+        self.groups += 1;
         for mut t in group {
             t[self.cs] = cs.clone();
             self.buf.push_back(t);
@@ -192,6 +230,11 @@ impl PhysIter for TmpCsIter {
         self.buf.clear();
         self.lookahead = None;
     }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        out.push(("materialized", self.materialized));
+        out.push(("groups", self.groups));
+    }
 }
 
 /// 𝔐 — MemoX (§4.2.2): memoise the producer's tuple sequence keyed by
@@ -207,6 +250,8 @@ pub struct MemoXIter {
     pub hits: u64,
     /// Statistics: cache misses.
     pub misses: u64,
+    /// Statistics: total tuples held by the memo table.
+    pub stored_tuples: u64,
 }
 
 enum MemoMode {
@@ -218,7 +263,15 @@ enum MemoMode {
 impl MemoXIter {
     /// New MemoX.
     pub fn new(input: Box<dyn PhysIter>, key: Slot) -> MemoXIter {
-        MemoXIter { input, key, table: HashMap::new(), mode: MemoMode::Idle, hits: 0, misses: 0 }
+        MemoXIter {
+            input,
+            key,
+            table: HashMap::new(),
+            mode: MemoMode::Idle,
+            hits: 0,
+            misses: 0,
+            stored_tuples: 0,
+        }
     }
 }
 
@@ -253,6 +306,7 @@ impl PhysIter for MemoXIter {
                 None => {
                     let key = key.clone();
                     let acc = std::mem::take(acc);
+                    self.stored_tuples += acc.len() as u64;
                     self.table.insert(key, Rc::new(acc));
                     self.mode = MemoMode::Idle;
                     None
@@ -268,6 +322,13 @@ impl PhysIter for MemoXIter {
         }
         self.mode = MemoMode::Idle;
     }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        out.push(("memo_hits", self.hits));
+        out.push(("memo_misses", self.misses));
+        out.push(("memo_entries", self.table.len() as u64));
+        out.push(("memo_tuples", self.stored_tuples));
+    }
 }
 
 /// χ^mat — memoizing map for expensive predicate clauses (§4.3.2, after
@@ -280,17 +341,22 @@ pub struct MemoMapIter {
     cache: HashMap<GroupKey, Value>,
     /// Statistics: cache hits.
     pub hits: u64,
+    /// Statistics: cache misses (subscript evaluations).
+    pub misses: u64,
 }
 
 impl MemoMapIter {
     /// New memoizing map.
-    pub fn new(
-        input: Box<dyn PhysIter>,
-        out: Slot,
-        key: Slot,
-        expr: CompiledPred,
-    ) -> MemoMapIter {
-        MemoMapIter { input, out, key, expr, cache: HashMap::new(), hits: 0 }
+    pub fn new(input: Box<dyn PhysIter>, out: Slot, key: Slot, expr: CompiledPred) -> MemoMapIter {
+        MemoMapIter {
+            input,
+            out,
+            key,
+            expr,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 }
 
@@ -308,6 +374,7 @@ impl PhysIter for MemoMapIter {
                 v.clone()
             }
             None => {
+                self.misses += 1;
                 let v = self.expr.eval(rt, &t);
                 self.cache.insert(key, v.clone());
                 v
@@ -319,5 +386,11 @@ impl PhysIter for MemoMapIter {
 
     fn close(&mut self) {
         self.input.close();
+    }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        out.push(("memo_hits", self.hits));
+        out.push(("memo_misses", self.misses));
+        out.push(("memo_entries", self.cache.len() as u64));
     }
 }

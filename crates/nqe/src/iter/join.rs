@@ -5,7 +5,7 @@ use algebra::attrmgr::Slot;
 use algebra::Tuple;
 
 use crate::exec::Runtime;
-use crate::iter::{CompiledPred, PhysIter};
+use crate::iter::{CompiledPred, Gauge, PhysIter};
 
 /// `<>` — d-join: for every left tuple, re-open the dependent side seeded
 /// with that tuple and stream its results. This is the free-variable
@@ -14,12 +14,14 @@ pub struct DJoinIter {
     left: Box<dyn PhysIter>,
     right: Box<dyn PhysIter>,
     right_active: bool,
+    /// Statistics: dependent-side re-opens (one per left tuple).
+    pub reopens: u64,
 }
 
 impl DJoinIter {
     /// New d-join.
     pub fn new(left: Box<dyn PhysIter>, right: Box<dyn PhysIter>) -> DJoinIter {
-        DJoinIter { left, right, right_active: false }
+        DJoinIter { left, right, right_active: false, reopens: 0 }
     }
 }
 
@@ -40,6 +42,7 @@ impl PhysIter for DJoinIter {
             }
             let lt = self.left.next(rt)?;
             self.right.open(rt, &lt);
+            self.reopens += 1;
             self.right_active = true;
         }
     }
@@ -50,6 +53,10 @@ impl PhysIter for DJoinIter {
             self.right.close();
             self.right_active = false;
         }
+    }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        out.push(("reopens", self.reopens));
     }
 }
 
@@ -69,6 +76,8 @@ pub struct SemiJoinIter {
     anti: bool,
     seed: Tuple,
     right_mat: Option<Vec<Tuple>>,
+    /// Statistics: total match-side tuples materialised (all opens).
+    pub right_materialized: u64,
 }
 
 impl SemiJoinIter {
@@ -80,7 +89,16 @@ impl SemiJoinIter {
         right_defined: Vec<Slot>,
         anti: bool,
     ) -> SemiJoinIter {
-        SemiJoinIter { left, right, pred, right_defined, anti, seed: Tuple::new(), right_mat: None }
+        SemiJoinIter {
+            left,
+            right,
+            pred,
+            right_defined,
+            anti,
+            seed: Tuple::new(),
+            right_mat: None,
+            right_materialized: 0,
+        }
     }
 }
 
@@ -99,6 +117,7 @@ impl PhysIter for SemiJoinIter {
                 mat.push(t);
             }
             self.right.close();
+            self.right_materialized += mat.len() as u64;
             self.right_mat = Some(mat);
         }
         'probe: loop {
@@ -125,5 +144,9 @@ impl PhysIter for SemiJoinIter {
     fn close(&mut self) {
         self.left.close();
         self.right_mat = None;
+    }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        out.push(("right_materialized", self.right_materialized));
     }
 }

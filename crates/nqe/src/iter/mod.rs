@@ -21,6 +21,10 @@ use algebra::{Tuple, Value};
 use crate::exec::Runtime;
 use crate::nvm::{self, Program};
 
+/// One operator-specific metric: a static name and a counter value
+/// (e.g. `("memo_hits", 42)`).
+pub type Gauge = (&'static str, u64);
+
 /// The iterator interface of the physical algebra.
 pub trait PhysIter {
     /// (Re-)start the iterator with an outer binding tuple. Caches
@@ -33,6 +37,11 @@ pub trait PhysIter {
     /// Release per-evaluation state (default: nothing to do — Rust drops
     /// buffers with the operator).
     fn close(&mut self) {}
+
+    /// Report operator-specific gauges (cache hit/miss counts,
+    /// materialised tuple counts, re-open counts, …). Collected by the
+    /// profiler at close; the default reports nothing.
+    fn gauges(&self, _out: &mut Vec<Gauge>) {}
 }
 
 /// A compiled scalar subscript: an NVM program plus the nested iterator

@@ -58,9 +58,7 @@ impl ResolvedTest {
         let store = rt.store;
         match self {
             ResolvedTest::Impossible => false,
-            ResolvedTest::Name(kind, id) => {
-                store.kind(n) == *kind && store.name(n) == Some(*id)
-            }
+            ResolvedTest::Name(kind, id) => store.kind(n) == *kind && store.name(n) == Some(*id),
             ResolvedTest::AnyPrincipal(kind) => store.kind(n) == *kind,
             ResolvedTest::Prefix(kind, prefix) => {
                 store.kind(n) == *kind && store.node_name(n).starts_with(prefix)

@@ -10,12 +10,16 @@
 //! * [`exec`] — the executor and the [`exec::evaluate`] convenience entry
 //!   point.
 
+pub mod analyze;
 pub mod codegen;
 pub mod exec;
 pub mod iter;
+pub mod json;
 pub mod nvm;
 pub mod profile;
 
+pub use analyze::{explain_analyze, AnalyzeReport};
 pub use codegen::{build_physical, build_physical_profiled, FrameInfo, PhysicalQuery};
-pub use profile::{OpStats, Profile};
 pub use exec::{evaluate, evaluate_with, Runtime};
+pub use json::Json;
+pub use profile::{OpStats, Profile};

@@ -31,11 +31,22 @@ pub enum Instr {
     /// `dst ← vars[name]` (Null if unbound).
     LoadVar { dst: Reg, name: String },
     /// `dst ← a <op> b` (numeric).
-    Arith { op: ArithOp, dst: Reg, a: Reg, b: Reg },
+    Arith {
+        op: ArithOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// `dst ← -a`
     Neg { dst: Reg, a: Reg },
     /// `dst ← a <op> b` under the given comparison mode.
-    Cmp { op: CompOp, mode: CmpMode, dst: Reg, a: Reg, b: Reg },
+    Cmp {
+        op: CompOp,
+        mode: CmpMode,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// `dst ← not a`
     Not { dst: Reg, a: Reg },
     /// `dst ← number(a)`
@@ -79,12 +90,7 @@ pub struct Program {
 
 /// Run a program against `tuple`. `nested` supplies the nested iterator
 /// plans referenced by `EvalNested`.
-pub fn run(
-    prog: &Program,
-    rt: &Runtime<'_>,
-    tuple: &Tuple,
-    nested: &mut [NestedEval],
-) -> Value {
+pub fn run(prog: &Program, rt: &Runtime<'_>, tuple: &Tuple, nested: &mut [NestedEval]) -> Value {
     let mut regs: Vec<Value> = vec![Value::Null; prog.nregs];
     let store = rt.store;
     let mut pc = 0usize;
@@ -108,9 +114,7 @@ pub fn run(
             }
             Instr::Not { dst, a } => regs[*dst] = Value::Bool(!regs[*a].to_bool()),
             Instr::ToNumber { dst, a } => regs[*dst] = Value::Num(regs[*a].to_num(store)),
-            Instr::ToString { dst, a } => {
-                regs[*dst] = Value::Str(regs[*a].to_str(store).into())
-            }
+            Instr::ToString { dst, a } => regs[*dst] = Value::Str(regs[*a].to_str(store).into()),
             Instr::ToBoolean { dst, a } => regs[*dst] = Value::Bool(regs[*a].to_bool()),
             Instr::StrOp { f, dst, args } => {
                 regs[*dst] = str_op(*f, args, &regs, rt);
@@ -126,9 +130,7 @@ pub fn run(
             Instr::NodeOp { f, dst, a } => {
                 regs[*dst] = Value::Str(
                     match (&regs[*a], f) {
-                        (Value::Node(n), NodeFn::Name | NodeFn::LocalName) => {
-                            store.node_name(*n)
-                        }
+                        (Value::Node(n), NodeFn::Name | NodeFn::LocalName) => store.node_name(*n),
                         // Names are stored verbatim (no namespace expansion).
                         (Value::Node(_), NodeFn::NamespaceUri) => String::new(),
                         _ => String::new(),
@@ -215,10 +217,7 @@ fn compare(op: CompOp, mode: CmpMode, a: &Value, b: &Value, rt: &Runtime<'_>) ->
             match op {
                 CompOp::Eq => x == y,
                 CompOp::Ne => x != y,
-                _ => op.apply_numbers(
-                    xvalue::string_to_number(&x),
-                    xvalue::string_to_number(&y),
-                ),
+                _ => op.apply_numbers(xvalue::string_to_number(&x), xvalue::string_to_number(&y)),
             }
         }
         CmpMode::Dyn => unreachable!("Dyn resolved above"),

@@ -51,7 +51,12 @@ fn simple_child_paths() {
     let r = both(&d, "/library/book/title");
     assert_eq!(
         strings(&d, &r),
-        ["TCP Illustrated", "Advanced Unix", "Data on the Web", "Economics"]
+        [
+            "TCP Illustrated",
+            "Advanced Unix",
+            "Data on the Web",
+            "Economics"
+        ]
     );
     let r = both(&d, "/library/*/title");
     assert_eq!(strings(&d, &r).len(), 5);
@@ -146,7 +151,10 @@ fn scalar_queries() {
     let d = doc();
     assert_eq!(both(&d, "count(/library/book)"), QueryOutput::Num(4.0));
     assert_eq!(both(&d, "count(//author)"), QueryOutput::Num(6.0));
-    assert_eq!(both(&d, "sum(/library/book/price)"), QueryOutput::Num(65.95 + 65.95 + 39.95 + 10.0));
+    assert_eq!(
+        both(&d, "sum(/library/book/price)"),
+        QueryOutput::Num(65.95 + 65.95 + 39.95 + 10.0)
+    );
     assert_eq!(both(&d, "1 + 2 * 3"), QueryOutput::Num(7.0));
     assert_eq!(
         both(&d, "string(/library/book[1]/title)"),
@@ -164,14 +172,8 @@ fn scalar_queries() {
 fn nodeset_comparisons_existential() {
     let d = doc();
     // Equal if ANY pair matches.
-    assert_eq!(
-        both(&d, "/library/book/author = 'Stevens'"),
-        QueryOutput::Bool(true)
-    );
-    assert_eq!(
-        both(&d, "/library/book/author = 'Nobody'"),
-        QueryOutput::Bool(false)
-    );
+    assert_eq!(both(&d, "/library/book/author = 'Stevens'"), QueryOutput::Bool(true));
+    assert_eq!(both(&d, "/library/book/author = 'Nobody'"), QueryOutput::Bool(false));
     // set ≠ set: any differing pair.
     assert_eq!(
         both(&d, "/library/book/author != /library/book/author"),
@@ -306,10 +308,7 @@ fn axes_coverage() {
 fn node_type_tests() {
     let d = parse_document("<r>text1<a/><!--c1--><?pi data?>text2</r>").unwrap();
     let r = both(&d, "/r/text()");
-    assert_eq!(
-        r.as_nodes().unwrap().len(),
-        2
-    );
+    assert_eq!(r.as_nodes().unwrap().len(), 2);
     let r = both(&d, "/r/comment()");
     assert_eq!(r.as_nodes().unwrap().len(), 1);
     let r = both(&d, "/r/processing-instruction()");
@@ -351,8 +350,8 @@ fn relative_paths_with_context() {
     let r = evaluate_with(&d, ".", &TranslateOptions::improved(), b3, &vars).unwrap();
     assert_eq!(names(&d, &r), ["book"]);
     // Absolute path ignores the context node's position.
-    let r = evaluate_with(&d, "/library/magazine", &TranslateOptions::improved(), b3, &vars)
-        .unwrap();
+    let r =
+        evaluate_with(&d, "/library/magazine", &TranslateOptions::improved(), b3, &vars).unwrap();
     assert_eq!(names(&d, &r), ["magazine"]);
 }
 
@@ -390,14 +389,8 @@ fn arithmetic_and_string_functions_e2e() {
         both(&d, "substring(string(//book[1]/title), 1, 3)"),
         QueryOutput::Str("TCP".into())
     );
-    assert_eq!(
-        both(&d, "translate('bar', 'abc', 'ABC')"),
-        QueryOutput::Str("BAr".into())
-    );
-    assert_eq!(
-        both(&d, "normalize-space('  x   y ')"),
-        QueryOutput::Str("x y".into())
-    );
+    assert_eq!(both(&d, "translate('bar', 'abc', 'ABC')"), QueryOutput::Str("BAr".into()));
+    assert_eq!(both(&d, "normalize-space('  x   y ')"), QueryOutput::Str("x y".into()));
     assert_eq!(
         both(&d, "substring-before(string(//book[1]/@year), '99')"),
         QueryOutput::Str("1".into())
@@ -432,10 +425,7 @@ fn boolean_operators_and_or() {
 fn complex_paper_style_query() {
     // The paper's §4.2.2 motivating pattern.
     let d = doc();
-    let r = both(
-        &d,
-        "/library/book[count(./descendant::author/following::*) > 0]/@id",
-    );
+    let r = both(&d, "/library/book[count(./descendant::author/following::*) > 0]/@id");
     // b4's authors have following nodes (magazine subtree), all books match.
     assert_eq!(strings(&d, &r), ["b1", "b2", "b3", "b4"]);
 }
@@ -495,9 +485,10 @@ fn profiled_execution_counts_operator_work() {
     assert!(report.contains("Υ["), "{report}");
     // The title Υ produced exactly the four result tuples.
     assert!(
-        profile.entries.iter().any(|e| {
-            e.label.contains("child::title") && e.stats.borrow().tuples == 4
-        }),
+        profile
+            .entries
+            .iter()
+            .any(|e| { e.label.contains("child::title") && e.stats.borrow().tuples == 4 }),
         "{report}"
     );
     // Everything was opened exactly once (stacked translation: no d-joins).

@@ -10,8 +10,8 @@ use xmlstore::{parse_document, ArenaStore, Axis, XmlStore};
 use xpath_syntax::{CompOp, NodeTest};
 
 use nqe::iter::{
-    CompiledPred, ConcatIter, CounterIter, DJoinIter, DedupIter, MemoXIter, NestedEval,
-    PhysIter, SelectIter, SingletonIter, SortIter, TmpCsIter, UnnestMapIter,
+    CompiledPred, ConcatIter, CounterIter, DJoinIter, DedupIter, MemoXIter, NestedEval, PhysIter,
+    SelectIter, SingletonIter, SortIter, TmpCsIter, UnnestMapIter,
 };
 use nqe::nvm::{Instr, Program};
 use nqe::Runtime;
@@ -65,10 +65,8 @@ fn unnest_map_walks_axis_in_order() {
     let rt = rt(&s, &vars);
     let mut it = unnest(0, 1, Axis::Descendant, NodeTest::Name("b".into()));
     let out = drain(it.as_mut(), &rt, &seed(&s));
-    let values: Vec<String> = out
-        .iter()
-        .map(|t| t[1].as_node().map(|n| s.string_value(n)).unwrap())
-        .collect();
+    let values: Vec<String> =
+        out.iter().map(|t| t[1].as_node().map(|n| s.string_value(n)).unwrap()).collect();
     assert_eq!(values, ["1", "2", "3"]);
     // Unknown names match nothing (resolved-test Impossible path).
     let mut it = unnest(0, 1, Axis::Descendant, NodeTest::Name("zzz".into()));
@@ -105,13 +103,7 @@ fn counter_resets_on_group_change() {
     let vars = HashMap::new();
     let rt = rt(&s, &vars);
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
-    let step = Box::new(UnnestMapIter::new(
-        left,
-        1,
-        2,
-        Axis::Child,
-        NodeTest::Name("b".into()),
-    ));
+    let step = Box::new(UnnestMapIter::new(left, 1, 2, Axis::Child, NodeTest::Name("b".into())));
     let mut counter = CounterIter::new(step, 3, Some(1));
     let out = drain(&mut counter, &rt, &seed(&s));
     let positions: Vec<f64> = out
@@ -130,13 +122,7 @@ fn tmpcs_annotates_group_sizes() {
     let vars = HashMap::new();
     let rt = rt(&s, &vars);
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
-    let step = Box::new(UnnestMapIter::new(
-        left,
-        1,
-        2,
-        Axis::Child,
-        NodeTest::Name("b".into()),
-    ));
+    let step = Box::new(UnnestMapIter::new(left, 1, 2, Axis::Child, NodeTest::Name("b".into())));
     let mut tmpcs = TmpCsIter::new(step, 3, Some(1));
     let out = drain(&mut tmpcs, &rt, &seed(&s));
     let sizes: Vec<f64> = out
@@ -149,13 +135,7 @@ fn tmpcs_annotates_group_sizes() {
     assert_eq!(sizes, [2.0, 2.0, 1.0], "per-context sizes");
     // Ungrouped variant counts the whole input (Tmp^cs).
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
-    let step = Box::new(UnnestMapIter::new(
-        left,
-        1,
-        2,
-        Axis::Child,
-        NodeTest::Name("b".into()),
-    ));
+    let step = Box::new(UnnestMapIter::new(left, 1, 2, Axis::Child, NodeTest::Name("b".into())));
     let mut tmpcs = TmpCsIter::new(step, 3, None);
     let out = drain(&mut tmpcs, &rt, &seed(&s));
     assert!(out.iter().all(|t| matches!(t[3], Value::Num(n) if n == 3.0)));
@@ -194,10 +174,8 @@ fn sort_establishes_document_order() {
     ));
     let mut sort = SortIter::new(prec, 2);
     let out = drain(&mut sort, &rt, &last_b);
-    let values: Vec<String> = out
-        .iter()
-        .map(|t| t[2].as_node().map(|n| s.string_value(n)).unwrap())
-        .collect();
+    let values: Vec<String> =
+        out.iter().map(|t| t[2].as_node().map(|n| s.string_value(n)).unwrap()).collect();
     assert_eq!(values, ["1", "2"]);
 }
 

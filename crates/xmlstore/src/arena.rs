@@ -14,7 +14,7 @@ const NIL: u32 = u32::MAX;
 #[derive(Clone, Debug)]
 struct NodeData {
     kind: NodeKind,
-    name: u32,  // NameId or NIL
+    name: u32, // NameId or NIL
     value: Option<Box<str>>,
     parent: u32,
     first_child: u32,

@@ -171,7 +171,11 @@ enum State {
     Attributes(Option<NodeId>),
     /// Preorder walk inside the subtree rooted at `root`; `cur` is the last
     /// yielded node (None before the first).
-    Subtree { root: NodeId, cur: Option<NodeId>, include_self: bool },
+    Subtree {
+        root: NodeId,
+        cur: Option<NodeId>,
+        include_self: bool,
+    },
     /// Document-order walk for `following`.
     Following(Option<NodeId>),
     /// Reverse document-order walk for `preceding` (skipping ancestors):
@@ -438,10 +442,7 @@ mod tests {
     #[test]
     fn descendant_axis_in_doc_order() {
         let (s, m) = sample();
-        assert_eq!(
-            names(&s, &axis_nodes(&s, Axis::Descendant, m["a"])),
-            ["b", "c", "d"]
-        );
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Descendant, m["a"])), ["b", "c", "d"]);
         assert_eq!(
             names(&s, &axis_nodes(&s, Axis::Descendant, m["r"])),
             ["a", "b", "c", "d", "e", "f", "g"]
@@ -451,10 +452,7 @@ mod tests {
     #[test]
     fn descendant_or_self_includes_self_first() {
         let (s, m) = sample();
-        assert_eq!(
-            names(&s, &axis_nodes(&s, Axis::DescendantOrSelf, m["c"])),
-            ["c", "d"]
-        );
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::DescendantOrSelf, m["c"])), ["c", "d"]);
     }
 
     #[test]
@@ -478,10 +476,7 @@ mod tests {
     #[test]
     fn following_axis_excludes_descendants() {
         let (s, m) = sample();
-        assert_eq!(
-            names(&s, &axis_nodes(&s, Axis::Following, m["a"])),
-            ["e", "f", "g"]
-        );
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Following, m["a"])), ["e", "f", "g"]);
         assert_eq!(names(&s, &axis_nodes(&s, Axis::Following, m["d"])), ["e", "f", "g"]);
         assert_eq!(names(&s, &axis_nodes(&s, Axis::Following, m["g"])), Vec::<String>::new());
     }
@@ -489,10 +484,7 @@ mod tests {
     #[test]
     fn preceding_axis_excludes_ancestors_reverse_order() {
         let (s, m) = sample();
-        assert_eq!(
-            names(&s, &axis_nodes(&s, Axis::Preceding, m["e"])),
-            ["d", "c", "b", "a"]
-        );
+        assert_eq!(names(&s, &axis_nodes(&s, Axis::Preceding, m["e"])), ["d", "c", "b", "a"]);
         assert_eq!(names(&s, &axis_nodes(&s, Axis::Preceding, m["d"])), ["b"]);
         assert_eq!(names(&s, &axis_nodes(&s, Axis::Preceding, m["a"])), Vec::<String>::new());
     }
@@ -543,10 +535,7 @@ mod tests {
         // following of the attribute includes the owner's subtree
         assert_eq!(names(&s, &axis_nodes(&s, Axis::Following, p)), ["y", "z"]);
         // preceding of the attribute = preceding of the owner
-        assert_eq!(
-            axis_nodes(&s, Axis::Preceding, p),
-            axis_nodes(&s, Axis::Preceding, x)
-        );
+        assert_eq!(axis_nodes(&s, Axis::Preceding, p), axis_nodes(&s, Axis::Preceding, x));
     }
 
     #[test]
@@ -601,7 +590,17 @@ mod tests {
     #[test]
     fn ppd_classification_matches_paper() {
         use Axis::*;
-        for ax in [Following, FollowingSibling, Preceding, PrecedingSibling, Parent, Ancestor, AncestorOrSelf, Descendant, DescendantOrSelf] {
+        for ax in [
+            Following,
+            FollowingSibling,
+            Preceding,
+            PrecedingSibling,
+            Parent,
+            Ancestor,
+            AncestorOrSelf,
+            Descendant,
+            DescendantOrSelf,
+        ] {
             assert!(ax.is_ppd(), "{ax} should be ppd");
         }
         for ax in [Child, Attribute, SelfAxis, Namespace] {

@@ -450,10 +450,7 @@ mod tests {
     fn bad_magic_rejected() {
         let t = TempPath::new(".bad");
         std::fs::write(t.path(), vec![0u8; PAGE_SIZE]).unwrap();
-        assert!(matches!(
-            DiskStore::open(t.path(), 2),
-            Err(DiskError::Corrupt(_))
-        ));
+        assert!(matches!(DiskStore::open(t.path(), 2), Err(DiskError::Corrupt(_))));
     }
 
     #[test]

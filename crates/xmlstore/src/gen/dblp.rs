@@ -29,16 +29,50 @@ impl Default for DblpParams {
 }
 
 const FIRST: [&str; 12] = [
-    "Guido", "Sven", "Carl-Christian", "Matthias", "Anna", "Boris", "Clara", "David", "Elena",
-    "Frank", "Grete", "Henrik",
+    "Guido",
+    "Sven",
+    "Carl-Christian",
+    "Matthias",
+    "Anna",
+    "Boris",
+    "Clara",
+    "David",
+    "Elena",
+    "Frank",
+    "Grete",
+    "Henrik",
 ];
 const LAST: [&str; 12] = [
-    "Moerkotte", "Helmer", "Kanne", "Brantner", "Schmidt", "Keller", "Lang", "Maier", "Neumann",
-    "Olteanu", "Pichler", "Quass",
+    "Moerkotte",
+    "Helmer",
+    "Kanne",
+    "Brantner",
+    "Schmidt",
+    "Keller",
+    "Lang",
+    "Maier",
+    "Neumann",
+    "Olteanu",
+    "Pichler",
+    "Quass",
 ];
 const TITLE_WORDS: [&str; 16] = [
-    "algebraic", "evaluation", "of", "XPath", "queries", "in", "native", "XML", "databases",
-    "optimization", "holistic", "joins", "pattern", "matching", "storage", "systems",
+    "algebraic",
+    "evaluation",
+    "of",
+    "XPath",
+    "queries",
+    "in",
+    "native",
+    "XML",
+    "databases",
+    "optimization",
+    "holistic",
+    "joins",
+    "pattern",
+    "matching",
+    "storage",
+    "systems",
 ];
 const VENUES: [&str; 6] = ["vldb", "sigmod", "icde", "edbt", "er", "wise"];
 const JOURNALS: [&str; 4] = ["tods", "vldbj", "sigmodrecord", "debu"];
@@ -105,7 +139,8 @@ pub fn generate_dblp(params: DblpParams) -> ArenaStore {
         b.text(&title(&mut rng));
         b.end_element();
         b.start_element("year");
-        b.text(&rng.gen_range(1980..=2004).to_string());
+        let year: i32 = rng.gen_range(1980..=2004);
+        b.text(&year.to_string());
         b.end_element();
         if rng.gen_bool(0.7) {
             b.start_element("pages");
@@ -147,10 +182,8 @@ mod tests {
         let s = small();
         let root = s.first_child(s.root()).unwrap();
         for rec in axis_nodes(&s, Axis::Child, root) {
-            let names: Vec<String> = axis_nodes(&s, Axis::Child, rec)
-                .iter()
-                .map(|&c| s.node_name(c))
-                .collect();
+            let names: Vec<String> =
+                axis_nodes(&s, Axis::Child, rec).iter().map(|&c| s.node_name(c)).collect();
             assert!(names.contains(&"author".to_owned()));
             assert!(names.contains(&"title".to_owned()));
             assert!(names.contains(&"year".to_owned()));

@@ -78,14 +78,7 @@ pub fn generate_tree(params: TreeParams) -> ArenaStore {
     let mut b = ArenaBuilder::new();
     // Recursive depth-first emission tracking each level's next BFS index.
     let mut next_in_level = vec![0usize; level_sizes.len()];
-    emit(
-        &mut b,
-        0,
-        &level_sizes,
-        &level_base,
-        &mut next_in_level,
-        params.fanout,
-    );
+    emit(&mut b, 0, &level_sizes, &level_base, &mut next_in_level, params.fanout);
     b.finish()
 }
 
@@ -100,7 +93,11 @@ fn emit(
     let my_index = next_in_level[depth];
     next_in_level[depth] += 1;
     let id = level_base[depth] + my_index;
-    let name = if depth == 0 { "xdoc" } else { NAMES[id % NAMES.len()] };
+    let name = if depth == 0 {
+        "xdoc"
+    } else {
+        NAMES[id % NAMES.len()]
+    };
     b.start_element(name);
     b.attribute("id", &id.to_string());
     if depth + 1 < level_sizes.len() {
@@ -173,10 +170,7 @@ mod tests {
         let root = s.first_child(s.root()).unwrap();
         // Level 1 elements must have ids 1..=3 in sibling order.
         let kids = axis_nodes(&s, Axis::Child, root);
-        let ids: Vec<String> = kids
-            .iter()
-            .filter_map(|&k| s.attribute_value(k, "id"))
-            .collect();
+        let ids: Vec<String> = kids.iter().filter_map(|&k| s.attribute_value(k, "id")).collect();
         assert_eq!(ids, ["1", "2", "3"]);
         // All ids unique and dense 0..n.
         let mut all: Vec<usize> = axis_nodes(&s, Axis::DescendantOrSelf, root)

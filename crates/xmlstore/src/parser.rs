@@ -98,12 +98,11 @@ impl<'a> Cursor<'a> {
         while !self.at_end() {
             if self.starts_with(pat) {
                 let s = &self.input[start..self.pos];
-                return std::str::from_utf8(s)
-                    .map_err(|_| XmlError {
-                        message: "invalid UTF-8".into(),
-                        line: self.line,
-                        column: self.col,
-                    });
+                return std::str::from_utf8(s).map_err(|_| XmlError {
+                    message: "invalid UTF-8".into(),
+                    line: self.line,
+                    column: self.col,
+                });
             }
             self.bump();
         }

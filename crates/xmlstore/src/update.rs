@@ -44,7 +44,9 @@ impl ArenaStore {
     /// In-place: no structural or order changes.
     pub fn set_content(&mut self, n: NodeId, content: &str) -> Result<(), UpdateError> {
         match self.kind(n) {
-            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction
+            NodeKind::Text
+            | NodeKind::Comment
+            | NodeKind::ProcessingInstruction
             | NodeKind::Attribute => {
                 self.set_value_raw(n, content);
                 Ok(())
@@ -215,10 +217,7 @@ mod tests {
         let b = axis_nodes(&s, Axis::Child, r)[1];
         s.insert_element_before(b, "mid").unwrap();
         orders_valid(&s);
-        assert_eq!(
-            to_xml(&s),
-            r#"<r><a x="1">one</a><mid/><b>two</b><c>three</c></r>"#
-        );
+        assert_eq!(to_xml(&s), r#"<r><a x="1">one</a><mid/><b>two</b><c>three</c></r>"#);
     }
 
     #[test]

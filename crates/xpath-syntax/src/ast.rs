@@ -380,17 +380,12 @@ mod tests {
             steps: vec![Step {
                 axis: Axis::Child,
                 node_test: NodeTest::Name("x".into()),
-                predicates: vec![Predicate {
-                    expr: Expr::FunctionCall("position".into(), vec![]),
-                }],
+                predicates: vec![Predicate { expr: Expr::FunctionCall("position".into(), vec![]) }],
             }],
         });
         assert!(!inner.calls_any(&["position"]));
         // ...but a top-level call is seen.
-        let top = Expr::And(
-            Box::new(inner),
-            Box::new(Expr::FunctionCall("last".into(), vec![])),
-        );
+        let top = Expr::And(Box::new(inner), Box::new(Expr::FunctionCall("last".into(), vec![])));
         assert!(top.calls_any(&["last"]));
         assert!(!top.calls_any(&["position"]));
     }

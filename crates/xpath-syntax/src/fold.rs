@@ -165,10 +165,7 @@ pub fn fold(e: Expr) -> Expr {
         }
         Expr::Filter(inner, preds) => Expr::Filter(
             Box::new(fold(*inner)),
-            preds
-                .into_iter()
-                .map(|p| Predicate { expr: fold(p.expr) })
-                .collect(),
+            preds.into_iter().map(|p| Predicate { expr: fold(p.expr) }).collect(),
         ),
         Expr::FunctionCall(name, args) => {
             let args: Vec<Expr> = args.into_iter().map(fold).collect();
@@ -202,11 +199,9 @@ fn fold_call(name: String, args: Vec<Expr>) -> Expr {
             ("substring", [s, p]) => {
                 Some(Const::Str(xvalue::xpath_substring(&s.as_str(), p.as_num(), None)))
             }
-            ("substring", [s, p, l]) => Some(Const::Str(xvalue::xpath_substring(
-                &s.as_str(),
-                p.as_num(),
-                Some(l.as_num()),
-            ))),
+            ("substring", [s, p, l]) => {
+                Some(Const::Str(xvalue::xpath_substring(&s.as_str(), p.as_num(), Some(l.as_num()))))
+            }
             ("translate", [s, f, t]) => {
                 Some(Const::Str(xvalue::translate(&s.as_str(), &f.as_str(), &t.as_str())))
             }

@@ -88,7 +88,15 @@ const fn sig(
     context_default: bool,
     positional: bool,
 ) -> Signature {
-    Signature { name, min_args, max_args, params, result, context_default, positional }
+    Signature {
+        name,
+        min_args,
+        max_args,
+        params,
+        result,
+        context_default,
+        positional,
+    }
 }
 
 /// Look up a function signature by name.
@@ -112,17 +120,37 @@ mod tests {
     #[test]
     fn core_library_complete() {
         // XPath 1.0 defines 27 core functions.
-        let core: Vec<&str> = SIGNATURES
-            .iter()
-            .map(|s| s.name)
-            .filter(|&n| n != "exists")
-            .collect();
+        let core: Vec<&str> =
+            SIGNATURES.iter().map(|s| s.name).filter(|&n| n != "exists").collect();
         assert_eq!(core.len(), 27);
         for f in [
-            "last", "position", "count", "id", "local-name", "namespace-uri", "name", "string",
-            "concat", "starts-with", "contains", "substring-before", "substring-after",
-            "substring", "string-length", "normalize-space", "translate", "boolean", "not",
-            "true", "false", "lang", "number", "sum", "floor", "ceiling", "round",
+            "last",
+            "position",
+            "count",
+            "id",
+            "local-name",
+            "namespace-uri",
+            "name",
+            "string",
+            "concat",
+            "starts-with",
+            "contains",
+            "substring-before",
+            "substring-after",
+            "substring",
+            "string-length",
+            "normalize-space",
+            "translate",
+            "boolean",
+            "not",
+            "true",
+            "false",
+            "lang",
+            "number",
+            "sum",
+            "floor",
+            "ceiling",
+            "round",
         ] {
             assert!(lookup(f).is_some(), "{f} missing");
         }
@@ -148,7 +176,14 @@ mod tests {
 
     #[test]
     fn context_default_flags() {
-        for f in ["string", "number", "string-length", "normalize-space", "name", "local-name"] {
+        for f in [
+            "string",
+            "number",
+            "string-length",
+            "normalize-space",
+            "name",
+            "local-name",
+        ] {
             assert!(lookup(f).unwrap().context_default, "{f}");
         }
         assert!(!lookup("boolean").unwrap().context_default);

@@ -258,8 +258,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 2;
                 } else {
                     return Err(LexError {
-                        message: "stray `:` (names with prefixes are lexed as one token)"
-                            .into(),
+                        message: "stray `:` (names with prefixes are lexed as one token)".into(),
                         offset: offsets[start],
                     });
                 }

@@ -9,7 +9,7 @@
 
 use xmlstore::Axis;
 
-use crate::ast::{CompOp, ArithOp, Expr, KindTest, NodeTest, PathExpr, PathStart, Predicate, Step};
+use crate::ast::{ArithOp, CompOp, Expr, KindTest, NodeTest, PathExpr, PathStart, Predicate, Step};
 use crate::lexer::{tokenize, LexError, Tok, Token};
 
 /// Parse error (lexical or syntactic), with byte offset where known.
@@ -235,8 +235,10 @@ impl Parser {
             }
             Some(Tok::DoubleSlash) => {
                 self.bump();
-                let mut steps =
-                    vec![Step::new(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node))];
+                let mut steps = vec![Step::new(
+                    Axis::DescendantOrSelf,
+                    NodeTest::Kind(KindTest::Node),
+                )];
                 self.relative_location_path(&mut steps)?;
                 Ok(Expr::Path(PathExpr { start: PathStart::Expr(Box::new(filter)), steps }))
             }
@@ -262,10 +264,9 @@ impl Parser {
     }
 
     fn primary_expr(&mut self) -> Result<Expr, ParseError> {
-        let t = self.bump().ok_or(ParseError {
-            message: "unexpected end of expression".into(),
-            offset: None,
-        })?;
+        let t = self
+            .bump()
+            .ok_or(ParseError { message: "unexpected end of expression".into(), offset: None })?;
         match t.kind {
             Tok::Var(name) => Ok(Expr::VarRef(name)),
             Tok::LParen => {
@@ -309,8 +310,10 @@ impl Parser {
             }
             Some(Tok::DoubleSlash) => {
                 self.bump();
-                let mut steps =
-                    vec![Step::new(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node))];
+                let mut steps = vec![Step::new(
+                    Axis::DescendantOrSelf,
+                    NodeTest::Kind(KindTest::Node),
+                )];
                 self.relative_location_path(&mut steps)?;
                 Ok(Expr::Path(PathExpr { start: PathStart::Root, steps }))
             }
@@ -389,10 +392,9 @@ impl Parser {
     }
 
     fn node_test(&mut self) -> Result<NodeTest, ParseError> {
-        let t = self.bump().ok_or(ParseError {
-            message: "expected a node test".into(),
-            offset: None,
-        })?;
+        let t = self
+            .bump()
+            .ok_or(ParseError { message: "expected a node test".into(), offset: None })?;
         match t.kind {
             Tok::Star => Ok(NodeTest::Wildcard),
             Tok::Name(n) | Tok::AxisName(n) => Ok(NodeTest::Name(n)),
@@ -711,8 +713,8 @@ mod tests {
         ] {
             let once = parse(q).unwrap();
             let rendered = once.to_string();
-            let twice = parse(&rendered)
-                .unwrap_or_else(|e| panic!("re-parse of `{rendered}`: {e}"));
+            let twice =
+                parse(&rendered).unwrap_or_else(|e| panic!("re-parse of `{rendered}`: {e}"));
             assert_eq!(once, twice, "{q}");
         }
     }

@@ -44,9 +44,7 @@ pub fn static_type(e: &Expr) -> XPathType {
         Expr::Filter(inner, _) => static_type(inner),
         Expr::Literal(_) => XPathType::String,
         Expr::VarRef(_) => XPathType::Any,
-        Expr::FunctionCall(name, _) => {
-            lookup(name).map(|s| s.result).unwrap_or(XPathType::Any)
-        }
+        Expr::FunctionCall(name, _) => lookup(name).map(|s| s.result).unwrap_or(XPathType::Any),
     }
 }
 
@@ -122,10 +120,7 @@ fn rewrite(e: Expr) -> Result<Expr, SemanticError> {
             if t != XPathType::NodeSet && t != XPathType::Any {
                 return err(format!("filter expression must be a node-set: `{inner}`"));
             }
-            let preds = preds
-                .into_iter()
-                .map(rewrite_predicate)
-                .collect::<Result<Vec<_>, _>>()?;
+            let preds = preds.into_iter().map(rewrite_predicate).collect::<Result<Vec<_>, _>>()?;
             Expr::Filter(Box::new(inner), preds)
         }
         lit @ (Expr::Literal(_) | Expr::Number(_) | Expr::VarRef(_)) => lit,
@@ -144,11 +139,7 @@ fn rewrite_compare(op: CompOp, a: Expr, b: Expr) -> Expr {
     match op {
         CompOp::Eq | CompOp::Ne => {
             if ta == Boolean || tb == Boolean {
-                Expr::Compare(
-                    op,
-                    Box::new(convert(a, Boolean)),
-                    Box::new(convert(b, Boolean)),
-                )
+                Expr::Compare(op, Box::new(convert(a, Boolean)), Box::new(convert(b, Boolean)))
             } else if ta == Number || tb == Number {
                 Expr::Compare(op, Box::new(convert(a, Number)), Box::new(convert(b, Number)))
             } else {
@@ -176,11 +167,8 @@ fn rewrite_path(p: PathExpr) -> Result<PathExpr, SemanticError> {
         .steps
         .into_iter()
         .map(|s| {
-            let predicates = s
-                .predicates
-                .into_iter()
-                .map(rewrite_predicate)
-                .collect::<Result<Vec<_>, _>>()?;
+            let predicates =
+                s.predicates.into_iter().map(rewrite_predicate).collect::<Result<Vec<_>, _>>()?;
             Ok(Step { axis: s.axis, node_test: s.node_test, predicates })
         })
         .collect::<Result<Vec<_>, SemanticError>>()?;
@@ -191,11 +179,9 @@ fn rewrite_predicate(p: Predicate) -> Result<Predicate, SemanticError> {
     let e = rewrite(p.expr)?;
     let e = match static_type(&e) {
         // `[n]` means `[position() = n]` (XPath §2.4).
-        XPathType::Number => Expr::Compare(
-            CompOp::Eq,
-            Box::new(call("position", vec![])),
-            Box::new(e),
-        ),
+        XPathType::Number => {
+            Expr::Compare(CompOp::Eq, Box::new(call("position", vec![])), Box::new(e))
+        }
         XPathType::Boolean => e,
         // Node-sets, strings and unknown-typed variables convert to
         // boolean; the translation maps boolean(node-set) to the internal
@@ -209,10 +195,7 @@ fn rewrite_call(name: String, args: Vec<Expr>) -> Result<Expr, SemanticError> {
     let Some(sig) = lookup(&name) else {
         return err(format!("unknown function `{name}()`"));
     };
-    let mut args = args
-        .into_iter()
-        .map(rewrite)
-        .collect::<Result<Vec<_>, _>>()?;
+    let mut args = args.into_iter().map(rewrite).collect::<Result<Vec<_>, _>>()?;
     // Context-node default argument.
     if args.is_empty() && sig.context_default {
         args.push(context_node_path());
@@ -322,10 +305,7 @@ mod tests {
     #[test]
     fn context_default_arguments_supplied() {
         assert_eq!(a("string()").to_string(), "string(self::node())");
-        assert_eq!(
-            a("string-length()").to_string(),
-            "string-length(string(self::node()))"
-        );
+        assert_eq!(a("string-length()").to_string(), "string-length(string(self::node()))");
         assert_eq!(a("name()").to_string(), "name(self::node())");
         assert_eq!(a("normalize-space()").to_string(), "normalize-space(string(self::node()))");
     }
@@ -373,18 +353,12 @@ mod tests {
 
     #[test]
     fn variadic_concat_converts_all() {
-        assert_eq!(
-            a("concat(1, a, 'x')").to_string(),
-            "concat(string(1), string(child::a), 'x')"
-        );
+        assert_eq!(a("concat(1, a, 'x')").to_string(), "concat(string(1), string(child::a), 'x')");
     }
 
     #[test]
     fn nested_path_predicates_rewritten() {
         let e = a("a[b[2]]/c");
-        assert_eq!(
-            e.to_string(),
-            "child::a[boolean(child::b[(position() = 2)])]/child::c"
-        );
+        assert_eq!(e.to_string(), "child::a[boolean(child::b[(position() = 2)])]/child::c");
     }
 }

@@ -51,7 +51,11 @@ pub fn number_to_string(n: f64) -> String {
         return "NaN".to_owned();
     }
     if n.is_infinite() {
-        return if n > 0.0 { "Infinity".into() } else { "-Infinity".into() };
+        return if n > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        };
     }
     if n == 0.0 {
         return "0".to_owned();
@@ -263,10 +267,7 @@ mod tests {
         assert_eq!(xpath_substring("12345", f64::NAN, Some(3.0)), "");
         assert_eq!(xpath_substring("12345", 1.0, Some(f64::NAN)), "");
         assert_eq!(xpath_substring("12345", -42.0, Some(f64::INFINITY)), "12345");
-        assert_eq!(
-            xpath_substring("12345", f64::NEG_INFINITY, Some(f64::INFINITY)),
-            ""
-        );
+        assert_eq!(xpath_substring("12345", f64::NEG_INFINITY, Some(f64::INFINITY)), "");
     }
 
     #[test]

@@ -39,10 +39,7 @@ fn summary(store: &dyn XmlStore, out: &QueryOutput) -> String {
 }
 
 fn main() {
-    let records: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5_000);
+    let records: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5_000);
     println!("generating synthetic DBLP with {records} records…");
     let store = generate_dblp(DblpParams { records, seed: 42 });
     let engine = XPathEngine::new();

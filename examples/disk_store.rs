@@ -11,10 +11,7 @@ use xmlstore::gen::{generate_tree, TreeParams};
 use xmlstore::tmp::TempPath;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let elements: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000);
+    let elements: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
 
     println!("generating a breadth-first document with {elements} elements…");
     let arena = generate_tree(TreeParams::large(elements));
@@ -24,11 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A deliberately small buffer: 64 pages of 8 KiB.
     let disk_doc = arena_doc.persist(path.path(), 64)?;
     let bytes = std::fs::metadata(path.path())?.len();
-    println!(
-        "page file: {} KiB at {}",
-        bytes / 1024,
-        path.path().display()
-    );
+    println!("page file: {} KiB at {}", bytes / 1024, path.path().display());
 
     let engine = XPathEngine::new();
     for q in [

@@ -11,11 +11,9 @@ use natix::{Document, QueryOutput, XPathEngine};
 fn show(doc: &Document, engine: &XPathEngine, q: &str) {
     let out = engine.evaluate(doc.store(), q).expect("evaluation");
     let rendered = match &out {
-        QueryOutput::Nodes(ns) => ns
-            .iter()
-            .map(|&n| doc.store().string_value(n))
-            .collect::<Vec<_>>()
-            .join(", "),
+        QueryOutput::Nodes(ns) => {
+            ns.iter().map(|&n| doc.store().string_value(n)).collect::<Vec<_>>().join(", ")
+        }
         other => format!("{other:?}"),
     };
     println!("{q:<60} => {rendered}");

@@ -12,11 +12,9 @@ use xmlstore::{parse_document, XmlStore};
 fn show(store: &xmlstore::ArenaStore, engine: &XPathEngine, q: &str) {
     let out = engine.evaluate(store, q).expect("evaluate");
     let rendered = match &out {
-        QueryOutput::Nodes(ns) => ns
-            .iter()
-            .map(|&n| store.string_value(n))
-            .collect::<Vec<_>>()
-            .join(", "),
+        QueryOutput::Nodes(ns) => {
+            ns.iter().map(|&n| store.string_value(n)).collect::<Vec<_>>().join(", ")
+        }
         other => format!("{other:?}"),
     };
     println!("  {q:<42} => {rendered}");

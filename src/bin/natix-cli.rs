@@ -3,15 +3,15 @@
 //! ```sh
 //! natix-cli doc.xml "/a/b[position() = last()]"     # one-shot query
 //! natix-cli doc.xml --explain "//a[b = 'x']"        # show the algebra plan
+//! natix-cli doc.xml --analyze "//a[b = 'x']"        # EXPLAIN ANALYZE
 //! natix-cli doc.xml --interactive                   # REPL
 //! natix-cli --generate tree:5000 --interactive      # built-in generators
 //! natix-cli doc.xml --persist doc.natix             # build a page file
 //! ```
 
 use std::io::{BufRead, Write};
-use std::time::Instant;
 
-use natix::{Document, NatixError, QueryOutput, TranslateOptions, XPathEngine};
+use natix::{Document, Json, NatixError, QueryOutput, TranslateOptions, XPathEngine};
 use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
 use xmlstore::XmlStore;
 
@@ -20,6 +20,8 @@ struct Args {
     generate: Option<String>,
     persist: Option<String>,
     explain: bool,
+    analyze: bool,
+    profile_json: Option<String>,
     interactive: bool,
     canonical: bool,
     extended: bool,
@@ -33,6 +35,8 @@ fn parse_args() -> Result<Args, String> {
         generate: None,
         persist: None,
         explain: false,
+        analyze: false,
+        profile_json: None,
         interactive: false,
         canonical: false,
         extended: false,
@@ -43,6 +47,10 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--explain" => args.explain = true,
+            "--analyze" => args.analyze = true,
+            "--profile-json" => {
+                args.profile_json = Some(it.next().ok_or("--profile-json needs a path")?);
+            }
             "--interactive" | "-i" => args.interactive = true,
             "--canonical" => args.canonical = true,
             "--extended" => args.extended = true,
@@ -76,13 +84,17 @@ fn print_help() {
          usage: natix-cli <doc.xml | doc.natix> [flags] [queries…]\n\
          \x20      natix-cli --generate tree:N|dblp:N [flags] [queries…]\n\n\
          flags:\n\
-         \x20 --interactive, -i   query REPL (`:explain <q>` shows plans)\n\
-         \x20 --explain           print the algebra plan instead of evaluating\n\
-         \x20 --canonical         use the canonical §3 translation\n\
-         \x20 --extended          improved translation + property pruning\n\
-         \x20 --time              print evaluation times\n\
-         \x20 --persist <path>    write the document as a Natix page file\n\
-         \x20 --generate <spec>   tree:<elements> or dblp:<records>"
+         \x20 --interactive, -i    query REPL (`:explain`, `:profile`, `:analyze`)\n\
+         \x20 --explain            print the algebra plan instead of evaluating\n\
+         \x20 --analyze            EXPLAIN ANALYZE: run with compile-phase and\n\
+         \x20                      per-operator timings, counters and gauges\n\
+         \x20 --profile-json <p>   write the EXPLAIN ANALYZE reports as JSON\n\
+         \x20                      (an array, one element per query)\n\
+         \x20 --canonical          use the canonical §3 translation\n\
+         \x20 --extended           improved translation + property pruning\n\
+         \x20 --time               print compile-phase + evaluation times\n\
+         \x20 --persist <path>     write the document as a Natix page file\n\
+         \x20 --generate <spec>    tree:<elements> or dblp:<records>"
     );
 }
 
@@ -134,7 +146,15 @@ fn render(store: &dyn XmlStore, out: &QueryOutput) -> String {
     }
 }
 
-fn run_query(doc: &Document, engine: &XPathEngine, q: &str, explain: bool, time: bool) {
+fn run_query(
+    doc: &Document,
+    engine: &XPathEngine,
+    q: &str,
+    explain: bool,
+    analyze: bool,
+    time: bool,
+    json_out: Option<&mut Vec<Json>>,
+) {
     if explain {
         match engine.explain(q) {
             Ok(plan) => print!("{plan}"),
@@ -142,16 +162,35 @@ fn run_query(doc: &Document, engine: &XPathEngine, q: &str, explain: bool, time:
         }
         return;
     }
-    let t0 = Instant::now();
-    let result: Result<QueryOutput, NatixError> = engine.evaluate(doc.store(), q);
-    let elapsed = t0.elapsed();
-    match result {
-        Ok(out) => {
-            println!("{}", render(doc.store(), &out));
-            if time {
-                println!("  [{elapsed:.2?}]");
+    if analyze || json_out.is_some() {
+        match engine.analyze(doc.store(), q) {
+            Ok((out, report)) => {
+                println!("{}", render(doc.store(), &out));
+                if analyze {
+                    print!("{}", report.text());
+                }
+                if let Some(reports) = json_out {
+                    reports.push(report.to_json());
+                }
             }
+            Err(e) => eprintln!("error: {e}"),
         }
+        return;
+    }
+    if time {
+        // Phase-level tracing only: no per-operator profiling overhead.
+        match engine.evaluate_traced(doc.store(), q) {
+            Ok((out, trace)) => {
+                println!("{}", render(doc.store(), &out));
+                print!("{}", trace.report());
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+        return;
+    }
+    let result: Result<QueryOutput, NatixError> = engine.evaluate(doc.store(), q);
+    match result {
+        Ok(out) => println!("{}", render(doc.store(), &out)),
         Err(e) => eprintln!("error: {e}"),
     }
 }
@@ -189,13 +228,33 @@ fn main() {
     };
     let engine = XPathEngine { options };
 
+    let mut json_reports: Vec<Json> = Vec::new();
     for q in &args.queries {
-        run_query(&doc, &engine, q, args.explain, args.time);
+        run_query(
+            &doc,
+            &engine,
+            q,
+            args.explain,
+            args.analyze,
+            args.time,
+            args.profile_json.as_ref().map(|_| &mut json_reports),
+        );
+    }
+    if let Some(path) = &args.profile_json {
+        let text = Json::Arr(json_reports).pretty();
+        match std::fs::write(path, &text) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     if args.interactive || (args.queries.is_empty() && args.persist.is_none()) {
         println!(
-            "natix ({} nodes loaded) — enter XPath, `:explain <q>`, `:profile <q>`, or `:quit`",
+            "natix ({} nodes loaded) — enter XPath, `:explain <q>`, `:profile <q>`, \
+             `:analyze <q>`, or `:quit`",
             doc.store().node_count()
         );
         let stdin = std::io::stdin();
@@ -215,7 +274,7 @@ fn main() {
                 break;
             }
             if let Some(q) = line.strip_prefix(":explain ") {
-                run_query(&doc, &engine, q.trim(), true, false);
+                run_query(&doc, &engine, q.trim(), true, false, false, None);
             } else if let Some(q) = line.strip_prefix(":profile ") {
                 match engine.profile(doc.store(), q.trim()) {
                     Ok((out, report)) => {
@@ -224,8 +283,10 @@ fn main() {
                     }
                     Err(e) => eprintln!("error: {e}"),
                 }
+            } else if let Some(q) = line.strip_prefix(":analyze ") {
+                run_query(&doc, &engine, q.trim(), false, true, false, None);
             } else {
-                run_query(&doc, &engine, line, false, true);
+                run_query(&doc, &engine, line, false, false, true, None);
             }
         }
     }

@@ -25,8 +25,8 @@
 //!   comparison subjects).
 
 pub use algebra::{explain, LogicalOp, QueryOutput, ScalarExpr, Value};
-pub use compiler::{CompiledQuery, PipelineError, TranslateOptions};
-pub use nqe::{build_physical, PhysicalQuery};
+pub use compiler::{CompiledQuery, PipelineError, QueryTrace, TranslateOptions};
+pub use nqe::{build_physical, AnalyzeReport, Json, PhysicalQuery};
 pub use xmlstore::{Axis, NodeId, NodeKind, XmlStore};
 
 use std::collections::HashMap;
@@ -91,12 +91,14 @@ impl Document {
     /// the buffer manager (`buffer_pages` resident frames).
     pub fn persist(&self, path: &Path, buffer_pages: usize) -> Result<Document, NatixError> {
         match self {
-            Document::Arena(a) => Ok(Document::Disk(
-                xmlstore::diskstore::DiskStore::create_from(a, path, buffer_pages)?,
-            )),
-            Document::Disk(_) => Err(NatixError::Disk(
-                xmlstore::diskstore::DiskError::Corrupt("already on disk"),
-            )),
+            Document::Arena(a) => Ok(Document::Disk(xmlstore::diskstore::DiskStore::create_from(
+                a,
+                path,
+                buffer_pages,
+            )?)),
+            Document::Disk(_) => {
+                Err(NatixError::Disk(xmlstore::diskstore::DiskError::Corrupt("already on disk")))
+            }
         }
     }
 
@@ -161,6 +163,42 @@ impl XPathEngine {
         let (mut phys, profile) = nqe::build_physical_profiled(&compiled);
         let out = phys.execute(store, &std::collections::HashMap::new(), store.root());
         Ok((out, profile.report()))
+    }
+
+    /// EXPLAIN ANALYZE: compile, lower and execute with full
+    /// observability — per-phase compile timings, per-operator wall-clock
+    /// profiles and gauges, and the result shape. Render the report with
+    /// [`AnalyzeReport::text`] or export it with [`AnalyzeReport::to_json`].
+    pub fn analyze(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(QueryOutput, AnalyzeReport), NatixError> {
+        Ok(nqe::explain_analyze(
+            store,
+            query,
+            &self.options,
+            store.root(),
+            &HashMap::new(),
+        )?)
+    }
+
+    /// Compile and execute while tracing the pipeline phases only (no
+    /// per-operator profiling overhead): `parse → semantic → fold →
+    /// translate [→ prune] → codegen → execute`, each timed.
+    pub fn evaluate_traced(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(QueryOutput, QueryTrace), NatixError> {
+        let (compiled, mut trace) = compiler::compile_traced(query, &self.options)?;
+        let t0 = std::time::Instant::now();
+        let mut phys = nqe::build_physical(&compiled);
+        trace.add_phase("codegen", t0.elapsed().as_nanos() as u64);
+        let t0 = std::time::Instant::now();
+        let out = phys.execute(store, &HashMap::new(), store.root());
+        trace.add_phase("execute", t0.elapsed().as_nanos() as u64);
+        Ok((out, trace))
     }
 
     /// Compile and execute with explicit context node and variables.

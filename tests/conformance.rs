@@ -34,7 +34,9 @@ fn check(doc: &Document, q: &str, want: &Want) {
     let engines: Vec<(String, QueryOutput)> = vec![
         (
             "improved".into(),
-            XPathEngine::new().evaluate(doc.store(), q).unwrap_or_else(|e| panic!("{q}: {e}")),
+            XPathEngine::new()
+                .evaluate(doc.store(), q)
+                .unwrap_or_else(|e| panic!("{q}: {e}")),
         ),
         (
             "canonical".into(),
@@ -42,15 +44,12 @@ fn check(doc: &Document, q: &str, want: &Want) {
                 .evaluate(doc.store(), q)
                 .unwrap_or_else(|e| panic!("{q}: {e}")),
         ),
-        (
-            "interp".into(),
-            {
-                let store = doc.store();
-                Interpreter::new(store, InterpOptions::context_list())
-                    .evaluate(q, store.root())
-                    .unwrap_or_else(|e| panic!("{q}: {e}"))
-            },
-        ),
+        ("interp".into(), {
+            let store = doc.store();
+            Interpreter::new(store, InterpOptions::context_list())
+                .evaluate(q, store.root())
+                .unwrap_or_else(|e| panic!("{q}: {e}"))
+        }),
     ];
     for (name, got) in engines {
         match want {
@@ -138,7 +137,10 @@ fn cases() -> Vec<(&'static str, Want)> {
         ("round(-2.5)", Num(-2.0)),
         ("string(//item[1]/name)", Str("apple")),
         ("string(//nothing)", Str("")),
-        ("concat(string(//item[1]/name), '-', string(//item[2]/name))", Str("apple-mango")),
+        (
+            "concat(string(//item[1]/name), '-', string(//item[2]/name))",
+            Str("apple-mango"),
+        ),
         ("substring('hello world', 7)", Str("world")),
         ("substring('hello', 2, 3)", Str("ell")),
         ("substring-before('a=b', '=')", Str("a")),

@@ -145,8 +145,8 @@ fn ablation_combinations_agree() {
             prune_properties: bits & 16 != 0,
         };
         for (q, expect) in TREE_QUERIES.iter().zip(&reference) {
-            let got = nqe::evaluate(&store, q, &opts)
-                .unwrap_or_else(|e| panic!("{opts:?} `{q}`: {e}"));
+            let got =
+                nqe::evaluate(&store, q, &opts).unwrap_or_else(|e| panic!("{opts:?} `{q}`: {e}"));
             assert_eq!(&got, expect, "{opts:?} on `{q}`");
         }
     }

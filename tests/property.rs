@@ -12,7 +12,11 @@ use xmlstore::{parse_document, to_xml, ArenaBuilder, ArenaStore, NodeId, NodeKin
 
 #[derive(Clone, Debug)]
 enum Tree {
-    Element { name: usize, attrs: Vec<(usize, String)>, children: Vec<Tree> },
+    Element {
+        name: usize,
+        attrs: Vec<(usize, String)>,
+        children: Vec<Tree>,
+    },
     Text(String),
     Comment,
 }
@@ -24,11 +28,7 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
         ("[a-z]{1,6}").prop_map(Tree::Text),
         Just(Tree::Comment),
-        (0..NAMES.len()).prop_map(|name| Tree::Element {
-            name,
-            attrs: vec![],
-            children: vec![]
-        }),
+        (0..NAMES.len()).prop_map(|name| Tree::Element { name, attrs: vec![], children: vec![] }),
     ];
     leaf.prop_recursive(4, 40, 5, |inner| {
         (
@@ -134,9 +134,8 @@ fn step_strategy() -> impl Strategy<Value = String> {
 }
 
 fn query_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec(step_strategy(), 1..4).prop_map(|steps| {
-        format!("/{}", steps.join("/"))
-    })
+    proptest::collection::vec(step_strategy(), 1..4)
+        .prop_map(|steps| format!("/{}", steps.join("/")))
 }
 
 // ---------- oracle comparison ---------------------------------------------

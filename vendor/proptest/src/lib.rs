@@ -1,0 +1,194 @@
+//! Offline stand-in for `proptest`: the strategy combinators, macros and
+//! runner surface this workspace uses, with deterministic generation and
+//! **no shrinking** (a failing case reports its inputs verbatim). The
+//! build environment has no access to crates.io, so the workspace vendors
+//! API-compatible shims (DESIGN.md §"Vendored compatibility shims").
+//!
+//! Supported surface:
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`,
+//! * strategies: `Just`, integer ranges, tuple composition, regex-lite
+//!   string patterns (`"[a-z]{1,6}"` style), [`collection::vec`],
+//! * macros: `proptest!`, `prop_oneof!`, `prop_assert!`,
+//!   `prop_assert_eq!`, `prop_assert_ne!`,
+//! * [`test_runner::ProptestConfig`] (`cases`, env override
+//!   `PROPTEST_CASES`, seed override `PROPTEST_SEED`).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Union of equally-weighted alternative strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fallible assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, "assertion failed: {:?} != {:?}", lhs, rhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: {:?} != {:?}: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fallible inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs != rhs, "assertion failed: {:?} == {:?}", lhs, rhs);
+    }};
+}
+
+/// Discard the current case (counts as skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Define `#[test]` functions over generated inputs.
+///
+/// Each case draws fresh inputs from the given strategies; a failing body
+/// panics with the case number and the generated inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = config.effective_cases();
+                let mut rng = $crate::test_runner::TestRng::from_env();
+                let mut rejected: u32 = 0;
+                let mut case: u32 = 0;
+                while case < cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => { case += 1; }
+                        ::std::result::Result::Err(e) if e.is_rejection() => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.max_global_rejects,
+                                "proptest: too many rejected cases ({rejected})"
+                            );
+                        }
+                        ::std::result::Result::Err(e) => {
+                            panic!(
+                                "proptest case {case} failed: {e}\ninputs:\n{}",
+                                [$(format!("  {} = {:?}", stringify!($arg), &$arg)),+]
+                                    .join("\n")
+                            );
+                        }
+                    }
+                }
+                let _ = rejected;
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u32>> {
+        crate::collection::vec(0..10u32, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_vecs(v in small_vec(), x in 1..4u32) {
+            prop_assert!(v.len() < 5);
+            prop_assert!((1..4).contains(&x), "x was {}", x);
+        }
+
+        #[test]
+        fn oneof_and_map(s in prop_oneof![
+            Just("fixed".to_owned()),
+            "[a-c]{2,4}",
+            (0..3usize).prop_map(|i| format!("n{i}")),
+        ]) {
+            prop_assert!(!s.is_empty());
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum T {
+        Leaf,
+        Node(Vec<T>),
+    }
+
+    fn count(t: &T) -> usize {
+        match t {
+            T::Leaf => 1,
+            T::Node(cs) => 1 + cs.iter().map(count).sum::<usize>(),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_bounded(t in Just(T::Leaf).boxed().prop_recursive(3, 20, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(T::Node)
+        })) {
+            prop_assert!(count(&t) < 200);
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Strategy trait and combinators: deterministic value generation
+//! without shrinking.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree: `generate` draws a value
+/// directly, and failing cases are reported unshrunk.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, `recurse`
+    /// wraps an inner strategy into a branch strategy. `depth` bounds the
+    /// nesting; `_desired_size`/`_expected_branch_size` are accepted for
+    /// API compatibility but unused (depth is the only bound).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            // Bias toward branching (2:1) above the floor; the depth cap
+            // keeps total size bounded because the bottom level is leaves.
+            let branch = recurse(level).boxed();
+            level = Union::weighted(vec![(1, leaf.clone()), (2, branch)]).boxed();
+        }
+        level
+    }
+
+    /// Type-erase (and make cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generate a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union of alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Equal-weight union.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted union.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.below(self.total_weight);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if roll < w {
+                return arm.generate(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("weights sum to total_weight")
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "empty char range strategy");
+        loop {
+            if let Some(c) = char::from_u32(lo + rng.below(u64::from(hi - lo)) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (*self.start() as u32, *self.end() as u32);
+        loop {
+            if let Some(c) = char::from_u32(lo + rng.below(u64::from(hi - lo) + 1) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for bool {
+    type Value = bool;
+
+    fn generate(&self, _rng: &mut TestRng) -> bool {
+        // `bool` the *type* is the strategy in proptest (`any::<bool>()`);
+        // a literal `true`/`false` used as a strategy is a constant.
+        *self
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Regex-lite string strategy: `&'static str` patterns composed of
+/// literal characters and character classes `[a-z0-9_]` with optional
+/// repetition `{m}` / `{m,n}` / `?` / `*` / `+` (the `*`/`+` forms cap at
+/// 8 repetitions). This covers the patterns used by the workspace's
+/// property tests; anything unsupported panics loudly at generation time.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let items = parse_pattern(self);
+        let mut out = String::new();
+        for (set, lo, hi) in &items {
+            let n = if lo == hi {
+                *lo
+            } else {
+                (*lo as u64 + rng.below((*hi - *lo) as u64 + 1)) as usize
+            };
+            for _ in 0..n {
+                let i = rng.below(set.len() as u64) as usize;
+                out.push(set[i]);
+            }
+        }
+        out
+    }
+}
+
+type PatternItem = (Vec<char>, usize, usize);
+
+fn parse_pattern(pattern: &str) -> Vec<PatternItem> {
+    let mut items: Vec<PatternItem> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("peeked");
+                            for u in lo as u32..=hi as u32 {
+                                set.extend(char::from_u32(u));
+                            }
+                        }
+                        Some(other) => {
+                            if let Some(p) = prev.replace(other) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                set.extend(prev);
+                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                set
+            }
+            '\\' => vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))],
+            '.' | '(' | ')' | '|' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?} (regex-lite shim)")
+            }
+            literal => vec![literal],
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("repeat lower bound"),
+                        b.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+        items.push((set, lo, hi));
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_generation() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let d = Strategy::generate(&"[0-9]{1,2}", &mut rng);
+            assert!((1..=2).contains(&d.chars().count()), "{d:?}");
+            assert!(d.chars().all(|c| c.is_ascii_digit()), "{d:?}");
+            let lit = Strategy::generate(&"ab-c", &mut rng);
+            assert_eq!(lit, "ab-c");
+        }
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let u = crate::prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::from_seed(9);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(u.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..1000 {
+            let x = (2..9u32).generate(&mut rng);
+            assert!((2..9).contains(&x));
+            let y = (0..4usize).generate(&mut rng);
+            assert!(y < 4);
+        }
+    }
+}
