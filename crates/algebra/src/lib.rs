@@ -19,4 +19,4 @@ pub use attrmgr::{AttrManager, Slot};
 pub use explain::explain;
 pub use ops::{Attr, LogicalOp};
 pub use scalar::{AggExpr, AggFunc, CmpMode, ConvKind, NodeFn, NumFn, ScalarExpr, StrFn};
-pub use value::{Const, QueryOutput, Tuple, Value};
+pub use value::{Const, QueryError, QueryOutput, Tuple, Value};

@@ -147,6 +147,54 @@ pub enum QueryOutput {
     Str(String),
 }
 
+/// A typed runtime failure of a governed execution: the query was stopped
+/// cooperatively by the resource governor instead of exhausting process
+/// memory or spinning forever. Compilation failures are a different type
+/// (`PipelineError` in the compiler crate); these errors can only arise
+/// while a plan is running.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A materializing operator pushed the query over its memory budget.
+    MemoryExceeded {
+        /// The configured budget in bytes.
+        limit: u64,
+        /// The total that the failing allocation would have brought the
+        /// query to (always `> limit`).
+        requested: u64,
+    },
+    /// The query materialized more tuples than its tuple budget allows.
+    TuplesExceeded {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// The wall-clock deadline passed (observed at a governor tick).
+    DeadlineExceeded {
+        /// The configured timeout in milliseconds.
+        timeout_millis: u64,
+    },
+    /// The cancellation token was raised (observed at a governor tick).
+    Cancelled,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::MemoryExceeded { limit, requested } => {
+                write!(f, "memory budget exceeded: needed {requested} bytes, limit {limit}")
+            }
+            QueryError::TuplesExceeded { limit } => {
+                write!(f, "tuple budget exceeded: limit {limit} materialized tuples")
+            }
+            QueryError::DeadlineExceeded { timeout_millis } => {
+                write!(f, "deadline exceeded: query ran past its {timeout_millis}ms timeout")
+            }
+            QueryError::Cancelled => write!(f, "query cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 impl QueryOutput {
     /// Boolean conversion of the whole result.
     pub fn to_bool(&self) -> bool {

@@ -16,7 +16,8 @@
 
 use std::time::Instant;
 
-use bench::{arg_value, ms, ms_f, profile_report, write_results_json, Evaluator};
+use bench::{arg_value, ms, ms_f, profile_report, run_governed, write_results_json, Evaluator};
+use compiler::ResourceLimits;
 use nqe::Json;
 use xmlstore::ArenaBuilder;
 
@@ -84,6 +85,63 @@ fn main() {
         }
     }
     println!("# naive_contexts grows as width^pairs; natix stays flat (dedup pushdown)");
+
+    // Governed epilogue 1: the same family with a positional predicate on
+    // the last step. The canonical plan re-materializes the step's Tmp^cs
+    // group once per duplicate context — width^pairs times — so a budget
+    // on materialized tuples trips the resource governor, while the
+    // improved plan (dedup pushed below the positional machinery)
+    // materializes one group and finishes inside the same budget.
+    let cap: u64 = 16 * 1024 * 1024;
+    let limits = ResourceLimits::unlimited().with_max_memory(cap).with_max_tuples(500_000);
+    let mut q = String::from("/r/a/b");
+    for _ in 0..max_pairs {
+        q.push_str("/parent::a/child::b");
+    }
+    q.push_str("[position()=last()]");
+    println!(
+        "# governed rerun ({} MiB + 500k materialized-tuple budget): …[position()=last()]",
+        cap >> 20
+    );
+    for ev in [Evaluator::NatixImproved, Evaluator::NatixCanonical] {
+        let t0 = Instant::now();
+        let outcome = run_governed(ev, &store, &q, &limits).expect("algebraic evaluator");
+        let elapsed = t0.elapsed();
+        match outcome {
+            Ok(_) => println!("#   {}: completed in {} ms", ev.label(), ms(elapsed)),
+            Err(e) => println!("#   {}: stopped after {} ms — {e}", ev.label(), ms(elapsed)),
+        }
+    }
+
+    // Governed epilogue 2: scale the blow-up document wide instead of deep.
+    // The positional predicate makes Tmp^cs buffer all `width` children of
+    // one context, so a 16 MiB cap turns what used to be unbounded
+    // allocation into a typed MemoryExceeded error.
+    let wide = get("--wide", 200_000);
+    let mut b = ArenaBuilder::new();
+    b.start_element("r");
+    b.start_element("a");
+    for _ in 0..wide {
+        b.start_element("b");
+        b.end_element();
+    }
+    b.end_element();
+    b.end_element();
+    let wide_store = b.finish();
+    let mem_only = ResourceLimits::unlimited().with_max_memory(cap);
+    println!(
+        "# wide document ({wide} children) under a {} MiB cap: /r/a/b[position()=last()]",
+        cap >> 20
+    );
+    for ev in [Evaluator::NatixImproved, Evaluator::NatixCanonical] {
+        let outcome = run_governed(ev, &wide_store, "/r/a/b[position()=last()]", &mem_only)
+            .expect("algebraic");
+        match outcome {
+            Ok(_) => println!("#   {}: completed", ev.label()),
+            Err(e) => println!("#   {}: stopped — {e}", ev.label()),
+        }
+    }
+
     if let Some(path) = json_path {
         write_results_json(&path, "blowup", results);
     }

@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use compiler::TranslateOptions;
+use compiler::{ResourceLimits, TranslateOptions};
 use interp::{InterpOptions, Interpreter};
 use nqe::Json;
 use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
@@ -128,6 +128,22 @@ impl Evaluator {
                 .expect("evaluate"),
         }
     }
+}
+
+/// Compile + execute under a resource budget. Only the algebraic
+/// evaluators are governed (the interpreters have no governor hooks);
+/// returns `None` for them.
+pub fn run_governed(
+    ev: Evaluator,
+    store: &dyn XmlStore,
+    query: &str,
+    limits: &ResourceLimits,
+) -> Option<Result<algebra::QueryOutput, String>> {
+    let opts = ev.options()?;
+    Some(
+        nqe::evaluate_governed(store, query, &opts, limits, store.root(), &HashMap::new())
+            .map_err(|e| e.to_string()),
+    )
 }
 
 /// Median wall-clock time of `runs` evaluations.

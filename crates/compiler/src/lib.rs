@@ -12,7 +12,7 @@ pub mod properties;
 pub mod trace;
 pub mod translate;
 
-pub use options::TranslateOptions;
+pub use options::{parse_duration, parse_mem_size, ResourceLimits, TranslateOptions};
 pub use pipeline::{compile, compile_ast, compile_traced, PipelineError};
 pub use trace::{PhaseTiming, QueryTrace};
 pub use translate::{translate, CompileError, CompiledQuery};

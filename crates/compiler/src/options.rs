@@ -1,7 +1,12 @@
-//! Translation switches. The canonical translation (paper §3) and the
-//! improved translation (paper §4) are points in this option space; the
-//! individual flags exist so the ablation benchmarks can isolate each
-//! improvement.
+//! Translation switches and execution resource limits. The canonical
+//! translation (paper §3) and the improved translation (paper §4) are
+//! points in the translation option space; the individual flags exist so
+//! the ablation benchmarks can isolate each improvement.
+//! [`ResourceLimits`] is the per-query execution budget plumbed from the
+//! user surfaces (CLI `--max-mem`/`--timeout`, REPL `:limits`, bench
+//! harnesses) down to the `nqe` resource governor (DESIGN.md §11).
+
+use std::time::Duration;
 
 /// Options controlling the translation into the algebra.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,9 +65,160 @@ impl Default for TranslateOptions {
     }
 }
 
+/// Per-query execution budget: every materializing physical operator
+/// charges the memory and tuple budgets, and the wall clock is checked
+/// against the timeout at every governor tick. `Default` is unlimited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ResourceLimits {
+    /// Cap on the bytes held by materializing operators (Sort, Tmp^cs,
+    /// MemoX, χ^mat, ⋉/▷ inner materialisation, Π^D seen-sets, result
+    /// accumulation); `None` is unlimited.
+    pub max_memory_bytes: Option<u64>,
+    /// Cap on the total tuples materialized across all operators.
+    pub max_tuples: Option<u64>,
+    /// Wall-clock budget from the start of execution.
+    pub timeout: Option<Duration>,
+    /// Cooperative check cadence: deadline and cancellation are examined
+    /// every this-many governor ticks (`None` → the governor default).
+    pub tick_interval: Option<u32>,
+}
+
+impl ResourceLimits {
+    /// No limits (the default).
+    pub fn unlimited() -> ResourceLimits {
+        ResourceLimits::default()
+    }
+
+    /// True when no budget is configured (cancellation may still be
+    /// requested through the governor's token).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_memory_bytes.is_none() && self.max_tuples.is_none() && self.timeout.is_none()
+    }
+
+    /// Builder: memory cap in bytes.
+    pub fn with_max_memory(mut self, bytes: u64) -> ResourceLimits {
+        self.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder: materialized-tuple cap.
+    pub fn with_max_tuples(mut self, tuples: u64) -> ResourceLimits {
+        self.max_tuples = Some(tuples);
+        self
+    }
+
+    /// Builder: wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> ResourceLimits {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Builder: tick interval.
+    pub fn with_tick_interval(mut self, every: u32) -> ResourceLimits {
+        self.tick_interval = Some(every);
+        self
+    }
+}
+
+/// Parse a human memory size: plain bytes (`4096`), decimal suffixes
+/// (`64k`, `16m`, `2g`) or binary ones (`64KiB`, `16MiB`, `2GiB`), all
+/// case-insensitive, with an optional `B`.
+pub fn parse_mem_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let lower = t.to_ascii_lowercase();
+    let (digits, factor) = if let Some(d) = lower.strip_suffix("kib") {
+        (d, 1u64 << 10)
+    } else if let Some(d) = lower.strip_suffix("mib") {
+        (d, 1u64 << 20)
+    } else if let Some(d) = lower.strip_suffix("gib") {
+        (d, 1u64 << 30)
+    } else if let Some(d) = lower.strip_suffix("kb") {
+        (d, 1_000)
+    } else if let Some(d) = lower.strip_suffix("mb") {
+        (d, 1_000_000)
+    } else if let Some(d) = lower.strip_suffix("gb") {
+        (d, 1_000_000_000)
+    } else if let Some(d) = lower.strip_suffix('k') {
+        (d, 1u64 << 10)
+    } else if let Some(d) = lower.strip_suffix('m') {
+        (d, 1u64 << 20)
+    } else if let Some(d) = lower.strip_suffix('g') {
+        (d, 1u64 << 30)
+    } else if let Some(d) = lower.strip_suffix('b') {
+        (d, 1)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let n: u64 = digits.trim().parse().map_err(|_| format!("bad memory size `{s}`"))?;
+    n.checked_mul(factor).ok_or_else(|| format!("memory size `{s}` overflows"))
+}
+
+/// Parse a human duration: `250ms`, `5s`, `2m`, `1h`, or a plain number
+/// of seconds.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mul_ms) = if let Some(d) = t.strip_suffix("ms") {
+        (d.to_owned(), 1u64)
+    } else if let Some(d) = t.strip_suffix('s') {
+        (d.to_owned(), 1_000)
+    } else if let Some(d) = t.strip_suffix('m') {
+        (d.to_owned(), 60_000)
+    } else if let Some(d) = t.strip_suffix('h') {
+        (d.to_owned(), 3_600_000)
+    } else {
+        (t.clone(), 1_000)
+    };
+    // Allow fractional counts (`0.5s`).
+    let n: f64 = digits.trim().parse().map_err(|_| format!("bad duration `{s}`"))?;
+    if n.is_nan() || n < 0.0 || !n.is_finite() {
+        return Err(format!("bad duration `{s}`"));
+    }
+    Ok(Duration::from_millis((n * mul_ms as f64).round() as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mem_size_parsing() {
+        assert_eq!(parse_mem_size("4096"), Ok(4096));
+        assert_eq!(parse_mem_size("16MiB"), Ok(16 << 20));
+        assert_eq!(parse_mem_size("16mib"), Ok(16 << 20));
+        assert_eq!(parse_mem_size("2g"), Ok(2 << 30));
+        assert_eq!(parse_mem_size("64k"), Ok(64 << 10));
+        assert_eq!(parse_mem_size("1kb"), Ok(1000));
+        assert_eq!(parse_mem_size(" 8 MiB "), Ok(8 << 20));
+        assert!(parse_mem_size("lots").is_err());
+        assert!(parse_mem_size("-1").is_err());
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration("250ms"), Ok(Duration::from_millis(250)));
+        assert_eq!(parse_duration("5s"), Ok(Duration::from_secs(5)));
+        assert_eq!(parse_duration("5"), Ok(Duration::from_secs(5)));
+        assert_eq!(parse_duration("0.5s"), Ok(Duration::from_millis(500)));
+        assert_eq!(parse_duration("2m"), Ok(Duration::from_secs(120)));
+        assert!(parse_duration("soon").is_err());
+        assert!(parse_duration("-3s").is_err());
+    }
+
+    #[test]
+    fn limits_builders() {
+        let l = ResourceLimits::unlimited();
+        assert!(l.is_unlimited());
+        let l = l
+            .with_max_memory(16 << 20)
+            .with_max_tuples(1_000)
+            .with_timeout(Duration::from_secs(5))
+            .with_tick_interval(32);
+        assert!(!l.is_unlimited());
+        assert_eq!(l.max_memory_bytes, Some(16 << 20));
+        assert_eq!(l.max_tuples, Some(1_000));
+        assert_eq!(l.timeout, Some(Duration::from_secs(5)));
+        assert_eq!(l.tick_interval, Some(32));
+    }
 
     #[test]
     fn presets() {

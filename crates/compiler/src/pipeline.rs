@@ -22,6 +22,10 @@ pub enum PipelineError {
     Frontend(FrontendError),
     /// Translation into the algebra failed.
     Translate(CompileError),
+    /// Execution was stopped by the resource governor (memory/tuple
+    /// budget, deadline, or cancellation) — carried here so governed
+    /// end-to-end entry points report one flat error type.
+    Resource(algebra::QueryError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -29,6 +33,7 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Frontend(e) => write!(f, "{e}"),
             PipelineError::Translate(e) => write!(f, "{e}"),
+            PipelineError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
@@ -44,6 +49,12 @@ impl From<FrontendError> for PipelineError {
 impl From<CompileError> for PipelineError {
     fn from(e: CompileError) -> Self {
         PipelineError::Translate(e)
+    }
+}
+
+impl From<algebra::QueryError> for PipelineError {
+    fn from(e: algebra::QueryError) -> Self {
+        PipelineError::Resource(e)
     }
 }
 

@@ -8,25 +8,60 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use algebra::{QueryOutput, Value};
-use compiler::{compile_traced, PipelineError, QueryTrace, TranslateOptions};
+use algebra::{QueryError, QueryOutput, Value};
+use compiler::{compile_traced, PipelineError, QueryTrace, ResourceLimits, TranslateOptions};
 use xmlstore::{NodeId, XmlStore};
 
 use crate::codegen::build_physical_profiled;
+use crate::governor::ResourceGovernor;
 use crate::json::Json;
 use crate::profile::{fmt_nanos, Profile};
 
+/// Governor-side accounting of one execution, included in every report
+/// (unlimited runs report zero limits and — usually — zero charges only
+/// when the plan materialises nothing).
+pub struct ResourceReport {
+    /// The limits the execution ran under.
+    pub limits: ResourceLimits,
+    /// Highest concurrent byte usage (the governor's high-water mark).
+    pub high_water_bytes: u64,
+    /// Cumulative bytes charged over the whole execution.
+    pub charged_bytes: u64,
+    /// Tuples counted against the tuple budget.
+    pub tuples_charged: u64,
+    /// Transient bytes still held after the plan closed — non-zero means
+    /// leaked temp state (asserted zero by the fault-injection tests).
+    pub transient_bytes: u64,
+    /// The typed error that stopped execution, if the governor tripped.
+    pub error: Option<QueryError>,
+}
+
+impl ResourceReport {
+    fn capture(gov: &ResourceGovernor) -> ResourceReport {
+        ResourceReport {
+            limits: *gov.limits(),
+            high_water_bytes: gov.high_water(),
+            charged_bytes: gov.charged_total(),
+            tuples_charged: gov.tuples_charged(),
+            transient_bytes: gov.transient_bytes(),
+            error: gov.error(),
+        }
+    }
+}
+
 /// The result of an `EXPLAIN ANALYZE` run: compile trace, operator
-/// profile, and the shape of the result.
+/// profile, resource accounting, and the shape of the result.
 pub struct AnalyzeReport {
     /// Per-phase compile timings, fired rewrites and plan statistics.
     /// Extended with `codegen` and `execute` phases by [`explain_analyze`].
     pub trace: QueryTrace,
     /// Per-operator timings/counters/gauges.
     pub profile: Profile,
-    /// Kind of the result (`nodes`, `bool`, `num`, `str`).
+    /// Governor accounting (memory high-water, charges, budget outcome).
+    pub resources: ResourceReport,
+    /// Kind of the result (`nodes`, `bool`, `num`, `str`, or `error`).
     pub result_kind: &'static str,
-    /// Node count for node-set results, 1 otherwise.
+    /// Node count for node-set results, 1 otherwise (0 for errors).
     pub result_count: usize,
     /// Short rendering of the result (node-sets render as a count).
     pub result_summary: String,
@@ -43,18 +78,47 @@ pub fn explain_analyze(
     ctx: NodeId,
     vars: &HashMap<String, Value>,
 ) -> Result<(QueryOutput, AnalyzeReport), PipelineError> {
+    let (out, report) =
+        explain_analyze_governed(store, query, opts, &ResourceLimits::unlimited(), ctx, vars)?;
+    Ok((out.expect("unlimited governor cannot trip"), report))
+}
+
+/// [`explain_analyze`] under resource limits. Compile failures surface in
+/// the outer `Result`; budget trips surface in the *inner* one, paired
+/// with the report — the profile and governor accounting of a stopped
+/// query are exactly what one inspects to understand the trip.
+pub fn explain_analyze_governed(
+    store: &dyn XmlStore,
+    query: &str,
+    opts: &TranslateOptions,
+    limits: &ResourceLimits,
+    ctx: NodeId,
+    vars: &HashMap<String, Value>,
+) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), PipelineError> {
     let (compiled, mut trace) = compile_traced(query, opts)?;
 
     let t0 = Instant::now();
     let (mut phys, profile) = build_physical_profiled(&compiled);
     trace.add_phase("codegen", t0.elapsed().as_nanos() as u64);
 
+    let gov = ResourceGovernor::new(*limits);
     let t0 = Instant::now();
-    let out = phys.execute(store, vars, ctx);
+    let out = phys.execute_governed(store, vars, ctx, &gov);
     trace.add_phase("execute", t0.elapsed().as_nanos() as u64);
 
-    let (result_kind, result_count, result_summary) = describe(&out);
-    let report = AnalyzeReport { trace, profile, result_kind, result_count, result_summary };
+    let resources = ResourceReport::capture(&gov);
+    let (result_kind, result_count, result_summary) = match &out {
+        Ok(out) => describe(out),
+        Err(e) => ("error", 0, e.to_string()),
+    };
+    let report = AnalyzeReport {
+        trace,
+        profile,
+        resources,
+        result_kind,
+        result_count,
+        result_summary,
+    };
     Ok((out, report))
 }
 
@@ -76,6 +140,29 @@ impl AnalyzeReport {
         out.push('\n');
         out.push_str("operators (actual):\n");
         out.push_str(&self.profile.report());
+        let r = &self.resources;
+        let mut limits = Vec::new();
+        if let Some(b) = r.limits.max_memory_bytes {
+            limits.push(format!("mem={b}B"));
+        }
+        if let Some(t) = r.limits.max_tuples {
+            limits.push(format!("tuples={t}"));
+        }
+        if let Some(t) = r.limits.timeout {
+            limits.push(format!("timeout={}ms", t.as_millis()));
+        }
+        let limits = if limits.is_empty() {
+            "unlimited".to_owned()
+        } else {
+            limits.join(" ")
+        };
+        out.push_str(&format!(
+            "resources: peak {}B, charged {}B, {} tuples materialized (limits: {})\n",
+            r.high_water_bytes, r.charged_bytes, r.tuples_charged, limits,
+        ));
+        if let Some(e) = &r.error {
+            out.push_str(&format!("stopped: {e}\n"));
+        }
         out.push_str(&format!(
             "result: {} in {} (plan time {})\n",
             self.result_summary,
@@ -96,17 +183,27 @@ impl AnalyzeReport {
     ///            "op_counts": {"Υ": 4, ...}, "pruned_ops": 0},
     ///   "operators": [{"label": "Π^D[cn]", "depth": 0, "opens": 1,
     ///                  "tuples": 10, "nanos": 123, "self_nanos": 50,
-    ///                  "gauges": {"dup_dropped": 2, ...}}, ...],
+    ///                  "gauges": {"dup_dropped": 2, "mem_charged": 0,
+    ///                             "mem_peak": 0, ...}}, ...],
+    ///   "resources": {"high_water_bytes": 0, "charged_bytes": 0,
+    ///                 "tuples_charged": 0, "transient_bytes": 0,
+    ///                 "limits": {"max_memory_bytes": null,
+    ///                            "max_tuples": null,
+    ///                            "timeout_millis": null},
+    ///                 "error": null},
     ///   "result": {"kind": "nodes", "count": 10},
     ///   "total_nanos": 456
     /// }
     /// ```
     ///
     /// `operators` is in plan (pre-order) order; `depth` reconstructs the
-    /// tree. All times are wall-clock nanoseconds.
+    /// tree. All times are wall-clock nanoseconds. Materialising
+    /// operators report `mem_charged`/`mem_peak` gauges; `resources` is
+    /// the governor's plan-wide accounting of the same charges.
     pub fn to_json(&self) -> Json {
         let mut root = trace_json_fields(&self.trace);
         root.push(("operators".to_owned(), profile_json(&self.profile)));
+        root.push(("resources".to_owned(), resources_json(&self.resources)));
         root.push((
             "result".to_owned(),
             Json::obj(vec![
@@ -117,6 +214,28 @@ impl AnalyzeReport {
         root.push(("total_nanos".to_owned(), Json::Num(self.trace.total_nanos() as f64)));
         Json::Obj(root)
     }
+}
+
+fn resources_json(r: &ResourceReport) -> Json {
+    let opt_num = |v: Option<u64>| v.map(|n| Json::Num(n as f64)).unwrap_or(Json::Null);
+    Json::obj(vec![
+        ("high_water_bytes", Json::Num(r.high_water_bytes as f64)),
+        ("charged_bytes", Json::Num(r.charged_bytes as f64)),
+        ("tuples_charged", Json::Num(r.tuples_charged as f64)),
+        ("transient_bytes", Json::Num(r.transient_bytes as f64)),
+        (
+            "limits",
+            Json::obj(vec![
+                ("max_memory_bytes", opt_num(r.limits.max_memory_bytes)),
+                ("max_tuples", opt_num(r.limits.max_tuples)),
+                ("timeout_millis", opt_num(r.limits.timeout.map(|t| t.as_millis() as u64))),
+            ]),
+        ),
+        (
+            "error",
+            r.error.as_ref().map(|e| Json::Str(e.to_string())).unwrap_or(Json::Null),
+        ),
+    ])
 }
 
 fn trace_json_fields(trace: &QueryTrace) -> Vec<(String, Json)> {
@@ -243,6 +362,7 @@ mod tests {
             "rewrites",
             "plan",
             "operators",
+            "resources",
             "result",
             "total_nanos",
         ] {

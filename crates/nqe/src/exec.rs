@@ -1,15 +1,16 @@
 //! Executor: runs a physical query against a store, providing the
-//! top-level execution context (context node, `$` variables) that binds
-//! the plan's free attributes (paper §2.2.2).
+//! top-level execution context (context node, `$` variables, resource
+//! governor) that binds the plan's free attributes (paper §2.2.2).
 
 use std::collections::HashMap;
 
 use xmlstore::{NodeId, XmlStore};
 
-use algebra::{QueryOutput, Tuple, Value};
-use compiler::{compile, PipelineError, TranslateOptions};
+use algebra::{QueryError, QueryOutput, Tuple, Value};
+use compiler::{compile, PipelineError, ResourceLimits, TranslateOptions};
 
 use crate::codegen::{build_physical, PhysicalQuery};
+use crate::governor::{tuple_bytes, ChargeLedger, ResourceGovernor};
 
 /// Shared read-only state available to every iterator and NVM program.
 pub struct Runtime<'a> {
@@ -17,10 +18,14 @@ pub struct Runtime<'a> {
     pub store: &'a dyn XmlStore,
     /// `$` variable bindings.
     pub vars: &'a HashMap<String, Value>,
+    /// The execution budget (memory/tuples/deadline/cancellation).
+    pub gov: &'a ResourceGovernor,
 }
 
 impl PhysicalQuery {
-    /// Execute against `store` with `ctx` as the context node.
+    /// Execute against `store` with `ctx` as the context node, without
+    /// limits. Infallible: an unlimited governor can only trip through
+    /// an externally injected fault, which this path never installs.
     ///
     /// A `PhysicalQuery` is bound to one store: node tests resolve
     /// interned names and memo tables key on node identities on first
@@ -31,7 +36,25 @@ impl PhysicalQuery {
         vars: &HashMap<String, Value>,
         ctx: NodeId,
     ) -> QueryOutput {
-        let rt = Runtime { store, vars };
+        let gov = ResourceGovernor::unlimited();
+        self.execute_governed(store, vars, ctx, &gov)
+            .expect("unlimited governor cannot trip")
+    }
+
+    /// Execute under a resource governor. Over-budget, timed-out and
+    /// cancelled executions unwind cooperatively: iterators stop
+    /// producing once the governor trips, the plan closes (releasing
+    /// every transient charge), and the trip surfaces here as a typed
+    /// [`QueryError`].
+    pub fn execute_governed(
+        &mut self,
+        store: &dyn XmlStore,
+        vars: &HashMap<String, Value>,
+        ctx: NodeId,
+        gov: &ResourceGovernor,
+    ) -> Result<QueryOutput, QueryError> {
+        let rt = Runtime { store, vars, gov };
+        gov.check_now();
         match self {
             PhysicalQuery::Sequence { root, frame } => {
                 let mut seed: Tuple = vec![Value::Null; frame.width];
@@ -39,18 +62,30 @@ impl PhysicalQuery {
                 seed[frame.cp] = Value::Num(1.0);
                 seed[frame.cs] = Value::Num(1.0);
                 root.open(&rt, &seed);
+                // The result accumulator is a materialisation like any
+                // other: charge it so unbounded node-sets cannot evade
+                // the budget by reaching the top of the plan.
+                let mut ledger = ChargeLedger::new();
                 let mut nodes: Vec<NodeId> = Vec::new();
-                while let Some(t) = root.next(&rt) {
+                while gov.ok() {
+                    let Some(t) = root.next(&rt) else { break };
                     if let Some(n) = t[frame.cn].as_node() {
+                        if !ledger.charge(gov, std::mem::size_of::<NodeId>() as u64) {
+                            break;
+                        }
                         nodes.push(n);
                     }
                 }
-                root.close();
+                root.close(&rt);
+                ledger.release_all(gov);
+                if let Some(e) = gov.error() {
+                    return Err(e);
+                }
                 // XPath 1.0 node-sets are unordered (paper §2.1); we
                 // return document order for determinism.
                 nodes.sort_by_key(|&n| store.order(n));
                 nodes.dedup();
-                QueryOutput::Nodes(nodes)
+                Ok(QueryOutput::Nodes(nodes))
             }
             PhysicalQuery::Scalar { pred, frame, stats } => {
                 let mut seed: Tuple = vec![Value::Null; frame.width];
@@ -65,20 +100,35 @@ impl PhysicalQuery {
                     s.opens += 1;
                     s.tuples += 1;
                 }
-                match value {
+                if let Some(e) = gov.error() {
+                    return Err(e);
+                }
+                Ok(match value {
                     Value::Bool(b) => QueryOutput::Bool(b),
                     Value::Num(n) => QueryOutput::Num(n),
                     Value::Str(s) => QueryOutput::Str(s.to_string()),
                     Value::Node(n) => QueryOutput::Nodes(vec![n]),
                     Value::Null => QueryOutput::Str(String::new()),
                     Value::Seq(ts) => {
+                        // Transient charge for inspecting the sequence —
+                        // symmetric with the Sequence arm's accumulator.
+                        let mut ledger = ChargeLedger::new();
+                        let mut charged = 0u64;
+                        for t in ts.iter() {
+                            charged += tuple_bytes(t);
+                        }
+                        let fits = ledger.charge(gov, charged);
                         let mut nodes: Vec<NodeId> =
                             ts.iter().flat_map(|t| t.iter().filter_map(|v| v.as_node())).collect();
+                        ledger.release_all(gov);
+                        if !fits {
+                            return Err(gov.error().expect("charge failed"));
+                        }
                         nodes.sort_by_key(|&n| store.order(n));
                         nodes.dedup();
                         QueryOutput::Nodes(nodes)
                     }
-                }
+                })
             }
         }
     }
@@ -105,4 +155,21 @@ pub fn evaluate_with(
     let compiled = compile(query, opts)?;
     let mut phys = build_physical(&compiled);
     Ok(phys.execute(store, vars, ctx))
+}
+
+/// Evaluation under resource limits: compile, lower, and execute with a
+/// fresh governor for `limits`. Budget trips surface as
+/// [`PipelineError::Resource`].
+pub fn evaluate_governed(
+    store: &dyn XmlStore,
+    query: &str,
+    opts: &TranslateOptions,
+    limits: &ResourceLimits,
+    ctx: NodeId,
+    vars: &HashMap<String, Value>,
+) -> Result<QueryOutput, PipelineError> {
+    let compiled = compile(query, opts)?;
+    let mut phys = build_physical(&compiled);
+    let gov = ResourceGovernor::new(*limits);
+    Ok(phys.execute_governed(store, vars, ctx, &gov)?)
 }

@@ -64,6 +64,9 @@ impl PhysIter for SelectIter {
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
         loop {
+            if !rt.gov.tick() {
+                return None;
+            }
             let t = self.input.next(rt)?;
             if self.pred.eval(rt, &t).to_bool() {
                 return Some(t);
@@ -71,8 +74,8 @@ impl PhysIter for SelectIter {
         }
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
     }
 }
 
@@ -102,8 +105,8 @@ impl PhysIter for MapIter {
         Some(t)
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
     }
 }
 
@@ -133,8 +136,8 @@ impl PhysIter for RenameCopyIter {
         Some(t)
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
     }
 }
 
@@ -176,8 +179,8 @@ impl PhysIter for CounterIter {
         Some(t)
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
     }
 }
 
@@ -205,6 +208,9 @@ impl PhysIter for ConcatIter {
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
         while self.idx < self.parts.len() {
+            if !rt.gov.tick() {
+                return None;
+            }
             if !self.opened {
                 self.parts[self.idx].open(rt, &self.seed);
                 self.opened = true;
@@ -212,10 +218,18 @@ impl PhysIter for ConcatIter {
             if let Some(t) = self.parts[self.idx].next(rt) {
                 return Some(t);
             }
-            self.parts[self.idx].close();
+            self.parts[self.idx].close(rt);
             self.idx += 1;
             self.opened = false;
         }
         None
+    }
+
+    fn close(&mut self, rt: &Runtime<'_>) {
+        // An early close can leave the current part open mid-stream.
+        if self.opened {
+            self.parts[self.idx].close(rt);
+            self.opened = false;
+        }
     }
 }

@@ -1,6 +1,11 @@
 //! Materialising operators: duplicate elimination, document-order sort,
 //! the context-size operator Tmp^cs/Tmp^cs_c (§5.2.4), the MemoX
 //! sequence memo (§4.2.2) and the memoizing map χ^mat (§4.3.2).
+//!
+//! Every buffer here is charged against the runtime's resource governor
+//! (DESIGN.md §11): tuples are charged as they are parked and released as
+//! they are handed downstream or the operator closes; memo/cache state
+//! that survives re-opens is committed as persistent instead of released.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
@@ -9,6 +14,7 @@ use algebra::attrmgr::Slot;
 use algebra::{Tuple, Value};
 
 use crate::exec::Runtime;
+use crate::governor::{group_key_bytes, tuple_bytes, value_bytes, ChargeLedger};
 use crate::iter::{CompiledPred, Gauge, GroupKey, PhysIter};
 
 /// Π^D_a — duplicate elimination on one attribute, keeping the first
@@ -17,6 +23,7 @@ pub struct DedupIter {
     input: Box<dyn PhysIter>,
     slot: Slot,
     seen: HashSet<GroupKey>,
+    ledger: ChargeLedger,
     /// Statistics: input tuples dropped as duplicates (all opens).
     pub dropped: u64,
 }
@@ -24,7 +31,13 @@ pub struct DedupIter {
 impl DedupIter {
     /// New duplicate elimination.
     pub fn new(input: Box<dyn PhysIter>, slot: Slot) -> DedupIter {
-        DedupIter { input, slot, seen: HashSet::new(), dropped: 0 }
+        DedupIter {
+            input,
+            slot,
+            seen: HashSet::new(),
+            ledger: ChargeLedger::new(),
+            dropped: 0,
+        }
     }
 }
 
@@ -32,25 +45,36 @@ impl PhysIter for DedupIter {
     fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
         self.input.open(rt, seed);
         self.seen.clear();
+        self.ledger.release_all(rt.gov);
     }
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
         loop {
+            if !rt.gov.tick() {
+                return None;
+            }
             let t = self.input.next(rt)?;
             let key = GroupKey::of(t.get(self.slot).unwrap_or(&Value::Null), rt);
+            let key_bytes = group_key_bytes(&key);
             if self.seen.insert(key) {
+                if !self.ledger.charge(rt.gov, key_bytes) {
+                    return None;
+                }
                 return Some(t);
             }
             self.dropped += 1;
         }
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
+        self.seen.clear();
+        self.ledger.release_all(rt.gov);
     }
 
     fn gauges(&self, out: &mut Vec<Gauge>) {
         out.push(("dup_dropped", self.dropped));
+        self.ledger.gauges(out);
     }
 }
 
@@ -62,6 +86,7 @@ pub struct SortIter {
     slot: Slot,
     buffer: Option<Vec<Tuple>>,
     pos: usize,
+    ledger: ChargeLedger,
     /// Statistics: total tuples materialised for sorting (all opens).
     pub sorted_tuples: u64,
     /// Statistics: number of sort materialisations (one per consumed
@@ -77,6 +102,7 @@ impl SortIter {
             slot,
             buffer: None,
             pos: 0,
+            ledger: ChargeLedger::new(),
             sorted_tuples: 0,
             sort_runs: 0,
         }
@@ -88,15 +114,25 @@ impl PhysIter for SortIter {
         self.input.open(rt, seed);
         self.buffer = None;
         self.pos = 0;
+        self.ledger.release_all(rt.gov);
     }
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        if !rt.gov.ok() {
+            return None;
+        }
         if self.buffer.is_none() {
             let mut buf = Vec::new();
             while let Some(t) = self.input.next(rt) {
+                if !self.ledger.charge_tuple(rt.gov, &t) {
+                    break;
+                }
                 buf.push(t);
             }
-            self.input.close();
+            self.input.close(rt);
+            if !rt.gov.ok() {
+                return None;
+            }
             self.sorted_tuples += buf.len() as u64;
             self.sort_runs += 1;
             let slot = self.slot;
@@ -107,22 +143,26 @@ impl PhysIter for SortIter {
         }
         let buf = self.buffer.as_mut().expect("filled above");
         if self.pos < buf.len() {
+            let bytes = tuple_bytes(&buf[self.pos]);
             let t = std::mem::take(&mut buf[self.pos]);
             self.pos += 1;
+            self.ledger.release(rt.gov, bytes);
             Some(t)
         } else {
             None
         }
     }
 
-    fn close(&mut self) {
+    fn close(&mut self, rt: &Runtime<'_>) {
         self.buffer = None;
         self.pos = 0;
+        self.ledger.release_all(rt.gov);
     }
 
     fn gauges(&self, out: &mut Vec<Gauge>) {
         out.push(("sort_input", self.sorted_tuples));
         out.push(("sort_runs", self.sort_runs));
+        self.ledger.gauges(out);
     }
 }
 
@@ -137,6 +177,7 @@ pub struct TmpCsIter {
     buf: VecDeque<Tuple>,
     lookahead: Option<Tuple>,
     exhausted: bool,
+    ledger: ChargeLedger,
     /// Statistics: total tuples materialised into group buffers.
     pub materialized: u64,
     /// Statistics: number of context groups materialised.
@@ -153,6 +194,7 @@ impl TmpCsIter {
             buf: VecDeque::new(),
             lookahead: None,
             exhausted: false,
+            ledger: ChargeLedger::new(),
             materialized: 0,
             groups: 0,
         }
@@ -171,6 +213,10 @@ impl TmpCsIter {
             self.group.map(|slot| GroupKey::of(first.get(slot).unwrap_or(&Value::Null), rt));
         let mut group = vec![first];
         loop {
+            if !rt.gov.tick() {
+                self.exhausted = true;
+                return;
+            }
             match self.input.next(rt) {
                 None => {
                     self.exhausted = true;
@@ -197,6 +243,10 @@ impl TmpCsIter {
         self.groups += 1;
         for mut t in group {
             t[self.cs] = cs.clone();
+            if !self.ledger.charge_tuple(rt.gov, &t) {
+                self.exhausted = true;
+                return;
+            }
             self.buf.push_back(t);
         }
     }
@@ -208,11 +258,16 @@ impl PhysIter for TmpCsIter {
         self.buf.clear();
         self.lookahead = None;
         self.exhausted = false;
+        self.ledger.release_all(rt.gov);
     }
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
         loop {
+            if !rt.gov.ok() {
+                return None;
+            }
             if let Some(t) = self.buf.pop_front() {
+                self.ledger.release(rt.gov, tuple_bytes(&t));
                 return Some(t);
             }
             if self.exhausted && self.lookahead.is_none() {
@@ -225,15 +280,17 @@ impl PhysIter for TmpCsIter {
         }
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
         self.buf.clear();
         self.lookahead = None;
+        self.ledger.release_all(rt.gov);
     }
 
     fn gauges(&self, out: &mut Vec<Gauge>) {
         out.push(("materialized", self.materialized));
         out.push(("groups", self.groups));
+        self.ledger.gauges(out);
     }
 }
 
@@ -246,6 +303,7 @@ pub struct MemoXIter {
     key: Slot,
     table: HashMap<GroupKey, Rc<Vec<Tuple>>>,
     mode: MemoMode,
+    ledger: ChargeLedger,
     /// Statistics: cache hits (observable for tests/ablations).
     pub hits: u64,
     /// Statistics: cache misses.
@@ -268,6 +326,7 @@ impl MemoXIter {
             key,
             table: HashMap::new(),
             mode: MemoMode::Idle,
+            ledger: ChargeLedger::new(),
             hits: 0,
             misses: 0,
             stored_tuples: 0,
@@ -289,6 +348,9 @@ impl PhysIter for MemoXIter {
     }
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        if !rt.gov.tick() {
+            return None;
+        }
         match &mut self.mode {
             MemoMode::Idle => None,
             MemoMode::Replay { seq, pos } => {
@@ -300,14 +362,27 @@ impl PhysIter for MemoXIter {
             }
             MemoMode::Record { key, acc } => match self.input.next(rt) {
                 Some(t) => {
+                    if !self.ledger.charge_tuple(rt.gov, &t) {
+                        return None;
+                    }
                     acc.push(t.clone());
                     Some(t)
                 }
                 None => {
+                    if !rt.gov.ok() {
+                        // The producer stopped because the governor
+                        // tripped, not because the sequence ended — do
+                        // not memoise the truncated recording.
+                        return None;
+                    }
                     let key = key.clone();
                     let acc = std::mem::take(acc);
                     self.stored_tuples += acc.len() as u64;
                     self.table.insert(key, Rc::new(acc));
+                    // The table entry survives re-opens: reclassify its
+                    // bytes as persistent cache state.
+                    self.ledger.commit_all(rt.gov);
+                    self.input.close(rt);
                     self.mode = MemoMode::Idle;
                     None
                 }
@@ -315,10 +390,12 @@ impl PhysIter for MemoXIter {
         }
     }
 
-    fn close(&mut self) {
-        // A close before exhaustion discards the partial recording.
+    fn close(&mut self, rt: &Runtime<'_>) {
+        // A close before exhaustion discards the partial recording (and
+        // returns its transient charge).
         if matches!(self.mode, MemoMode::Record { .. }) {
-            self.input.close();
+            self.input.close(rt);
+            self.ledger.release_all(rt.gov);
         }
         self.mode = MemoMode::Idle;
     }
@@ -328,6 +405,7 @@ impl PhysIter for MemoXIter {
         out.push(("memo_misses", self.misses));
         out.push(("memo_entries", self.table.len() as u64));
         out.push(("memo_tuples", self.stored_tuples));
+        self.ledger.gauges(out);
     }
 }
 
@@ -339,6 +417,7 @@ pub struct MemoMapIter {
     key: Slot,
     expr: CompiledPred,
     cache: HashMap<GroupKey, Value>,
+    ledger: ChargeLedger,
     /// Statistics: cache hits.
     pub hits: u64,
     /// Statistics: cache misses (subscript evaluations).
@@ -354,6 +433,7 @@ impl MemoMapIter {
             key,
             expr,
             cache: HashMap::new(),
+            ledger: ChargeLedger::new(),
             hits: 0,
             misses: 0,
         }
@@ -376,6 +456,13 @@ impl PhysIter for MemoMapIter {
             None => {
                 self.misses += 1;
                 let v = self.expr.eval(rt, &t);
+                // The cache entry survives re-opens and closes: charge
+                // it as persistent.
+                let bytes = group_key_bytes(&key) + value_bytes(&v);
+                if !self.ledger.charge(rt.gov, bytes) {
+                    return None;
+                }
+                self.ledger.commit_all(rt.gov);
                 self.cache.insert(key, v.clone());
                 v
             }
@@ -384,13 +471,14 @@ impl PhysIter for MemoMapIter {
         Some(t)
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
     }
 
     fn gauges(&self, out: &mut Vec<Gauge>) {
         out.push(("memo_hits", self.hits));
         out.push(("memo_misses", self.misses));
         out.push(("memo_entries", self.cache.len() as u64));
+        self.ledger.gauges(out);
     }
 }

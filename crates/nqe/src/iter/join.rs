@@ -5,6 +5,7 @@ use algebra::attrmgr::Slot;
 use algebra::Tuple;
 
 use crate::exec::Runtime;
+use crate::governor::ChargeLedger;
 use crate::iter::{CompiledPred, Gauge, PhysIter};
 
 /// `<>` — d-join: for every left tuple, re-open the dependent side seeded
@@ -33,11 +34,14 @@ impl PhysIter for DJoinIter {
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
         loop {
+            if !rt.gov.tick() {
+                return None;
+            }
             if self.right_active {
                 if let Some(t) = self.right.next(rt) {
                     return Some(t);
                 }
-                self.right.close();
+                self.right.close(rt);
                 self.right_active = false;
             }
             let lt = self.left.next(rt)?;
@@ -47,10 +51,10 @@ impl PhysIter for DJoinIter {
         }
     }
 
-    fn close(&mut self) {
-        self.left.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.left.close(rt);
         if self.right_active {
-            self.right.close();
+            self.right.close(rt);
             self.right_active = false;
         }
     }
@@ -76,6 +80,7 @@ pub struct SemiJoinIter {
     anti: bool,
     seed: Tuple,
     right_mat: Option<Vec<Tuple>>,
+    ledger: ChargeLedger,
     /// Statistics: total match-side tuples materialised (all opens).
     pub right_materialized: u64,
 }
@@ -97,6 +102,7 @@ impl SemiJoinIter {
             anti,
             seed: Tuple::new(),
             right_mat: None,
+            ledger: ChargeLedger::new(),
             right_materialized: 0,
         }
     }
@@ -107,20 +113,33 @@ impl PhysIter for SemiJoinIter {
         self.left.open(rt, seed);
         self.seed = seed.clone();
         self.right_mat = None;
+        self.ledger.release_all(rt.gov);
     }
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
+        if !rt.gov.ok() {
+            return None;
+        }
         if self.right_mat.is_none() {
             self.right.open(rt, &self.seed);
             let mut mat = Vec::new();
             while let Some(t) = self.right.next(rt) {
+                if !self.ledger.charge_tuple(rt.gov, &t) {
+                    break;
+                }
                 mat.push(t);
             }
-            self.right.close();
+            self.right.close(rt);
+            if !rt.gov.ok() {
+                return None;
+            }
             self.right_materialized += mat.len() as u64;
             self.right_mat = Some(mat);
         }
         'probe: loop {
+            if !rt.gov.tick() {
+                return None;
+            }
             let lt = self.left.next(rt)?;
             let mat = self.right_mat.as_ref().expect("materialised above");
             for rtup in mat {
@@ -141,12 +160,14 @@ impl PhysIter for SemiJoinIter {
         }
     }
 
-    fn close(&mut self) {
-        self.left.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.left.close(rt);
         self.right_mat = None;
+        self.ledger.release_all(rt.gov);
     }
 
     fn gauges(&self, out: &mut Vec<Gauge>) {
         out.push(("right_materialized", self.right_materialized));
+        self.ledger.gauges(out);
     }
 }

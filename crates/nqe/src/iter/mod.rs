@@ -31,12 +31,15 @@ pub trait PhysIter {
     /// (MemoX, χ^mat, independent aggregates) survive re-opens.
     fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple);
 
-    /// Produce the next tuple.
+    /// Produce the next tuple. Returning `None` with the runtime's
+    /// governor tripped means "stopped by the budget", not exhaustion —
+    /// the executor turns the trip into a typed error after closing.
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple>;
 
-    /// Release per-evaluation state (default: nothing to do — Rust drops
-    /// buffers with the operator).
-    fn close(&mut self) {}
+    /// Release per-evaluation state and return any transient governor
+    /// charges (default: nothing to do — Rust drops buffers with the
+    /// operator).
+    fn close(&mut self, _rt: &Runtime<'_>) {}
 
     /// Report operator-specific gauges (cache hit/miss counts,
     /// materialised tuple counts, re-open counts, …). Collected by the
@@ -139,7 +142,7 @@ impl NestedEval {
                 }
             }
         };
-        self.iter.close();
+        self.iter.close(rt);
         if trace_enabled() {
             eprintln!(
                 "nested {:?} over slot {} -> {:?} (indep={})",

@@ -10,7 +10,8 @@ use algebra::attrmgr::Slot;
 use algebra::{Tuple, Value};
 
 use crate::exec::Runtime;
-use crate::iter::{CompiledPred, PhysIter};
+use crate::governor::{tuple_bytes, ChargeLedger};
+use crate::iter::{CompiledPred, Gauge, PhysIter};
 
 /// Node test resolved against a concrete store (name → `NameId`).
 #[derive(Clone, Debug)]
@@ -117,12 +118,21 @@ impl PhysIter for UnnestMapIter {
         }
         loop {
             if let Some((tuple, cursor)) = &mut self.current {
-                while let Some(n) = cursor.advance(rt.store) {
+                // The axis scan is the engine's innermost unbounded loop:
+                // tick per cursor advance so deadlines and cancellation
+                // are observed even when nothing matches the node test.
+                while rt.gov.tick() {
+                    let Some(n) = cursor.advance(rt.store) else {
+                        break;
+                    };
                     if resolved.matches(n, rt) {
                         let mut out = tuple.clone();
                         out[self.out] = Value::Node(n);
                         return Some(out);
                     }
+                }
+                if !rt.gov.ok() {
+                    return None;
                 }
                 self.current = None;
             }
@@ -135,8 +145,8 @@ impl PhysIter for UnnestMapIter {
         }
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
         self.current = None;
     }
 }
@@ -148,12 +158,19 @@ pub struct TokenizeIter {
     out: Slot,
     expr: CompiledPred,
     pending: VecDeque<Tuple>,
+    ledger: ChargeLedger,
 }
 
 impl TokenizeIter {
     /// New tokenizer.
     pub fn new(input: Box<dyn PhysIter>, out: Slot, expr: CompiledPred) -> TokenizeIter {
-        TokenizeIter { input, out, expr, pending: VecDeque::new() }
+        TokenizeIter {
+            input,
+            out,
+            expr,
+            pending: VecDeque::new(),
+            ledger: ChargeLedger::new(),
+        }
     }
 }
 
@@ -161,11 +178,16 @@ impl PhysIter for TokenizeIter {
     fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
         self.input.open(rt, seed);
         self.pending.clear();
+        self.ledger.release_all(rt.gov);
     }
 
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
         loop {
+            if !rt.gov.tick() {
+                return None;
+            }
             if let Some(t) = self.pending.pop_front() {
+                self.ledger.release(rt.gov, tuple_bytes(&t));
                 return Some(t);
             }
             let t = self.input.next(rt)?;
@@ -173,13 +195,21 @@ impl PhysIter for TokenizeIter {
             for token in s.split_ascii_whitespace() {
                 let mut out = t.clone();
                 out[self.out] = Value::Str(token.into());
+                if !self.ledger.charge_tuple(rt.gov, &out) {
+                    return None;
+                }
                 self.pending.push_back(out);
             }
         }
     }
 
-    fn close(&mut self) {
-        self.input.close();
+    fn close(&mut self, rt: &Runtime<'_>) {
+        self.input.close(rt);
         self.pending.clear();
+        self.ledger.release_all(rt.gov);
+    }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        self.ledger.gauges(out);
     }
 }

@@ -3,6 +3,8 @@
 //! storage interface, plus the NVM bytecode machine for scalar subscripts.
 //!
 //! * [`iter`] — one physical iterator per logical operator,
+//! * [`governor`] — the per-query resource budget (memory, tuples,
+//!   deadline, cancellation) charged by every materialising iterator,
 //! * [`nvm`] — the register VM evaluating subscripts (with nested
 //!   iterator access and smart aggregation),
 //! * [`codegen`] — logical plan → iterators + NVM programs (slot
@@ -13,13 +15,18 @@
 pub mod analyze;
 pub mod codegen;
 pub mod exec;
+pub mod governor;
 pub mod iter;
 pub mod json;
 pub mod nvm;
 pub mod profile;
 
-pub use analyze::{explain_analyze, AnalyzeReport};
+pub use analyze::{explain_analyze, explain_analyze_governed, AnalyzeReport};
 pub use codegen::{build_physical, build_physical_profiled, FrameInfo, PhysicalQuery};
-pub use exec::{evaluate, evaluate_with, Runtime};
+pub use exec::{evaluate, evaluate_governed, evaluate_with, Runtime};
+pub use governor::{
+    group_key_bytes, tuple_bytes, value_bytes, ChargeLedger, FailPoint, ResourceGovernor,
+    DEFAULT_TICK_INTERVAL,
+};
 pub use json::Json;
 pub use profile::{OpStats, Profile};

@@ -285,7 +285,8 @@ mod tests {
     #[test]
     fn basic_arith_program() {
         let (store, vars) = rt_fixture();
-        let rt = Runtime { store: &store, vars: &vars };
+        let gov = crate::governor::ResourceGovernor::unlimited();
+        let rt = Runtime { store: &store, vars: &vars, gov: &gov };
         let prog = Program {
             instrs: vec![
                 Instr::LoadConst { dst: 0, value: Const::Num(4.0) },
@@ -302,7 +303,8 @@ mod tests {
     #[test]
     fn slot_load_and_compare() {
         let (store, vars) = rt_fixture();
-        let rt = Runtime { store: &store, vars: &vars };
+        let gov = crate::governor::ResourceGovernor::unlimited();
+        let rt = Runtime { store: &store, vars: &vars, gov: &gov };
         let b = {
             let a = store.first_child(store.root()).unwrap();
             store.first_child(a).unwrap()
@@ -325,7 +327,8 @@ mod tests {
     #[test]
     fn deref_finds_elements_by_id() {
         let (store, vars) = rt_fixture();
-        let rt = Runtime { store: &store, vars: &vars };
+        let gov = crate::governor::ResourceGovernor::unlimited();
+        let rt = Runtime { store: &store, vars: &vars, gov: &gov };
         let prog = Program {
             instrs: vec![
                 Instr::LoadConst { dst: 0, value: Const::Str("k1".into()) },
@@ -352,7 +355,8 @@ mod tests {
     #[test]
     fn lang_checks_ancestors() {
         let (store, vars) = rt_fixture();
-        let rt = Runtime { store: &store, vars: &vars };
+        let gov = crate::governor::ResourceGovernor::unlimited();
+        let rt = Runtime { store: &store, vars: &vars, gov: &gov };
         let b = {
             let a = store.first_child(store.root()).unwrap();
             store.first_child(a).unwrap()
@@ -377,7 +381,8 @@ mod tests {
     #[test]
     fn dyn_compare_dispatches_on_runtime_types() {
         let (store, vars) = rt_fixture();
-        let rt = Runtime { store: &store, vars: &vars };
+        let gov = crate::governor::ResourceGovernor::unlimited();
+        let rt = Runtime { store: &store, vars: &vars, gov: &gov };
         let cmp = |a: Value, b: Value, op: CompOp| {
             let prog = Program {
                 instrs: vec![Instr::Cmp { op, mode: CmpMode::Dyn, dst: 2, a: 0, b: 1 }],
@@ -418,7 +423,8 @@ mod tests {
     #[test]
     fn short_circuit_jumps() {
         let (store, vars) = rt_fixture();
-        let rt = Runtime { store: &store, vars: &vars };
+        let gov = crate::governor::ResourceGovernor::unlimited();
+        let rt = Runtime { store: &store, vars: &vars, gov: &gov };
         // r0 = false; if false jump over the part that would set r0=true.
         let prog = Program {
             instrs: vec![

@@ -178,9 +178,9 @@ impl PhysIter for ProfiledIter {
         t
     }
 
-    fn close(&mut self) {
+    fn close(&mut self, rt: &Runtime<'_>) {
         let t0 = Instant::now();
-        self.inner.close();
+        self.inner.close(rt);
         let mut s = self.stats.borrow_mut();
         s.nanos += t0.elapsed().as_nanos() as u64;
         // Refresh the operator's gauges: caches and materialisation

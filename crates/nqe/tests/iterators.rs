@@ -14,14 +14,18 @@ use nqe::iter::{
     SelectIter, SingletonIter, SortIter, TmpCsIter, UnnestMapIter,
 };
 use nqe::nvm::{Instr, Program};
-use nqe::Runtime;
+use nqe::{ResourceGovernor, Runtime};
 
 fn store() -> ArenaStore {
     parse_document(r#"<r><a><b>1</b><b>2</b></a><a><b>3</b></a></r>"#).unwrap()
 }
 
-fn rt<'a>(s: &'a ArenaStore, vars: &'a HashMap<String, Value>) -> Runtime<'a> {
-    Runtime { store: s, vars }
+fn rt<'a>(
+    s: &'a ArenaStore,
+    vars: &'a HashMap<String, Value>,
+    gov: &'a ResourceGovernor,
+) -> Runtime<'a> {
+    Runtime { store: s, vars, gov }
 }
 
 /// Frame: slot 0 = context node, slot 1 = step output, slot 2 = scratch.
@@ -39,7 +43,7 @@ fn drain(it: &mut dyn PhysIter, rt: &Runtime<'_>, seed: &Tuple) -> Vec<Tuple> {
     while let Some(t) = it.next(rt) {
         out.push(t);
     }
-    it.close();
+    it.close(rt);
     out
 }
 
@@ -51,7 +55,8 @@ fn unnest(ctx: usize, out: usize, axis: Axis, test: NodeTest) -> Box<dyn PhysIte
 fn singleton_yields_seed_once_per_open() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     let mut it = SingletonIter::new();
     assert_eq!(drain(&mut it, &rt, &seed(&s)).len(), 1);
     // Re-open works (d-join contract).
@@ -62,7 +67,8 @@ fn singleton_yields_seed_once_per_open() {
 fn unnest_map_walks_axis_in_order() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     let mut it = unnest(0, 1, Axis::Descendant, NodeTest::Name("b".into()));
     let out = drain(it.as_mut(), &rt, &seed(&s));
     let values: Vec<String> =
@@ -77,7 +83,8 @@ fn unnest_map_walks_axis_in_order() {
 fn djoin_reopens_dependent_side_per_left_tuple() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     // left: a elements into slot 1; right: b children of slot 1 into 2.
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
     let right = Box::new(UnnestMapIter::new(
@@ -101,7 +108,8 @@ fn djoin_reopens_dependent_side_per_left_tuple() {
 fn counter_resets_on_group_change() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
     let step = Box::new(UnnestMapIter::new(left, 1, 2, Axis::Child, NodeTest::Name("b".into())));
     let mut counter = CounterIter::new(step, 3, Some(1));
@@ -120,7 +128,8 @@ fn counter_resets_on_group_change() {
 fn tmpcs_annotates_group_sizes() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
     let step = Box::new(UnnestMapIter::new(left, 1, 2, Axis::Child, NodeTest::Name("b".into())));
     let mut tmpcs = TmpCsIter::new(step, 3, Some(1));
@@ -145,7 +154,8 @@ fn tmpcs_annotates_group_sizes() {
 fn dedup_keeps_first_occurrence() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     // b/parent::a produces each <a> per child b.
     let bs = unnest(0, 1, Axis::Descendant, NodeTest::Name("b".into()));
     let parents = Box::new(UnnestMapIter::new(bs, 1, 2, Axis::Parent, NodeTest::Wildcard));
@@ -158,7 +168,8 @@ fn dedup_keeps_first_occurrence() {
 fn sort_establishes_document_order() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     // preceding axis yields reverse document order; Sort flips it back.
     let last_b = {
         let mut it = unnest(0, 1, Axis::Descendant, NodeTest::Name("b".into()));
@@ -183,7 +194,8 @@ fn sort_establishes_document_order() {
 fn select_filters_by_compiled_predicate() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     // pred: number(string-value of slot1 node) >= 2
     let pred = CompiledPred {
         prog: Program {
@@ -208,7 +220,8 @@ fn select_filters_by_compiled_predicate() {
 fn concat_chains_parts_with_same_seed() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     let p1 = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
     let p2 = unnest(0, 1, Axis::Descendant, NodeTest::Name("b".into()));
     let mut concat = ConcatIter::new(vec![p1, p2]);
@@ -220,7 +233,8 @@ fn concat_chains_parts_with_same_seed() {
 fn memox_replays_on_key_hits() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     let inner = unnest(1, 2, Axis::Child, NodeTest::Name("b".into()));
     let mut memo = MemoXIter::new(inner, 1);
 
@@ -242,7 +256,8 @@ fn memox_replays_on_key_hits() {
 fn memox_discards_partial_recordings() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     let inner = unnest(1, 2, Axis::Child, NodeTest::Name("b".into()));
     let mut memo = MemoXIter::new(inner, 1);
     let a1 = {
@@ -252,7 +267,7 @@ fn memox_discards_partial_recordings() {
     // Early exit: take one tuple, close.
     memo.open(&rt, &a1);
     assert!(memo.next(&rt).is_some());
-    memo.close();
+    memo.close(&rt);
     // The partial sequence must not have been cached.
     let full = drain(&mut memo, &rt, &a1);
     assert_eq!(full.len(), 2);
@@ -263,7 +278,8 @@ fn memox_discards_partial_recordings() {
 fn nested_eval_aggregates_and_caches_independent_plans() {
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     let plan = unnest(0, 1, Axis::Descendant, NodeTest::Name("b".into()));
     let mut agg = NestedEval::new(plan, 1, AggFunc::Count, false);
     match agg.evaluate(&rt, &seed(&s)) {
@@ -304,7 +320,8 @@ fn semi_and_anti_join_are_complementary() {
     use nqe::iter::SemiJoinIter;
     let s = store();
     let vars = HashMap::new();
-    let rt = rt(&s, &vars);
+    let gov = ResourceGovernor::unlimited();
+    let rt = rt(&s, &vars, &gov);
     // left: all b's (slot 1); right: b's with value >= 2 (slot 2);
     // pred: string-values equal.
     let pred = || CompiledPred {

@@ -10,7 +10,7 @@ use xmlstore::{parse_document, ArenaStore, XmlStore};
 use xpath_syntax::{ArithOp, CompOp};
 
 use nqe::nvm::{run, Instr, Program};
-use nqe::Runtime;
+use nqe::{ResourceGovernor, Runtime};
 
 fn fixture() -> ArenaStore {
     parse_document(r#"<r><x id="a">7</x><y>text</y></r>"#).unwrap()
@@ -18,7 +18,8 @@ fn fixture() -> ArenaStore {
 
 fn eval(store: &ArenaStore, instrs: Vec<Instr>, nregs: usize, result: usize) -> Value {
     let vars = HashMap::new();
-    let rt = Runtime { store, vars: &vars };
+    let gov = ResourceGovernor::unlimited();
+    let rt = Runtime { store, vars: &vars, gov: &gov };
     let prog = Program { instrs, nregs, result };
     run(&prog, &rt, &vec![], &mut [])
 }
@@ -135,7 +136,8 @@ fn node_and_conversion_instructions() {
         st.first_child(r).unwrap()
     };
     let vars = HashMap::new();
-    let rt = Runtime { store: &st, vars: &vars };
+    let gov = ResourceGovernor::unlimited();
+    let rt = Runtime { store: &st, vars: &vars, gov: &gov };
     let tuple = vec![Value::Node(x)];
     let prog = Program {
         instrs: vec![
@@ -175,7 +177,8 @@ fn variable_and_move_instructions() {
     let st = fixture();
     let mut vars = HashMap::new();
     vars.insert("v".to_owned(), Value::Num(9.0));
-    let rt = Runtime { store: &st, vars: &vars };
+    let gov = ResourceGovernor::unlimited();
+    let rt = Runtime { store: &st, vars: &vars, gov: &gov };
     let prog = Program {
         instrs: vec![
             Instr::LoadVar { dst: 0, name: "v".into() },

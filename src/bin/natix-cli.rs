@@ -11,7 +11,10 @@
 
 use std::io::{BufRead, Write};
 
-use natix::{Document, Json, NatixError, QueryOutput, TranslateOptions, XPathEngine};
+use natix::{
+    parse_duration, parse_mem_size, Document, Json, NatixError, QueryOutput, ResourceLimits,
+    TranslateOptions, XPathEngine,
+};
 use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
 use xmlstore::XmlStore;
 
@@ -26,6 +29,7 @@ struct Args {
     canonical: bool,
     extended: bool,
     time: bool,
+    limits: ResourceLimits,
     queries: Vec<String>,
 }
 
@@ -41,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         canonical: false,
         extended: false,
         time: false,
+        limits: ResourceLimits::unlimited(),
         queries: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -55,6 +60,19 @@ fn parse_args() -> Result<Args, String> {
             "--canonical" => args.canonical = true,
             "--extended" => args.extended = true,
             "--time" => args.time = true,
+            "--max-mem" => {
+                let v = it.next().ok_or("--max-mem needs a size (e.g. 16MiB)")?;
+                args.limits.max_memory_bytes = Some(parse_mem_size(&v)?);
+            }
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs a duration (e.g. 500ms)")?;
+                args.limits.timeout = Some(parse_duration(&v)?);
+            }
+            "--max-tuples" => {
+                let v = it.next().ok_or("--max-tuples needs a count")?;
+                args.limits.max_tuples =
+                    Some(v.parse().map_err(|_| format!("--max-tuples: `{v}` is not a number"))?);
+            }
             "--generate" => {
                 args.generate = Some(it.next().ok_or("--generate needs a spec")?);
             }
@@ -93,8 +111,13 @@ fn print_help() {
          \x20 --canonical          use the canonical §3 translation\n\
          \x20 --extended           improved translation + property pruning\n\
          \x20 --time               print compile-phase + evaluation times\n\
+         \x20 --max-mem <size>     memory budget per query (16MiB, 512k, 1g, …)\n\
+         \x20 --timeout <dur>      deadline per query (500ms, 2s, 1m, …)\n\
+         \x20 --max-tuples <n>     cap on materialized tuples per query\n\
          \x20 --persist <path>     write the document as a Natix page file\n\
-         \x20 --generate <spec>    tree:<elements> or dblp:<records>"
+         \x20 --generate <spec>    tree:<elements> or dblp:<records>\n\n\
+         exit status: 0 on success, 1 if any query failed (compile error or\n\
+         resource governor trip), 2 on usage/document errors."
     );
 }
 
@@ -146,6 +169,9 @@ fn render(store: &dyn XmlStore, out: &QueryOutput) -> String {
     }
 }
 
+/// Run one query through the selected mode. Returns `false` when the query
+/// failed (compile error or resource-governor trip) so the process can exit
+/// non-zero.
 fn run_query(
     doc: &Document,
     engine: &XPathEngine,
@@ -154,45 +180,114 @@ fn run_query(
     analyze: bool,
     time: bool,
     json_out: Option<&mut Vec<Json>>,
-) {
+) -> bool {
     if explain {
-        match engine.explain(q) {
-            Ok(plan) => print!("{plan}"),
-            Err(e) => eprintln!("error: {e}"),
-        }
-        return;
+        return match engine.explain(q) {
+            Ok(plan) => {
+                print!("{plan}");
+                true
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                false
+            }
+        };
     }
     if analyze || json_out.is_some() {
-        match engine.analyze(doc.store(), q) {
+        // Keep the report even when the governor stops the query: the
+        // per-operator charge gauges show where the budget went.
+        return match engine.analyze_governed(doc.store(), q) {
             Ok((out, report)) => {
-                println!("{}", render(doc.store(), &out));
+                let ok = match &out {
+                    Ok(out) => {
+                        println!("{}", render(doc.store(), out));
+                        true
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        false
+                    }
+                };
                 if analyze {
                     print!("{}", report.text());
                 }
                 if let Some(reports) = json_out {
                     reports.push(report.to_json());
                 }
+                ok
             }
-            Err(e) => eprintln!("error: {e}"),
-        }
-        return;
+            Err(e) => {
+                eprintln!("error: {e}");
+                false
+            }
+        };
     }
     if time {
         // Phase-level tracing only: no per-operator profiling overhead.
-        match engine.evaluate_traced(doc.store(), q) {
+        return match engine.evaluate_traced(doc.store(), q) {
             Ok((out, trace)) => {
                 println!("{}", render(doc.store(), &out));
                 print!("{}", trace.report());
+                true
             }
-            Err(e) => eprintln!("error: {e}"),
-        }
-        return;
+            Err(e) => {
+                eprintln!("error: {e}");
+                false
+            }
+        };
     }
     let result: Result<QueryOutput, NatixError> = engine.evaluate(doc.store(), q);
     match result {
-        Ok(out) => println!("{}", render(doc.store(), &out)),
-        Err(e) => eprintln!("error: {e}"),
+        Ok(out) => {
+            println!("{}", render(doc.store(), &out));
+            true
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
     }
+}
+
+fn render_limits(l: &ResourceLimits) -> String {
+    if l.is_unlimited() {
+        return "limits: unlimited".to_owned();
+    }
+    let mut parts = Vec::new();
+    if let Some(b) = l.max_memory_bytes {
+        parts.push(format!("mem={b}B"));
+    }
+    if let Some(t) = l.max_tuples {
+        parts.push(format!("tuples={t}"));
+    }
+    if let Some(d) = l.timeout {
+        parts.push(format!("timeout={}ms", d.as_millis()));
+    }
+    format!("limits: {}", parts.join(" "))
+}
+
+/// Apply a `:limits` REPL directive: `mem=<size>`, `tuples=<n>`,
+/// `timeout=<dur>` in any combination, or `off` to clear everything.
+fn apply_limits_directive(limits: &mut ResourceLimits, spec: &str) -> Result<(), String> {
+    for part in spec.split_whitespace() {
+        if part == "off" || part == "none" {
+            *limits = ResourceLimits::unlimited();
+            continue;
+        }
+        let (key, val) = part
+            .split_once('=')
+            .ok_or("usage: :limits [mem=<size>] [tuples=<n>] [timeout=<dur>] | :limits off")?;
+        match key {
+            "mem" => limits.max_memory_bytes = Some(parse_mem_size(val)?),
+            "tuples" => {
+                limits.max_tuples =
+                    Some(val.parse().map_err(|_| format!("tuples: `{val}` is not a number"))?)
+            }
+            "timeout" => limits.timeout = Some(parse_duration(val)?),
+            other => return Err(format!("unknown limit `{other}` (mem, tuples, timeout)")),
+        }
+    }
+    Ok(())
 }
 
 fn main() {
@@ -226,11 +321,12 @@ fn main() {
     } else {
         TranslateOptions::improved()
     };
-    let engine = XPathEngine { options };
+    let mut engine = XPathEngine { options, limits: args.limits };
 
+    let mut any_failed = false;
     let mut json_reports: Vec<Json> = Vec::new();
     for q in &args.queries {
-        run_query(
+        if !run_query(
             &doc,
             &engine,
             q,
@@ -238,7 +334,9 @@ fn main() {
             args.analyze,
             args.time,
             args.profile_json.as_ref().map(|_| &mut json_reports),
-        );
+        ) {
+            any_failed = true;
+        }
     }
     if let Some(path) = &args.profile_json {
         let text = Json::Arr(json_reports).pretty();
@@ -254,7 +352,7 @@ fn main() {
     if args.interactive || (args.queries.is_empty() && args.persist.is_none()) {
         println!(
             "natix ({} nodes loaded) — enter XPath, `:explain <q>`, `:profile <q>`, \
-             `:analyze <q>`, or `:quit`",
+             `:analyze <q>`, `:limits [spec]`, or `:quit`",
             doc.store().node_count()
         );
         let stdin = std::io::stdin();
@@ -273,7 +371,14 @@ fn main() {
             if line == ":quit" || line == ":q" {
                 break;
             }
-            if let Some(q) = line.strip_prefix(":explain ") {
+            if line == ":limits" {
+                println!("{}", render_limits(&engine.limits));
+            } else if let Some(spec) = line.strip_prefix(":limits ") {
+                match apply_limits_directive(&mut engine.limits, spec.trim()) {
+                    Ok(()) => println!("{}", render_limits(&engine.limits)),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            } else if let Some(q) = line.strip_prefix(":explain ") {
                 run_query(&doc, &engine, q.trim(), true, false, false, None);
             } else if let Some(q) = line.strip_prefix(":profile ") {
                 match engine.profile(doc.store(), q.trim()) {
@@ -289,5 +394,7 @@ fn main() {
                 run_query(&doc, &engine, line, false, false, true, None);
             }
         }
+    } else if any_failed {
+        std::process::exit(1);
     }
 }

@@ -24,9 +24,12 @@
 //! * [`interp`] — baseline main-memory interpreters (the paper's
 //!   comparison subjects).
 
-pub use algebra::{explain, LogicalOp, QueryOutput, ScalarExpr, Value};
-pub use compiler::{CompiledQuery, PipelineError, QueryTrace, TranslateOptions};
-pub use nqe::{build_physical, AnalyzeReport, Json, PhysicalQuery};
+pub use algebra::{explain, LogicalOp, QueryError, QueryOutput, ScalarExpr, Value};
+pub use compiler::{
+    parse_duration, parse_mem_size, CompiledQuery, PipelineError, QueryTrace, ResourceLimits,
+    TranslateOptions,
+};
+pub use nqe::{build_physical, AnalyzeReport, Json, PhysicalQuery, ResourceGovernor};
 pub use xmlstore::{Axis, NodeId, NodeKind, XmlStore};
 
 use std::collections::HashMap;
@@ -39,6 +42,9 @@ pub enum NatixError {
     Xml(xmlstore::XmlError),
     /// Query compilation failed.
     Compile(PipelineError),
+    /// Execution stopped by the resource governor (budget, deadline,
+    /// cancellation).
+    Resource(QueryError),
     /// Disk store I/O or corruption.
     Disk(xmlstore::diskstore::DiskError),
 }
@@ -48,6 +54,7 @@ impl std::fmt::Display for NatixError {
         match self {
             NatixError::Xml(e) => write!(f, "{e}"),
             NatixError::Compile(e) => write!(f, "{e}"),
+            NatixError::Resource(e) => write!(f, "{e}"),
             NatixError::Disk(e) => write!(f, "{e}"),
         }
     }
@@ -63,7 +70,16 @@ impl From<xmlstore::XmlError> for NatixError {
 
 impl From<PipelineError> for NatixError {
     fn from(e: PipelineError) -> Self {
-        NatixError::Compile(e)
+        match e {
+            PipelineError::Resource(e) => NatixError::Resource(e),
+            other => NatixError::Compile(other),
+        }
+    }
+}
+
+impl From<QueryError> for NatixError {
+    fn from(e: QueryError) -> Self {
+        NatixError::Resource(e)
     }
 }
 
@@ -121,17 +137,32 @@ impl Document {
 pub struct XPathEngine {
     /// Translation options (improved by default).
     pub options: TranslateOptions,
+    /// Per-query execution budget (unlimited by default). Enforced by
+    /// every evaluation method; trips surface as [`NatixError::Resource`].
+    pub limits: ResourceLimits,
 }
 
 impl XPathEngine {
     /// Engine with the improved translation (paper §4).
     pub fn new() -> XPathEngine {
-        XPathEngine { options: TranslateOptions::improved() }
+        XPathEngine {
+            options: TranslateOptions::improved(),
+            limits: ResourceLimits::unlimited(),
+        }
     }
 
     /// Engine with the canonical translation (paper §3).
     pub fn canonical() -> XPathEngine {
-        XPathEngine { options: TranslateOptions::canonical() }
+        XPathEngine {
+            options: TranslateOptions::canonical(),
+            limits: ResourceLimits::unlimited(),
+        }
+    }
+
+    /// This engine with a resource budget (builder style).
+    pub fn with_limits(mut self, limits: ResourceLimits) -> XPathEngine {
+        self.limits = limits;
+        self
     }
 
     /// Compile a query to its logical algebra form.
@@ -147,9 +178,18 @@ impl XPathEngine {
         })
     }
 
-    /// Compile and execute with the document node as context.
+    /// Compile and execute with the document node as context. Honours the
+    /// engine's [`ResourceLimits`]: a tripped budget, deadline or
+    /// cancellation surfaces as [`NatixError::Resource`].
     pub fn evaluate(&self, store: &dyn XmlStore, query: &str) -> Result<QueryOutput, NatixError> {
-        Ok(nqe::evaluate(store, query, &self.options)?)
+        Ok(nqe::evaluate_governed(
+            store,
+            query,
+            &self.options,
+            &self.limits,
+            store.root(),
+            &HashMap::new(),
+        )?)
     }
 
     /// Execute with per-operator profiling; returns the result and the
@@ -174,10 +214,30 @@ impl XPathEngine {
         store: &dyn XmlStore,
         query: &str,
     ) -> Result<(QueryOutput, AnalyzeReport), NatixError> {
-        Ok(nqe::explain_analyze(
+        let (out, report) = nqe::explain_analyze_governed(
             store,
             query,
             &self.options,
+            &self.limits,
+            store.root(),
+            &HashMap::new(),
+        )?;
+        Ok((out?, report))
+    }
+
+    /// EXPLAIN ANALYZE under the engine's resource limits, keeping the
+    /// report even when execution stops on a governor trip: the outer
+    /// error covers compilation, the inner one execution.
+    pub fn analyze_governed(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), NatixError> {
+        Ok(nqe::explain_analyze_governed(
+            store,
+            query,
+            &self.options,
+            &self.limits,
             store.root(),
             &HashMap::new(),
         )?)
@@ -201,7 +261,8 @@ impl XPathEngine {
         Ok((out, trace))
     }
 
-    /// Compile and execute with explicit context node and variables.
+    /// Compile and execute with explicit context node and variables,
+    /// under the engine's resource limits.
     pub fn evaluate_with(
         &self,
         store: &dyn XmlStore,
@@ -209,7 +270,7 @@ impl XPathEngine {
         ctx: NodeId,
         vars: &HashMap<String, Value>,
     ) -> Result<QueryOutput, NatixError> {
-        Ok(nqe::evaluate_with(store, query, &self.options, ctx, vars)?)
+        Ok(nqe::evaluate_governed(store, query, &self.options, &self.limits, ctx, vars)?)
     }
 }
 

@@ -1,0 +1,97 @@
+//! CLI regression tests: error paths must render the typed error on
+//! stderr and exit non-zero (they used to print and exit 0), and the
+//! resource flags must parse and govern.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_natix-cli"))
+}
+
+fn write_doc(name: &str, xml: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("natix-cli-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(xml.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn successful_query_exits_zero() {
+    let doc = write_doc("ok.xml", "<r><a><b/><b/></a></r>");
+    let out = cli().arg(&doc).arg("count(/r/a/b)").output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("number: 2"));
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn compile_error_exits_nonzero_with_typed_message() {
+    let doc = write_doc("compile-err.xml", "<r/>");
+    let out = cli().arg(&doc).arg("bogus()").output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("bogus"), "{stderr}");
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn memory_trip_exits_nonzero_with_typed_message() {
+    let doc = write_doc("mem.xml", "<r><a><b/><b/><b/></a></r>");
+    let out = cli()
+        .arg(&doc)
+        .args(["--max-mem", "64", "/r/a/b[position()=last()]"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("memory budget exceeded"), "{stderr}");
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn timeout_flag_parses_and_governs() {
+    let doc = write_doc("timeout.xml", "<r><a><b/></a></r>");
+    // A zero timeout is already expired when execution starts.
+    let out = cli().arg(&doc).args(["--timeout", "0s", "/r/a/b"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("deadline exceeded"), "{out:?}");
+    // A generous timeout passes.
+    let out = cli().arg(&doc).args(["--timeout", "30s", "/r/a/b"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn one_failing_query_among_many_exits_nonzero() {
+    let doc = write_doc("mixed.xml", "<r><a><b/></a></r>");
+    let out = cli().arg(&doc).arg("count(/r/a/b)").arg("bogus()").output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // The good query still ran.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("number: 1"));
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn bad_flag_value_exits_with_usage_error() {
+    let out = cli().args(["--max-mem", "sixteen", "doc.xml", "/r"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = cli().args(["--timeout", "xyz", "doc.xml", "/r"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn analyze_mode_reports_trip_and_exits_nonzero() {
+    let doc = write_doc("analyze.xml", "<r><a><b/><b/><b/></a></r>");
+    let out = cli()
+        .arg(&doc)
+        .args(["--analyze", "--max-mem", "64", "/r/a/b[position()=last()]"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stopped:"), "report names the stop reason: {stdout}");
+    assert!(stdout.contains("resources:"), "{stdout}");
+    std::fs::remove_file(&doc).ok();
+}

@@ -4,7 +4,7 @@
 //! on all three evaluators.
 
 use interp::{InterpOptions, Interpreter};
-use natix::{Document, QueryOutput, TranslateOptions, XPathEngine};
+use natix::{Document, QueryOutput, XPathEngine};
 
 const FIXTURE: &str = r#"<shop xml:lang="en">
   <dept name="fruit">
@@ -40,7 +40,7 @@ fn check(doc: &Document, q: &str, want: &Want) {
         ),
         (
             "canonical".into(),
-            XPathEngine { options: TranslateOptions::canonical() }
+            XPathEngine::canonical()
                 .evaluate(doc.store(), q)
                 .unwrap_or_else(|e| panic!("{q}: {e}")),
         ),

@@ -175,3 +175,162 @@ fn fig5_queries_known_cardinalities() {
     .unwrap();
     assert_eq!(q4.as_nodes().unwrap().len(), 199);
 }
+
+// ---------- numeric/string edge cases --------------------------------------
+
+/// IEEE-754 and XPath §4 corner cases: NaN, signed zero, infinities in
+/// string(), substring() with NaN/infinite/out-of-range positions, and
+/// id() with duplicate tokens. These stress exactly the paths where the
+/// four evaluators are most likely to drift apart.
+const EDGE_QUERIES: &[&str] = &[
+    // NaN construction and propagation.
+    "number('abc')",
+    "number('')",
+    "0 div 0",
+    "number('abc') + 1",
+    "boolean(0 div 0)",
+    "string(0 div 0)",
+    // NaN comparisons: every comparison with NaN is false, so != is true.
+    "0 div 0 = 0 div 0",
+    "0 div 0 != 0 div 0",
+    "0 div 0 < 1",
+    "0 div 0 > 1",
+    // Signed zero: -0 compares and prints as 0.
+    "string(-0)",
+    "-0 = 0",
+    "string(0 - 0)",
+    "string(round(-0.4))",
+    "ceiling(-0.5) = 0",
+    "1 div (0 - 0) = 1 div 0",
+    // Infinities.
+    "1 div 0",
+    "-1 div 0",
+    "string(1 div 0)",
+    "string(-1 div 0)",
+    "1 div 0 > 1000000",
+    "-1 div 0 < 0",
+    "round(1 div 0)",
+    "floor(-1 div 0)",
+    // substring() with NaN / infinite / fractional / out-of-range indices
+    // (the spec's own example set, §4.2).
+    "substring('12345', 2, 3)",
+    "substring('12345', 1.5, 2.6)",
+    "substring('12345', 0, 3)",
+    "substring('12345', 0 div 0, 3)",
+    "substring('12345', 1, 0 div 0)",
+    "substring('12345', -42, 1 div 0)",
+    "substring('12345', -1 div 0, 1 div 0)",
+    "substring('12345', 7, 3)",
+    "substring('12345', -2)",
+    // id() with duplicate and unknown tokens.
+    "id('3 3 7 7 3')/@id",
+    "count(id('3 3 7 7 3'))",
+    "count(id('99999 99999'))",
+    "id('5') | id('5 5')",
+];
+
+/// QueryOutput comparison that treats NaN as equal to NaN (the derived
+/// PartialEq follows IEEE semantics, under which a NaN-producing query
+/// would never equal its own oracle).
+fn outputs_agree(a: &QueryOutput, b: &QueryOutput) -> bool {
+    match (a, b) {
+        (QueryOutput::Num(x), QueryOutput::Num(y)) => (x.is_nan() && y.is_nan()) || x == y,
+        _ => a == b,
+    }
+}
+
+#[test]
+fn edge_case_corpus_all_four_evaluators_agree() {
+    let store = generate_tree(TreeParams { max_elements: 60, fanout: 3, max_depth: 3 });
+    for q in EDGE_QUERIES {
+        let improved = nqe::evaluate(&store, q, &TranslateOptions::improved())
+            .unwrap_or_else(|e| panic!("improved `{q}`: {e}"));
+        for (name, out) in [
+            (
+                "canonical",
+                nqe::evaluate(&store, q, &TranslateOptions::canonical())
+                    .unwrap_or_else(|e| panic!("canonical `{q}`: {e}")),
+            ),
+            (
+                "extended",
+                nqe::evaluate(&store, q, &TranslateOptions::extended())
+                    .unwrap_or_else(|e| panic!("extended `{q}`: {e}")),
+            ),
+            (
+                "context-list",
+                Interpreter::new(&store, InterpOptions::context_list())
+                    .evaluate(q, store.root())
+                    .unwrap_or_else(|e| panic!("interp `{q}`: {e}")),
+            ),
+            (
+                "naive",
+                Interpreter::new(&store, InterpOptions::naive())
+                    .evaluate(q, store.root())
+                    .unwrap_or_else(|e| panic!("naive `{q}`: {e}")),
+            ),
+        ] {
+            assert!(
+                outputs_agree(&improved, &out),
+                "improved vs {name} on `{q}`: {improved:?} vs {out:?}"
+            );
+        }
+    }
+}
+
+// ---------- fault-injection sweep ------------------------------------------
+
+/// Run one query with a fault injected at a precise governor event and
+/// check the contract: the result is either the correct answer or a typed
+/// error — never a panic, never a wrong answer, never leaked temp state.
+fn run_injected(
+    store: &ArenaStore,
+    q: &str,
+    opts: &TranslateOptions,
+    fp: nqe::FailPoint,
+) -> Result<QueryOutput, algebra::QueryError> {
+    let compiled = compiler::compile(q, opts).expect("corpus queries compile");
+    let mut phys = nqe::build_physical(&compiled);
+    let gov = nqe::ResourceGovernor::with_failpoint(compiler::ResourceLimits::unlimited(), fp);
+    let out = phys.execute_governed(store, &std::collections::HashMap::new(), store.root(), &gov);
+    assert_eq!(gov.transient_bytes(), 0, "leaked transient charges on `{q}` ({fp:?})");
+    out
+}
+
+/// Deterministic fault sweep: budget exhaustion at the Nth allocation and
+/// cancellation at the Nth tick, over the whole tree corpus, for both the
+/// improved and the canonical plans.
+#[test]
+fn fault_injection_sweep_over_corpus() {
+    let store = generate_tree(TreeParams { max_elements: 60, fanout: 3, max_depth: 3 });
+    for q in TREE_QUERIES {
+        let oracle = nqe::evaluate(&store, q, &TranslateOptions::improved()).unwrap();
+        for opts in [TranslateOptions::improved(), TranslateOptions::canonical()] {
+            for alloc in [1u64, 2, 3, 5, 8, 13, 21, 50] {
+                let fp = nqe::FailPoint { fail_at_alloc: Some(alloc), cancel_at_tick: None };
+                match run_injected(&store, q, &opts, fp) {
+                    Ok(out) => assert!(
+                        outputs_agree(&out, &oracle),
+                        "survived injection but wrong on `{q}`: {out:?} vs {oracle:?}"
+                    ),
+                    Err(e) => assert!(
+                        matches!(e, algebra::QueryError::MemoryExceeded { .. }),
+                        "alloc failpoint must surface as MemoryExceeded on `{q}`: {e:?}"
+                    ),
+                }
+            }
+            for tick in [1u64, 5, 25, 200] {
+                let fp = nqe::FailPoint { fail_at_alloc: None, cancel_at_tick: Some(tick) };
+                match run_injected(&store, q, &opts, fp) {
+                    Ok(out) => assert!(
+                        outputs_agree(&out, &oracle),
+                        "survived injection but wrong on `{q}`: {out:?} vs {oracle:?}"
+                    ),
+                    Err(e) => assert!(
+                        matches!(e, algebra::QueryError::Cancelled),
+                        "tick failpoint must surface as Cancelled on `{q}`: {e:?}"
+                    ),
+                }
+            }
+        }
+    }
+}

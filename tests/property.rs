@@ -235,6 +235,46 @@ proptest! {
     }
 
     #[test]
+    fn fault_injection_never_panics_or_corrupts(
+        t in tree_strategy(),
+        q in query_strategy(),
+        // 0 means "no failpoint on this channel" (the vendored proptest
+        // has no option strategy).
+        alloc in (0u64..40).prop_map(|v| (v > 0).then_some(v)),
+        tick in (0u64..200).prop_map(|v| (v > 0).then_some(v)),
+    ) {
+        use nqe::{FailPoint, ResourceGovernor};
+        let store = make_store(&t);
+        let opts = TranslateOptions::improved();
+        let oracle = nqe::evaluate(&store, &q, &opts).expect("ungoverned oracle");
+        let compiled = compiler::compile(&q, &opts).expect("compiles");
+        let mut phys = nqe::build_physical(&compiled);
+        let gov = ResourceGovernor::with_failpoint(
+            compiler::ResourceLimits::unlimited(),
+            FailPoint { fail_at_alloc: alloc, cancel_at_tick: tick },
+        );
+        let out = phys.execute_governed(
+            &store,
+            &std::collections::HashMap::new(),
+            store.root(),
+            &gov,
+        );
+        prop_assert_eq!(gov.transient_bytes(), 0, "leaked transient charges: {}", q);
+        match out {
+            // If the query survived the injection, the answer must be the
+            // ungoverned one (node-set queries: derived PartialEq is safe).
+            Ok(got) => prop_assert_eq!(nodes_of(&got), nodes_of(&oracle), "wrong answer: {}", q),
+            Err(e) => prop_assert!(
+                matches!(
+                    e,
+                    algebra::QueryError::MemoryExceeded { .. } | algebra::QueryError::Cancelled
+                ),
+                "injection must surface as its typed error on {}: {:?}", q, e
+            ),
+        }
+    }
+
+    #[test]
     fn disk_store_equals_arena_on_random_documents(t in tree_strategy()) {
         let arena = make_store(&t);
         let path = xmlstore::tmp::TempPath::new(".natix");
