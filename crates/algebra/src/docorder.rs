@@ -1,0 +1,91 @@
+//! Document-order helpers shared by the executor and the scalar layer.
+//!
+//! Every helper resolves the store's structural interval index once and
+//! then works on plain integer keys, so sorting, deduplication and
+//! first-in-document-order selection never call back into `dyn XmlStore`
+//! per comparison. Stores without an index fall back to `order()`
+//! lookups — one per node, still outside the comparator.
+
+use xmlstore::{NodeId, StructuralIndex, XmlStore};
+
+use crate::value::{Tuple, Value};
+
+/// One-time binding of a store's cheapest document-order key source:
+/// index ranks where available, `order()` otherwise.
+pub struct DocOrderKeys<'a> {
+    store: &'a dyn XmlStore,
+    index: Option<&'a StructuralIndex>,
+}
+
+impl<'a> DocOrderKeys<'a> {
+    /// Bind to `store` (fetches the structural index once).
+    pub fn new(store: &'a dyn XmlStore) -> DocOrderKeys<'a> {
+        DocOrderKeys { store, index: store.structural_index() }
+    }
+
+    /// Integer document-order key of `n`. Keys are totally ordered and
+    /// agree with `store.order()` comparisons.
+    #[inline]
+    pub fn key(&self, n: NodeId) -> u64 {
+        match self.index.and_then(|idx| idx.rank_of(n)) {
+            Some(rank) => u64::from(rank),
+            None => self.store.order(n),
+        }
+    }
+}
+
+/// Sort `nodes` into document order and drop duplicates: extract one
+/// integer key per node, unstable-sort the (key, node) pairs, undecorate.
+/// Duplicates share a key, so they end up adjacent regardless of the
+/// unstable sort's tie handling.
+pub fn sort_dedup(nodes: &mut Vec<NodeId>, store: &dyn XmlStore) {
+    let keys = DocOrderKeys::new(store);
+    let mut keyed: Vec<(u64, NodeId)> = nodes.iter().map(|&n| (keys.key(n), n)).collect();
+    keyed.sort_unstable();
+    keyed.dedup();
+    nodes.clear();
+    nodes.extend(keyed.into_iter().map(|(_, n)| n));
+}
+
+/// Scan a materialised sequence for the document-order-first node in any
+/// slot: a single `min_by_key` pass over cached integer keys.
+pub fn first_node_in_doc_order(ts: &[Tuple], store: &dyn XmlStore) -> Option<NodeId> {
+    let keys = DocOrderKeys::new(store);
+    ts.iter()
+        .flat_map(|t| t.iter().filter_map(Value::as_node))
+        .min_by_key(|&n| keys.key(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::{parse_document, NoIndex};
+
+    #[test]
+    fn sort_dedup_orders_and_dedups_with_and_without_index() {
+        let s = parse_document("<r><a/><b/><c/></r>").unwrap();
+        let r = s.first_child(s.root()).unwrap();
+        let a = s.first_child(r).unwrap();
+        let b = s.next_sibling(a).unwrap();
+        let c = s.next_sibling(b).unwrap();
+        let scrambled = vec![c, a, b, a, c];
+        let mut with_index = scrambled.clone();
+        sort_dedup(&mut with_index, &s);
+        assert_eq!(with_index, vec![a, b, c]);
+        let mut without = scrambled;
+        sort_dedup(&mut without, &NoIndex(&s));
+        assert_eq!(without, vec![a, b, c], "fallback path agrees");
+    }
+
+    #[test]
+    fn first_node_prefers_document_order_not_sequence_order() {
+        let s = parse_document("<r><a/><b/></r>").unwrap();
+        let r = s.first_child(s.root()).unwrap();
+        let a = s.first_child(r).unwrap();
+        let b = s.next_sibling(a).unwrap();
+        let ts = vec![vec![Value::Node(b)], vec![Value::Null, Value::Node(a)]];
+        assert_eq!(first_node_in_doc_order(&ts, &s), Some(a));
+        assert_eq!(first_node_in_doc_order(&ts, &NoIndex(&s)), Some(a));
+        assert_eq!(first_node_in_doc_order(&[], &s), None);
+    }
+}

@@ -10,12 +10,14 @@
 //! * [`explain`] — query-tree rendering in the paper's notation.
 
 pub mod attrmgr;
+pub mod docorder;
 pub mod explain;
 pub mod ops;
 pub mod scalar;
 pub mod value;
 
 pub use attrmgr::{AttrManager, Slot};
+pub use docorder::DocOrderKeys;
 pub use explain::explain;
 pub use ops::{Attr, LogicalOp};
 pub use scalar::{AggExpr, AggFunc, CmpMode, ConvKind, NodeFn, NumFn, ScalarExpr, StrFn};

@@ -43,7 +43,7 @@ impl Value {
                 // node in document order (empty for an empty sequence).
                 // Sequences store the node in their `cn` slot by
                 // convention; find the first node value.
-                first_node_in_doc_order(ts, store)
+                crate::docorder::first_node_in_doc_order(ts, store)
                     .map(|n| store.string_value(n))
                     .unwrap_or_default()
             }
@@ -91,24 +91,6 @@ impl Value {
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
-}
-
-/// Scan a materialised sequence for the document-order-first node in any
-/// slot (sequences produced by the engine hold their node in one slot; we
-/// take the minimum-order node value of each tuple).
-fn first_node_in_doc_order(ts: &[Tuple], store: &dyn XmlStore) -> Option<NodeId> {
-    let mut best: Option<(u64, NodeId)> = None;
-    for t in ts {
-        for v in t {
-            if let Value::Node(n) = v {
-                let o = store.order(*n);
-                if best.is_none_or(|(bo, _)| o < bo) {
-                    best = Some((o, *n));
-                }
-            }
-        }
-    }
-    best.map(|(_, n)| n)
 }
 
 /// Compile-time constants embedded in plans.

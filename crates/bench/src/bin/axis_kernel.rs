@@ -1,0 +1,153 @@
+//! Benchmark B3 — the structural-index axis kernels: every query runs
+//! twice on the same arena, once with the (order, size) interval index
+//! visible and once behind `NoIndex`, which hides it and forces the
+//! legacy paths (per-hop `AxisCursor` axes, hash-set Π^D, comparator
+//! document-order sort). The delta isolates the range-scan/bitset/
+//! integer-key rewrite because everything else — store layout, plan,
+//! governor — is identical.
+//!
+//! Three document shapes stress different kernels:
+//! * a deep chain (descendant ranges spanning the whole document,
+//!   preceding-scans that must skip every ancestor),
+//! * a wide fan-out (following/preceding ranges quadratic under the
+//!   cursor, duplicate-heavy parent steps for the dedup kernels),
+//! * the paper's mixed generated tree (realistic fan-out and depth).
+//!
+//! Prints: `doc,query,results,cursor_ms,range_ms,speedup`.
+//!
+//! With `--json <path>` the harness also writes a results file whose per
+//! -query entries carry both timings and the EXPLAIN ANALYZE profile of
+//! the indexed run (the Υ `range_scans` and Π^D `bitset_keys` gauges
+//! prove which kernel served the query).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin axis_kernel [--runs N] [--quick] [--json out.json]
+//! ```
+
+use bench::{arg_value, ms_f, profile_report, time_query, tree_document, Evaluator};
+use nqe::Json;
+use xmlstore::{ArenaBuilder, ArenaStore, NoIndex};
+
+/// `<r><n><n>…<leaf/>…</n></n></r>` — a chain of `depth` nested `n`s.
+fn chain_document(depth: usize) -> ArenaStore {
+    let mut b = ArenaBuilder::new();
+    b.start_element("r");
+    for _ in 0..depth {
+        b.start_element("n");
+    }
+    b.start_element("leaf");
+    b.end_element();
+    for _ in 0..depth {
+        b.end_element();
+    }
+    b.end_element();
+    b.finish()
+}
+
+/// `<r><x i="…"><t/></x>×width</r>` — a flat fan-out of `width` `x`s.
+fn wide_document(width: usize) -> ArenaStore {
+    let mut b = ArenaBuilder::new();
+    b.start_element("r");
+    for i in 0..width {
+        b.start_element("x");
+        b.attribute("i", &i.to_string());
+        b.start_element("t");
+        b.end_element();
+        b.end_element();
+    }
+    b.end_element();
+    b.finish()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runs: usize = arg_value(&args, "--runs").and_then(|v| v.parse().ok()).unwrap_or(if quick {
+        3
+    } else {
+        5
+    });
+    let json_path = arg_value(&args, "--json");
+    let mut results: Vec<Json> = Vec::new();
+
+    let (depth, width, mixed) = if quick {
+        (200, 400, 1000)
+    } else {
+        (2000, 4000, 8000)
+    };
+
+    // (document label, store, queries stressing its shape)
+    let suites: Vec<(&str, ArenaStore, Vec<&str>)> = vec![
+        (
+            "chain",
+            chain_document(depth),
+            vec![
+                // One descendant range spanning the whole document.
+                "/r/descendant::n",
+                "//leaf/ancestor::n",
+                // Preceding of the deepest node: every candidate is an
+                // ancestor, so the scan's containment skip does maximal work.
+                "//leaf/preceding::*",
+                "/descendant-or-self::node()",
+            ],
+        ),
+        (
+            "wide",
+            wide_document(width),
+            vec![
+                // Following/preceding from every child: quadratic hops under
+                // the cursor, one range scan each under the index.
+                "/r/x[position() = 1]/following::t",
+                "/r/x[position() = last()]/preceding::x",
+                // Duplicate-heavy parent step: width× duplicates of <r>
+                // through Π^D (bitset vs hash), then the document-order sort.
+                "//t/parent::x/parent::r/descendant::t",
+                "//x/@i",
+            ],
+        ),
+        (
+            "mixed",
+            tree_document(mixed),
+            vec![
+                "/child::xdoc/descendant::*/attribute::id",
+                "//b/descendant-or-self::*/@id",
+                "//c/ancestor::*/descendant::*/@id",
+                "//e/preceding::b/@id",
+                "//a/following::c/@id",
+            ],
+        ),
+    ];
+
+    println!("# B3: axis kernels — cursor (NoIndex) vs structural-index range scans");
+    println!(
+        "# runs={runs} (median), chain depth={depth}, fan-out={width}, mixed={mixed} elements"
+    );
+    println!("doc,query,results,cursor_ms,range_ms,speedup");
+    for (label, store, queries) in &suites {
+        let plain = NoIndex(store);
+        for q in queries {
+            let n = Evaluator::NatixImproved.run(store, q).as_nodes().map_or(0, <[_]>::len);
+            let cursor = time_query(Evaluator::NatixImproved, &plain, q, runs);
+            let range = time_query(Evaluator::NatixImproved, store, q, runs);
+            let speedup = cursor.as_secs_f64() / range.as_secs_f64().max(1e-9);
+            println!("{label},{q},{n},{:.3},{:.3},{speedup:.2}", ms_f(cursor), ms_f(range));
+            if json_path.is_some() {
+                let profile = profile_report(Evaluator::NatixImproved, store, q).expect("profile");
+                results.push(Json::obj(vec![
+                    ("doc", Json::Str((*label).to_owned())),
+                    ("query", Json::Str((*q).to_owned())),
+                    ("results", Json::Num(n as f64)),
+                    ("cursor_ms", Json::Num(ms_f(cursor))),
+                    ("range_ms", Json::Num(ms_f(range))),
+                    ("speedup", Json::Num(speedup)),
+                    ("profile", profile),
+                ]));
+            }
+        }
+    }
+    println!("# speedup = cursor_ms / range_ms; both runs share one arena and plan");
+
+    if let Some(path) = json_path {
+        bench::write_results_json(&path, "axis_kernel", results);
+    }
+}

@@ -83,8 +83,7 @@ impl PhysicalQuery {
                 }
                 // XPath 1.0 node-sets are unordered (paper §2.1); we
                 // return document order for determinism.
-                nodes.sort_by_key(|&n| store.order(n));
-                nodes.dedup();
+                algebra::docorder::sort_dedup(&mut nodes, store);
                 Ok(QueryOutput::Nodes(nodes))
             }
             PhysicalQuery::Scalar { pred, frame, stats } => {
@@ -124,8 +123,7 @@ impl PhysicalQuery {
                         if !fits {
                             return Err(gov.error().expect("charge failed"));
                         }
-                        nodes.sort_by_key(|&n| store.order(n));
-                        nodes.dedup();
+                        algebra::docorder::sort_dedup(&mut nodes, store);
                         QueryOutput::Nodes(nodes)
                     }
                 })

@@ -19,13 +19,24 @@ use crate::iter::{CompiledPred, Gauge, GroupKey, PhysIter};
 
 /// Π^D_a — duplicate elimination on one attribute, keeping the first
 /// occurrence and all other attributes.
+///
+/// Node-valued keys on indexed stores use a compact bitset over document
+/// order ranks — one governor charge of `⌈n/64⌉` words when the first
+/// node key arrives — instead of a `HashSet` entry per distinct node.
+/// Null/scalar keys (and nodes a store cannot rank) keep the hash set.
 pub struct DedupIter {
     input: Box<dyn PhysIter>,
     slot: Slot,
     seen: HashSet<GroupKey>,
+    /// Rank bitset, lazily sized from the index on first node key.
+    bits: Option<Vec<u64>>,
     ledger: ChargeLedger,
     /// Statistics: input tuples dropped as duplicates (all opens).
     pub dropped: u64,
+    /// Statistics: distinct keys recorded in the rank bitset (all opens).
+    pub bitset_keys: u64,
+    /// Statistics: distinct keys recorded in the hash set (all opens).
+    pub hash_keys: u64,
 }
 
 impl DedupIter {
@@ -35,8 +46,11 @@ impl DedupIter {
             input,
             slot,
             seen: HashSet::new(),
+            bits: None,
             ledger: ChargeLedger::new(),
             dropped: 0,
+            bitset_keys: 0,
+            hash_keys: 0,
         }
     }
 }
@@ -45,6 +59,7 @@ impl PhysIter for DedupIter {
     fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
         self.input.open(rt, seed);
         self.seen.clear();
+        self.bits = None;
         self.ledger.release_all(rt.gov);
     }
 
@@ -54,13 +69,35 @@ impl PhysIter for DedupIter {
                 return None;
             }
             let t = self.input.next(rt)?;
-            let key = GroupKey::of(t.get(self.slot).unwrap_or(&Value::Null), rt);
-            let key_bytes = group_key_bytes(&key);
-            if self.seen.insert(key) {
-                if !self.ledger.charge(rt.gov, key_bytes) {
-                    return None;
+            let rank = t
+                .get(self.slot)
+                .and_then(|v| v.as_node())
+                .and_then(|n| rt.store.structural_index().and_then(|idx| idx.rank_of(n)));
+            if let Some(rank) = rank {
+                if self.bits.is_none() {
+                    let words = rt.store.structural_index().map_or(0, |idx| idx.len()).div_ceil(64);
+                    if !self.ledger.charge(rt.gov, (words * 8) as u64) {
+                        return None;
+                    }
+                    self.bits = Some(vec![0u64; words]);
                 }
-                return Some(t);
+                let bits = self.bits.as_mut().expect("allocated above");
+                let (word, bit) = ((rank / 64) as usize, rank % 64);
+                if bits[word] & (1 << bit) == 0 {
+                    bits[word] |= 1 << bit;
+                    self.bitset_keys += 1;
+                    return Some(t);
+                }
+            } else {
+                let key = GroupKey::of(t.get(self.slot).unwrap_or(&Value::Null), rt);
+                let key_bytes = group_key_bytes(&key);
+                if self.seen.insert(key) {
+                    if !self.ledger.charge(rt.gov, key_bytes) {
+                        return None;
+                    }
+                    self.hash_keys += 1;
+                    return Some(t);
+                }
             }
             self.dropped += 1;
         }
@@ -69,11 +106,14 @@ impl PhysIter for DedupIter {
     fn close(&mut self, rt: &Runtime<'_>) {
         self.input.close(rt);
         self.seen.clear();
+        self.bits = None;
         self.ledger.release_all(rt.gov);
     }
 
     fn gauges(&self, out: &mut Vec<Gauge>) {
         out.push(("dup_dropped", self.dropped));
+        out.push(("bitset_keys", self.bitset_keys));
+        out.push(("hash_keys", self.hash_keys));
         self.ledger.gauges(out);
     }
 }
@@ -136,10 +176,23 @@ impl PhysIter for SortIter {
             self.sorted_tuples += buf.len() as u64;
             self.sort_runs += 1;
             let slot = self.slot;
-            buf.sort_by_key(|t| {
-                t.get(slot).and_then(|v| v.as_node()).map_or(u64::MAX, |n| rt.store.order(n))
-            });
-            self.buffer = Some(buf);
+            // Decorate-sort-undecorate: one key extraction per tuple
+            // (index ranks where available, `order()` otherwise), then
+            // an unstable integer sort on (key, input position) — the
+            // position tiebreak reproduces the stable order exactly
+            // without store calls inside the comparator.
+            let keys = algebra::DocOrderKeys::new(rt.store);
+            let mut keyed: Vec<((u64, usize), Tuple)> = buf
+                .into_iter()
+                .enumerate()
+                .map(|(pos, t)| {
+                    let key =
+                        t.get(slot).and_then(|v| v.as_node()).map_or(u64::MAX, |n| keys.key(n));
+                    ((key, pos), t)
+                })
+                .collect();
+            keyed.sort_unstable_by_key(|(k, _)| *k);
+            self.buffer = Some(keyed.into_iter().map(|(_, t)| t).collect());
         }
         let buf = self.buffer.as_mut().expect("filled above");
         if self.pos < buf.len() {

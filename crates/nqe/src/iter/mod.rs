@@ -127,10 +127,11 @@ impl NestedEval {
                 Value::Num(best.unwrap_or(f64::NAN))
             }
             AggFunc::FirstNode => {
+                let keys = algebra::DocOrderKeys::new(store);
                 let mut best: Option<(u64, xmlstore::NodeId)> = None;
                 while let Some(t) = self.iter.next(rt) {
                     if let Some(Value::Node(n)) = t.get(self.over) {
-                        let o = store.order(*n);
+                        let o = keys.key(*n);
                         if best.is_none_or(|(bo, _)| o < bo) {
                             best = Some((o, *n));
                         }

@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use xmlstore::{Axis, AxisCursor, NameId, NodeId, NodeKind};
+use xmlstore::{Axis, AxisCursor, NameId, NodeId, NodeKind, RangeScan, StructuralIndex};
 use xpath_syntax::{KindTest, NodeTest};
 
 use algebra::attrmgr::Slot;
@@ -73,6 +73,38 @@ impl ResolvedTest {
             }
         }
     }
+
+    /// Same test against the index's dense per-rank arrays — the range
+    /// scan's inner loop never touches the store except for the rare
+    /// `prefix:*` test, which needs name text.
+    fn matches_rank(&self, rank: u32, idx: &StructuralIndex, rt: &Runtime<'_>) -> bool {
+        match self {
+            ResolvedTest::Impossible => false,
+            ResolvedTest::Name(kind, id) => {
+                idx.kind_at(rank) == *kind && idx.name_at(rank) == Some(*id)
+            }
+            ResolvedTest::AnyPrincipal(kind) => idx.kind_at(rank) == *kind,
+            ResolvedTest::Prefix(kind, prefix) => {
+                idx.kind_at(rank) == *kind
+                    && rt.store.node_name(idx.node_at(rank)).starts_with(prefix)
+            }
+            ResolvedTest::AnyNode => true,
+            ResolvedTest::Text => idx.kind_at(rank) == NodeKind::Text,
+            ResolvedTest::Comment => idx.kind_at(rank) == NodeKind::Comment,
+            ResolvedTest::Pi(target) => {
+                idx.kind_at(rank) == NodeKind::ProcessingInstruction
+                    && target.is_none_or(|t| idx.name_at(rank) == Some(t))
+            }
+        }
+    }
+}
+
+/// Per-context traversal state of Υ: a compiled range scan where the
+/// store's interval index covers the axis, the pointer-chasing cursor
+/// otherwise.
+enum Scan {
+    Range(RangeScan),
+    Cursor(AxisCursor),
 }
 
 /// Υ_{c:c₀/axis::test} — for each input tuple, emit one tuple per node
@@ -86,7 +118,12 @@ pub struct UnnestMapIter {
     axis: Axis,
     test: NodeTest,
     resolved: Option<ResolvedTest>,
-    current: Option<(Tuple, AxisCursor)>,
+    current: Option<(Tuple, Scan)>,
+    /// Statistics: context nodes served by an interval range scan.
+    pub range_scans: u64,
+    /// Statistics: context nodes on an interval axis that fell back to
+    /// the cursor (store without an index, or unranked node).
+    pub cursor_fallbacks: u64,
 }
 
 impl UnnestMapIter {
@@ -98,7 +135,25 @@ impl UnnestMapIter {
         axis: Axis,
         test: NodeTest,
     ) -> UnnestMapIter {
-        UnnestMapIter { input, ctx, out, axis, test, resolved: None, current: None }
+        UnnestMapIter {
+            input,
+            ctx,
+            out,
+            axis,
+            test,
+            resolved: None,
+            current: None,
+            range_scans: 0,
+            cursor_fallbacks: 0,
+        }
+    }
+
+    /// True for the axes the interval index can serve as a range scan.
+    fn interval_axis(axis: Axis) -> bool {
+        matches!(
+            axis,
+            Axis::Descendant | Axis::DescendantOrSelf | Axis::Following | Axis::Preceding
+        )
     }
 }
 
@@ -117,18 +172,37 @@ impl PhysIter for UnnestMapIter {
             return None;
         }
         loop {
-            if let Some((tuple, cursor)) = &mut self.current {
+            if let Some((tuple, scan)) = &mut self.current {
                 // The axis scan is the engine's innermost unbounded loop:
-                // tick per cursor advance so deadlines and cancellation
-                // are observed even when nothing matches the node test.
-                while rt.gov.tick() {
-                    let Some(n) = cursor.advance(rt.store) else {
-                        break;
-                    };
-                    if resolved.matches(n, rt) {
-                        let mut out = tuple.clone();
-                        out[self.out] = Value::Node(n);
-                        return Some(out);
+                // tick per advance so deadlines and cancellation are
+                // observed even when nothing matches the node test.
+                match scan {
+                    Scan::Range(range) => {
+                        // One virtual call per output tuple, not per hop:
+                        // the scan loop itself is pure rank arithmetic.
+                        let idx = rt.store.structural_index().expect("scan implies index");
+                        while rt.gov.tick() {
+                            let Some(rank) = range.advance(idx) else {
+                                break;
+                            };
+                            if resolved.matches_rank(rank, idx, rt) {
+                                let mut out = tuple.clone();
+                                out[self.out] = Value::Node(idx.node_at(rank));
+                                return Some(out);
+                            }
+                        }
+                    }
+                    Scan::Cursor(cursor) => {
+                        while rt.gov.tick() {
+                            let Some(n) = cursor.advance(rt.store) else {
+                                break;
+                            };
+                            if resolved.matches(n, rt) {
+                                let mut out = tuple.clone();
+                                out[self.out] = Value::Node(n);
+                                return Some(out);
+                            }
+                        }
                     }
                 }
                 if !rt.gov.ok() {
@@ -140,14 +214,31 @@ impl PhysIter for UnnestMapIter {
             let Some(node) = t.get(self.ctx).and_then(|v| v.as_node()) else {
                 continue; // unbound context yields nothing
             };
-            let cursor = AxisCursor::new(rt.store, self.axis, node);
-            self.current = Some((t, cursor));
+            let scan =
+                match rt.store.structural_index().and_then(|idx| idx.range_scan(self.axis, node)) {
+                    Some(range) => {
+                        self.range_scans += 1;
+                        Scan::Range(range)
+                    }
+                    None => {
+                        if Self::interval_axis(self.axis) {
+                            self.cursor_fallbacks += 1;
+                        }
+                        Scan::Cursor(AxisCursor::new(rt.store, self.axis, node))
+                    }
+                };
+            self.current = Some((t, scan));
         }
     }
 
     fn close(&mut self, rt: &Runtime<'_>) {
         self.input.close(rt);
         self.current = None;
+    }
+
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        out.push(("range_scans", self.range_scans));
+        out.push(("cursor_fallbacks", self.cursor_fallbacks));
     }
 }
 

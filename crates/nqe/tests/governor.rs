@@ -133,16 +133,17 @@ fn tuple_budget_counts_materialized_tuples_only() {
 }
 
 #[test]
-fn dedup_seen_set_charges_group_keys() {
-    // The Π^D seen-sets hold one GroupKey per distinct value. The improved
-    // plan for //b/parent::a carries two of them, both alive at the peak:
-    // the descendant-or-self step's (all 10 nodes of the fixture: root,
-    // <r>, 2×<a>, 3×<b>, 3 text nodes) and the parent step's (2 distinct
-    // <a>), plus the 2 result node-ids accumulated alongside.
+fn dedup_bitsets_charge_one_word_block_each() {
+    // On an indexed store the Π^D seen-sets are rank bitsets of
+    // ⌈index len / 64⌉ words, charged once when the first node key
+    // arrives. The improved plan for //b/parent::a carries two of them,
+    // both alive at the peak (descendant-or-self step + parent step),
+    // plus the 2 result node-ids accumulated alongside.
     let s = store();
-    let key_bytes = group_key_bytes(&GroupKey::Null);
+    let idx_len = s.structural_index().expect("arena is indexed").len();
+    let bitset_bytes = (idx_len.div_ceil(64) * 8) as u64;
     let node_id = std::mem::size_of::<xmlstore::NodeId>() as u64;
-    let footprint = 10 * key_bytes + 2 * key_bytes + 2 * node_id;
+    let footprint = 2 * bitset_bytes + 2 * node_id;
     let limits = ResourceLimits::unlimited().with_max_memory(footprint);
     let out = nqe::evaluate_governed(
         &s,
@@ -161,6 +162,45 @@ fn dedup_seen_set_charges_group_keys() {
         &TranslateOptions::improved(),
         &limits,
         s.root(),
+        &HashMap::new(),
+    );
+    assert!(
+        matches!(out, Err(compiler::PipelineError::Resource(QueryError::MemoryExceeded { .. }))),
+        "one byte short trips: {out:?}"
+    );
+}
+
+#[test]
+fn dedup_seen_set_charges_group_keys_without_index() {
+    // Hiding the index forces Π^D back onto the hash seen-sets: one
+    // GroupKey per distinct value. The improved plan for //b/parent::a
+    // carries two of them, both alive at the peak: the
+    // descendant-or-self step's (all 10 nodes of the fixture: root,
+    // <r>, 2×<a>, 3×<b>, 3 text nodes) and the parent step's (2 distinct
+    // <a>), plus the 2 result node-ids accumulated alongside.
+    let s = store();
+    let plain = xmlstore::NoIndex(&s);
+    let key_bytes = group_key_bytes(&GroupKey::Null);
+    let node_id = std::mem::size_of::<xmlstore::NodeId>() as u64;
+    let footprint = 10 * key_bytes + 2 * key_bytes + 2 * node_id;
+    let limits = ResourceLimits::unlimited().with_max_memory(footprint);
+    let out = nqe::evaluate_governed(
+        &plain,
+        "//b/parent::a",
+        &TranslateOptions::improved(),
+        &limits,
+        plain.root(),
+        &HashMap::new(),
+    );
+    assert!(out.is_ok(), "exact footprint clears: {out:?}");
+
+    let limits = ResourceLimits::unlimited().with_max_memory(footprint - 1);
+    let out = nqe::evaluate_governed(
+        &plain,
+        "//b/parent::a",
+        &TranslateOptions::improved(),
+        &limits,
+        plain.root(),
         &HashMap::new(),
     );
     assert!(

@@ -10,7 +10,7 @@ use std::time::Duration;
 use compiler::TranslateOptions;
 use nqe::profile::ProfileEntry;
 use nqe::{explain_analyze, AnalyzeReport, Json, OpStats, Profile};
-use xmlstore::{parse_document, ArenaStore, XmlStore};
+use xmlstore::{parse_document, ArenaStore, NoIndex, XmlStore};
 
 /// `<r><a><b/><b/><b/><b/></a></r>` — four `b` leaves under one `a`.
 fn doc() -> ArenaStore {
@@ -138,6 +138,62 @@ fn analyze_json_round_trips() {
         memo.get("gauges").and_then(|g| g.get("memo_hits")).and_then(Json::as_num),
         Some(3.0)
     );
+}
+
+/// Sum of one gauge across every operator of a report.
+fn gauge_sum(report: &AnalyzeReport, name: &str) -> u64 {
+    report.profile.entries.iter().filter_map(|e| gauge(e, name)).sum()
+}
+
+/// Υ on an indexed store serves interval axes by range scan; hiding the
+/// index behind `NoIndex` flips every context to a cursor fallback. Both
+/// counters surface in the text table and the JSON export.
+#[test]
+fn unnest_gauges_report_range_scans_and_cursor_fallbacks() {
+    let store = doc();
+    let report = analyze(&store, "//b", &TranslateOptions::improved());
+    assert!(gauge_sum(&report, "range_scans") > 0, "descendant steps use the index");
+    assert_eq!(gauge_sum(&report, "cursor_fallbacks"), 0);
+    assert!(report.text().contains("range_scans="), "gauge visible in the text report");
+    let json = report.to_json().pretty();
+    assert!(json.contains("\"range_scans\""), "gauge visible in the JSON export");
+    assert!(json.contains("\"cursor_fallbacks\""));
+
+    let plain = NoIndex(&store);
+    let (_, report) = explain_analyze(
+        &plain,
+        "//b",
+        &TranslateOptions::improved(),
+        plain.root(),
+        &HashMap::new(),
+    )
+    .unwrap();
+    assert_eq!(gauge_sum(&report, "range_scans"), 0, "no index, no range scans");
+    assert!(gauge_sum(&report, "cursor_fallbacks") > 0);
+}
+
+/// Π^D keys node values through the rank bitset on indexed stores and
+/// through the hash seen-set otherwise; the two key counters make the
+/// choice observable per operator.
+#[test]
+fn dedup_gauges_report_bitset_vs_hash_keys() {
+    let store = doc();
+    let report = analyze(&store, "//b/parent::a", &TranslateOptions::improved());
+    assert!(gauge_sum(&report, "bitset_keys") > 0, "node keys land in the bitset");
+    assert_eq!(gauge_sum(&report, "hash_keys"), 0);
+    assert!(report.to_json().pretty().contains("\"bitset_keys\""));
+
+    let plain = NoIndex(&store);
+    let (_, report) = explain_analyze(
+        &plain,
+        "//b/parent::a",
+        &TranslateOptions::improved(),
+        plain.root(),
+        &HashMap::new(),
+    )
+    .unwrap();
+    assert_eq!(gauge_sum(&report, "bitset_keys"), 0);
+    assert!(gauge_sum(&report, "hash_keys") > 0, "no index, hash seen-set");
 }
 
 fn entry(label: &str, depth: usize, opens: u64, tuples: u64, nanos: u64) -> ProfileEntry {

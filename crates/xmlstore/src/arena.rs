@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use crate::index::StructuralIndex;
 use crate::node::{NameId, NodeId, NodeKind};
 use crate::store::XmlStore;
 
@@ -95,6 +96,7 @@ pub struct ArenaStore {
     nodes: Vec<NodeData>,
     names: NameTable,
     id_index: HashMap<Box<str>, NodeId>,
+    index: StructuralIndex,
 }
 
 impl ArenaStore {
@@ -272,6 +274,9 @@ impl ArenaStore {
             }
         }
         self.id_index = id_index;
+        // Structural updates invalidate every interval: re-derive the
+        // index from the renumbered tree (tombstones stay unranked).
+        self.index = StructuralIndex::build(&*self);
     }
 }
 
@@ -331,6 +336,10 @@ impl XmlStore for ArenaStore {
 
     fn element_by_id(&self, idval: &str) -> Option<NodeId> {
         self.id_index.get(idval).copied()
+    }
+
+    fn structural_index(&self) -> Option<&StructuralIndex> {
+        Some(&self.index)
     }
 }
 
@@ -477,14 +486,18 @@ impl ArenaBuilder {
         self.append_child(data)
     }
 
-    /// Finish building. Panics if elements are still open.
+    /// Finish building: freeze the arena and derive the structural
+    /// interval index. Panics if elements are still open.
     pub fn finish(self) -> ArenaStore {
         assert_eq!(self.stack.len(), 1, "unclosed elements at finish()");
-        ArenaStore {
+        let mut store = ArenaStore {
             nodes: self.nodes,
             names: self.names,
             id_index: self.id_index,
-        }
+            index: StructuralIndex::empty(),
+        };
+        store.index = StructuralIndex::build(&store);
+        store
     }
 }
 

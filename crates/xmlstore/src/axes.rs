@@ -399,6 +399,25 @@ pub fn axis_nodes(store: &dyn XmlStore, axis: Axis, n: NodeId) -> Vec<NodeId> {
     AxisIter::new(store, axis, n).collect()
 }
 
+/// Like [`axis_nodes`], but preferring the store's structural interval
+/// index: the four interval axes become range scans
+/// ([`StructuralIndex::range_scan`](crate::index::StructuralIndex::range_scan)),
+/// everything else — and every store without an index — goes through the
+/// cursor. Axis order is identical by construction; the differential
+/// suites assert it.
+pub fn indexed_axis_nodes(store: &dyn XmlStore, axis: Axis, n: NodeId) -> Vec<NodeId> {
+    if let Some(idx) = store.structural_index() {
+        if let Some(mut scan) = idx.range_scan(axis, n) {
+            let mut out = Vec::new();
+            while let Some(rank) = scan.advance(idx) {
+                out.push(idx.node_at(rank));
+            }
+            return out;
+        }
+    }
+    axis_nodes(store, axis, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

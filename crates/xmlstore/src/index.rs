@@ -1,0 +1,415 @@
+//! Structural interval index: the (order, subtree-size) pre/post encoding
+//! over one stored document.
+//!
+//! Document order is a preorder walk with attributes ranked immediately
+//! after their element and before its children, so every node's subtree
+//! (attributes and descendants, transitively) occupies the contiguous rank
+//! interval `[rank, rank + size]`. That single invariant turns the four
+//! unbounded axes — `descendant`, `descendant-or-self`, `following`,
+//! `preceding` — into range scans over dense arrays (no per-hop virtual
+//! dispatch through `dyn XmlStore`), and ancestor/containment tests and
+//! document-order comparisons into O(1) integer arithmetic.
+//!
+//! The index is finalized when a store is built (`ArenaBuilder::finish`)
+//! and re-derived by every structural update (`ArenaStore::renumber`), so
+//! it is never stale. Stores without an index (e.g. the paged
+//! [`DiskStore`](crate::diskstore::DiskStore)) simply return `None` from
+//! [`XmlStore::structural_index`] and every consumer falls back to the
+//! pointer-chasing [`AxisCursor`](crate::axes::AxisCursor).
+
+use crate::axes::Axis;
+use crate::node::{NameId, NodeId, NodeKind};
+use crate::store::XmlStore;
+
+const NIL: u32 = u32::MAX;
+
+/// Immutable (order, subtree-size) encoding of one document, plus dense
+/// per-rank kind/name arrays so scan loops never touch the store.
+#[derive(Clone, Debug, Default)]
+pub struct StructuralIndex {
+    /// `NodeId.index() → rank`; `NIL` for unreachable slots (tombstones
+    /// left behind by updates).
+    rank_of: Vec<u32>,
+    /// `rank → node` for the reachable nodes, in document order.
+    node_at: Vec<NodeId>,
+    /// `rank → subtree size` excluding the node itself: the number of
+    /// attributes and descendants (with *their* attributes) it dominates.
+    size: Vec<u32>,
+    /// `rank → kind`.
+    kind: Vec<NodeKind>,
+    /// `rank → interned name` (`NIL` if unnamed).
+    name: Vec<u32>,
+}
+
+impl StructuralIndex {
+    /// An index over nothing (placeholder while a store is under
+    /// construction).
+    pub fn empty() -> StructuralIndex {
+        StructuralIndex::default()
+    }
+
+    /// Derive the encoding from any store with one preorder pass (the
+    /// same walk `ArenaStore::renumber` performs: element, then its
+    /// attributes, then children). O(n) time and space, iterative — deep
+    /// chains cannot overflow the call stack.
+    pub fn build(store: &dyn XmlStore) -> StructuralIndex {
+        let slots = store.node_count();
+        let mut idx = StructuralIndex {
+            rank_of: vec![NIL; slots],
+            node_at: Vec::with_capacity(slots),
+            size: Vec::new(),
+            kind: Vec::with_capacity(slots),
+            name: Vec::with_capacity(slots),
+        };
+        // rank → rank of the structural parent (NIL for the root), used
+        // by the size accumulation below.
+        let mut parent_rank: Vec<u32> = Vec::with_capacity(slots);
+        let mut stack: Vec<(NodeId, u32)> = vec![(store.root(), NIL)];
+        let mut kids: Vec<NodeId> = Vec::new();
+        while let Some((n, pr)) = stack.pop() {
+            let r = idx.push(store, n, pr, &mut parent_rank);
+            let mut a = store.first_attribute(n);
+            while let Some(att) = a {
+                idx.push(store, att, r, &mut parent_rank);
+                a = store.next_sibling(att);
+            }
+            kids.clear();
+            let mut c = store.first_child(n);
+            while let Some(ch) = c {
+                kids.push(ch);
+                c = store.next_sibling(ch);
+            }
+            for &k in kids.iter().rev() {
+                stack.push((k, r));
+            }
+        }
+        // Sizes: every node contributes size+1 to its parent; walking
+        // ranks in descending order sees each node after its whole
+        // subtree, so one pass suffices.
+        idx.size = vec![0u32; idx.node_at.len()];
+        for r in (1..idx.node_at.len()).rev() {
+            let p = parent_rank[r];
+            if p != NIL {
+                idx.size[p as usize] += idx.size[r] + 1;
+            }
+        }
+        idx
+    }
+
+    fn push(
+        &mut self,
+        store: &dyn XmlStore,
+        n: NodeId,
+        parent: u32,
+        parent_rank: &mut Vec<u32>,
+    ) -> u32 {
+        let r = self.node_at.len() as u32;
+        self.rank_of[n.index()] = r;
+        self.node_at.push(n);
+        self.kind.push(store.kind(n));
+        self.name.push(store.name(n).map_or(NIL, |id| id.0));
+        parent_rank.push(parent);
+        r
+    }
+
+    /// Number of ranked (reachable) nodes.
+    pub fn len(&self) -> usize {
+        self.node_at.len()
+    }
+
+    /// True if the index covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_at.is_empty()
+    }
+
+    /// Document-order rank of `n`, or `None` for unreachable nodes.
+    #[inline]
+    pub fn rank_of(&self, n: NodeId) -> Option<u32> {
+        let r = *self.rank_of.get(n.index())?;
+        (r != NIL).then_some(r)
+    }
+
+    /// Node at `rank` (must be `< len()`).
+    #[inline]
+    pub fn node_at(&self, rank: u32) -> NodeId {
+        self.node_at[rank as usize]
+    }
+
+    /// Subtree size of the node at `rank` (self excluded).
+    #[inline]
+    pub fn size_at(&self, rank: u32) -> u32 {
+        self.size[rank as usize]
+    }
+
+    /// Kind of the node at `rank`.
+    #[inline]
+    pub fn kind_at(&self, rank: u32) -> NodeKind {
+        self.kind[rank as usize]
+    }
+
+    /// Interned name of the node at `rank`.
+    #[inline]
+    pub fn name_at(&self, rank: u32) -> Option<NameId> {
+        let v = self.name[rank as usize];
+        (v != NIL).then_some(NameId(v))
+    }
+
+    /// Inclusive rank interval `[rank, rank+size]` of `n`'s subtree.
+    pub fn subtree_range(&self, n: NodeId) -> Option<(u32, u32)> {
+        let r = self.rank_of(n)?;
+        Some((r, r + self.size[r as usize]))
+    }
+
+    /// O(1) proper-ancestor test (`None` if either node is unranked).
+    #[inline]
+    pub fn is_ancestor(&self, anc: NodeId, n: NodeId) -> Option<bool> {
+        let ra = self.rank_of(anc)?;
+        let rn = self.rank_of(n)?;
+        Some(self.rank_contains(ra, rn))
+    }
+
+    /// True if the subtree interval of `anc_rank` properly contains
+    /// `rank`.
+    #[inline]
+    fn rank_contains(&self, anc_rank: u32, rank: u32) -> bool {
+        anc_rank < rank && rank <= anc_rank + self.size[anc_rank as usize]
+    }
+
+    /// O(1) document-order comparison (`None` if either node is
+    /// unranked).
+    #[inline]
+    pub fn doc_lt(&self, a: NodeId, b: NodeId) -> Option<bool> {
+        Some(self.rank_of(a)? < self.rank_of(b)?)
+    }
+
+    /// A range scan over the axis, if it is one of the four interval
+    /// axes and `n` is ranked. Other axes (and tombstoned nodes) return
+    /// `None` — callers fall back to the cursor.
+    pub fn range_scan(&self, axis: Axis, n: NodeId) -> Option<RangeScan> {
+        let r = self.rank_of(n)?;
+        let s = self.size[r as usize];
+        let last = (self.node_at.len() - 1) as u32;
+        let mode = match axis {
+            // Subtree interval minus self; attributes filtered by the scan.
+            Axis::Descendant => Mode::Forward { cur: r + 1, end: r + s },
+            Axis::DescendantOrSelf => Mode::SelfThen { rank: r, end: r + s },
+            // Everything after the subtree interval. Attributes have
+            // size 0, so this also yields the owner-subtree-then-rest
+            // semantics of `following` from an attribute node.
+            Axis::Following => Mode::Forward { cur: (r + s).saturating_add(1), end: last },
+            // Everything before `r` except ancestors, in reverse rank
+            // order. For an attribute this equals `preceding` of its
+            // owner: the owner's interval covers the attribute's rank,
+            // so the owner (and every ancestor above it) is skipped by
+            // the containment test.
+            Axis::Preceding => Mode::Preceding { next: i64::from(r) - 1, ctx: r },
+            _ => return None,
+        };
+        Some(RangeScan { mode })
+    }
+}
+
+enum Mode {
+    /// Yield `rank` itself, then forward-scan `(rank, end]`.
+    SelfThen {
+        rank: u32,
+        end: u32,
+    },
+    /// Forward scan of `[cur, end]`, skipping attribute ranks.
+    Forward {
+        cur: u32,
+        end: u32,
+    },
+    /// Downward scan of `[0, next]`, skipping attribute ranks and
+    /// ancestors of the context rank `ctx`.
+    Preceding {
+        next: i64,
+        ctx: u32,
+    },
+    Done,
+}
+
+/// A compiled axis scan: pure rank arithmetic over a
+/// [`StructuralIndex`]. Holds no store borrow, so physical operators can
+/// embed it like an [`AxisCursor`](crate::axes::AxisCursor); every
+/// advance takes the index explicitly.
+pub struct RangeScan {
+    mode: Mode,
+}
+
+impl RangeScan {
+    /// Rank of the next axis node, or `None` when the interval is
+    /// exhausted. Axis order: document order for the forward axes,
+    /// reverse document order for `preceding`.
+    #[inline]
+    pub fn advance(&mut self, idx: &StructuralIndex) -> Option<u32> {
+        match &mut self.mode {
+            Mode::Done => None,
+            Mode::SelfThen { rank, end } => {
+                let r = *rank;
+                self.mode = if r < *end {
+                    Mode::Forward { cur: r + 1, end: *end }
+                } else {
+                    Mode::Done
+                };
+                Some(r)
+            }
+            Mode::Forward { cur, end } => {
+                while *cur <= *end {
+                    let r = *cur;
+                    *cur += 1;
+                    if idx.kind[r as usize] != NodeKind::Attribute {
+                        return Some(r);
+                    }
+                }
+                self.mode = Mode::Done;
+                None
+            }
+            Mode::Preceding { next, ctx } => {
+                while *next >= 0 {
+                    let r = *next as u32;
+                    *next -= 1;
+                    if idx.kind[r as usize] == NodeKind::Attribute {
+                        continue;
+                    }
+                    if idx.rank_contains(r, *ctx) {
+                        continue; // ancestors are not on the preceding axis
+                    }
+                    return Some(r);
+                }
+                self.mode = Mode::Done;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::{ArenaBuilder, ArenaStore};
+    use crate::axes::{axis_nodes, indexed_axis_nodes};
+
+    /// <r a="1"><x p="2"><y/></x><z/></r> with a text node under z.
+    fn sample() -> ArenaStore {
+        let mut b = ArenaBuilder::new();
+        b.start_element("r");
+        b.attribute("a", "1");
+        b.start_element("x");
+        b.attribute("p", "2");
+        b.start_element("y");
+        b.end_element();
+        b.end_element();
+        b.start_element("z");
+        b.text("t");
+        b.end_element();
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn intervals_hand_computed() {
+        let s = sample();
+        let idx = s.structural_index().expect("arena builds an index");
+        // Ranks: 0 doc, 1 r, 2 @a, 3 x, 4 @p, 5 y, 6 z, 7 text.
+        assert_eq!(idx.len(), 8);
+        let doc = s.root();
+        let r = s.first_child(doc).unwrap();
+        let a = s.first_attribute(r).unwrap();
+        let x = s.first_child(r).unwrap();
+        let p = s.first_attribute(x).unwrap();
+        let y = s.first_child(x).unwrap();
+        let z = s.next_sibling(x).unwrap();
+        let t = s.first_child(z).unwrap();
+        assert_eq!(idx.subtree_range(doc), Some((0, 7)), "root spans the document");
+        assert_eq!(idx.subtree_range(r), Some((1, 7)));
+        assert_eq!(idx.subtree_range(a), Some((2, 2)), "attribute subtree is empty");
+        assert_eq!(idx.subtree_range(x), Some((3, 5)), "x contains @p and y");
+        assert_eq!(idx.subtree_range(y), Some((5, 5)), "leaf element subtree is empty");
+        assert_eq!(idx.subtree_range(z), Some((6, 7)));
+        assert_eq!(idx.subtree_range(t), Some((7, 7)));
+        // Ranks agree with the store's document order on a fresh build.
+        for rank in 0..idx.len() as u32 {
+            assert_eq!(s.order(idx.node_at(rank)), u64::from(rank));
+        }
+        // O(1) containment agrees with the pointer-chasing walk.
+        assert_eq!(idx.is_ancestor(x, y), Some(true));
+        assert_eq!(idx.is_ancestor(x, p), Some(true), "attributes are inside the interval");
+        assert_eq!(idx.is_ancestor(x, x), Some(false), "proper ancestor only");
+        assert_eq!(idx.is_ancestor(y, x), Some(false));
+        assert_eq!(idx.is_ancestor(z, y), Some(false));
+        assert_eq!(idx.doc_lt(x, z), Some(true));
+        assert_eq!(idx.doc_lt(z, x), Some(false));
+    }
+
+    #[test]
+    fn range_scans_match_cursor_on_sample() {
+        let s = sample();
+        for rank in 0..s.structural_index().unwrap().len() as u32 {
+            let n = s.structural_index().unwrap().node_at(rank);
+            for axis in [
+                Axis::Descendant,
+                Axis::DescendantOrSelf,
+                Axis::Following,
+                Axis::Preceding,
+            ] {
+                assert_eq!(
+                    indexed_axis_nodes(&s, axis, n),
+                    axis_nodes(&s, axis, n),
+                    "{axis} from rank {rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_or_self_of_attribute_is_self_only() {
+        let s = sample();
+        let idx = s.structural_index().unwrap();
+        let r = s.first_child(s.root()).unwrap();
+        let a = s.first_attribute(r).unwrap();
+        let mut scan = idx.range_scan(Axis::DescendantOrSelf, a).unwrap();
+        assert_eq!(scan.advance(idx).map(|r| idx.node_at(r)), Some(a));
+        assert_eq!(scan.advance(idx), None);
+        let mut scan = idx.range_scan(Axis::Descendant, a).unwrap();
+        assert_eq!(scan.advance(idx), None, "attributes dominate nothing");
+    }
+
+    #[test]
+    fn following_of_last_node_and_preceding_of_root_are_empty() {
+        let s = sample();
+        let idx = s.structural_index().unwrap();
+        let last = idx.node_at(idx.len() as u32 - 1);
+        let mut scan = idx.range_scan(Axis::Following, last).unwrap();
+        assert_eq!(scan.advance(idx), None);
+        let mut scan = idx.range_scan(Axis::Preceding, s.root()).unwrap();
+        assert_eq!(scan.advance(idx), None);
+    }
+
+    #[test]
+    fn non_interval_axes_have_no_range_scan() {
+        let s = sample();
+        let idx = s.structural_index().unwrap();
+        for axis in [
+            Axis::Child,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::Attribute,
+            Axis::SelfAxis,
+        ] {
+            assert!(idx.range_scan(axis, s.root()).is_none());
+        }
+    }
+
+    #[test]
+    fn single_node_document() {
+        let b = ArenaBuilder::new();
+        let s = b.finish();
+        let idx = s.structural_index().unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.subtree_range(s.root()), Some((0, 0)));
+        let mut scan = idx.range_scan(Axis::DescendantOrSelf, s.root()).unwrap();
+        assert_eq!(scan.advance(idx), Some(0));
+        assert_eq!(scan.advance(idx), None);
+    }
+}

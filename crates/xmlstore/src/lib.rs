@@ -12,6 +12,8 @@
 //! * [`parser`] — a from-scratch XML 1.0 parser,
 //! * [`serialize`] — XML writer,
 //! * [`axes`] — all XPath axes as iterators in axis order,
+//! * [`index`] — the (order, subtree-size) structural interval index and
+//!   its range-scan axis kernels,
 //! * [`page`] / [`buffer`] / [`diskstore`] — 8 KiB slotted pages, a
 //!   pin/unpin LRU buffer manager and the paged on-disk store,
 //! * [`gen`] — the paper's document generators (breadth-first trees and a
@@ -27,6 +29,7 @@ pub mod axes;
 pub mod buffer;
 pub mod diskstore;
 pub mod gen;
+pub mod index;
 pub mod node;
 pub mod page;
 pub mod parser;
@@ -36,8 +39,9 @@ pub mod tmp;
 pub mod update;
 
 pub use arena::{ArenaBuilder, ArenaStore, NameTable};
-pub use axes::{axis_nodes, Axis, AxisCursor, AxisIter};
+pub use axes::{axis_nodes, indexed_axis_nodes, Axis, AxisCursor, AxisIter};
+pub use index::{RangeScan, StructuralIndex};
 pub use node::{NameId, NodeId, NodeKind};
 pub use parser::{parse_document, XmlError};
 pub use serialize::{to_xml, to_xml_node};
-pub use store::XmlStore;
+pub use store::{NoIndex, XmlStore};

@@ -5,6 +5,7 @@
 //! (paper §5.2.2): location steps and node tests are resolved directly
 //! against the stored representation — no separate main-memory DOM is built.
 
+use crate::index::StructuralIndex;
 use crate::node::{NameId, NodeId, NodeKind};
 
 /// Read interface over one stored XML document.
@@ -120,13 +121,29 @@ pub trait XmlStore {
         self.attribute_named(n, id).and_then(|a| self.value(a))
     }
 
-    /// True if `a` strictly precedes `b` in document order.
+    /// The structural interval index over this document, if the store
+    /// maintains one (see [`StructuralIndex`]). `None` means consumers
+    /// must navigate with cursors and `order()` lookups.
+    fn structural_index(&self) -> Option<&StructuralIndex> {
+        None
+    }
+
+    /// True if `a` strictly precedes `b` in document order. O(1) on
+    /// indexed stores.
     fn doc_lt(&self, a: NodeId, b: NodeId) -> bool {
+        if let Some(lt) = self.structural_index().and_then(|idx| idx.doc_lt(a, b)) {
+            return lt;
+        }
         self.order(a) < self.order(b)
     }
 
     /// True if `anc` is an ancestor of `n` (proper; `n` itself excluded).
+    /// An interval containment check on indexed stores, a parent-chain
+    /// walk otherwise.
     fn is_ancestor(&self, anc: NodeId, n: NodeId) -> bool {
+        if let Some(contained) = self.structural_index().and_then(|idx| idx.is_ancestor(anc, n)) {
+            return contained;
+        }
         let mut cur = self.parent(n);
         while let Some(p) = cur {
             if p == anc {
@@ -145,10 +162,79 @@ pub trait XmlStore {
     }
 }
 
+/// Delegating wrapper that hides the inner store's structural index.
+///
+/// Benchmarks and differential tests wrap an indexed store in `NoIndex`
+/// to exercise the cursor/hash/comparator fallback paths against the
+/// very same document in the same process.
+pub struct NoIndex<'a>(pub &'a dyn XmlStore);
+
+impl XmlStore for NoIndex<'_> {
+    fn root(&self) -> NodeId {
+        self.0.root()
+    }
+
+    fn node_count(&self) -> usize {
+        self.0.node_count()
+    }
+
+    fn kind(&self, n: NodeId) -> NodeKind {
+        self.0.kind(n)
+    }
+
+    fn name(&self, n: NodeId) -> Option<NameId> {
+        self.0.name(n)
+    }
+
+    fn value(&self, n: NodeId) -> Option<String> {
+        self.0.value(n)
+    }
+
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.0.parent(n)
+    }
+
+    fn first_child(&self, n: NodeId) -> Option<NodeId> {
+        self.0.first_child(n)
+    }
+
+    fn last_child(&self, n: NodeId) -> Option<NodeId> {
+        self.0.last_child(n)
+    }
+
+    fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        self.0.next_sibling(n)
+    }
+
+    fn prev_sibling(&self, n: NodeId) -> Option<NodeId> {
+        self.0.prev_sibling(n)
+    }
+
+    fn first_attribute(&self, n: NodeId) -> Option<NodeId> {
+        self.0.first_attribute(n)
+    }
+
+    fn order(&self, n: NodeId) -> u64 {
+        self.0.order(n)
+    }
+
+    fn intern_lookup(&self, name: &str) -> Option<NameId> {
+        self.0.intern_lookup(name)
+    }
+
+    fn name_text(&self, id: NameId) -> String {
+        self.0.name_text(id)
+    }
+
+    fn element_by_id(&self, idval: &str) -> Option<NodeId> {
+        self.0.element_by_id(idval)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::arena::ArenaBuilder;
-    use crate::store::XmlStore;
+    use crate::store::{NoIndex, XmlStore};
 
     #[test]
     fn string_value_concatenates_descendant_text() {
@@ -192,5 +278,24 @@ mod tests {
         assert!(store.is_ancestor(store.root(), bn));
         assert!(!store.is_ancestor(a, a));
         assert!(!store.is_ancestor(bn, a));
+    }
+
+    #[test]
+    fn no_index_wrapper_hides_the_index_but_agrees_on_semantics() {
+        let mut b = ArenaBuilder::new();
+        b.start_element("a");
+        b.start_element("b");
+        b.end_element();
+        b.end_element();
+        let store = b.finish();
+        assert!(store.structural_index().is_some());
+        let plain = NoIndex(&store);
+        assert!(plain.structural_index().is_none());
+        let a = store.first_child(store.root()).unwrap();
+        let bn = store.first_child(a).unwrap();
+        assert_eq!(plain.is_ancestor(a, bn), store.is_ancestor(a, bn));
+        assert_eq!(plain.doc_lt(a, bn), store.doc_lt(a, bn));
+        assert_eq!(plain.order(bn), store.order(bn));
+        assert_eq!(plain.node_name(a), store.node_name(a));
     }
 }

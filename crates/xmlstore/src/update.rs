@@ -238,6 +238,38 @@ mod tests {
     }
 
     #[test]
+    fn structural_index_rebuilt_after_updates() {
+        let mut s = doc();
+        let r = s.first_child(s.root()).unwrap();
+        let c = s.append_element(r, "c").unwrap();
+        s.append_text(c, "three").unwrap();
+        let a = s.first_child(r).unwrap();
+        s.remove_subtree(a).unwrap();
+        let idx = s.structural_index().unwrap();
+        // Reachable nodes only: the removed subtree's slots are unranked.
+        assert!(idx.rank_of(a).is_none(), "tombstones have no rank");
+        // Ranks agree with the re-derived document order, and every
+        // interval axis still matches the cursor on the mutated tree.
+        for rank in 0..idx.len() as u32 {
+            let n = idx.node_at(rank);
+            assert_eq!(s.order(n), u64::from(rank));
+            for axis in [
+                Axis::Descendant,
+                Axis::DescendantOrSelf,
+                Axis::Following,
+                Axis::Preceding,
+            ] {
+                assert_eq!(
+                    crate::axes::indexed_axis_nodes(&s, axis, n),
+                    axis_nodes(&s, axis, n),
+                    "{axis} from rank {rank} after updates"
+                );
+            }
+        }
+        orders_valid(&s);
+    }
+
+    #[test]
     fn queries_see_updates() {
         let mut s = doc();
         let r = s.first_child(s.root()).unwrap();

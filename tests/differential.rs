@@ -109,6 +109,27 @@ fn tree_documents_all_engines_agree() {
     }
 }
 
+/// Hiding the structural index behind `NoIndex` must not change a single
+/// answer: the corpus runs once against the indexed arena and once
+/// against the delegating wrapper (cursor axes, hash dedup, comparator
+/// sort) and the outputs are compared byte for byte.
+#[test]
+fn indexed_and_unindexed_paths_agree_on_corpus() {
+    let store = generate_tree(TreeParams { max_elements: 200, fanout: 6, max_depth: 4 });
+    assert!(store.structural_index().is_some());
+    let plain = xmlstore::NoIndex(&store);
+    assert!(plain.structural_index().is_none(), "the wrapper hides the index");
+    for q in TREE_QUERIES {
+        for opts in [TranslateOptions::improved(), TranslateOptions::canonical()] {
+            let fast =
+                nqe::evaluate(&store, q, &opts).unwrap_or_else(|e| panic!("indexed `{q}`: {e}"));
+            let slow =
+                nqe::evaluate(&plain, q, &opts).unwrap_or_else(|e| panic!("unindexed `{q}`: {e}"));
+            assert_eq!(fast, slow, "indexed vs NoIndex on `{q}`");
+        }
+    }
+}
+
 #[test]
 fn naive_interpreter_agrees_on_small_documents() {
     let store = generate_tree(TreeParams { max_elements: 60, fanout: 3, max_depth: 3 });
