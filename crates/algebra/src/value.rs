@@ -156,6 +156,16 @@ pub enum QueryError {
     },
     /// The cancellation token was raised (observed at a governor tick).
     Cancelled,
+    /// The storage layer failed mid-query: an I/O error or detected
+    /// corruption while reading the paged store. The detail string carries
+    /// the page/slot coordinates reported by the store.
+    Storage {
+        /// Rendered storage-error message (includes coordinates).
+        detail: String,
+        /// True for I/O failures, false for corruption — callers map the
+        /// two classes to distinct exit codes.
+        io: bool,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -171,6 +181,7 @@ impl std::fmt::Display for QueryError {
                 write!(f, "deadline exceeded: query ran past its {timeout_millis}ms timeout")
             }
             QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::Storage { detail, .. } => write!(f, "storage failure: {detail}"),
         }
     }
 }

@@ -81,6 +81,17 @@ pub struct ResourceLimits {
     /// Cooperative check cadence: deadline and cancellation are examined
     /// every this-many governor ticks (`None` → the governor default).
     pub tick_interval: Option<u32>,
+    /// Cap on XML element nesting depth at parse time (`None` → the
+    /// parser's conservative default). Part of the same budget surface:
+    /// hostile input must fail typed at parse, not overflow the stack in
+    /// a later recursive consumer (DESIGN.md §13).
+    pub max_parse_depth: Option<usize>,
+    /// Cap on element/attribute/PI name length at parse time.
+    pub max_name_len: Option<usize>,
+    /// Cap on attributes per element at parse time.
+    pub max_attr_count: Option<usize>,
+    /// Cap on entity/character references per document at parse time.
+    pub max_entity_expansions: Option<u64>,
 }
 
 impl ResourceLimits {
@@ -116,6 +127,30 @@ impl ResourceLimits {
     /// Builder: tick interval.
     pub fn with_tick_interval(mut self, every: u32) -> ResourceLimits {
         self.tick_interval = Some(every);
+        self
+    }
+
+    /// Builder: parse-time element nesting depth cap.
+    pub fn with_max_parse_depth(mut self, depth: usize) -> ResourceLimits {
+        self.max_parse_depth = Some(depth);
+        self
+    }
+
+    /// Builder: parse-time name length cap (bytes).
+    pub fn with_max_name_len(mut self, len: usize) -> ResourceLimits {
+        self.max_name_len = Some(len);
+        self
+    }
+
+    /// Builder: parse-time attributes-per-element cap.
+    pub fn with_max_attr_count(mut self, count: usize) -> ResourceLimits {
+        self.max_attr_count = Some(count);
+        self
+    }
+
+    /// Builder: parse-time entity-reference cap.
+    pub fn with_max_entity_expansions(mut self, count: u64) -> ResourceLimits {
+        self.max_entity_expansions = Some(count);
         self
     }
 }

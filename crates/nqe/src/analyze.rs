@@ -49,6 +49,22 @@ impl ResourceReport {
     }
 }
 
+/// Storage-layer gauges of one execution: the delta of the store's
+/// buffer-manager counters across the run. `None` in [`AnalyzeReport`]
+/// for main-memory stores (no buffer manager, nothing to report).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Pin requests served from resident frames.
+    pub page_hits: u64,
+    /// Pin requests that read a page from disk.
+    pub pages_read: u64,
+    /// Pages whose CRC32C trailer was verified after a read.
+    pub pages_verified: u64,
+    /// Pages whose trailer did not match (each surfaced as a typed
+    /// storage error).
+    pub checksum_failures: u64,
+}
+
 /// The result of an `EXPLAIN ANALYZE` run: compile trace, operator
 /// profile, resource accounting, and the shape of the result.
 pub struct AnalyzeReport {
@@ -59,6 +75,9 @@ pub struct AnalyzeReport {
     pub profile: Profile,
     /// Governor accounting (memory high-water, charges, budget outcome).
     pub resources: ResourceReport,
+    /// Buffer-manager gauges for paged stores (`None` for main-memory
+    /// stores).
+    pub storage: Option<StorageReport>,
     /// Kind of the result (`nodes`, `bool`, `num`, `str`, or `error`).
     pub result_kind: &'static str,
     /// Node count for node-set results, 1 otherwise (0 for errors).
@@ -80,7 +99,9 @@ pub fn explain_analyze(
 ) -> Result<(QueryOutput, AnalyzeReport), PipelineError> {
     let (out, report) =
         explain_analyze_governed(store, query, opts, &ResourceLimits::unlimited(), ctx, vars)?;
-    Ok((out.expect("unlimited governor cannot trip"), report))
+    // An unlimited governor cannot trip, but a paged store can still fail
+    // mid-query (I/O error, detected corruption) — surface that typed.
+    Ok((out?, report))
 }
 
 /// [`explain_analyze`] under resource limits. Compile failures surface in
@@ -102,9 +123,19 @@ pub fn explain_analyze_governed(
     trace.add_phase("codegen", t0.elapsed().as_nanos() as u64);
 
     let gov = ResourceGovernor::new(*limits);
+    let stats_before = store.buffer_stats();
     let t0 = Instant::now();
     let out = phys.execute_governed(store, vars, ctx, &gov);
     trace.add_phase("execute", t0.elapsed().as_nanos() as u64);
+    let storage = match (stats_before, store.buffer_stats()) {
+        (Some(b), Some(a)) => Some(StorageReport {
+            page_hits: a.hits - b.hits,
+            pages_read: a.misses - b.misses,
+            pages_verified: a.pages_verified - b.pages_verified,
+            checksum_failures: a.checksum_failures - b.checksum_failures,
+        }),
+        _ => None,
+    };
 
     let resources = ResourceReport::capture(&gov);
     let (result_kind, result_count, result_summary) = match &out {
@@ -115,6 +146,7 @@ pub fn explain_analyze_governed(
         trace,
         profile,
         resources,
+        storage,
         result_kind,
         result_count,
         result_summary,
@@ -160,6 +192,12 @@ impl AnalyzeReport {
             "resources: peak {}B, charged {}B, {} tuples materialized (limits: {})\n",
             r.high_water_bytes, r.charged_bytes, r.tuples_charged, limits,
         ));
+        if let Some(s) = &self.storage {
+            out.push_str(&format!(
+                "storage: {} page reads ({} hits), {} verified, {} checksum failures\n",
+                s.pages_read, s.page_hits, s.pages_verified, s.checksum_failures,
+            ));
+        }
         if let Some(e) = &r.error {
             out.push_str(&format!("stopped: {e}\n"));
         }
@@ -185,6 +223,8 @@ impl AnalyzeReport {
     ///                  "tuples": 10, "nanos": 123, "self_nanos": 50,
     ///                  "gauges": {"dup_dropped": 2, "mem_charged": 0,
     ///                             "mem_peak": 0, ...}}, ...],
+    ///   "storage": {"page_hits": 0, "pages_read": 0,
+    ///               "pages_verified": 0, "checksum_failures": 0},
     ///   "resources": {"high_water_bytes": 0, "charged_bytes": 0,
     ///                 "tuples_charged": 0, "transient_bytes": 0,
     ///                 "limits": {"max_memory_bytes": null,
@@ -199,10 +239,25 @@ impl AnalyzeReport {
     /// `operators` is in plan (pre-order) order; `depth` reconstructs the
     /// tree. All times are wall-clock nanoseconds. Materialising
     /// operators report `mem_charged`/`mem_peak` gauges; `resources` is
-    /// the governor's plan-wide accounting of the same charges.
+    /// the governor's plan-wide accounting of the same charges. `storage`
+    /// is `null` for main-memory stores.
     pub fn to_json(&self) -> Json {
         let mut root = trace_json_fields(&self.trace);
         root.push(("operators".to_owned(), profile_json(&self.profile)));
+        root.push((
+            "storage".to_owned(),
+            self.storage
+                .as_ref()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("page_hits", Json::Num(s.page_hits as f64)),
+                        ("pages_read", Json::Num(s.pages_read as f64)),
+                        ("pages_verified", Json::Num(s.pages_verified as f64)),
+                        ("checksum_failures", Json::Num(s.checksum_failures as f64)),
+                    ])
+                })
+                .unwrap_or(Json::Null),
+        ));
         root.push(("resources".to_owned(), resources_json(&self.resources)));
         root.push((
             "result".to_owned(),

@@ -22,10 +22,18 @@ pub struct Runtime<'a> {
     pub gov: &'a ResourceGovernor,
 }
 
+/// Convert a drained storage fault into a typed query error.
+fn storage_err(store: &dyn XmlStore) -> Option<QueryError> {
+    store
+        .take_storage_fault()
+        .map(|f| QueryError::Storage { detail: f.message, io: f.is_io })
+}
+
 impl PhysicalQuery {
     /// Execute against `store` with `ctx` as the context node, without
-    /// limits. Infallible: an unlimited governor can only trip through
-    /// an externally injected fault, which this path never installs.
+    /// resource limits. An unlimited governor cannot trip, but the
+    /// storage layer still can: an I/O failure or detected corruption
+    /// while reading a paged store surfaces as [`QueryError::Storage`].
     ///
     /// A `PhysicalQuery` is bound to one store: node tests resolve
     /// interned names and memo tables key on node identities on first
@@ -35,17 +43,20 @@ impl PhysicalQuery {
         store: &dyn XmlStore,
         vars: &HashMap<String, Value>,
         ctx: NodeId,
-    ) -> QueryOutput {
+    ) -> Result<QueryOutput, QueryError> {
         let gov = ResourceGovernor::unlimited();
         self.execute_governed(store, vars, ctx, &gov)
-            .expect("unlimited governor cannot trip")
     }
 
     /// Execute under a resource governor. Over-budget, timed-out and
     /// cancelled executions unwind cooperatively: iterators stop
     /// producing once the governor trips, the plan closes (releasing
     /// every transient charge), and the trip surfaces here as a typed
-    /// [`QueryError`].
+    /// [`QueryError`]. Storage faults (I/O failure or detected corruption
+    /// in a paged store) unwind the same way: the store records the first
+    /// fault and returns inert values, the tuple loop notices the trip,
+    /// the plan closes, and the fault surfaces as
+    /// [`QueryError::Storage`] with `transient_bytes() == 0`.
     pub fn execute_governed(
         &mut self,
         store: &dyn XmlStore,
@@ -55,6 +66,9 @@ impl PhysicalQuery {
     ) -> Result<QueryOutput, QueryError> {
         let rt = Runtime { store, vars, gov };
         gov.check_now();
+        // A fault left over from an earlier (already reported) execution
+        // must not poison this one.
+        store.take_storage_fault();
         match self {
             PhysicalQuery::Sequence { root, frame } => {
                 let mut seed: Tuple = vec![Value::Null; frame.width];
@@ -67,7 +81,7 @@ impl PhysicalQuery {
                 // the budget by reaching the top of the plan.
                 let mut ledger = ChargeLedger::new();
                 let mut nodes: Vec<NodeId> = Vec::new();
-                while gov.ok() {
+                while gov.ok() && !store.storage_tripped() {
                     let Some(t) = root.next(&rt) else { break };
                     if let Some(n) = t[frame.cn].as_node() {
                         if !ledger.charge(gov, std::mem::size_of::<NodeId>() as u64) {
@@ -84,6 +98,11 @@ impl PhysicalQuery {
                 // XPath 1.0 node-sets are unordered (paper §2.1); we
                 // return document order for determinism.
                 algebra::docorder::sort_dedup(&mut nodes, store);
+                // Checked last: the document-order sort reads `order()`
+                // and can itself hit a damaged page.
+                if let Some(e) = storage_err(store) {
+                    return Err(e);
+                }
                 Ok(QueryOutput::Nodes(nodes))
             }
             PhysicalQuery::Scalar { pred, frame, stats } => {
@@ -102,7 +121,7 @@ impl PhysicalQuery {
                 if let Some(e) = gov.error() {
                     return Err(e);
                 }
-                Ok(match value {
+                let out = match value {
                     Value::Bool(b) => QueryOutput::Bool(b),
                     Value::Num(n) => QueryOutput::Num(n),
                     Value::Str(s) => QueryOutput::Str(s.to_string()),
@@ -126,7 +145,11 @@ impl PhysicalQuery {
                         algebra::docorder::sort_dedup(&mut nodes, store);
                         QueryOutput::Nodes(nodes)
                     }
-                })
+                };
+                if let Some(e) = storage_err(store) {
+                    return Err(e);
+                }
+                Ok(out)
             }
         }
     }
@@ -152,7 +175,7 @@ pub fn evaluate_with(
 ) -> Result<QueryOutput, PipelineError> {
     let compiled = compile(query, opts)?;
     let mut phys = build_physical(&compiled);
-    Ok(phys.execute(store, vars, ctx))
+    Ok(phys.execute(store, vars, ctx)?)
 }
 
 /// Evaluation under resource limits: compile, lower, and execute with a

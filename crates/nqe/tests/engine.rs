@@ -479,7 +479,7 @@ fn profiled_execution_counts_operator_work() {
     let d = doc();
     let compiled = compile("/library/book/title", &TranslateOptions::improved()).unwrap();
     let (mut phys, profile) = nqe::build_physical_profiled(&compiled);
-    let out = phys.execute(&d, &HashMap::new(), d.root());
+    let out = phys.execute(&d, &HashMap::new(), d.root()).unwrap();
     assert_eq!(out.as_nodes().unwrap().len(), 4);
     let report = profile.report();
     assert!(report.contains("Υ["), "{report}");
@@ -498,7 +498,7 @@ fn profiled_execution_counts_operator_work() {
     // Canonical translation re-opens dependent branches per left tuple.
     let compiled = compile("/library/book/title", &TranslateOptions::canonical()).unwrap();
     let (mut phys, profile) = nqe::build_physical_profiled(&compiled);
-    phys.execute(&d, &HashMap::new(), d.root());
+    phys.execute(&d, &HashMap::new(), d.root()).unwrap();
     assert!(
         profile.entries.iter().any(|e| e.stats.borrow().opens > 1),
         "canonical plans must show repeated opens:\n{}",

@@ -255,9 +255,11 @@ impl ArenaStore {
             while a != NIL {
                 self.nodes[a as usize].order = order;
                 order += 1;
-                if id_name.is_some() && self.nodes[a as usize].name == id_name.unwrap().0 {
-                    if let Some(v) = self.nodes[a as usize].value.clone() {
-                        id_index.entry(v).or_insert(NodeId(idx));
+                if let Some(id_name) = id_name {
+                    if self.nodes[a as usize].name == id_name.0 {
+                        if let Some(v) = self.nodes[a as usize].value.clone() {
+                            id_index.entry(v).or_insert(NodeId(idx));
+                        }
                     }
                 }
                 a = self.nodes[a as usize].next_sibling;
@@ -386,7 +388,9 @@ impl ArenaBuilder {
     }
 
     fn append_child(&mut self, mut data: NodeData) -> NodeId {
-        let parent = *self.stack.last().expect("builder stack underflow");
+        let Some(&parent) = self.stack.last() else {
+            panic!("builder stack underflow");
+        };
         let idx = self.nodes.len() as u32;
         data.parent = parent;
         let p = &mut self.nodes[parent as usize];
@@ -417,7 +421,9 @@ impl ArenaBuilder {
     /// Attach an attribute to the currently open element. Must be called
     /// before any child content is added.
     pub fn attribute(&mut self, name: &str, value: &str) -> NodeId {
-        let owner = *self.stack.last().expect("attribute outside element");
+        let Some(&owner) = self.stack.last() else {
+            panic!("attribute outside element");
+        };
         assert!(
             self.nodes[owner as usize].kind == NodeKind::Element,
             "attribute outside element"

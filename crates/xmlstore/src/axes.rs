@@ -348,9 +348,18 @@ impl AxisCursor {
                             }
                         } else {
                             // Reverse preorder step inside the subtree.
-                            *cur = match store.prev_sibling(*cur) {
-                                Some(ps) => deepest_last(store, ps),
-                                None => store.parent(*cur).expect("inside subtree"),
+                            *cur = match (store.prev_sibling(*cur), store.parent(*cur)) {
+                                (Some(ps), _) => deepest_last(store, ps),
+                                (None, Some(p)) => p,
+                                // Unreachable on an intact store (we are
+                                // strictly inside the subtree rooted at
+                                // `root`); on a corrupted one the missing
+                                // parent link ends the walk instead of
+                                // panicking.
+                                (None, None) => {
+                                    *walk = None;
+                                    return Some(out);
+                                }
                             };
                         }
                         return Some(out);

@@ -5,60 +5,65 @@
 //! behind the [`BufferManager`](crate::buffer::BufferManager) — no
 //! main-memory DOM is ever built (paper §5.2.2).
 //!
-//! File layout (all pages are [`PAGE_SIZE`] bytes):
+//! File layout (all pages are [`PAGE_SIZE`] bytes; the last 4 bytes of
+//! every page are its CRC32C trailer, so [`PAGE_PAYLOAD`] bytes are
+//! usable):
 //!
 //! ```text
-//! page 0            header (magic, counts, region boundaries)
+//! page 0            header (magic, format version, counts, region
+//!                   boundaries, total page count)
 //! names region      the name dictionary, a length-prefixed byte stream
 //! nodes region      fixed 40-byte node records, addressed arithmetically
 //! strings region    slotted pages holding value records, chained when a
 //!                   value exceeds one page
 //! ```
+//!
+//! Robustness contract (DESIGN.md §13):
+//!
+//! * **Untrusted bytes.** Every field decoded from a page is validated —
+//!   kind tags, name ids, link targets, region boundaries, dictionary
+//!   offsets, string-chain links. A failed validation is a typed
+//!   [`DiskError::Corrupt`] with page/slot coordinates, never a panic.
+//! * **Checksums.** The buffer manager verifies the CRC32C trailer of
+//!   every page read from disk, so random corruption is caught before
+//!   decode. (Checksums authenticate bytes, not logic: a deliberately
+//!   crafted file with valid checksums can still describe a cyclic
+//!   sibling chain — bound such queries with the resource governor.)
+//! * **Atomic build.** [`create_store_file`] writes to a temp file,
+//!   fsyncs, then renames into place: a crash mid-build leaves either no
+//!   store file or a fully valid one.
+//! * **Cautious navigation.** The infallible [`XmlStore`] methods record
+//!   the first failure in a fault cell and return inert values (no
+//!   links, no value), so iteration terminates; the executor observes
+//!   the fault and unwinds with a typed error, exactly like a
+//!   resource-governor trip.
 
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
 
 use crate::arena::{ArenaStore, NameTable};
-use crate::buffer::{BufferManager, BufferStats};
+use crate::buffer::{BufferManager, BufferOptions, BufferStats};
+use crate::error::StorageFault;
+use crate::fault::IoFailPoint;
 use crate::node::{NameId, NodeId, NodeKind};
-use crate::page::{SlottedPage, SlottedPageBuilder, PAGE_SIZE};
+use crate::page::{seal_page, SlottedPage, SlottedPageBuilder, PAGE_PAYLOAD, PAGE_SIZE};
 use crate::store::XmlStore;
 
+pub use crate::error::DiskError;
+
 const MAGIC: &[u8; 8] = b"NATIXSTR";
+/// On-disk format version (bumped by the checksummed-page format).
+pub const FORMAT_VERSION: u32 = 2;
 const NIL: u32 = u32::MAX;
 
 /// Bytes per node record.
 const NODE_REC: usize = 40;
 /// Node records per page.
-const NODES_PER_PAGE: usize = PAGE_SIZE / NODE_REC;
+const NODES_PER_PAGE: usize = PAGE_PAYLOAD / NODE_REC;
 /// Chain header inside a string record: next page (u32) + next slot (u16).
 const CHAIN_HDR: usize = 6;
-
-/// Errors raised while building or opening a disk store.
-#[derive(Debug)]
-pub enum DiskError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// The file is not a Natix store or is structurally damaged.
-    Corrupt(&'static str),
-}
-
-impl std::fmt::Display for DiskError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DiskError::Io(e) => write!(f, "I/O error: {e}"),
-            DiskError::Corrupt(m) => write!(f, "corrupt store: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for DiskError {}
-
-impl From<std::io::Error> for DiskError {
-    fn from(e: std::io::Error) -> Self {
-        DiskError::Io(e)
-    }
-}
 
 #[derive(Clone, Copy)]
 struct Header {
@@ -66,6 +71,8 @@ struct Header {
     names_start: u32,
     names_bytes: u32,
     nodes_start: u32,
+    strings_start: u32,
+    total_pages: u32,
 }
 
 fn put_u32(buf: &mut [u8], off: usize, v: u32) {
@@ -80,11 +87,67 @@ fn get_u16(buf: &[u8], off: usize) -> u16 {
     u16::from_le_bytes([buf[off], buf[off + 1]])
 }
 
+/// Page-granular writer that counts writes so the fault-injection
+/// harness can simulate a crash (`kill -9`) at any point of a build.
+struct PageWriter {
+    inner: std::io::BufWriter<std::fs::File>,
+    pages_written: u64,
+    fail_write_at: Option<u64>,
+}
+
+impl PageWriter {
+    fn write_page(&mut self, page: &[u8; PAGE_SIZE]) -> Result<(), DiskError> {
+        self.pages_written += 1;
+        if self.fail_write_at == Some(self.pages_written) {
+            return Err(DiskError::io(IoFailPoint::injected_error()));
+        }
+        self.inner.write_all(&page[..]).map_err(DiskError::io)
+    }
+}
+
 /// Serialise `store` into a page file at `path`.
 ///
-/// Building goes through the in-memory representation once; opening the
-/// result with [`DiskStore::open`] then serves all navigation from pages.
+/// Durable and atomic: the file is written to `<path>.tmp`, flushed and
+/// fsynced, renamed over `path`, and the parent directory is fsynced
+/// (best-effort on platforms that cannot open directories). A crash at
+/// any point leaves either no file at `path` or a complete, valid store —
+/// never a half-written one. Building goes through the in-memory
+/// representation once; opening the result with [`DiskStore::open`] then
+/// serves all navigation from checksummed pages.
 pub fn create_store_file(store: &ArenaStore, path: &Path) -> Result<(), DiskError> {
+    create_store_file_with(store, path, &IoFailPoint::none())
+}
+
+/// [`create_store_file`] with injected I/O faults (test harness).
+pub fn create_store_file_with(
+    store: &ArenaStore,
+    path: &Path,
+    failpoint: &IoFailPoint,
+) -> Result<(), DiskError> {
+    let Some(file_name) = path.file_name() else {
+        return Err(DiskError::io(std::io::Error::other("store path has no file name")));
+    };
+    let tmp: PathBuf = path.with_file_name({
+        let mut n = file_name.to_os_string();
+        n.push(".tmp");
+        n
+    });
+    let result = write_store(store, &tmp, path, failpoint);
+    if result.is_err() {
+        // Crash simulation or real failure: never leave the temp file
+        // behind (a real crash leaves it, which is harmless — it is not
+        // the store path and open() never looks at it).
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_store(
+    store: &ArenaStore,
+    tmp: &Path,
+    path: &Path,
+    failpoint: &IoFailPoint,
+) -> Result<(), DiskError> {
     // --- names region ---------------------------------------------------
     let mut names_blob = Vec::new();
     for name in store.names().iter() {
@@ -92,7 +155,7 @@ pub fn create_store_file(store: &ArenaStore, path: &Path) -> Result<(), DiskErro
         names_blob.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
         names_blob.extend_from_slice(bytes);
     }
-    let names_pages = names_blob.len().div_ceil(PAGE_SIZE).max(1);
+    let names_pages = names_blob.len().div_ceil(PAGE_PAYLOAD).max(1);
 
     let node_count = store.node_count();
     let node_pages = node_count.div_ceil(NODES_PER_PAGE).max(1);
@@ -118,15 +181,17 @@ pub fn create_store_file(store: &ArenaStore, path: &Path) -> Result<(), DiskErro
             rec.extend_from_slice(&next.0.to_le_bytes());
             rec.extend_from_slice(&next.1.to_le_bytes());
             rec.extend_from_slice(chunk);
-            let slot = match string_pages.last_mut().expect("non-empty").insert(&rec) {
+            let slot = match string_pages.last_mut().and_then(|p| p.insert(&rec)) {
                 Some(s) => s,
                 None => {
-                    string_pages.push(SlottedPageBuilder::new());
-                    string_pages
-                        .last_mut()
-                        .expect("non-empty")
-                        .insert(&rec)
-                        .expect("segment fits an empty page")
+                    // Segments are sized to fit an empty page, so the
+                    // insert after pushing a fresh page cannot fail.
+                    let mut fresh = SlottedPageBuilder::new();
+                    let Some(s) = fresh.insert(&rec) else {
+                        unreachable!("string segment sized to fit an empty page");
+                    };
+                    string_pages.push(fresh);
+                    s
                 }
             };
             next = (strings_start + (string_pages.len() - 1) as u32, slot);
@@ -165,27 +230,85 @@ pub fn create_store_file(store: &ArenaStore, path: &Path) -> Result<(), DiskErro
         }
     }
 
-    // --- header ----------------------------------------------------------
-    let mut header = vec![0u8; PAGE_SIZE];
-    header[0..8].copy_from_slice(MAGIC);
-    put_u32(&mut header, 8, node_count as u32);
-    put_u32(&mut header, 12, names_start);
-    put_u32(&mut header, 16, names_blob.len() as u32);
-    put_u32(&mut header, 20, nodes_start);
-    put_u32(&mut header, 24, strings_start);
-    put_u32(&mut header, 28, store.names().len() as u32);
+    let total_pages = strings_start + string_pages.len() as u32;
 
-    // --- write file -------------------------------------------------------
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    file.write_all(&header)?;
-    names_blob.resize(names_pages * PAGE_SIZE, 0);
-    file.write_all(&names_blob)?;
-    file.write_all(&node_region)?;
-    for p in string_pages {
-        file.write_all(&p.finish()[..])?;
+    // --- header ----------------------------------------------------------
+    let mut header = Box::new([0u8; PAGE_SIZE]);
+    header[0..8].copy_from_slice(MAGIC);
+    put_u32(&mut header[..], 8, FORMAT_VERSION);
+    put_u32(&mut header[..], 12, node_count as u32);
+    put_u32(&mut header[..], 16, names_start);
+    put_u32(&mut header[..], 20, names_blob.len() as u32);
+    put_u32(&mut header[..], 24, nodes_start);
+    put_u32(&mut header[..], 28, strings_start);
+    put_u32(&mut header[..], 32, store.names().len() as u32);
+    put_u32(&mut header[..], 36, total_pages);
+    seal_page(&mut header);
+
+    // --- write the temp file, page by page, each sealed ------------------
+    let file = std::fs::File::create(tmp).map_err(DiskError::io)?;
+    let mut w = PageWriter {
+        inner: std::io::BufWriter::new(file),
+        pages_written: 0,
+        fail_write_at: failpoint.fail_write_at,
+    };
+    w.write_page(&header)?;
+    let mut page = Box::new([0u8; PAGE_SIZE]);
+    for i in 0..names_pages {
+        let start = (i * PAGE_PAYLOAD).min(names_blob.len());
+        let end = ((i + 1) * PAGE_PAYLOAD).min(names_blob.len());
+        page[..].fill(0);
+        page[..end - start].copy_from_slice(&names_blob[start..end]);
+        seal_page(&mut page);
+        w.write_page(&page)?;
     }
-    file.flush()?;
+    for chunk in node_region.chunks_exact_mut(PAGE_SIZE) {
+        // chunks_exact_mut guarantees PAGE_SIZE-long chunks.
+        if let Ok(arr) = <&mut [u8; PAGE_SIZE]>::try_from(chunk) {
+            seal_page(arr);
+            w.write_page(arr)?;
+        }
+    }
+    for p in string_pages {
+        w.write_page(&p.finish())?;
+    }
+
+    // --- durability: flush + fsync data, rename, fsync directory ---------
+    w.inner.flush().map_err(DiskError::io)?;
+    let file = w.inner.into_inner().map_err(|e| DiskError::io(e.into_error()))?;
+    if failpoint.fail_sync {
+        return Err(DiskError::io(IoFailPoint::injected_error()));
+    }
+    file.sync_all().map_err(DiskError::io)?;
+    drop(file);
+    if failpoint.fail_rename {
+        return Err(DiskError::io(IoFailPoint::injected_error()));
+    }
+    std::fs::rename(tmp, path).map_err(DiskError::io)?;
+    // Persist the rename itself. Best-effort: not every platform can
+    // fsync a directory handle, and the data file is already durable.
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
     Ok(())
+}
+
+/// What [`DiskStore::verify`] checked (all counts are exact, so tests
+/// can hand-compute them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Pages whose checksum was verified (the whole file).
+    pub pages: u64,
+    /// Node records fully decoded and link-checked.
+    pub nodes: u64,
+    /// Distinct names in the dictionary.
+    pub names: u64,
+    /// Bytes of string content followed through chain links.
+    pub string_bytes: u64,
 }
 
 /// Read-only paged document store.
@@ -194,45 +317,114 @@ pub struct DiskStore {
     header: Header,
     names: NameTable,
     id_index: std::collections::HashMap<Box<str>, NodeId>,
+    /// First storage fault observed while serving infallible [`XmlStore`]
+    /// navigation; drained by the executor (`take_storage_fault`).
+    fault: Mutex<Option<StorageFault>>,
+}
+
+impl std::fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStore")
+            .field("nodes", &self.header.node_count)
+            .field("pages", &self.header.total_pages)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DiskStore {
     /// Open a store file with a buffer of `buffer_pages` frames.
     pub fn open(path: &Path, buffer_pages: usize) -> Result<DiskStore, DiskError> {
-        let buffer = BufferManager::open(path, buffer_pages)?;
+        DiskStore::open_with(path, buffer_pages, IoFailPoint::none())
+    }
+
+    /// [`DiskStore::open`] with injected I/O faults (test harness).
+    pub fn open_with(
+        path: &Path,
+        buffer_pages: usize,
+        failpoint: IoFailPoint,
+    ) -> Result<DiskStore, DiskError> {
+        // Truncation screen before any page read: the file must be a
+        // non-zero whole number of pages.
+        let len = std::fs::metadata(path).map_err(DiskError::io)?.len();
+        if len == 0 {
+            return Err(DiskError::corrupt("empty file"));
+        }
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(DiskError::corrupt(format!(
+                "file length {len} is not a whole number of {PAGE_SIZE}-byte pages (truncated?)"
+            )));
+        }
+        let buffer = BufferManager::open_with(
+            path,
+            buffer_pages,
+            BufferOptions { verify_checksums: true, failpoint },
+        )?;
         let h = buffer.pin(0)?;
         if &h[0..8] != MAGIC {
-            return Err(DiskError::Corrupt("bad magic"));
+            return Err(DiskError::corrupt_at("bad magic", 0));
+        }
+        let version = get_u32(&h[..], 8);
+        if version != FORMAT_VERSION {
+            return Err(DiskError::corrupt_at(
+                format!("unsupported store format version {version} (expected {FORMAT_VERSION})"),
+                0,
+            ));
         }
         let header = Header {
-            node_count: get_u32(&h[..], 8),
-            names_start: get_u32(&h[..], 12),
-            names_bytes: get_u32(&h[..], 16),
-            nodes_start: get_u32(&h[..], 20),
+            node_count: get_u32(&h[..], 12),
+            names_start: get_u32(&h[..], 16),
+            names_bytes: get_u32(&h[..], 20),
+            nodes_start: get_u32(&h[..], 24),
+            strings_start: get_u32(&h[..], 28),
+            total_pages: get_u32(&h[..], 36),
         };
-        let name_count = get_u32(&h[..], 28);
+        let name_count = get_u32(&h[..], 32);
+        // Release the header pin before reading further pages: a
+        // one-frame buffer must be able to evict page 0.
+        drop(h);
+        validate_header(&header, name_count, len / PAGE_SIZE as u64)?;
 
         // Load the name dictionary (kept resident; it is tiny relative to
         // the document and node tests hit it constantly).
-        let mut blob = Vec::with_capacity(header.names_bytes as usize);
-        let npages = (header.names_bytes as usize).div_ceil(PAGE_SIZE).max(1);
+        let names_bytes = header.names_bytes as usize;
+        let mut blob = Vec::with_capacity(names_bytes);
+        let npages = names_bytes.div_ceil(PAGE_PAYLOAD).max(1);
         for i in 0..npages {
             let p = buffer.pin(header.names_start + i as u32)?;
-            let take = (header.names_bytes as usize - blob.len()).min(PAGE_SIZE);
+            let take = (names_bytes - blob.len()).min(PAGE_PAYLOAD);
             blob.extend_from_slice(&p[..take]);
         }
         let mut names = NameTable::default();
         let mut off = 0usize;
-        for _ in 0..name_count {
+        for i in 0..name_count {
             if off + 4 > blob.len() {
-                return Err(DiskError::Corrupt("name dictionary truncated"));
+                return Err(DiskError::corrupt_at(
+                    format!("name dictionary truncated at entry {i}"),
+                    header.names_start,
+                ));
             }
-            let len = get_u32(&blob, off) as usize;
+            let nlen = get_u32(&blob, off) as usize;
             off += 4;
-            let s = std::str::from_utf8(&blob[off..off + len])
-                .map_err(|_| DiskError::Corrupt("name dictionary not UTF-8"))?;
+            let Some(bytes) = blob.get(off..off.saturating_add(nlen)) else {
+                return Err(DiskError::corrupt_at(
+                    format!("name dictionary entry {i} runs past the region ({nlen} bytes)"),
+                    header.names_start,
+                ));
+            };
+            let s = std::str::from_utf8(bytes).map_err(|_| {
+                DiskError::corrupt_at(
+                    format!("name dictionary entry {i} is not UTF-8"),
+                    header.names_start,
+                )
+            })?;
             names.intern(s);
-            off += len;
+            off += nlen;
+        }
+        if names.len() as u32 != name_count {
+            return Err(DiskError::corrupt_at(
+                "name dictionary contains duplicate entries",
+                header.names_start,
+            ));
         }
 
         let mut store = DiskStore {
@@ -240,6 +432,7 @@ impl DiskStore {
             header,
             names,
             id_index: std::collections::HashMap::new(),
+            fault: Mutex::new(None),
         };
         store.build_id_index()?;
         Ok(store)
@@ -257,13 +450,20 @@ impl DiskStore {
 
     fn build_id_index(&mut self) -> Result<(), DiskError> {
         let Some(id_name) = self.names.lookup("id") else {
+            // Still decode-validate every node record once at open so a
+            // damaged nodes region is rejected up front.
+            for i in 0..self.header.node_count {
+                let n = NodeId(i);
+                self.try_kind(n)?;
+                self.try_name(n)?;
+            }
             return Ok(());
         };
         let mut index = std::collections::HashMap::new();
         for i in 0..self.header.node_count {
             let n = NodeId(i);
-            if self.kind(n) == NodeKind::Attribute && self.name(n) == Some(id_name) {
-                if let (Some(v), Some(owner)) = (self.value(n), self.parent(n)) {
+            if self.try_kind(n)? == NodeKind::Attribute && self.try_name(n)? == Some(id_name) {
+                if let (Some(v), Some(owner)) = (self.try_value(n)?, self.try_link(n, 8)?) {
                     index.entry(v.into_boxed_str()).or_insert(owner);
                 }
             }
@@ -272,32 +472,177 @@ impl DiskStore {
         Ok(())
     }
 
-    /// Buffer-manager statistics (page hits/misses/evictions).
+    /// Buffer-manager statistics (page hits/misses/evictions, checksum
+    /// verification counters).
     pub fn buffer_stats(&self) -> BufferStats {
         self.buffer.stats()
     }
 
-    fn record(&self, n: NodeId) -> [u8; NODE_REC] {
-        assert!(n.0 < self.header.node_count, "node id out of range");
-        let page = self.header.nodes_start + n.0 / NODES_PER_PAGE as u32;
-        let off = (n.0 as usize % NODES_PER_PAGE) * NODE_REC;
-        let p = self.buffer.pin(page).expect("node page readable");
+    /// Full-file integrity check: every page checksum, every node record
+    /// (kind, name, all links, value chains), the complete dictionary.
+    /// Stops at the first fault with its coordinates.
+    pub fn verify(&self) -> Result<VerifyReport, DiskError> {
+        let mut report = VerifyReport { names: self.names.len() as u64, ..VerifyReport::default() };
+        for p in 0..self.header.total_pages {
+            self.buffer.pin(p)?;
+            report.pages += 1;
+        }
+        for i in 0..self.header.node_count {
+            let n = NodeId(i);
+            self.try_kind(n)?;
+            self.try_name(n)?;
+            for field in [8usize, 12, 16, 20, 24, 28] {
+                self.try_link(n, field)?;
+            }
+            if let Some(v) = self.try_value(n)? {
+                report.string_bytes += v.len() as u64;
+            }
+            report.nodes += 1;
+        }
+        Ok(report)
+    }
+
+    /// The first storage fault recorded by infallible navigation, if any
+    /// (left in place; see [`XmlStore::take_storage_fault`] to drain it).
+    pub fn storage_fault(&self) -> Option<StorageFault> {
+        self.fault.lock().clone()
+    }
+
+    /// Record `e` as the session fault (first one wins) and surface the
+    /// inert fallback to the caller.
+    fn note<T>(&self, r: Result<T, DiskError>, fallback: T) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => {
+                let mut guard = self.fault.lock();
+                if guard.is_none() {
+                    *guard = Some(StorageFault::from(&e));
+                }
+                fallback
+            }
+        }
+    }
+
+    /// Page/slot coordinate of node `n`'s record.
+    fn node_coord(&self, n: NodeId) -> (u32, u16) {
+        (
+            self.header.nodes_start + n.0 / NODES_PER_PAGE as u32,
+            (n.0 as usize % NODES_PER_PAGE) as u16,
+        )
+    }
+
+    fn try_record(&self, n: NodeId) -> Result<[u8; NODE_REC], DiskError> {
+        if n.0 >= self.header.node_count {
+            return Err(DiskError::corrupt(format!(
+                "node id {n} out of range (store has {} nodes)",
+                self.header.node_count
+            )));
+        }
+        let (page, idx) = self.node_coord(n);
+        let p = self.buffer.pin(page)?;
+        let off = idx as usize * NODE_REC;
         let mut rec = [0u8; NODE_REC];
         rec.copy_from_slice(&p[off..off + NODE_REC]);
-        rec
+        Ok(rec)
     }
 
-    fn link(&self, n: NodeId, field: usize) -> Option<NodeId> {
-        let v = get_u32(&self.record(n), field);
-        (v != NIL).then_some(NodeId(v))
+    fn try_kind(&self, n: NodeId) -> Result<NodeKind, DiskError> {
+        let rec = self.try_record(n)?;
+        let (page, idx) = self.node_coord(n);
+        NodeKind::from_u8(rec[0]).ok_or_else(|| {
+            DiskError::corrupt_at_slot(format!("invalid node kind byte {}", rec[0]), page, idx)
+        })
     }
 
-    fn read_string(&self, mut page: u32, mut slot: u16) -> String {
+    fn try_name(&self, n: NodeId) -> Result<Option<NameId>, DiskError> {
+        let v = get_u32(&self.try_record(n)?, 4);
+        if v == NIL {
+            return Ok(None);
+        }
+        if v as usize >= self.names.len() {
+            let (page, idx) = self.node_coord(n);
+            return Err(DiskError::corrupt_at_slot(
+                format!("name id {v} out of range (dictionary has {} names)", self.names.len()),
+                page,
+                idx,
+            ));
+        }
+        Ok(Some(NameId(v)))
+    }
+
+    fn try_link(&self, n: NodeId, field: usize) -> Result<Option<NodeId>, DiskError> {
+        let v = get_u32(&self.try_record(n)?, field);
+        if v == NIL {
+            return Ok(None);
+        }
+        if v >= self.header.node_count {
+            let (page, idx) = self.node_coord(n);
+            return Err(DiskError::corrupt_at_slot(
+                format!(
+                    "link field {field} points at node {v}, past the node count {}",
+                    self.header.node_count
+                ),
+                page,
+                idx,
+            ));
+        }
+        Ok(Some(NodeId(v)))
+    }
+
+    fn try_value(&self, n: NodeId) -> Result<Option<String>, DiskError> {
+        let rec = self.try_record(n)?;
+        let vp = get_u32(&rec, 36);
+        if vp == NIL {
+            return Ok(None);
+        }
+        let vs = get_u16(&rec, 1);
+        Ok(Some(self.try_read_string(vp, vs)?))
+    }
+
+    fn check_string_coord(&self, page: u32, slot: u16) -> Result<(), DiskError> {
+        if page < self.header.strings_start || page >= self.header.total_pages {
+            return Err(DiskError::corrupt_at_slot(
+                format!(
+                    "string ref points at page {page}, outside the strings region [{}, {})",
+                    self.header.strings_start, self.header.total_pages
+                ),
+                page,
+                slot,
+            ));
+        }
+        Ok(())
+    }
+
+    fn try_read_string(&self, mut page: u32, mut slot: u16) -> Result<String, DiskError> {
         let mut out = Vec::new();
+        // Every chain segment occupies at least CHAIN_HDR + 4 directory
+        // bytes on its page, bounding how many distinct segments the
+        // strings region can hold; more hops than that is a cycle.
+        let strings_pages = (self.header.total_pages - self.header.strings_start) as u64;
+        let max_segments = strings_pages * (PAGE_PAYLOAD / (CHAIN_HDR + 4)) as u64 + 1;
+        let mut hops = 0u64;
         loop {
-            let p = self.buffer.pin(page).expect("string page readable");
+            self.check_string_coord(page, slot)?;
+            hops += 1;
+            if hops > max_segments {
+                return Err(DiskError::corrupt_at_slot("string chain cycle", page, slot));
+            }
+            let p = self.buffer.pin(page)?;
             let sp = SlottedPage::new(&p[..]);
-            let rec = sp.record(slot).expect("valid string slot");
+            let Some(rec) = sp.record(slot) else {
+                return Err(DiskError::corrupt_at_slot(
+                    format!("invalid string slot (page has {} slots)", sp.slot_count()),
+                    page,
+                    slot,
+                ));
+            };
+            if rec.len() < CHAIN_HDR {
+                return Err(DiskError::corrupt_at_slot(
+                    format!("string record too short for its chain header ({} bytes)", rec.len()),
+                    page,
+                    slot,
+                ));
+            }
             let next_page = get_u32(rec, 0);
             let next_slot = get_u16(rec, 4);
             out.extend_from_slice(&rec[CHAIN_HDR..]);
@@ -307,8 +652,74 @@ impl DiskStore {
             page = next_page;
             slot = next_slot;
         }
-        String::from_utf8(out).expect("stored strings are UTF-8")
+        String::from_utf8(out)
+            .map_err(|_| DiskError::corrupt_at_slot("stored string is not UTF-8", page, slot))
     }
+}
+
+fn validate_header(h: &Header, name_count: u32, file_pages: u64) -> Result<(), DiskError> {
+    if h.total_pages as u64 != file_pages {
+        return Err(DiskError::corrupt_at(
+            format!(
+                "header says {} pages but the file has {file_pages} (truncated?)",
+                h.total_pages
+            ),
+            0,
+        ));
+    }
+    if h.node_count == 0 {
+        return Err(DiskError::corrupt_at("node count is zero (no document node)", 0));
+    }
+    if h.names_start != 1 {
+        return Err(DiskError::corrupt_at(
+            format!("names region must start at page 1, not {}", h.names_start),
+            0,
+        ));
+    }
+    let names_pages = (h.names_bytes as usize).div_ceil(PAGE_PAYLOAD).max(1) as u32;
+    if h.nodes_start != h.names_start + names_pages {
+        return Err(DiskError::corrupt_at(
+            format!(
+                "nodes region starts at page {} but the {}-byte name dictionary ends at page {}",
+                h.nodes_start,
+                h.names_bytes,
+                h.names_start + names_pages
+            ),
+            0,
+        ));
+    }
+    let node_pages = (h.node_count as usize).div_ceil(NODES_PER_PAGE).max(1) as u32;
+    if h.strings_start != h.nodes_start + node_pages {
+        return Err(DiskError::corrupt_at(
+            format!(
+                "strings region starts at page {} but {} node records end at page {}",
+                h.strings_start,
+                h.node_count,
+                h.nodes_start + node_pages
+            ),
+            0,
+        ));
+    }
+    if h.strings_start >= h.total_pages {
+        return Err(DiskError::corrupt_at(
+            format!(
+                "strings region (page {}) lies past the file end (page {})",
+                h.strings_start, h.total_pages
+            ),
+            0,
+        ));
+    }
+    // Each dictionary entry needs at least its 4-byte length prefix.
+    if name_count as u64 * 4 > h.names_bytes as u64 {
+        return Err(DiskError::corrupt_at(
+            format!(
+                "{} dictionary entries cannot fit in {} name-region bytes",
+                name_count, h.names_bytes
+            ),
+            0,
+        ));
+    }
+    Ok(())
 }
 
 impl XmlStore for DiskStore {
@@ -317,50 +728,44 @@ impl XmlStore for DiskStore {
     }
 
     fn kind(&self, n: NodeId) -> NodeKind {
-        NodeKind::from_u8(self.record(n)[0]).expect("valid node kind on disk")
+        // Text is the inert fallback: no links, no children, no name.
+        self.note(self.try_kind(n), NodeKind::Text)
     }
 
     fn name(&self, n: NodeId) -> Option<NameId> {
-        let v = get_u32(&self.record(n), 4);
-        (v != NIL).then_some(NameId(v))
+        self.note(self.try_name(n), None)
     }
 
     fn value(&self, n: NodeId) -> Option<String> {
-        let rec = self.record(n);
-        let vp = get_u32(&rec, 36);
-        if vp == NIL {
-            return None;
-        }
-        let vs = get_u16(&rec, 1);
-        Some(self.read_string(vp, vs))
+        self.note(self.try_value(n), None)
     }
 
     fn parent(&self, n: NodeId) -> Option<NodeId> {
-        self.link(n, 8)
+        self.note(self.try_link(n, 8), None)
     }
 
     fn first_child(&self, n: NodeId) -> Option<NodeId> {
-        self.link(n, 12)
+        self.note(self.try_link(n, 12), None)
     }
 
     fn last_child(&self, n: NodeId) -> Option<NodeId> {
-        self.link(n, 16)
+        self.note(self.try_link(n, 16), None)
     }
 
     fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
-        self.link(n, 20)
+        self.note(self.try_link(n, 20), None)
     }
 
     fn prev_sibling(&self, n: NodeId) -> Option<NodeId> {
-        self.link(n, 24)
+        self.note(self.try_link(n, 24), None)
     }
 
     fn first_attribute(&self, n: NodeId) -> Option<NodeId> {
-        self.link(n, 28)
+        self.note(self.try_link(n, 28), None)
     }
 
     fn order(&self, n: NodeId) -> u64 {
-        get_u32(&self.record(n), 32) as u64
+        self.note(self.try_record(n).map(|r| get_u32(&r, 32) as u64), 0)
     }
 
     fn intern_lookup(&self, name: &str) -> Option<NameId> {
@@ -373,6 +778,18 @@ impl XmlStore for DiskStore {
 
     fn element_by_id(&self, idval: &str) -> Option<NodeId> {
         self.id_index.get(idval).copied()
+    }
+
+    fn storage_tripped(&self) -> bool {
+        self.fault.lock().is_some()
+    }
+
+    fn take_storage_fault(&self) -> Option<StorageFault> {
+        self.fault.lock().take()
+    }
+
+    fn buffer_stats(&self) -> Option<BufferStats> {
+        Some(self.buffer.stats())
     }
 }
 
@@ -449,8 +866,27 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let t = TempPath::new(".bad");
-        std::fs::write(t.path(), vec![0u8; PAGE_SIZE]).unwrap();
-        assert!(matches!(DiskStore::open(t.path(), 2), Err(DiskError::Corrupt(_))));
+        let mut page = [0u8; PAGE_SIZE];
+        page[0..8].copy_from_slice(b"NOTNATIX");
+        seal_page(&mut page);
+        std::fs::write(t.path(), page).unwrap();
+        assert!(matches!(DiskStore::open(t.path(), 2), Err(DiskError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn wrong_version_rejected_with_version_in_message() {
+        let (t, _disk) = roundtrip("<a><b/></a>");
+        let mut bytes = std::fs::read(t.path()).unwrap();
+        put_u32(&mut bytes, 8, 99);
+        let mut page0 = [0u8; PAGE_SIZE];
+        page0.copy_from_slice(&bytes[..PAGE_SIZE]);
+        seal_page(&mut page0);
+        bytes[..PAGE_SIZE].copy_from_slice(&page0);
+        std::fs::write(t.path(), &bytes).unwrap();
+        let Err(err) = DiskStore::open(t.path(), 2) else {
+            panic!("wrong version must be rejected");
+        };
+        assert!(err.to_string().contains("version 99"), "{err}");
     }
 
     #[test]
@@ -458,5 +894,71 @@ mod tests {
         let (_t, disk) = roundtrip(r#"<a empty=""/>"#);
         let a = disk.first_child(disk.root()).unwrap();
         assert_eq!(disk.attribute_value(a, "empty").as_deref(), Some(""));
+    }
+
+    #[test]
+    fn verify_reports_exact_counts() {
+        let (_t, disk) = roundtrip(r#"<r><x id="k1">text</x></r>"#);
+        let report = disk.verify().unwrap();
+        assert_eq!(report.pages, disk.header.total_pages as u64);
+        assert_eq!(report.nodes, disk.node_count() as u64);
+        assert_eq!(report.names, disk.names.len() as u64);
+        // "k1" + "text"
+        assert_eq!(report.string_bytes, 6);
+    }
+
+    #[test]
+    fn out_of_range_node_faults_instead_of_panicking() {
+        let (_t, disk) = roundtrip("<a/>");
+        assert!(!disk.storage_tripped());
+        assert_eq!(disk.first_child(NodeId(999)), None);
+        assert!(disk.storage_tripped());
+        let fault = disk.take_storage_fault().unwrap();
+        assert!(fault.message.contains("out of range"), "{fault:?}");
+        assert!(!disk.storage_tripped(), "take drains the fault cell");
+    }
+
+    #[test]
+    fn atomic_build_crash_leaves_no_store_file() {
+        let arena = parse_document("<r><a>text</a><b/></r>").unwrap();
+        let t = TempPath::new(".natix");
+        // A clean build of this document writes a known number of pages;
+        // fail each write in turn, plus the fsync and the rename.
+        create_store_file(&arena, t.path()).unwrap();
+        let total_pages = (std::fs::read(t.path()).unwrap().len() / PAGE_SIZE) as u64;
+        std::fs::remove_file(t.path()).unwrap();
+        for k in 1..=total_pages {
+            let fp = IoFailPoint { fail_write_at: Some(k), ..IoFailPoint::none() };
+            assert!(create_store_file_with(&arena, t.path(), &fp).is_err());
+            assert!(!t.path().exists(), "crash at write {k} must leave no store file");
+        }
+        for fp in [
+            IoFailPoint { fail_sync: true, ..IoFailPoint::none() },
+            IoFailPoint { fail_rename: true, ..IoFailPoint::none() },
+        ] {
+            assert!(create_store_file_with(&arena, t.path(), &fp).is_err());
+            assert!(!t.path().exists());
+        }
+        // And a subsequent clean build over the same path succeeds.
+        let disk = DiskStore::create_from(&arena, t.path(), 4).unwrap();
+        assert_eq!(to_xml(&disk), "<r><a>text</a><b/></r>");
+    }
+
+    #[test]
+    fn rebuild_over_existing_store_is_atomic() {
+        let arena_v1 = parse_document("<r><old/></r>").unwrap();
+        let arena_v2 = parse_document("<r><new/></r>").unwrap();
+        let t = TempPath::new(".natix");
+        create_store_file(&arena_v1, t.path()).unwrap();
+        // A crashed rebuild leaves the previous store intact…
+        let fp = IoFailPoint { fail_write_at: Some(1), ..IoFailPoint::none() };
+        assert!(create_store_file_with(&arena_v2, t.path(), &fp).is_err());
+        let disk = DiskStore::open(t.path(), 4).unwrap();
+        assert_eq!(to_xml(&disk), "<r><old/></r>");
+        drop(disk);
+        // …and a completed rebuild replaces it.
+        create_store_file(&arena_v2, t.path()).unwrap();
+        let disk = DiskStore::open(t.path(), 4).unwrap();
+        assert_eq!(to_xml(&disk), "<r><new/></r>");
     }
 }

@@ -1,0 +1,138 @@
+//! Typed storage errors.
+//!
+//! Every byte read from a store file is untrusted (DESIGN.md §13): decode
+//! failures surface as [`DiskError::Corrupt`] carrying the page/slot
+//! coordinates of the damage instead of panicking mid-query, and I/O
+//! failures as [`DiskError::Io`]. The executor converts either into a
+//! typed `QueryError::Storage` so a mid-query fault unwinds exactly like
+//! a resource-governor trip.
+
+/// Errors raised while building, opening or reading a disk store.
+#[derive(Debug)]
+pub enum DiskError {
+    /// Underlying I/O failure (the page coordinate is known for reads
+    /// that went through the buffer manager).
+    Io {
+        /// Page being read when the failure occurred, if known.
+        page: Option<u32>,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
+    /// The file is not a Natix store or is structurally damaged.
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+        /// Page coordinate of the damage, if known.
+        page: Option<u32>,
+        /// Slot (or in-page record index) of the damage, if known.
+        slot: Option<u16>,
+    },
+}
+
+impl DiskError {
+    /// Corruption with no coordinates (file-level damage).
+    pub fn corrupt(detail: impl Into<String>) -> DiskError {
+        DiskError::Corrupt { detail: detail.into(), page: None, slot: None }
+    }
+
+    /// Corruption at a page.
+    pub fn corrupt_at(detail: impl Into<String>, page: u32) -> DiskError {
+        DiskError::Corrupt { detail: detail.into(), page: Some(page), slot: None }
+    }
+
+    /// Corruption at a page/slot coordinate.
+    pub fn corrupt_at_slot(detail: impl Into<String>, page: u32, slot: u16) -> DiskError {
+        DiskError::Corrupt { detail: detail.into(), page: Some(page), slot: Some(slot) }
+    }
+
+    /// I/O failure with no page coordinate.
+    pub fn io(source: std::io::Error) -> DiskError {
+        DiskError::Io { page: None, source }
+    }
+
+    /// I/O failure while reading a page.
+    pub fn io_at(source: std::io::Error, page: u32) -> DiskError {
+        DiskError::Io { page: Some(page), source }
+    }
+
+    /// True for the corruption variant (used by callers that map error
+    /// classes to distinct exit codes).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, DiskError::Corrupt { .. })
+    }
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Io { page: Some(p), source } => {
+                write!(f, "I/O error reading page {p}: {source}")
+            }
+            DiskError::Io { page: None, source } => write!(f, "I/O error: {source}"),
+            DiskError::Corrupt { detail, page, slot } => {
+                write!(f, "corrupt store: {detail}")?;
+                match (page, slot) {
+                    (Some(p), Some(s)) => write!(f, " (page {p}, slot {s})"),
+                    (Some(p), None) => write!(f, " (page {p})"),
+                    _ => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io { source, .. } => Some(source),
+            DiskError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> Self {
+        DiskError::io(e)
+    }
+}
+
+/// A storage fault observed while serving infallible [`XmlStore`]
+/// navigation (the trait cannot return `Result`, so the store records the
+/// first fault and returns inert values; the executor drains it via
+/// [`XmlStore::take_storage_fault`] and unwinds with a typed error).
+///
+/// [`XmlStore`]: crate::store::XmlStore
+/// [`XmlStore::take_storage_fault`]: crate::store::XmlStore::take_storage_fault
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageFault {
+    /// Rendered [`DiskError`] message, including page/slot coordinates.
+    pub message: String,
+    /// True for I/O failures, false for corruption (callers map the two
+    /// classes to distinct exit codes).
+    pub is_io: bool,
+}
+
+impl From<&DiskError> for StorageFault {
+    fn from(e: &DiskError) -> Self {
+        StorageFault { message: e.to_string(), is_io: !e.is_corrupt() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_coordinates() {
+        let e = DiskError::corrupt_at_slot("bad string chain", 7, 3);
+        assert_eq!(e.to_string(), "corrupt store: bad string chain (page 7, slot 3)");
+        let e = DiskError::corrupt_at("checksum mismatch", 2);
+        assert_eq!(e.to_string(), "corrupt store: checksum mismatch (page 2)");
+        let e = DiskError::corrupt("bad magic");
+        assert_eq!(e.to_string(), "corrupt store: bad magic");
+        assert!(e.is_corrupt());
+        let e = DiskError::io_at(std::io::Error::other("boom"), 4);
+        assert!(e.to_string().contains("page 4"));
+        assert!(!e.is_corrupt());
+    }
+}

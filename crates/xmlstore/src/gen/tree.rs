@@ -53,7 +53,7 @@ pub fn generate_tree(params: TreeParams) -> ArenaStore {
     let mut level_sizes: Vec<usize> = vec![1];
     let mut total = 1usize;
     while level_sizes.len() <= params.max_depth {
-        let next = level_sizes.last().unwrap() * params.fanout.max(1);
+        let next = level_sizes.last().copied().unwrap_or(1) * params.fanout.max(1);
         if params.fanout == 0 || next == 0 {
             break;
         }

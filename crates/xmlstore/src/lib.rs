@@ -23,11 +23,22 @@
 //! `namespace` axis yields no nodes (the evaluation documents of the paper
 //! are namespace-free; this keeps the storage model faithful to what the
 //! experiments exercise).
+//!
+//! Robustness: everything read back from disk is treated as untrusted
+//! bytes (DESIGN.md §13). This crate is lint-gated against `unwrap`/
+//! `expect` outside test code — decode failures must surface as typed
+//! [`error::DiskError`] values, never panics.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arena;
 pub mod axes;
 pub mod buffer;
+pub mod crc;
 pub mod diskstore;
+pub mod error;
+pub mod fault;
 pub mod gen;
 pub mod index;
 pub mod node;
@@ -40,8 +51,10 @@ pub mod update;
 
 pub use arena::{ArenaBuilder, ArenaStore, NameTable};
 pub use axes::{axis_nodes, indexed_axis_nodes, Axis, AxisCursor, AxisIter};
+pub use error::{DiskError, StorageFault};
+pub use fault::IoFailPoint;
 pub use index::{RangeScan, StructuralIndex};
 pub use node::{NameId, NodeId, NodeKind};
-pub use parser::{parse_document, XmlError};
+pub use parser::{parse_document, parse_document_with_limits, ParseLimits, XmlError};
 pub use serialize::{to_xml, to_xml_node};
 pub use store::{NoIndex, XmlStore};

@@ -1,24 +1,57 @@
-//! Fixed-size slotted pages.
+//! Fixed-size slotted pages with a CRC32C integrity trailer.
 //!
 //! The disk store keeps variable-length string records (text content,
 //! attribute values, the name dictionary) in slotted pages: a slot
 //! directory grows from the front of the page, record bodies grow from the
 //! back. Node records are fixed-size and addressed arithmetically, so they
 //! bypass the slot directory (see [`crate::diskstore`]).
+//!
+//! The last [`CRC_TRAILER`] bytes of *every* page (slotted or not,
+//! including the header page) hold the CRC32C of the preceding
+//! [`PAGE_PAYLOAD`] bytes. [`seal_page`] writes it at build time and the
+//! buffer manager checks it on every read from disk, so a flipped bit or
+//! torn write anywhere in the file surfaces as a typed checksum error
+//! before any decode logic sees the bytes.
+
+use crate::crc::crc32c;
 
 /// Size of every page in the store file.
 pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes of the integrity trailer at the end of every page.
+pub const CRC_TRAILER: usize = 4;
+
+/// Usable bytes per page (everything before the CRC trailer).
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - CRC_TRAILER;
 
 /// Page header: number of slots (u16) + free-space offset (u16).
 const HEADER: usize = 4;
 /// Per-slot directory entry: offset (u16) + length (u16).
 const SLOT: usize = 4;
 
+/// Write the CRC32C of the payload into the page trailer.
+pub fn seal_page(page: &mut [u8; PAGE_SIZE]) {
+    let crc = crc32c(&page[..PAGE_PAYLOAD]);
+    page[PAGE_PAYLOAD..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// True when the page trailer matches its payload.
+pub fn verify_page(page: &[u8; PAGE_SIZE]) -> bool {
+    let stored = u32::from_le_bytes([
+        page[PAGE_PAYLOAD],
+        page[PAGE_PAYLOAD + 1],
+        page[PAGE_PAYLOAD + 2],
+        page[PAGE_PAYLOAD + 3],
+    ]);
+    crc32c(&page[..PAGE_PAYLOAD]) == stored
+}
+
 /// A slotted page under construction (build phase only).
 pub struct SlottedPageBuilder {
     data: Box<[u8; PAGE_SIZE]>,
     nslots: u16,
-    /// First byte used by record bodies (they grow downward from the end).
+    /// First byte used by record bodies (they grow downward from the end
+    /// of the payload area, leaving the CRC trailer untouched).
     body_start: usize,
 }
 
@@ -34,7 +67,7 @@ impl SlottedPageBuilder {
         SlottedPageBuilder {
             data: Box::new([0u8; PAGE_SIZE]),
             nslots: 0,
-            body_start: PAGE_SIZE,
+            body_start: PAGE_PAYLOAD,
         }
     }
 
@@ -50,7 +83,7 @@ impl SlottedPageBuilder {
 
     /// Largest record body an *empty* page can take.
     pub fn max_record() -> usize {
-        PAGE_SIZE - HEADER - SLOT
+        PAGE_PAYLOAD - HEADER - SLOT
     }
 
     /// Append a record; returns its slot number, or `None` if it does not fit.
@@ -74,15 +107,23 @@ impl SlottedPageBuilder {
         self.nslots
     }
 
-    /// Finalise into raw page bytes.
+    /// Finalise into raw page bytes, sealed with the CRC trailer.
     pub fn finish(mut self) -> Box<[u8; PAGE_SIZE]> {
         self.data[0..2].copy_from_slice(&self.nslots.to_le_bytes());
         self.data[2..4].copy_from_slice(&(self.body_start as u16).to_le_bytes());
+        seal_page(&mut self.data);
         self.data
     }
 }
 
 /// Read access to a finished slotted page.
+///
+/// All accessors treat the bytes as untrusted: out-of-range slots,
+/// directory entries pointing outside the payload area, and entries
+/// overlapping the slot directory all return `None` instead of panicking.
+/// (The buffer manager's checksum check makes these states unreachable
+/// from an intact file; the guards keep decode panic-free even when a
+/// caller bypasses verification.)
 pub struct SlottedPage<'a> {
     data: &'a [u8],
 }
@@ -99,14 +140,21 @@ impl<'a> SlottedPage<'a> {
         u16::from_le_bytes([self.data[0], self.data[1]])
     }
 
-    /// Body of record `slot`, or `None` for an out-of-range slot.
+    /// Body of record `slot`, or `None` for an out-of-range slot or a
+    /// structurally invalid directory entry.
     pub fn record(&self, slot: u16) -> Option<&'a [u8]> {
         if slot >= self.slot_count() {
             return None;
         }
         let dir = HEADER + slot as usize * SLOT;
-        let off = u16::from_le_bytes([self.data[dir], self.data[dir + 1]]) as usize;
-        let len = u16::from_le_bytes([self.data[dir + 2], self.data[dir + 3]]) as usize;
+        let dir_entry = self.data.get(dir..dir + 4)?;
+        let off = u16::from_le_bytes([dir_entry[0], dir_entry[1]]) as usize;
+        let len = u16::from_le_bytes([dir_entry[2], dir_entry[3]]) as usize;
+        // Bodies live strictly between the slot directory and the CRC
+        // trailer.
+        if off < HEADER + self.slot_count() as usize * SLOT || off + len > PAGE_PAYLOAD {
+            return None;
+        }
         self.data.get(off..off + len)
     }
 }
@@ -147,12 +195,45 @@ mod tests {
         while b.insert(&n.to_le_bytes()).is_some() {
             n += 1;
         }
-        // (PAGE_SIZE - HEADER) / (SLOT + 2) records of two bytes each.
-        assert_eq!(n as usize, (PAGE_SIZE - HEADER) / (SLOT + 2));
+        // (PAGE_PAYLOAD - HEADER) / (SLOT + 2) records of two bytes each.
+        assert_eq!(n as usize, (PAGE_PAYLOAD - HEADER) / (SLOT + 2));
         let bytes = b.finish();
         let p = SlottedPage::new(&bytes[..]);
         for i in 0..n {
             assert_eq!(p.record(i), Some(&i.to_le_bytes()[..]));
         }
+    }
+
+    #[test]
+    fn finish_seals_a_verifiable_page() {
+        let mut b = SlottedPageBuilder::new();
+        b.insert(b"payload").unwrap();
+        let bytes = b.finish();
+        assert!(verify_page(&bytes));
+        // Any single-byte flip in the payload breaks verification.
+        let mut broken = *bytes;
+        broken[100] ^= 0x01;
+        assert!(!verify_page(&broken));
+        // A flip in the trailer itself is also caught.
+        let mut broken = *bytes;
+        broken[PAGE_SIZE - 1] ^= 0x80;
+        assert!(!verify_page(&broken));
+    }
+
+    #[test]
+    fn corrupt_slot_directory_reads_as_none() {
+        let mut b = SlottedPageBuilder::new();
+        b.insert(b"hello").unwrap();
+        let mut bytes = *b.finish();
+        // Point the slot at the CRC trailer.
+        bytes[HEADER..HEADER + 2].copy_from_slice(&(PAGE_PAYLOAD as u16).to_le_bytes());
+        let p = SlottedPage::new(&bytes[..]);
+        assert_eq!(p.record(0), None);
+        // Length running past the payload end is rejected too.
+        let mut bytes2 = bytes;
+        bytes2[HEADER..HEADER + 2].copy_from_slice(&100u16.to_le_bytes());
+        bytes2[HEADER + 2..HEADER + 4].copy_from_slice(&u16::MAX.to_le_bytes());
+        let p = SlottedPage::new(&bytes2[..]);
+        assert_eq!(p.record(0), None);
     }
 }

@@ -12,6 +12,52 @@ use std::fmt;
 
 use crate::arena::{ArenaBuilder, ArenaStore};
 
+/// Bounds on document shape enforced during parsing (DESIGN.md §13).
+///
+/// A parser fed hostile input must fail with a typed [`XmlError`], never
+/// exhaust a resource: the element stack is bounded so a
+/// 100 000-element-deep document cannot drive later recursive consumers
+/// (string-value collection, serialisation) into stack overflow, and
+/// name/attribute/entity counts are bounded so a tiny input cannot demand
+/// outsized memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum element nesting depth.
+    pub max_depth: usize,
+    /// Maximum byte length of an element/attribute/PI name.
+    pub max_name_len: usize,
+    /// Maximum number of attributes on one element.
+    pub max_attrs: usize,
+    /// Maximum number of entity/character references in the document.
+    pub max_entity_expansions: u64,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits {
+            // Deep enough for any realistic document, shallow enough that
+            // the recursive consumers of the tree stay far from the
+            // thread stack limit.
+            max_depth: 4096,
+            max_name_len: 1024,
+            max_attrs: 512,
+            max_entity_expansions: 1_000_000,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Effectively unbounded limits (differential tests).
+    pub fn unbounded() -> ParseLimits {
+        ParseLimits {
+            max_depth: usize::MAX,
+            max_name_len: usize::MAX,
+            max_attrs: usize::MAX,
+            max_entity_expansions: u64::MAX,
+        }
+    }
+}
+
 /// Position-annotated XML parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XmlError {
@@ -128,17 +174,53 @@ impl<'a> Cursor<'a> {
         while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
             self.bump();
         }
-        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("name is ASCII-checked"))
+        std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| XmlError {
+            message: "name is not valid UTF-8".into(),
+            line: self.line,
+            column: self.col,
+        })
+    }
+
+    fn name_limited(&mut self, limits: &ParseLimits) -> Result<&'a str, XmlError> {
+        let name = self.name()?;
+        if name.len() > limits.max_name_len {
+            return Err(XmlError {
+                message: format!(
+                    "name of {} bytes exceeds the {}-byte limit",
+                    name.len(),
+                    limits.max_name_len
+                ),
+                line: self.line,
+                column: self.col,
+            });
+        }
+        Ok(name)
     }
 }
 
-fn decode_entities(raw: &str, cur: &Cursor<'_>) -> Result<String, XmlError> {
+fn decode_entities(
+    raw: &str,
+    cur: &Cursor<'_>,
+    limits: &ParseLimits,
+    expansions: &mut u64,
+) -> Result<String, XmlError> {
     if !raw.contains('&') {
         return Ok(raw.to_owned());
     }
     let mut out = String::with_capacity(raw.len());
     let mut rest = raw;
     while let Some(amp) = rest.find('&') {
+        *expansions += 1;
+        if *expansions > limits.max_entity_expansions {
+            return Err(XmlError {
+                message: format!(
+                    "more than {} entity references in the document",
+                    limits.max_entity_expansions
+                ),
+                line: cur.line,
+                column: cur.col,
+            });
+        }
         out.push_str(&rest[..amp]);
         rest = &rest[amp..];
         let semi = rest.find(';').ok_or_else(|| XmlError {
@@ -191,12 +273,25 @@ fn decode_entities(raw: &str, cur: &Cursor<'_>) -> Result<String, XmlError> {
     Ok(out)
 }
 
-/// Parse an XML document string into an in-memory [`ArenaStore`].
+/// Parse an XML document string into an in-memory [`ArenaStore`] with
+/// default [`ParseLimits`].
 pub fn parse_document(input: &str) -> Result<ArenaStore, XmlError> {
+    parse_document_with_limits(input, &ParseLimits::default())
+}
+
+/// [`parse_document`] with explicit bounds on document shape. Exceeding a
+/// bound is a typed [`XmlError`], not a panic or a stack overflow (the
+/// parser itself is iterative; the depth bound protects the recursive
+/// consumers of the resulting tree).
+pub fn parse_document_with_limits(
+    input: &str,
+    limits: &ParseLimits,
+) -> Result<ArenaStore, XmlError> {
     let mut cur = Cursor::new(input);
     let mut builder = ArenaBuilder::new();
     let mut open: Vec<String> = Vec::new();
     let mut seen_root = false;
+    let mut expansions = 0u64;
 
     // Prolog: XML declaration, misc, DOCTYPE.
     cur.skip_ws();
@@ -252,7 +347,7 @@ pub fn parse_document(input: &str) -> Result<ArenaStore, XmlError> {
         }
         if cur.starts_with("<?") {
             cur.bump_n(2);
-            let target = cur.name()?.to_owned();
+            let target = cur.name_limited(limits)?.to_owned();
             let body = cur.take_until("?>")?.trim_start().to_owned();
             cur.expect("?>")?;
             if !open.is_empty() {
@@ -262,7 +357,7 @@ pub fn parse_document(input: &str) -> Result<ArenaStore, XmlError> {
         }
         if cur.starts_with("</") {
             cur.bump_n(2);
-            let name = cur.name()?.to_owned();
+            let name = cur.name_limited(limits)?.to_owned();
             cur.skip_ws();
             cur.expect(">")?;
             match open.pop() {
@@ -280,13 +375,20 @@ pub fn parse_document(input: &str) -> Result<ArenaStore, XmlError> {
             if open.is_empty() && seen_root {
                 return cur.err("multiple root elements");
             }
-            let name = cur.name()?.to_owned();
+            let name = cur.name_limited(limits)?.to_owned();
+            if open.len() >= limits.max_depth {
+                return cur.err(format!(
+                    "element nesting deeper than the {}-level limit",
+                    limits.max_depth
+                ));
+            }
             builder.start_element(&name);
             if open.is_empty() {
                 seen_root = true;
             }
             open.push(name);
             // Attributes.
+            let mut attr_count = 0usize;
             loop {
                 cur.skip_ws();
                 match cur.peek() {
@@ -302,7 +404,14 @@ pub fn parse_document(input: &str) -> Result<ArenaStore, XmlError> {
                         break;
                     }
                     Some(b) if Cursor::is_name_start(b) => {
-                        let aname = cur.name()?.to_owned();
+                        attr_count += 1;
+                        if attr_count > limits.max_attrs {
+                            return cur.err(format!(
+                                "more than {} attributes on one element",
+                                limits.max_attrs
+                            ));
+                        }
+                        let aname = cur.name_limited(limits)?.to_owned();
                         cur.skip_ws();
                         cur.expect("=")?;
                         cur.skip_ws();
@@ -313,7 +422,7 @@ pub fn parse_document(input: &str) -> Result<ArenaStore, XmlError> {
                         let raw =
                             cur.take_until(if quote == b'"' { "\"" } else { "'" })?.to_owned();
                         cur.bump(); // closing quote
-                        let value = decode_entities(&raw, &cur)?;
+                        let value = decode_entities(&raw, &cur, limits, &mut expansions)?;
                         builder.attribute(&aname, &value);
                     }
                     _ => return cur.err("malformed start tag"),
@@ -334,7 +443,7 @@ pub fn parse_document(input: &str) -> Result<ArenaStore, XmlError> {
             line: cur.line,
             column: cur.col,
         })?;
-        let text = decode_entities(raw, &cur)?;
+        let text = decode_entities(raw, &cur, limits, &mut expansions)?;
         builder.text(&text);
     }
 
@@ -435,6 +544,42 @@ mod tests {
             ]
         );
         assert_eq!(s.string_value(a), "onetwothree");
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error() {
+        let limits = ParseLimits { max_depth: 8, ..ParseLimits::default() };
+        let ok = format!("{}x{}", "<a>".repeat(8), "</a>".repeat(8));
+        assert!(parse_document_with_limits(&ok, &limits).is_ok());
+        let deep = format!("{}x{}", "<a>".repeat(9), "</a>".repeat(9));
+        let err = parse_document_with_limits(&deep, &limits).unwrap_err();
+        assert!(err.message.contains("nesting deeper"), "{err}");
+    }
+
+    #[test]
+    fn name_length_limit() {
+        let limits = ParseLimits { max_name_len: 4, ..ParseLimits::default() };
+        assert!(parse_document_with_limits("<abcd/>", &limits).is_ok());
+        let err = parse_document_with_limits("<abcde/>", &limits).unwrap_err();
+        assert!(err.message.contains("byte limit"), "{err}");
+        let err = parse_document_with_limits("<a toolong='v'/>", &limits).unwrap_err();
+        assert!(err.message.contains("byte limit"), "{err}");
+    }
+
+    #[test]
+    fn attribute_count_limit() {
+        let limits = ParseLimits { max_attrs: 2, ..ParseLimits::default() };
+        assert!(parse_document_with_limits("<a x='1' y='2'/>", &limits).is_ok());
+        let err = parse_document_with_limits("<a x='1' y='2' z='3'/>", &limits).unwrap_err();
+        assert!(err.message.contains("attributes"), "{err}");
+    }
+
+    #[test]
+    fn entity_expansion_limit() {
+        let limits = ParseLimits { max_entity_expansions: 3, ..ParseLimits::default() };
+        assert!(parse_document_with_limits("<a>&amp;&lt;&gt;</a>", &limits).is_ok());
+        let err = parse_document_with_limits("<a>&amp;&lt;&gt;&amp;</a>", &limits).unwrap_err();
+        assert!(err.message.contains("entity references"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! (paper §5.2.2): location steps and node tests are resolved directly
 //! against the stored representation — no separate main-memory DOM is built.
 
+use crate::buffer::BufferStats;
+use crate::error::StorageFault;
 use crate::index::StructuralIndex;
 use crate::node::{NameId, NodeId, NodeKind};
 
@@ -154,6 +156,26 @@ pub trait XmlStore {
         false
     }
 
+    /// True once the store has recorded a storage fault (I/O failure or
+    /// detected corruption) while serving navigation. Cheap; executors
+    /// poll it in their tuple loops the way they poll the governor.
+    fn storage_tripped(&self) -> bool {
+        false
+    }
+
+    /// Drain the recorded storage fault, if any. After a drain the store
+    /// reports untripped again (a reopened query starts clean).
+    fn take_storage_fault(&self) -> Option<StorageFault> {
+        None
+    }
+
+    /// Buffer-manager statistics for stores that read through one
+    /// (page hits/misses/evictions, checksum verification counters).
+    /// `None` for main-memory stores.
+    fn buffer_stats(&self) -> Option<BufferStats> {
+        None
+    }
+
     /// Number of element nodes (used by generators/tests).
     fn element_count(&self) -> usize {
         (0..self.node_count() as u32)
@@ -228,6 +250,18 @@ impl XmlStore for NoIndex<'_> {
 
     fn element_by_id(&self, idval: &str) -> Option<NodeId> {
         self.0.element_by_id(idval)
+    }
+
+    fn storage_tripped(&self) -> bool {
+        self.0.storage_tripped()
+    }
+
+    fn take_storage_fault(&self) -> Option<StorageFault> {
+        self.0.take_storage_fault()
+    }
+
+    fn buffer_stats(&self) -> Option<BufferStats> {
+        self.0.buffer_stats()
     }
 }
 

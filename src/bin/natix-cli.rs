@@ -7,21 +7,47 @@
 //! natix-cli doc.xml --interactive                   # REPL
 //! natix-cli --generate tree:5000 --interactive      # built-in generators
 //! natix-cli doc.xml --persist doc.natix             # build a page file
+//! natix-cli doc.natix --verify-store                # full integrity check
 //! ```
+//!
+//! Exit codes distinguish failure classes so scripts can react: 0 ok,
+//! 1 query failure, 2 usage, 3 XML parse error, 4 I/O error, 5 corrupt
+//! store (the one-line diagnostic carries page/slot coordinates).
 
 use std::io::{BufRead, Write};
 
 use natix::{
-    parse_duration, parse_mem_size, Document, Json, NatixError, QueryOutput, ResourceLimits,
-    TranslateOptions, XPathEngine,
+    parse_duration, parse_limits_of, parse_mem_size, verify_store, Document, Json, NatixError,
+    QueryOutput, ResourceLimits, TranslateOptions, XPathEngine,
 };
 use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
 use xmlstore::XmlStore;
+
+/// Exit code for usage errors (bad flags, missing document).
+const EXIT_USAGE: i32 = 2;
+/// Exit code for XML parse failures.
+const EXIT_PARSE: i32 = 3;
+/// Exit code for I/O failures.
+const EXIT_IO: i32 = 4;
+/// Exit code for detected store corruption.
+const EXIT_CORRUPT: i32 = 5;
+
+/// Map a typed error to its exit code (query failures — compile errors
+/// and governor trips — stay at 1).
+fn exit_code(e: &NatixError) -> i32 {
+    match e {
+        NatixError::Xml(_) => EXIT_PARSE,
+        NatixError::Disk(d) if d.is_corrupt() => EXIT_CORRUPT,
+        NatixError::Disk(_) => EXIT_IO,
+        NatixError::Compile(_) | NatixError::Resource(_) => 1,
+    }
+}
 
 struct Args {
     source: Option<String>,
     generate: Option<String>,
     persist: Option<String>,
+    verify_store: bool,
     explain: bool,
     analyze: bool,
     profile_json: Option<String>,
@@ -38,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         source: None,
         generate: None,
         persist: None,
+        verify_store: false,
         explain: false,
         analyze: false,
         profile_json: None,
@@ -79,6 +106,12 @@ fn parse_args() -> Result<Args, String> {
             "--persist" => {
                 args.persist = Some(it.next().ok_or("--persist needs a path")?);
             }
+            "--verify-store" => args.verify_store = true,
+            "--max-depth" => {
+                let v = it.next().ok_or("--max-depth needs a count")?;
+                args.limits.max_parse_depth =
+                    Some(v.parse().map_err(|_| format!("--max-depth: `{v}` is not a number"))?);
+            }
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -114,17 +147,27 @@ fn print_help() {
          \x20 --max-mem <size>     memory budget per query (16MiB, 512k, 1g, …)\n\
          \x20 --timeout <dur>      deadline per query (500ms, 2s, 1m, …)\n\
          \x20 --max-tuples <n>     cap on materialized tuples per query\n\
+         \x20 --max-depth <n>      cap on XML nesting depth at parse time\n\
          \x20 --persist <path>     write the document as a Natix page file\n\
+         \x20 --verify-store       full integrity check of a .natix file\n\
+         \x20                      (page checksums, node records, links,\n\
+         \x20                      name dictionary, string chains)\n\
          \x20 --generate <spec>    tree:<elements> or dblp:<records>\n\n\
          exit status: 0 on success, 1 if any query failed (compile error or\n\
-         resource governor trip), 2 on usage/document errors."
+         resource governor trip), 2 on usage errors, 3 on XML parse errors,\n\
+         4 on I/O errors, 5 on detected store corruption."
     );
 }
 
-fn load(args: &Args) -> Result<Document, String> {
+/// Load the document, classifying failures for the exit code:
+/// usage problems (bad spec, no document) are [`EXIT_USAGE`], everything
+/// else maps through [`exit_code`].
+fn load(args: &Args) -> Result<Document, (i32, String)> {
+    let usage = |m: String| (EXIT_USAGE, m);
     if let Some(spec) = &args.generate {
-        let (kind, n) = spec.split_once(':').ok_or("generate spec is kind:N")?;
-        let n: usize = n.parse().map_err(|_| "generate count must be a number")?;
+        let (kind, n) =
+            spec.split_once(':').ok_or_else(|| usage("generate spec is kind:N".into()))?;
+        let n: usize = n.parse().map_err(|_| usage("generate count must be a number".into()))?;
         return Ok(match kind {
             "tree" => Document::Arena(generate_tree(if n <= 8000 {
                 TreeParams::small(n)
@@ -132,15 +175,20 @@ fn load(args: &Args) -> Result<Document, String> {
                 TreeParams::large(n)
             })),
             "dblp" => Document::Arena(generate_dblp(DblpParams { records: n, seed: 42 })),
-            other => return Err(format!("unknown generator `{other}`")),
+            other => return Err(usage(format!("unknown generator `{other}`"))),
         });
     }
-    let path = args.source.as_ref().ok_or("no document given (see --help)")?;
+    let path = args
+        .source
+        .as_ref()
+        .ok_or_else(|| usage("no document given (see --help)".into()))?;
     if path.ends_with(".natix") {
-        return Document::open(std::path::Path::new(path), 256).map_err(|e| e.to_string());
+        return Document::open(std::path::Path::new(path), 256)
+            .map_err(|e| (exit_code(&e), e.to_string()));
     }
-    let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    Document::parse(&xml).map_err(|e| e.to_string())
+    let xml = std::fs::read_to_string(path).map_err(|e| (EXIT_IO, format!("{path}: {e}")))?;
+    Document::parse_with_limits(&xml, &parse_limits_of(&args.limits))
+        .map_err(|e| (exit_code(&e), e.to_string()))
 }
 
 fn render(store: &dyn XmlStore, out: &QueryOutput) -> String {
@@ -169,9 +217,15 @@ fn render(store: &dyn XmlStore, out: &QueryOutput) -> String {
     }
 }
 
-/// Run one query through the selected mode. Returns `false` when the query
-/// failed (compile error or resource-governor trip) so the process can exit
-/// non-zero.
+/// Report a failed query and return its exit code.
+fn report(e: &NatixError) -> i32 {
+    eprintln!("error: {e}");
+    exit_code(e)
+}
+
+/// Run one query through the selected mode. Returns 0 on success, or the
+/// exit code of the failure (1 for compile errors and governor trips, 4/5
+/// for storage faults) so the process can exit with the worst class.
 fn run_query(
     doc: &Document,
     engine: &XPathEngine,
@@ -180,46 +234,37 @@ fn run_query(
     analyze: bool,
     time: bool,
     json_out: Option<&mut Vec<Json>>,
-) -> bool {
+) -> i32 {
     if explain {
         return match engine.explain(q) {
             Ok(plan) => {
                 print!("{plan}");
-                true
+                0
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                false
-            }
+            Err(e) => report(&e),
         };
     }
     if analyze || json_out.is_some() {
         // Keep the report even when the governor stops the query: the
         // per-operator charge gauges show where the budget went.
         return match engine.analyze_governed(doc.store(), q) {
-            Ok((out, report)) => {
-                let ok = match &out {
+            Ok((out, report_)) => {
+                let code = match &out {
                     Ok(out) => {
                         println!("{}", render(doc.store(), out));
-                        true
+                        0
                     }
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        false
-                    }
+                    Err(e) => report(&NatixError::from(e.clone())),
                 };
                 if analyze {
-                    print!("{}", report.text());
+                    print!("{}", report_.text());
                 }
                 if let Some(reports) = json_out {
-                    reports.push(report.to_json());
+                    reports.push(report_.to_json());
                 }
-                ok
+                code
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                false
-            }
+            Err(e) => report(&e),
         };
     }
     if time {
@@ -228,24 +273,18 @@ fn run_query(
             Ok((out, trace)) => {
                 println!("{}", render(doc.store(), &out));
                 print!("{}", trace.report());
-                true
+                0
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                false
-            }
+            Err(e) => report(&e),
         };
     }
     let result: Result<QueryOutput, NatixError> = engine.evaluate(doc.store(), q);
     match result {
         Ok(out) => {
             println!("{}", render(doc.store(), &out));
-            true
+            0
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            false
-        }
+        Err(e) => report(&e),
     }
 }
 
@@ -295,14 +334,34 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
+    if args.verify_store {
+        // Integrity-check mode: no document load, no queries.
+        let Some(path) = &args.source else {
+            eprintln!("error: --verify-store needs a .natix file");
+            std::process::exit(EXIT_USAGE);
+        };
+        match verify_store(std::path::Path::new(path), 256) {
+            Ok(r) => {
+                println!(
+                    "{path}: ok — {} page(s), {} node(s), {} name(s), {} string byte(s)",
+                    r.pages, r.nodes, r.names, r.string_bytes
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(exit_code(&e));
+            }
+        }
+    }
     let doc = match load(&args) {
         Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+        Err((code, msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(code);
         }
     };
     if let Some(path) = &args.persist {
@@ -310,7 +369,7 @@ fn main() {
             Ok(_) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("error: {e}");
-                std::process::exit(2);
+                std::process::exit(exit_code(&e));
             }
         }
     }
@@ -323,10 +382,12 @@ fn main() {
     };
     let mut engine = XPathEngine { options, limits: args.limits };
 
-    let mut any_failed = false;
+    // First non-zero query exit code wins, so a corruption hit (5) is not
+    // masked by a later compile error (1).
+    let mut fail_code = 0;
     let mut json_reports: Vec<Json> = Vec::new();
     for q in &args.queries {
-        if !run_query(
+        let code = run_query(
             &doc,
             &engine,
             q,
@@ -334,8 +395,9 @@ fn main() {
             args.analyze,
             args.time,
             args.profile_json.as_ref().map(|_| &mut json_reports),
-        ) {
-            any_failed = true;
+        );
+        if fail_code == 0 {
+            fail_code = code;
         }
     }
     if let Some(path) = &args.profile_json {
@@ -344,7 +406,7 @@ fn main() {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => {
                 eprintln!("error: {path}: {e}");
-                std::process::exit(2);
+                std::process::exit(EXIT_IO);
             }
         }
     }
@@ -394,7 +456,7 @@ fn main() {
                 run_query(&doc, &engine, line, false, false, true, None);
             }
         }
-    } else if any_failed {
-        std::process::exit(1);
+    } else if fail_code != 0 {
+        std::process::exit(fail_code);
     }
 }

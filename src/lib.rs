@@ -30,7 +30,8 @@ pub use compiler::{
     TranslateOptions,
 };
 pub use nqe::{build_physical, AnalyzeReport, Json, PhysicalQuery, ResourceGovernor};
-pub use xmlstore::{Axis, NodeId, NodeKind, XmlStore};
+pub use xmlstore::diskstore::VerifyReport;
+pub use xmlstore::{Axis, DiskError, NodeId, NodeKind, ParseLimits, XmlStore};
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -79,7 +80,19 @@ impl From<PipelineError> for NatixError {
 
 impl From<QueryError> for NatixError {
     fn from(e: QueryError) -> Self {
-        NatixError::Resource(e)
+        match e {
+            // A mid-query storage fault is a disk problem, not a budget
+            // trip: reconstruct the error class so callers (and the CLI's
+            // exit codes) keep the I/O-vs-corruption distinction. The
+            // page/slot coordinates are embedded in the detail string.
+            QueryError::Storage { detail, io: true } => {
+                NatixError::Disk(DiskError::io(std::io::Error::other(detail)))
+            }
+            QueryError::Storage { detail, io: false } => {
+                NatixError::Disk(DiskError::corrupt(detail))
+            }
+            other => NatixError::Resource(other),
+        }
     }
 }
 
@@ -98,9 +111,16 @@ pub enum Document {
 }
 
 impl Document {
-    /// Parse XML text into the in-memory store.
+    /// Parse XML text into the in-memory store (default [`ParseLimits`]).
     pub fn parse(xml: &str) -> Result<Document, NatixError> {
         Ok(Document::Arena(xmlstore::parse_document(xml)?))
+    }
+
+    /// Parse with explicit bounds on document shape (nesting depth, name
+    /// length, attribute and entity counts). Exceeding a bound is a typed
+    /// [`NatixError::Xml`], never a panic or stack overflow.
+    pub fn parse_with_limits(xml: &str, limits: &ParseLimits) -> Result<Document, NatixError> {
+        Ok(Document::Arena(xmlstore::parse_document_with_limits(xml, limits)?))
     }
 
     /// Persist an in-memory document as a page file and reopen it through
@@ -112,9 +132,9 @@ impl Document {
                 path,
                 buffer_pages,
             )?)),
-            Document::Disk(_) => {
-                Err(NatixError::Disk(xmlstore::diskstore::DiskError::Corrupt("already on disk")))
-            }
+            Document::Disk(_) => Err(NatixError::Disk(DiskError::io(std::io::Error::other(
+                "document is already on disk",
+            )))),
         }
     }
 
@@ -130,6 +150,35 @@ impl Document {
             Document::Disk(d) => d,
         }
     }
+}
+
+/// Parse-time bounds derived from a resource budget: any parse-limit
+/// field set on `limits` overrides the corresponding [`ParseLimits`]
+/// default, so the CLI/REPL budget surface covers document loading too.
+pub fn parse_limits_of(limits: &ResourceLimits) -> ParseLimits {
+    let mut p = ParseLimits::default();
+    if let Some(d) = limits.max_parse_depth {
+        p.max_depth = d;
+    }
+    if let Some(l) = limits.max_name_len {
+        p.max_name_len = l;
+    }
+    if let Some(c) = limits.max_attr_count {
+        p.max_attrs = c;
+    }
+    if let Some(e) = limits.max_entity_expansions {
+        p.max_entity_expansions = e;
+    }
+    p
+}
+
+/// Open a store file and run a full integrity check: every page checksum,
+/// every node record and link, the complete name dictionary and all
+/// string chains. Returns the exact verification counts, or the first
+/// fault with its page/slot coordinates.
+pub fn verify_store(path: &Path, buffer_pages: usize) -> Result<VerifyReport, NatixError> {
+    let store = xmlstore::diskstore::DiskStore::open(path, buffer_pages)?;
+    Ok(store.verify()?)
 }
 
 /// The algebraic XPath engine: compile once, execute against any store.
@@ -201,7 +250,7 @@ impl XPathEngine {
     ) -> Result<(QueryOutput, String), NatixError> {
         let compiled = self.compile(query)?;
         let (mut phys, profile) = nqe::build_physical_profiled(&compiled);
-        let out = phys.execute(store, &std::collections::HashMap::new(), store.root());
+        let out = phys.execute(store, &std::collections::HashMap::new(), store.root())?;
         Ok((out, profile.report()))
     }
 
@@ -258,7 +307,7 @@ impl XPathEngine {
         let t0 = std::time::Instant::now();
         let out = phys.execute(store, &HashMap::new(), store.root());
         trace.add_phase("execute", t0.elapsed().as_nanos() as u64);
-        Ok((out, trace))
+        Ok((out?, trace))
     }
 
     /// Compile and execute with explicit context node and variables,

@@ -95,3 +95,101 @@ fn analyze_mode_reports_trip_and_exits_nonzero() {
     assert!(stdout.contains("resources:"), "{stdout}");
     std::fs::remove_file(&doc).ok();
 }
+
+// ---- failure-class exit codes (DESIGN.md §13) --------------------------
+
+/// Build a valid `.natix` page file via `--persist` and return its path.
+fn persist_store(name: &str, xml: &str) -> std::path::PathBuf {
+    let doc = write_doc(&format!("{name}.xml"), xml);
+    let store =
+        std::env::temp_dir().join(format!("natix-cli-test-{}-{name}.natix", std::process::id()));
+    let out = cli().arg(&doc).args(["--persist", store.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    std::fs::remove_file(&doc).ok();
+    store
+}
+
+#[test]
+fn xml_parse_error_exits_3() {
+    let doc = write_doc("parse-err.xml", "<r><unclosed></r>");
+    let out = cli().arg(&doc).arg("/r").output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"), "{out:?}");
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn depth_limit_exits_3_with_typed_error() {
+    let mut xml = String::new();
+    for _ in 0..64 {
+        xml.push_str("<d>");
+    }
+    for _ in 0..64 {
+        xml.push_str("</d>");
+    }
+    let doc = write_doc("deep.xml", &xml);
+    let out = cli().arg(&doc).args(["--max-depth", "8", "/d"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nesting deeper"), "{out:?}");
+    // Raising the cap makes the same document load.
+    let out = cli().arg(&doc).args(["--max-depth", "128", "count(//d)"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn missing_input_file_exits_4() {
+    let out = cli().arg("/nonexistent/natix-cli-test-missing.xml").arg("/r").output().unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+}
+
+#[test]
+fn corrupt_store_exits_5_with_page_coordinates() {
+    let store = persist_store("corrupt5", "<r><a>payload</a><a>text</a></r>");
+    // Flip one byte in the node region (beyond the header page) — the
+    // page checksum catches it at open.
+    let mut bytes = std::fs::read(&store).unwrap();
+    let off = 2 * 8192 + 100;
+    assert!(bytes.len() > off, "store should span several pages");
+    bytes[off] ^= 0xFF;
+    std::fs::write(&store, &bytes).unwrap();
+    let out = cli().arg(&store).arg("count(//a)").output().unwrap();
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("page"), "diagnostic names the page: {stderr}");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn truncated_store_exits_5() {
+    let store = persist_store("truncated", "<r><a>x</a></r>");
+    let bytes = std::fs::read(&store).unwrap();
+    std::fs::write(&store, &bytes[..bytes.len() / 2 - 7]).unwrap();
+    let out = cli().arg(&store).arg("/r").output().unwrap();
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn verify_store_reports_ok_and_detects_damage() {
+    let store = persist_store("verify", "<r><a k='v'>text</a></r>");
+    let out = cli().arg(&store).arg("--verify-store").output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "{stdout}");
+    assert!(stdout.contains("page(s)"), "{stdout}");
+    // Damage the file: verification must fail with the corrupt exit code.
+    let mut bytes = std::fs::read(&store).unwrap();
+    let last = bytes.len() - 10;
+    bytes[last] ^= 0x01;
+    std::fs::write(&store, &bytes).unwrap();
+    let out = cli().arg(&store).arg("--verify-store").output().unwrap();
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn verify_store_without_path_is_usage_error() {
+    let out = cli().arg("--verify-store").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
