@@ -1,7 +1,7 @@
 //! The universe of the algebra (paper §2.2.1): atomic XPath values, nodes,
 //! and ordered tuple sequences; tuples map attributes to values.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use xmlstore::{NodeId, XmlStore};
 use xpath_syntax::xvalue;
@@ -16,12 +16,14 @@ pub enum Value {
     Bool(bool),
     /// IEEE-754 double.
     Num(f64),
-    /// String (shared — cloning a tuple must be cheap).
-    Str(Rc<str>),
+    /// String (shared — cloning a tuple must be cheap, and the Exchange
+    /// operator hands tuples across worker threads, so the payload is
+    /// atomically reference-counted).
+    Str(Arc<str>),
     /// A document node.
     Node(NodeId),
     /// A materialised nested tuple sequence (value of a nested attribute).
-    Seq(Rc<Vec<Tuple>>),
+    Seq(Arc<Vec<Tuple>>),
 }
 
 /// A tuple: a register frame indexed by attribute slots (the attribute
@@ -110,7 +112,7 @@ impl Const {
         match self {
             Const::Bool(b) => Value::Bool(*b),
             Const::Num(n) => Value::Num(*n),
-            Const::Str(s) => Value::Str(Rc::from(s.as_str())),
+            Const::Str(s) => Value::Str(Arc::from(s.as_str())),
         }
     }
 }
@@ -229,7 +231,7 @@ mod tests {
         assert_eq!(Value::Bool(true).to_str(&store), "true");
         assert_eq!(Value::Bool(false).to_num(&store), 0.0);
         assert_eq!(Value::Num(3.0).to_str(&store), "3");
-        assert!(Value::Str(Rc::from("0")).to_bool(), "non-empty string is true");
+        assert!(Value::Str(Arc::from("0")).to_bool(), "non-empty string is true");
         assert!(!Value::Num(0.0).to_bool());
         assert!(Value::Null.to_num(&store).is_nan());
         assert!(!Value::Null.to_bool());
@@ -242,10 +244,10 @@ mod tests {
         let a = store.first_child(r).unwrap();
         let b = store.next_sibling(a).unwrap();
         // Sequence deliberately out of document order.
-        let seq = Value::Seq(Rc::new(vec![vec![Value::Node(b)], vec![Value::Node(a)]]));
+        let seq = Value::Seq(Arc::new(vec![vec![Value::Node(b)], vec![Value::Node(a)]]));
         assert_eq!(seq.to_str(&store), "first");
         assert!(seq.to_bool());
-        let empty = Value::Seq(Rc::new(vec![]));
+        let empty = Value::Seq(Arc::new(vec![]));
         assert_eq!(empty.to_str(&store), "");
         assert!(!empty.to_bool());
     }

@@ -1,0 +1,146 @@
+//! Experiment E10 — parallel scaling (DESIGN.md §14): wall-clock time of
+//! Exchange-parallelised queries at 1/2/4/8 worker threads over the
+//! fig6_9 tree documents, the synthetic DBLP document and a wide
+//! blow-up-family document. The threads=1 baseline takes the exact serial
+//! code path (no Exchange in the plan), so the ratios measure the
+//! Exchange layer itself.
+//!
+//! Prints: `workload, threads, ms, speedup` (speedup vs the serial run on
+//! the same workload). With `--json <path>` the harness writes a results
+//! file carrying per workload×threads the timing, the speedup and the
+//! `parallel` section of an EXPLAIN ANALYZE run (workers, partitions,
+//! per-worker tuples, merge time).
+//!
+//! Speedup is bounded by the physical core count: the results file
+//! records `cores` so a single-core CI container's flat ratios are
+//! interpretable.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin parallel [--quick] [--runs N] [--json out.json]
+//! ```
+
+use bench::{
+    arg_value, dblp_document, ms, ms_f, time_query, tree_document, write_results_json, Evaluator,
+};
+use compiler::TranslateOptions;
+use nqe::Json;
+use std::collections::HashMap;
+use xmlstore::{ArenaBuilder, ArenaStore, XmlStore};
+
+/// Thread counts swept per workload (1 = serial baseline).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A wide Gottlob-family document: `<r><a><b/>×width</a>…</r>` with
+/// `groups` sibling `a` groups — duplicate-heavy contexts whose
+/// per-tuple predicate evaluation is what Exchange fans out.
+fn blowup_document(groups: usize, width: usize) -> ArenaStore {
+    let mut b = ArenaBuilder::new();
+    b.start_element("r");
+    for _ in 0..groups {
+        b.start_element("a");
+        for _ in 0..width {
+            b.start_element("b");
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+    b.finish()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let runs = get("--runs", if quick { 1 } else { 5 });
+    let json_path = arg_value(&args, "--json");
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut results: Vec<Json> = Vec::new();
+
+    let tree_elems = if quick { 2000 } else { 20_000 };
+    let dblp_records = if quick { 500 } else { 10_000 };
+    let (groups, width) = if quick { (40, 40) } else { (200, 200) };
+
+    eprintln!(
+        "generating documents (tree {tree_elems}, dblp {dblp_records}, blowup {groups}×{width})…"
+    );
+    let tree = tree_document(tree_elems);
+    let dblp = dblp_document(dblp_records);
+    let blowup = blowup_document(groups, width);
+
+    // Workloads where the planner inserts an Exchange: nested recursive
+    // axes (fig6_9 q1/q3/q4) and per-tuple predicate plans (dblp filter,
+    // blow-up sibling counting).
+    let workloads: [(&str, &dyn XmlStore, usize, &str); 5] = [
+        (
+            "fig6_9/q1",
+            &tree,
+            tree_elems,
+            "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id",
+        ),
+        (
+            "fig6_9/q3",
+            &tree,
+            tree_elems,
+            "/child::xdoc/descendant::*/ancestor::*/ancestor::*/attribute::id",
+        ),
+        (
+            "fig6_9/q4",
+            &tree,
+            tree_elems,
+            "/child::xdoc/child::*/parent::*/descendant::*/attribute::id",
+        ),
+        ("dblp/filter", &dblp, dblp_records, "/dblp/*[author='Guido Moerkotte']/@key"),
+        (
+            "blowup/pred",
+            &blowup,
+            groups * width,
+            "//b[count(preceding-sibling::b) mod 7 = 0]/parent::a/child::b",
+        ),
+    ];
+
+    println!("# Parallel scaling: Exchange fan-out at 1/2/4/8 worker threads");
+    println!("# cores: {cores}; runs per point: {runs} (median); times in ms");
+    println!("workload,threads,ms,speedup");
+    for (name, store, elements, query) in workloads {
+        let mut serial_ms = 0.0f64;
+        for threads in THREADS {
+            let opts = TranslateOptions::improved().with_threads(threads);
+            let d = time_query(Evaluator::NatixWith(opts), store, query, runs);
+            let d_ms = ms_f(d);
+            if threads == 1 {
+                serial_ms = d_ms;
+            }
+            let speedup = if d_ms > 0.0 { serial_ms / d_ms } else { 1.0 };
+            println!("{name},{threads},{},{speedup:.2}", ms(d));
+            if json_path.is_some() {
+                // One instrumented run for the parallel section (outside
+                // the timed samples).
+                let (_, report) =
+                    nqe::explain_analyze(store, query, &opts, store.root(), &HashMap::new())
+                        .expect("analyze");
+                let parallel =
+                    report.to_json().get("parallel").cloned().unwrap_or(Json::Arr(Vec::new()));
+                results.push(Json::obj(vec![
+                    ("workload", Json::Str(name.to_owned())),
+                    ("query", Json::Str(query.to_owned())),
+                    ("elements", Json::Num(elements as f64)),
+                    ("threads", Json::Num(threads as f64)),
+                    ("cores", Json::Num(cores as f64)),
+                    ("ms", Json::Num(d_ms)),
+                    ("speedup", Json::Num(speedup)),
+                    ("parallel", parallel),
+                ]));
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        write_results_json(&path, "parallel", results);
+    }
+}

@@ -26,6 +26,11 @@ pub struct TranslateOptions {
     /// order/duplicate property analysis of Hidders & Michiels (the
     /// refinement §4.1 cites as ref. [13] but skips).
     pub prune_properties: bool,
+    /// DESIGN.md §14 — intra-query parallelism degree. When > 1 the
+    /// parallelize pass inserts Exchange operators above parallel-safe
+    /// expensive spine segments; 1 (the default and every preset)
+    /// compiles the exact serial plan, with no Exchange anywhere.
+    pub threads: usize,
 }
 
 impl TranslateOptions {
@@ -38,6 +43,7 @@ impl TranslateOptions {
             memoize_inner: false,
             split_expensive: false,
             prune_properties: false,
+            threads: 1,
         }
     }
 
@@ -49,6 +55,7 @@ impl TranslateOptions {
             memoize_inner: true,
             split_expensive: true,
             prune_properties: false,
+            threads: 1,
         }
     }
 
@@ -56,6 +63,14 @@ impl TranslateOptions {
     /// (an extension beyond the paper; see DESIGN.md).
     pub fn extended() -> TranslateOptions {
         TranslateOptions { prune_properties: true, ..TranslateOptions::improved() }
+    }
+
+    /// Builder: intra-query parallelism degree (0 is normalised to the
+    /// machine's available parallelism by the execution surfaces; here 0
+    /// just means "pick later" and compiles serially).
+    pub fn with_threads(mut self, threads: usize) -> TranslateOptions {
+        self.threads = threads;
+        self
     }
 }
 
@@ -264,5 +279,8 @@ mod tests {
         assert!(!i.prune_properties, "pruning is a beyond-paper extension");
         assert_eq!(TranslateOptions::default(), i);
         assert!(TranslateOptions::extended().prune_properties);
+        assert_eq!(c.threads, 1, "every preset compiles serially");
+        assert_eq!(i.threads, 1);
+        assert_eq!(TranslateOptions::extended().with_threads(4).threads, 4);
     }
 }

@@ -113,7 +113,7 @@ impl PhysicalQuery {
                 let t0 = stats.as_ref().map(|_| std::time::Instant::now());
                 let value = pred.eval(&rt, &seed);
                 if let (Some(stats), Some(t0)) = (stats, t0) {
-                    let mut s = stats.borrow_mut();
+                    let mut s = stats.lock();
                     s.nanos += t0.elapsed().as_nanos() as u64;
                     s.opens += 1;
                     s.tuples += 1;

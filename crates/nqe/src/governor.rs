@@ -25,12 +25,19 @@
 //!   every loop that can run unboundedly without returning a tuple. The
 //!   wall clock and the atomic cancel token are only consulted every
 //!   `tick_interval` ticks (default [`DEFAULT_TICK_INTERVAL`]), keeping
-//!   the per-tuple cost to two `Cell` bumps.
+//!   the per-tuple cost to two relaxed atomic bumps.
+//! * The governor is shared by every Exchange worker thread (DESIGN.md
+//!   §14): all counters are atomics, a failed charge is *never applied*
+//!   (a compare-and-swap loop rejects over-limit charges without touching
+//!   the usage counter, so the high-water mark stays exact even under
+//!   concurrency), and the first trip wins — later trips from other
+//!   workers are dropped.
 
-use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use algebra::{QueryError, Tuple, Value};
 use compiler::ResourceLimits;
@@ -58,25 +65,27 @@ impl FailPoint {
     }
 }
 
-/// The shared per-execution budget. Execution is single-threaded, so the
-/// counters are `Cell`s; only the cancellation token is atomic (it may be
-/// raised from another thread).
+/// The shared per-execution budget. One governor serves every worker of a
+/// parallel (Exchange) execution, so the counters are atomics; serial
+/// plans pay only uncontended relaxed operations.
 pub struct ResourceGovernor {
     limits: ResourceLimits,
     deadline: Option<Instant>,
     tick_interval: u64,
     cancel: Arc<AtomicBool>,
     failpoint: FailPoint,
-    mem_used: Cell<u64>,
-    transient_used: Cell<u64>,
-    mem_peak: Cell<u64>,
-    charged_total: Cell<u64>,
-    tuples: Cell<u64>,
-    ticks: Cell<u64>,
-    allocs: Cell<u64>,
-    /// Fast-path mirror of `error.is_some()`.
-    tripped: Cell<bool>,
-    error: RefCell<Option<QueryError>>,
+    mem_used: AtomicU64,
+    transient_used: AtomicU64,
+    mem_peak: AtomicU64,
+    charged_total: AtomicU64,
+    tuples: AtomicU64,
+    ticks: AtomicU64,
+    allocs: AtomicU64,
+    /// Fast-path mirror of `error.is_some()`; stored inside the `error`
+    /// critical section so any thread that observes `tripped` and then
+    /// locks `error` sees the winning error.
+    tripped: AtomicBool,
+    error: Mutex<Option<QueryError>>,
 }
 
 impl ResourceGovernor {
@@ -98,15 +107,15 @@ impl ResourceGovernor {
             limits,
             cancel: Arc::new(AtomicBool::new(false)),
             failpoint,
-            mem_used: Cell::new(0),
-            transient_used: Cell::new(0),
-            mem_peak: Cell::new(0),
-            charged_total: Cell::new(0),
-            tuples: Cell::new(0),
-            ticks: Cell::new(0),
-            allocs: Cell::new(0),
-            tripped: Cell::new(false),
-            error: RefCell::new(None),
+            mem_used: AtomicU64::new(0),
+            transient_used: AtomicU64::new(0),
+            mem_peak: AtomicU64::new(0),
+            charged_total: AtomicU64::new(0),
+            tuples: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+            error: Mutex::new(None),
         }
     }
 
@@ -123,59 +132,79 @@ impl ResourceGovernor {
 
     /// True until a limit trips.
     pub fn ok(&self) -> bool {
-        !self.tripped.get()
+        !self.tripped.load(Ordering::Acquire)
     }
 
-    /// The error that stopped execution, if any. The first trip wins.
+    /// The error that stopped execution, if any. The first trip wins —
+    /// in a parallel execution, later trips from other workers are
+    /// dropped.
     pub fn error(&self) -> Option<QueryError> {
-        self.error.borrow().clone()
+        self.error.lock().clone()
     }
 
     fn trip(&self, e: QueryError) {
-        if !self.tripped.replace(true) {
-            *self.error.borrow_mut() = Some(e);
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+            self.tripped.store(true, Ordering::Release);
         }
     }
 
     /// Charge `bytes` against the memory budget. Returns `false` (and
     /// does *not* apply the charge) when the budget is exceeded or the
-    /// governor already tripped — the caller must stop producing.
+    /// governor already tripped — the caller must stop producing. An
+    /// over-limit charge is rejected by the compare-and-swap loop before
+    /// it is ever applied, so `mem_used`/`high_water` stay exact under
+    /// concurrent workers.
     pub fn charge(&self, bytes: u64) -> bool {
-        if self.tripped.get() {
+        if self.tripped.load(Ordering::Acquire) {
             return false;
         }
-        let n = self.allocs.get() + 1;
-        self.allocs.set(n);
+        let n = self.allocs.fetch_add(1, Ordering::Relaxed) + 1;
         if self.failpoint.fail_at_alloc == Some(n) {
+            let used = self.mem_used.load(Ordering::Relaxed);
             self.trip(QueryError::MemoryExceeded {
-                limit: self.limits.max_memory_bytes.unwrap_or(self.mem_used.get()),
-                requested: self.mem_used.get().saturating_add(bytes.max(1)),
+                limit: self.limits.max_memory_bytes.unwrap_or(used),
+                requested: used.saturating_add(bytes.max(1)),
             });
             return false;
         }
-        let new_used = self.mem_used.get().saturating_add(bytes);
-        if let Some(limit) = self.limits.max_memory_bytes {
-            if new_used > limit {
-                self.trip(QueryError::MemoryExceeded { limit, requested: new_used });
-                return false;
+        let mut cur = self.mem_used.load(Ordering::Relaxed);
+        loop {
+            let new_used = cur.saturating_add(bytes);
+            if let Some(limit) = self.limits.max_memory_bytes {
+                if new_used > limit {
+                    self.trip(QueryError::MemoryExceeded { limit, requested: new_used });
+                    return false;
+                }
+            }
+            match self.mem_used.compare_exchange_weak(
+                cur,
+                new_used,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.transient_used.fetch_add(bytes, Ordering::Relaxed);
+                    self.charged_total.fetch_add(bytes, Ordering::Relaxed);
+                    self.mem_peak.fetch_max(new_used, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => cur = actual,
             }
         }
-        self.mem_used.set(new_used);
-        self.transient_used.set(self.transient_used.get() + bytes);
-        self.charged_total.set(self.charged_total.get().saturating_add(bytes));
-        if new_used > self.mem_peak.get() {
-            self.mem_peak.set(new_used);
-        }
-        true
     }
 
     /// Count `n` newly materialised tuples against the tuple budget.
     pub fn charge_tuples(&self, n: u64) -> bool {
-        if self.tripped.get() {
+        if self.tripped.load(Ordering::Acquire) {
             return false;
         }
-        let total = self.tuples.get().saturating_add(n);
-        self.tuples.set(total);
+        let prev = self
+            .tuples
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| Some(t.saturating_add(n)))
+            .unwrap_or(0);
+        let total = prev.saturating_add(n);
         if let Some(limit) = self.limits.max_tuples {
             if total > limit {
                 self.trip(QueryError::TuplesExceeded { limit });
@@ -187,25 +216,32 @@ impl ResourceGovernor {
 
     /// Return `bytes` to the budget (buffer drained or dropped).
     pub fn release(&self, bytes: u64) {
-        self.mem_used.set(self.mem_used.get().saturating_sub(bytes));
-        self.transient_used.set(self.transient_used.get().saturating_sub(bytes));
+        let _ = self
+            .mem_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(bytes)));
+        let _ = self
+            .transient_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(bytes)));
     }
 
     /// Reclassify `bytes` from transient to persistent: still held (memo
     /// tables survive re-opens) but no longer expected back at close.
     pub fn commit(&self, bytes: u64) {
-        self.transient_used.set(self.transient_used.get().saturating_sub(bytes));
+        let _ = self
+            .transient_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(bytes)));
     }
 
     /// One cooperative scheduling point. Deadline and cancellation are
     /// examined every `tick_interval` ticks. Returns `false` when the
-    /// caller must stop producing.
+    /// caller must stop producing. In a parallel execution every worker
+    /// ticks the same governor, so each worker observes deadline,
+    /// cancellation and storage faults within one interval.
     pub fn tick(&self) -> bool {
-        if self.tripped.get() {
+        if self.tripped.load(Ordering::Acquire) {
             return false;
         }
-        let n = self.ticks.get() + 1;
-        self.ticks.set(n);
+        let n = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         if self.failpoint.cancel_at_tick == Some(n) {
             self.cancel.store(true, Ordering::Relaxed);
         }
@@ -218,7 +254,7 @@ impl ResourceGovernor {
     /// Immediate deadline/cancellation check (execution start, and the
     /// interval points of [`ResourceGovernor::tick`]).
     pub fn check_now(&self) -> bool {
-        if self.tripped.get() {
+        if self.tripped.load(Ordering::Acquire) {
             return false;
         }
         if self.cancel.load(Ordering::Relaxed) {
@@ -236,36 +272,36 @@ impl ResourceGovernor {
     }
 
     /// Highest concurrent byte usage observed (exact: failed charges are
-    /// rolled back before they can inflate it).
+    /// never applied, so they cannot inflate it).
     pub fn high_water(&self) -> u64 {
-        self.mem_peak.get()
+        self.mem_peak.load(Ordering::Relaxed)
     }
 
     /// Cumulative bytes ever charged (never decreased by releases).
     pub fn charged_total(&self) -> u64 {
-        self.charged_total.get()
+        self.charged_total.load(Ordering::Relaxed)
     }
 
     /// Bytes currently held against the budget.
     pub fn mem_used(&self) -> u64 {
-        self.mem_used.get()
+        self.mem_used.load(Ordering::Relaxed)
     }
 
     /// Currently held bytes that have *not* been committed as persistent
     /// cache state. Zero after a plan closes cleanly — the "no leaked
     /// temp state" invariant the fault-injection tests assert.
     pub fn transient_bytes(&self) -> u64 {
-        self.transient_used.get()
+        self.transient_used.load(Ordering::Relaxed)
     }
 
     /// Tuples counted against the tuple budget.
     pub fn tuples_charged(&self) -> u64 {
-        self.tuples.get()
+        self.tuples.load(Ordering::Relaxed)
     }
 
     /// Ticks observed (test observability).
     pub fn ticks_seen(&self) -> u64 {
-        self.ticks.get()
+        self.ticks.load(Ordering::Relaxed)
     }
 }
 
@@ -319,6 +355,20 @@ impl ChargeLedger {
     pub fn release_all(&mut self, gov: &ResourceGovernor) {
         let b = std::mem::take(&mut self.held);
         gov.release(b);
+    }
+
+    /// Adopt another ledger's holdings without touching the governor:
+    /// the bytes were already charged through `other` (Exchange workers
+    /// charge through private ledgers that the coordinator absorbs after
+    /// the join, so releases keep flowing through exactly one owner).
+    pub fn absorb(&mut self, other: ChargeLedger) {
+        self.held += other.held;
+        self.committed += other.committed;
+        self.charged += other.charged;
+        let now = self.held + self.committed;
+        if now > self.peak {
+            self.peak = now;
+        }
     }
 
     /// Commit every transient byte as persistent cache state (MemoX
@@ -517,7 +567,7 @@ mod tests {
         assert_eq!(value_bytes(&Value::Str("abcd".into())), slot + 4);
         let t: Tuple = vec![Value::Null, Value::Num(2.0), Value::Str("xy".into())];
         assert_eq!(tuple_bytes(&t), 3 * slot + 2);
-        let seq = Value::Seq(std::rc::Rc::new(vec![t]));
+        let seq = Value::Seq(std::sync::Arc::new(vec![t]));
         assert_eq!(value_bytes(&seq), slot + 3 * slot + 2);
         let key = std::mem::size_of::<GroupKey>() as u64;
         assert_eq!(group_key_bytes(&GroupKey::Null), key);

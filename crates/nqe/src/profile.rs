@@ -8,14 +8,20 @@
 //! allocation-identical to before instrumentation existed) and one
 //! `Instant` pair per call when on.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use algebra::Tuple;
 
 use crate::exec::Runtime;
-use crate::iter::{Gauge, PhysIter};
+use crate::iter::{Gauge, ParallelStats, PhysIter};
+
+/// Shared, thread-safe counters of one physical operator. `Arc<Mutex<…>>`
+/// rather than `Rc<RefCell<…>>` because Exchange worker replicas carry
+/// their own counter shards across threads.
+pub type SharedStats = Arc<Mutex<OpStats>>;
 
 /// Counters of one physical operator.
 #[derive(Debug, Default)]
@@ -34,6 +40,23 @@ pub struct OpStats {
     pub gauges: Vec<Gauge>,
 }
 
+impl OpStats {
+    /// Accumulate `other` into `self`: counters add, gauges add by name
+    /// (appending names `self` has not seen). Used to fold per-worker
+    /// Exchange shards into the displayed profile row.
+    pub fn accumulate(&mut self, other: &OpStats) {
+        self.opens += other.opens;
+        self.tuples += other.tuples;
+        self.nanos += other.nanos;
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, cur)) => *cur += v,
+                None => self.gauges.push((name, *v)),
+            }
+        }
+    }
+}
+
 /// One profiled operator: label, plan depth, counters.
 pub struct ProfileEntry {
     /// Operator label in the paper's notation (σ, Υ, Π^D, …).
@@ -42,7 +65,7 @@ pub struct ProfileEntry {
     /// level below the operator whose subscript evaluates them.
     pub depth: usize,
     /// Shared counters, updated by the wrapper during execution.
-    pub stats: Rc<RefCell<OpStats>>,
+    pub stats: SharedStats,
 }
 
 /// The profile of a whole plan, in plan order (pre-order).
@@ -50,6 +73,10 @@ pub struct ProfileEntry {
 pub struct Profile {
     /// Entries in plan order.
     pub entries: Vec<ProfileEntry>,
+    /// Per-Exchange parallel execution statistics (workers, partitions,
+    /// per-worker tuple counts, merge time), one entry per Exchange
+    /// operator in plan order. Empty for serial plans.
+    pub parallel: Vec<Arc<Mutex<ParallelStats>>>,
 }
 
 impl Profile {
@@ -66,7 +93,7 @@ impl Profile {
         ]);
         let self_nanos = self.self_nanos();
         for (e, self_ns) in self.entries.iter().zip(&self_nanos) {
-            let s = e.stats.borrow();
+            let s = e.stats.lock();
             let mut label = format!("{}{}", "  ".repeat(e.depth), e.label);
             if !s.gauges.is_empty() {
                 let gauges: Vec<String> =
@@ -96,7 +123,7 @@ impl Profile {
 
     /// Total tuples produced across all operators (a work measure).
     pub fn total_tuples(&self) -> u64 {
-        self.entries.iter().map(|e| e.stats.borrow().tuples).sum()
+        self.entries.iter().map(|e| e.stats.lock().tuples).sum()
     }
 
     /// Total wall-clock time attributed to the plan: the sum of the
@@ -108,7 +135,7 @@ impl Profile {
             self.entries
                 .iter()
                 .filter(|e| e.depth == min_depth)
-                .map(|e| e.stats.borrow().nanos)
+                .map(|e| e.stats.lock().nanos)
                 .sum(),
         )
     }
@@ -132,10 +159,10 @@ impl Profile {
                         break;
                     }
                     if e.depth == entry.depth + 1 {
-                        children_nanos += e.stats.borrow().nanos;
+                        children_nanos += e.stats.lock().nanos;
                     }
                 }
-                entry.stats.borrow().nanos.saturating_sub(children_nanos)
+                entry.stats.lock().nanos.saturating_sub(children_nanos)
             })
             .collect()
     }
@@ -148,12 +175,12 @@ pub use compiler::trace::fmt_nanos;
 /// Timing/counting adapter around any physical iterator.
 pub struct ProfiledIter {
     inner: Box<dyn PhysIter>,
-    stats: Rc<RefCell<OpStats>>,
+    stats: SharedStats,
 }
 
 impl ProfiledIter {
     /// Wrap `inner`, registering counters shared with a [`Profile`].
-    pub fn new(inner: Box<dyn PhysIter>, stats: Rc<RefCell<OpStats>>) -> ProfiledIter {
+    pub fn new(inner: Box<dyn PhysIter>, stats: SharedStats) -> ProfiledIter {
         ProfiledIter { inner, stats }
     }
 }
@@ -162,7 +189,7 @@ impl PhysIter for ProfiledIter {
     fn open(&mut self, rt: &Runtime<'_>, seed: &Tuple) {
         let t0 = Instant::now();
         self.inner.open(rt, seed);
-        let mut s = self.stats.borrow_mut();
+        let mut s = self.stats.lock();
         s.nanos += t0.elapsed().as_nanos() as u64;
         s.opens += 1;
     }
@@ -170,7 +197,7 @@ impl PhysIter for ProfiledIter {
     fn next(&mut self, rt: &Runtime<'_>) -> Option<Tuple> {
         let t0 = Instant::now();
         let t = self.inner.next(rt);
-        let mut s = self.stats.borrow_mut();
+        let mut s = self.stats.lock();
         s.nanos += t0.elapsed().as_nanos() as u64;
         if t.is_some() {
             s.tuples += 1;
@@ -181,7 +208,7 @@ impl PhysIter for ProfiledIter {
     fn close(&mut self, rt: &Runtime<'_>) {
         let t0 = Instant::now();
         self.inner.close(rt);
-        let mut s = self.stats.borrow_mut();
+        let mut s = self.stats.lock();
         s.nanos += t0.elapsed().as_nanos() as u64;
         // Refresh the operator's gauges: caches and materialisation
         // counters survive re-opens, so the values at the last close are
@@ -190,7 +217,7 @@ impl PhysIter for ProfiledIter {
         let mut gauges = std::mem::take(&mut s.gauges);
         drop(s);
         self.inner.gauges(&mut gauges);
-        self.stats.borrow_mut().gauges = gauges;
+        self.stats.lock().gauges = gauges;
     }
 
     // Deliberately no `gauges` override: when an operator compiles to a

@@ -488,11 +488,11 @@ fn profiled_execution_counts_operator_work() {
         profile
             .entries
             .iter()
-            .any(|e| { e.label.contains("child::title") && e.stats.borrow().tuples == 4 }),
+            .any(|e| { e.label.contains("child::title") && e.stats.lock().tuples == 4 }),
         "{report}"
     );
     // Everything was opened exactly once (stacked translation: no d-joins).
-    assert!(profile.entries.iter().all(|e| e.stats.borrow().opens == 1), "{report}");
+    assert!(profile.entries.iter().all(|e| e.stats.lock().opens == 1), "{report}");
     assert!(profile.total_tuples() > 0);
 
     // Canonical translation re-opens dependent branches per left tuple.
@@ -500,7 +500,7 @@ fn profiled_execution_counts_operator_work() {
     let (mut phys, profile) = nqe::build_physical_profiled(&compiled);
     phys.execute(&d, &HashMap::new(), d.root()).unwrap();
     assert!(
-        profile.entries.iter().any(|e| e.stats.borrow().opens > 1),
+        profile.entries.iter().any(|e| e.stats.lock().opens > 1),
         "canonical plans must show repeated opens:\n{}",
         profile.report()
     );

@@ -235,7 +235,7 @@ fn profiler_gauges_reconcile_with_governor_accounting() {
             .iter()
             .flat_map(|op| {
                 op.stats
-                    .borrow()
+                    .lock()
                     .gauges
                     .iter()
                     .filter(|(g, _)| *g == name)

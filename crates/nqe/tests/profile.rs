@@ -2,9 +2,10 @@
 //! checked against hand-computed values on tiny documents, plus the
 //! serde-free JSON round-trip and the report renderer's alignment.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use std::time::Duration;
 
 use compiler::TranslateOptions;
@@ -38,7 +39,7 @@ fn children(profile: &Profile, i: usize) -> Vec<usize> {
 }
 
 fn gauge(entry: &ProfileEntry, name: &str) -> Option<u64> {
-    entry.stats.borrow().gauges.iter().find(|(k, _)| *k == name).map(|&(_, v)| v)
+    entry.stats.lock().gauges.iter().find(|(k, _)| *k == name).map(|&(_, v)| v)
 }
 
 /// The d-join re-opens its dependent side once per left tuple (§3.3.2):
@@ -60,8 +61,8 @@ fn djoin_dependent_opens_equal_left_tuple_count() {
         djoins += 1;
         let kids = children(profile, i);
         assert_eq!(kids.len(), 2, "d-join has a left input and a dependent");
-        let left_tuples = profile.entries[kids[0]].stats.borrow().tuples;
-        let dependent_opens = profile.entries[kids[1]].stats.borrow().opens;
+        let left_tuples = profile.entries[kids[0]].stats.lock().tuples;
+        let dependent_opens = profile.entries[kids[1]].stats.lock().opens;
         assert_eq!(
             dependent_opens, left_tuples,
             "dependent of d-join #{djoins} must re-open once per left tuple"
@@ -96,7 +97,7 @@ fn memox_hit_miss_counters_match_hand_computed_query() {
     assert_eq!(memos.len(), 2, "both parent/child pairs of the inner path memoize");
     for m in memos {
         // Opened once per duplicate context: 4 b's collapse onto 1 a.
-        assert_eq!(m.stats.borrow().opens, 4, "{}", m.label);
+        assert_eq!(m.stats.lock().opens, 4, "{}", m.label);
         assert_eq!(gauge(m, "memo_misses"), Some(1), "{}", m.label);
         assert_eq!(gauge(m, "memo_hits"), Some(3), "{}", m.label);
         assert_eq!(gauge(m, "memo_entries"), Some(1), "{}", m.label);
@@ -200,7 +201,7 @@ fn entry(label: &str, depth: usize, opens: u64, tuples: u64, nanos: u64) -> Prof
     ProfileEntry {
         label: label.to_owned(),
         depth,
-        stats: Rc::new(RefCell::new(OpStats { opens, tuples, nanos, gauges: Vec::new() })),
+        stats: Arc::new(Mutex::new(OpStats { opens, tuples, nanos, gauges: Vec::new() })),
     }
 }
 
@@ -215,6 +216,7 @@ fn report_columns_stay_aligned_across_magnitudes() {
             entry("Mid", 1, 1_234_567, 3, 1_999_999_999),
             entry("Leaf", 2, 1, 1, 7),
         ],
+        parallel: Vec::new(),
     };
     let report = profile.report();
     let lines: Vec<&str> = report.lines().collect();
@@ -236,6 +238,7 @@ fn profile_helpers() {
             entry("C", 2, 1, 2, 100),
             entry("D", 1, 1, 2, 300),
         ],
+        parallel: Vec::new(),
     };
     assert_eq!(profile.total_time(), Duration::from_nanos(1000));
     assert_eq!(profile.max_depth(), 2);

@@ -8,10 +8,15 @@
 //!
 //! Integrity: when opened with [`BufferOptions::verify_checksums`] (the
 //! disk store always does), every page read from disk has its CRC32C
-//! trailer checked before the bytes reach any decode logic. Verification
-//! happens once per file read — buffer hits reuse the already-verified
-//! frame — and is counted in [`BufferStats::pages_verified`] /
-//! [`BufferStats::checksum_failures`], surfaced by EXPLAIN ANALYZE.
+//! trailer checked before the bytes reach any decode logic. Each frame
+//! carries a **verified bit**: verification happens once per frame
+//! residency, not once per pin — buffer hits on a verified frame skip
+//! the CRC entirely, a frame first populated by [`BufferManager::pin_raw`]
+//! is checked lazily on its first verified pin, and only eviction (which
+//! drops the frame, bit and all) forces a page to be re-verified after
+//! its next file read. The checks are counted in
+//! [`BufferStats::pages_verified`] / [`BufferStats::checksum_failures`],
+//! surfaced by EXPLAIN ANALYZE.
 //!
 //! All failure paths return a typed [`DiskError`] carrying the page
 //! coordinate: I/O errors as [`DiskError::Io`], short reads (truncation)
@@ -42,7 +47,9 @@ pub struct BufferStats {
     pub misses: u64,
     /// Frames dropped to make room.
     pub evictions: u64,
-    /// Pages whose CRC trailer was checked after a file read.
+    /// CRC trailer checks performed — at most one per frame residency
+    /// (pins re-using a verified frame do not re-check; a page evicted
+    /// and read again is checked again).
     pub pages_verified: u64,
     /// Pages whose CRC trailer did not match (each one surfaced as a
     /// typed [`DiskError::Corrupt`]).
@@ -61,6 +68,10 @@ pub struct BufferOptions {
 struct Frame {
     page: PageRef,
     last_used: u64,
+    /// The resident bytes passed CRC verification. Cleared only by
+    /// eviction (frames are immutable); a raw-pinned frame starts
+    /// unverified and is checked lazily by the first verifying pin.
+    verified: bool,
 }
 
 struct Inner {
@@ -116,8 +127,22 @@ impl BufferManager {
     }
 
     /// Pin page `no`, reading (and, if configured, verifying) it from
-    /// disk if not resident.
+    /// disk if not resident. The per-frame verified bit makes the check
+    /// once-per-residency: re-pins of a checked frame skip the CRC.
     pub fn pin(&self, no: u32) -> Result<PageRef, DiskError> {
+        self.pin_inner(no, self.options.verify_checksums)
+    }
+
+    /// Pin page `no` without checksum verification even when the manager
+    /// verifies by default — for tooling that inspects raw page bytes
+    /// (corruption triage wants the sick bytes, not an error). The frame
+    /// is left unverified, so a later [`BufferManager::pin`] of the same
+    /// page CRC-checks the resident bytes exactly once.
+    pub fn pin_raw(&self, no: u32) -> Result<PageRef, DiskError> {
+        self.pin_inner(no, false)
+    }
+
+    fn pin_inner(&self, no: u32, verify: bool) -> Result<PageRef, DiskError> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         inner.pins += 1;
@@ -128,7 +153,21 @@ impl BufferManager {
         if let Some(frame) = inner.frames.get_mut(&no) {
             frame.last_used = tick;
             let page = frame.page.clone();
+            let checked = frame.verified;
             inner.stats.hits += 1;
+            if verify && !checked {
+                // The frame was populated by a raw pin: verify the
+                // resident bytes now, once, and remember the outcome.
+                inner.stats.pages_verified += 1;
+                if !verify_page(&page) {
+                    inner.stats.checksum_failures += 1;
+                    inner.frames.remove(&no);
+                    return Err(DiskError::corrupt_at("page checksum mismatch", no));
+                }
+                if let Some(frame) = inner.frames.get_mut(&no) {
+                    frame.verified = true;
+                }
+            }
             return Ok(page);
         }
         inner.stats.misses += 1;
@@ -180,7 +219,7 @@ impl BufferManager {
                 buf[off as usize % PAGE_SIZE] ^= 0x01;
             }
         }
-        if self.options.verify_checksums {
+        if verify {
             inner.stats.pages_verified += 1;
             if !verify_page(&buf) {
                 inner.stats.checksum_failures += 1;
@@ -188,7 +227,9 @@ impl BufferManager {
             }
         }
         let page: PageRef = Arc::from(buf as Box<[u8; PAGE_SIZE]>);
-        inner.frames.insert(no, Frame { page: page.clone(), last_used: tick });
+        inner
+            .frames
+            .insert(no, Frame { page: page.clone(), last_used: tick, verified: verify });
         Ok(page)
     }
 
@@ -302,6 +343,49 @@ mod tests {
         let s = bm.stats();
         assert_eq!(s.pages_verified, 2, "hits are not re-verified");
         assert_eq!(s.checksum_failures, 0);
+    }
+
+    #[test]
+    fn verified_bit_checks_once_per_residency() {
+        let f = page_file(3);
+        let bm = BufferManager::open_with(f.path(), 2, verified()).unwrap();
+        // Raw pin populates the frame unchecked.
+        bm.pin_raw(0).unwrap();
+        assert_eq!(bm.stats().pages_verified, 0, "raw pins never verify");
+        // First verifying pin checks the resident bytes; later pins reuse
+        // the frame's verified bit.
+        bm.pin(0).unwrap();
+        bm.pin(0).unwrap();
+        bm.pin_raw(0).unwrap();
+        let s = bm.stats();
+        assert_eq!(s.pages_verified, 1, "one check per residency");
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+        // Eviction drops the bit with the frame: the re-read re-verifies.
+        bm.pin(1).unwrap();
+        bm.pin(2).unwrap(); // capacity 2 → evicts page 0
+        bm.pin(0).unwrap();
+        assert_eq!(bm.stats().pages_verified, 4, "re-read after eviction re-checks");
+    }
+
+    #[test]
+    fn raw_pinned_corruption_surfaces_on_first_verified_pin() {
+        let f = page_file(2);
+        let mut bytes = std::fs::read(f.path()).unwrap();
+        bytes[PAGE_SIZE + 9] ^= 0xFF;
+        std::fs::write(f.path(), &bytes).unwrap();
+        let bm = BufferManager::open_with(f.path(), 4, verified()).unwrap();
+        // Raw access hands out the sick bytes (corruption triage).
+        let raw = bm.pin_raw(1).unwrap();
+        assert_eq!(raw[9], bytes[PAGE_SIZE + 9]);
+        // The verifying pin catches it on the resident frame.
+        let err = bm.pin(1).unwrap_err();
+        assert!(matches!(err, DiskError::Corrupt { page: Some(1), .. }), "{err}");
+        assert_eq!(bm.stats().checksum_failures, 1);
+        // The poisoned frame was dropped: the next raw pin re-reads.
+        let before = bm.stats().misses;
+        bm.pin_raw(1).unwrap();
+        assert_eq!(bm.stats().misses, before + 1);
     }
 
     #[test]

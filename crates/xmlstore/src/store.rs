@@ -16,7 +16,12 @@ use crate::node::{NameId, NodeId, NodeKind};
 /// [`DiskStore`](crate::diskstore::DiskStore) (slotted pages behind a buffer
 /// manager). All navigation used by the physical algebra goes through this
 /// trait, so plans are storage-agnostic.
-pub trait XmlStore {
+///
+/// `Sync` is a supertrait: the Exchange operator shares one store across
+/// its worker threads. Both implementations already qualify — the arena
+/// is immutable after build, and the disk store's buffer manager and
+/// fault latch are lock-protected.
+pub trait XmlStore: Sync {
     /// The document node (always [`NodeId::DOCUMENT`]).
     fn root(&self) -> NodeId {
         NodeId::DOCUMENT

@@ -55,6 +55,7 @@ struct Args {
     canonical: bool,
     extended: bool,
     time: bool,
+    threads: usize,
     limits: ResourceLimits,
     queries: Vec<String>,
 }
@@ -72,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         canonical: false,
         extended: false,
         time: false,
+        threads: 1,
         limits: ResourceLimits::unlimited(),
         queries: Vec::new(),
     };
@@ -87,6 +89,10 @@ fn parse_args() -> Result<Args, String> {
             "--canonical" => args.canonical = true,
             "--extended" => args.extended = true,
             "--time" => args.time = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count (0 = all cores)")?;
+                args.threads = parse_threads(&v)?;
+            }
             "--max-mem" => {
                 let v = it.next().ok_or("--max-mem needs a size (e.g. 16MiB)")?;
                 args.limits.max_memory_bytes = Some(parse_mem_size(&v)?);
@@ -129,6 +135,16 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Parse a `--threads`/`:threads` count; `0` means "all cores".
+fn parse_threads(v: &str) -> Result<usize, String> {
+    let n: usize = v.parse().map_err(|_| format!("threads: `{v}` is not a number"))?;
+    Ok(if n == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        n
+    })
+}
+
 fn print_help() {
     println!(
         "natix-cli — algebraic XPath 1.0 processing\n\n\
@@ -144,6 +160,8 @@ fn print_help() {
          \x20 --canonical          use the canonical §3 translation\n\
          \x20 --extended           improved translation + property pruning\n\
          \x20 --time               print compile-phase + evaluation times\n\
+         \x20 --threads <n>        worker threads for parallel execution\n\
+         \x20                      (1 = serial, 0 = all cores; see DESIGN.md §14)\n\
          \x20 --max-mem <size>     memory budget per query (16MiB, 512k, 1g, …)\n\
          \x20 --timeout <dur>      deadline per query (500ms, 2s, 1m, …)\n\
          \x20 --max-tuples <n>     cap on materialized tuples per query\n\
@@ -380,6 +398,7 @@ fn main() {
     } else {
         TranslateOptions::improved()
     };
+    let options = options.with_threads(args.threads);
     let mut engine = XPathEngine { options, limits: args.limits };
 
     // First non-zero query exit code wins, so a corruption hit (5) is not
@@ -414,7 +433,7 @@ fn main() {
     if args.interactive || (args.queries.is_empty() && args.persist.is_none()) {
         println!(
             "natix ({} nodes loaded) — enter XPath, `:explain <q>`, `:profile <q>`, \
-             `:analyze <q>`, `:limits [spec]`, or `:quit`",
+             `:analyze <q>`, `:limits [spec]`, `:threads [n]`, or `:quit`",
             doc.store().node_count()
         );
         let stdin = std::io::stdin();
@@ -433,7 +452,17 @@ fn main() {
             if line == ":quit" || line == ":q" {
                 break;
             }
-            if line == ":limits" {
+            if line == ":threads" {
+                println!("threads: {}", engine.options.threads);
+            } else if let Some(n) = line.strip_prefix(":threads ") {
+                match parse_threads(n.trim()) {
+                    Ok(n) => {
+                        engine.options = engine.options.with_threads(n);
+                        println!("threads: {n}");
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            } else if line == ":limits" {
                 println!("{}", render_limits(&engine.limits));
             } else if let Some(spec) = line.strip_prefix(":limits ") {
                 match apply_limits_directive(&mut engine.limits, spec.trim()) {
