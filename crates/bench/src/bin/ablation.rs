@@ -216,6 +216,6 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        write_results_json(&path, "ablation", results);
+        write_results_json(&path, "ablation", bench::arg_seed(&args), results);
     }
 }

@@ -148,6 +148,6 @@ fn main() {
     println!("# speedup = cursor_ms / range_ms; both runs share one arena and plan");
 
     if let Some(path) = json_path {
-        bench::write_results_json(&path, "axis_kernel", results);
+        bench::write_results_json(&path, "axis_kernel", bench::arg_seed(&args), results);
     }
 }

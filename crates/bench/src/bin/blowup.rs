@@ -143,6 +143,6 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        write_results_json(&path, "blowup", results);
+        write_results_json(&path, "blowup", bench::arg_seed(&args), results);
     }
 }

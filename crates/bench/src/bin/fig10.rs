@@ -3,34 +3,54 @@
 //! the paper: `path, xalan_ms, natix_ms, result_cardinality`.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin fig10 [--records N] [--runs N]
+//! cargo run --release -p bench --bin fig10 \
+//!     [--records N] [--runs N] [--seed N] [--json PATH]
 //! ```
 
-use bench::{dblp_document, ms, time_query, Evaluator, FIG10_QUERIES};
+use bench::{
+    arg_seed, arg_value, dblp_document_seeded, ms, ms_f, profile_report, time_query,
+    write_results_json, Evaluator, FIG10_QUERIES,
+};
+use nqe::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let get = |flag: &str, default: usize| -> usize {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        arg_value(&args, flag).and_then(|v| v.parse().ok()).unwrap_or(default)
     };
     let records = get("--records", 50_000);
     let runs = get("--runs", 3);
+    let seed = arg_seed(&args);
+    let json_path = arg_value(&args, "--json");
 
     eprintln!("generating synthetic DBLP with {records} records…");
-    let doc = dblp_document(records);
+    let doc = dblp_document_seeded(records, seed);
 
     println!("# Paper Fig. 10: queries against (synthetic) DBLP, times in ms");
     println!("# {records} records, {runs} runs per cell (median)");
     println!("{:<75} {:>12} {:>12} {:>8}", "path", "interp(Xalan)", "natix", "|result|");
+    let mut results = Vec::new();
     for q in FIG10_QUERIES {
         let interp = time_query(Evaluator::ContextList, &doc, q, runs);
         let natix = time_query(Evaluator::NatixImproved, &doc, q, runs);
         let out = Evaluator::NatixImproved.run(&doc, q);
         let cardinality = out.as_nodes().map(|n| n.len()).unwrap_or(0);
         println!("{q:<75} {:>12} {:>12} {cardinality:>8}", ms(interp), ms(natix));
+        if json_path.is_some() {
+            results.push(Json::obj(vec![
+                ("query", Json::Str(q.to_owned())),
+                ("records", Json::Num(records as f64)),
+                ("interp_ms", Json::Num(ms_f(interp))),
+                ("natix_ms", Json::Num(ms_f(natix))),
+                ("cardinality", Json::Num(cardinality as f64)),
+                (
+                    "profile",
+                    profile_report(Evaluator::NatixImproved, &doc, q).unwrap_or(Json::Null),
+                ),
+            ]));
+        }
+    }
+    if let Some(path) = json_path {
+        write_results_json(&path, "fig10", seed, results);
     }
 }

@@ -84,6 +84,6 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        write_results_json(&path, "fig6_9", results);
+        write_results_json(&path, "fig6_9", bench::arg_seed(&args), results);
     }
 }

@@ -20,7 +20,8 @@
 //! ```
 
 use bench::{
-    arg_value, dblp_document, ms, ms_f, time_query, tree_document, write_results_json, Evaluator,
+    arg_seed, arg_value, dblp_document_seeded, ms, ms_f, time_query, tree_document,
+    write_results_json, Evaluator,
 };
 use compiler::TranslateOptions;
 use nqe::Json;
@@ -71,7 +72,8 @@ fn main() {
         "generating documents (tree {tree_elems}, dblp {dblp_records}, blowup {groups}×{width})…"
     );
     let tree = tree_document(tree_elems);
-    let dblp = dblp_document(dblp_records);
+    let seed = arg_seed(&args);
+    let dblp = dblp_document_seeded(dblp_records, seed);
     let blowup = blowup_document(groups, width);
 
     // Workloads where the planner inserts an Exchange: nested recursive
@@ -141,6 +143,6 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        write_results_json(&path, "parallel", results);
+        write_results_json(&path, "parallel", seed, results);
     }
 }

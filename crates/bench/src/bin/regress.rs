@@ -1,0 +1,280 @@
+//! Experiment B6 — the perf-regression harness: replay the standard
+//! workload set, summarise each workload's latency distribution with the
+//! telemetry crate's log-linear histogram (p50/p90/p99/max), and diff
+//! against a committed baseline with a tolerance gate.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin regress -- --json results/BENCH_6.json
+//! cargo run --release -p bench --bin regress -- --check            # CI gate
+//! cargo run --release -p bench --bin regress -- --update-baseline  # re-pin
+//! ```
+//!
+//! Machine-speed normalisation: absolute latencies are not comparable
+//! across machines (or CI runners), so the gate compares *ratios*. The
+//! `calibrate` workload (a fixed structural scan) measures the machine;
+//! every other workload is gated on
+//! `p50 / calibrate_p50 ≤ baseline_ratio × tolerance`. The default
+//! tolerance (2.0×) absorbs CI noise while still catching the
+//! order-of-magnitude blowups this harness exists for — tighten it with
+//! `--tolerance` for local A/B runs.
+
+use std::time::Instant;
+
+use bench::{
+    arg_seed, arg_value, dblp_document_seeded, host_json, tree_document, Evaluator, FIG10_QUERIES,
+    FIG5_QUERIES,
+};
+use nqe::Json;
+use telemetry::Histogram;
+use xmlstore::ArenaStore;
+
+/// Default baseline location (committed to the repo).
+const BASELINE: &str = "results/BENCH_6_baseline.json";
+
+/// Default headroom multiplier for the `--check` gate.
+const TOLERANCE: f64 = 2.0;
+
+/// Which of the standard documents a workload runs against.
+#[derive(Clone, Copy)]
+enum Doc {
+    Tree2000,
+    Tree4000,
+    Dblp5000,
+}
+
+struct Workload {
+    name: &'static str,
+    doc: Doc,
+    queries: Vec<&'static str>,
+}
+
+/// The standard workload set. `calibrate` must stay first and must stay
+/// cheap and allocation-stable: it is the unit every other workload's
+/// latency is normalised by.
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "calibrate",
+            doc: Doc::Tree2000,
+            queries: vec!["count(//*)"],
+        },
+        Workload {
+            name: "tree_axes",
+            doc: Doc::Tree4000,
+            queries: vec![FIG5_QUERIES[0].1, FIG5_QUERIES[2].1, FIG5_QUERIES[3].1],
+        },
+        Workload {
+            name: "dblp_paths",
+            doc: Doc::Dblp5000,
+            queries: vec![FIG10_QUERIES[0], FIG10_QUERIES[1], FIG10_QUERIES[6]],
+        },
+        Workload {
+            name: "predicates",
+            doc: Doc::Dblp5000,
+            queries: vec![FIG10_QUERIES[3], FIG10_QUERIES[8], FIG10_QUERIES[12]],
+        },
+        Workload {
+            name: "scalar",
+            doc: Doc::Tree4000,
+            queries: vec![
+                "count(/xdoc/descendant::*) + count(//@id)",
+                "string-length(string(/xdoc/*[1]))",
+            ],
+        },
+    ]
+}
+
+struct Summary {
+    name: &'static str,
+    iterations: u64,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
+    mean: f64,
+}
+
+fn measure(seed: u64, iterations: usize) -> Vec<Summary> {
+    let tree2000 = tree_document(2000);
+    let tree4000 = tree_document(4000);
+    let dblp5000 = dblp_document_seeded(5000, seed);
+    let store = |d: Doc| -> &ArenaStore {
+        match d {
+            Doc::Tree2000 => &tree2000,
+            Doc::Tree4000 => &tree4000,
+            Doc::Dblp5000 => &dblp5000,
+        }
+    };
+    workloads()
+        .iter()
+        .map(|w| {
+            let h = Histogram::new();
+            let doc = store(w.doc);
+            // One warmup iteration outside the histogram.
+            for q in &w.queries {
+                std::hint::black_box(Evaluator::NatixImproved.run(doc, q));
+            }
+            for _ in 0..iterations {
+                let t0 = Instant::now();
+                for q in &w.queries {
+                    std::hint::black_box(Evaluator::NatixImproved.run(doc, q));
+                }
+                h.record_nanos(t0.elapsed());
+            }
+            let s = h.summary();
+            eprintln!(
+                "{:<12} p50 {:>9}ns  p99 {:>9}ns  max {:>9}ns  ({} iterations)",
+                w.name, s.p50, s.p99, s.max, s.count
+            );
+            Summary {
+                name: w.name,
+                iterations: s.count,
+                p50: s.p50,
+                p90: s.p90,
+                p99: s.p99,
+                max: s.max,
+                mean: s.mean,
+            }
+        })
+        .collect()
+}
+
+fn results_json(seed: u64, summaries: &[Summary]) -> Json {
+    Json::obj(vec![
+        ("bench", Json::Str("regress".to_owned())),
+        ("host", host_json(seed)),
+        (
+            "results",
+            Json::Arr(
+                summaries
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("workload", Json::Str(s.name.to_owned())),
+                            ("iterations", Json::Num(s.iterations as f64)),
+                            ("p50_nanos", Json::Num(s.p50 as f64)),
+                            ("p90_nanos", Json::Num(s.p90 as f64)),
+                            ("p99_nanos", Json::Num(s.p99 as f64)),
+                            ("max_nanos", Json::Num(s.max as f64)),
+                            ("mean_nanos", Json::Num(s.mean)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `workload → p50_nanos` from a results document.
+fn baseline_p50s(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("results")
+        .and_then(Json::as_arr)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(|r| {
+                    Some((r.get("workload")?.as_str()?.to_owned(), r.get("p50_nanos")?.as_num()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg_seed(&args);
+    let check = args.iter().any(|a| a == "--check");
+    let update = args.iter().any(|a| a == "--update-baseline");
+    let quick = args.iter().any(|a| a == "--quick");
+    let iterations = arg_value(&args, "--iterations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 5 } else { 21 });
+    let tolerance = arg_value(&args, "--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(TOLERANCE);
+    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| BASELINE.to_owned());
+
+    eprintln!("replaying {} workloads × {iterations} iterations…", workloads().len());
+    let summaries = measure(seed, iterations);
+    let doc = results_json(seed, &summaries);
+
+    if let Some(path) = arg_value(&args, "--json") {
+        match std::fs::write(&path, doc.pretty()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if update {
+        match std::fs::write(&baseline_path, doc.pretty()) {
+            Ok(()) => eprintln!("baseline updated: {baseline_path}"),
+            Err(e) => {
+                eprintln!("error: {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !check {
+        return;
+    }
+
+    let base_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: no baseline at {baseline_path}: {e}");
+            eprintln!("hint: run with --update-baseline to create one");
+            std::process::exit(2);
+        }
+    };
+    let base = match Json::parse(&base_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base_p50s = baseline_p50s(&base);
+    let base_cal = base_p50s.iter().find(|(n, _)| n == "calibrate").map(|(_, v)| *v).unwrap_or(0.0);
+    let cur_cal = summaries.iter().find(|s| s.name == "calibrate").map(|s| s.p50).unwrap_or(0);
+    if base_cal <= 0.0 || cur_cal == 0 {
+        eprintln!("error: calibrate workload missing from baseline or current run");
+        std::process::exit(2);
+    }
+
+    println!(
+        "# regress --check vs {baseline_path} (tolerance {tolerance:.2}×, \
+         calibration-normalised)"
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>8} {:>8}",
+        "workload", "base_norm_p50", "cur_norm_p50", "ratio", "verdict"
+    );
+    let mut failed = false;
+    for s in summaries.iter().filter(|s| s.name != "calibrate") {
+        let Some((_, base_p50)) = base_p50s.iter().find(|(n, _)| n == s.name) else {
+            println!("{:<12} {:>14} {:>14} {:>8} {:>8}", s.name, "-", "-", "-", "NEW");
+            continue;
+        };
+        let base_norm = base_p50 / base_cal;
+        let cur_norm = s.p50 as f64 / cur_cal as f64;
+        let ratio = cur_norm / base_norm;
+        let ok = ratio <= tolerance;
+        if !ok {
+            failed = true;
+        }
+        println!(
+            "{:<12} {:>14.3} {:>14.3} {:>7.2}× {:>8}",
+            s.name,
+            base_norm,
+            cur_norm,
+            ratio,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+    }
+    if failed {
+        eprintln!("perf regression detected (normalised p50 over {tolerance:.2}× baseline)");
+        std::process::exit(1);
+    }
+    println!("no regression");
+}

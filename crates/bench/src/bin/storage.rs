@@ -5,11 +5,13 @@
 //! buffer" property (§5.2.2) and shows the cost of page faults.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin storage [--elems N] [--runs N]
+//! cargo run --release -p bench --bin storage \
+//!     [--elems N] [--runs N] [--seed N] [--json PATH]
 //! ```
 
-use bench::{ms, tree_document};
+use bench::{arg_seed, arg_value, ms, ms_f, tree_document, write_results_json};
 use compiler::TranslateOptions;
+use nqe::Json;
 use xmlstore::diskstore::DiskStore;
 use xmlstore::tmp::TempPath;
 use xmlstore::XmlStore;
@@ -38,6 +40,8 @@ fn main() {
     };
     let elems = get("--elems", 20_000);
     let runs = get("--runs", 3);
+    let seed = arg_seed(&args);
+    let json_path = arg_value(&args, "--json");
 
     eprintln!("generating document with {elems} elements…");
     let arena = tree_document(elems);
@@ -54,10 +58,13 @@ fn main() {
 
     println!("# E10: arena vs paged disk store ({elems} elements, {file_kib} KiB page file)");
     println!("# times in ms (median of {runs}); buffer stats accumulated per store instance");
+    let mut results = Vec::new();
     for q in queries {
         println!("\nquery: {q}");
         let t = median_time(&arena, q, runs);
         println!("  arena                 {:>10} ms", ms(t));
+        let arena_ms = ms_f(t);
+        let mut disk_rows = Vec::new();
         for frames in [8usize, 64, 4096] {
             let disk = DiskStore::open(path.path(), frames).expect("open disk store");
             let t = median_time(&disk, q, runs);
@@ -69,6 +76,26 @@ fn main() {
                 hit_rate,
                 s.evictions
             );
+            disk_rows.push(Json::obj(vec![
+                ("frames", Json::Num(frames as f64)),
+                ("ms", Json::Num(ms_f(t))),
+                ("hits", Json::Num(s.hits as f64)),
+                ("misses", Json::Num(s.misses as f64)),
+                ("evictions", Json::Num(s.evictions as f64)),
+                ("hit_rate_pct", Json::Num(hit_rate)),
+            ]));
         }
+        if json_path.is_some() {
+            results.push(Json::obj(vec![
+                ("query", Json::Str(q.to_owned())),
+                ("elems", Json::Num(elems as f64)),
+                ("file_kib", Json::Num(file_kib as f64)),
+                ("arena_ms", Json::Num(arena_ms)),
+                ("disk", Json::Arr(disk_rows)),
+            ]));
+        }
+    }
+    if let Some(path) = json_path {
+        write_results_json(&path, "storage", seed, results);
     }
 }

@@ -57,9 +57,18 @@ pub fn tree_document(elements: usize) -> ArenaStore {
     }
 }
 
-/// Build the synthetic DBLP document.
+/// The default document-generator seed shared by every harness (keeps
+/// DBLP documents byte-identical across bins and runs).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Build the synthetic DBLP document with the default seed.
 pub fn dblp_document(records: usize) -> ArenaStore {
-    generate_dblp(DblpParams { records, seed: 42 })
+    dblp_document_seeded(records, DEFAULT_SEED)
+}
+
+/// Build the synthetic DBLP document with an explicit seed (`--seed`).
+pub fn dblp_document_seeded(records: usize, seed: u64) -> ArenaStore {
+    generate_dblp(DblpParams { records, seed })
 }
 
 /// The evaluators compared by the experiments.
@@ -185,13 +194,47 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
-/// Write a bench results file: `{"bench": <name>, "results": [...]}`,
-/// pretty-printed. Each result element is harness-specific but always
-/// carries the query and, for algebraic evaluators, a `profile` field
-/// with the per-operator EXPLAIN ANALYZE export.
-pub fn write_results_json(path: &str, bench: &str, results: Vec<Json>) {
+/// The `--seed` argument, defaulting to [`DEFAULT_SEED`].
+pub fn arg_seed(args: &[String]) -> u64 {
+    arg_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SEED)
+}
+
+/// The machine/build context a result set was measured under, stamped
+/// with the document-generator seed: timings from different core counts,
+/// page sizes or build profiles (or different generated documents) are
+/// not comparable, and the JSON should say so machine-readably.
+pub fn host_json(seed: u64) -> Json {
+    Json::obj(vec![
+        (
+            "cores",
+            Json::Num(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) as f64),
+        ),
+        ("page_size", Json::Num(xmlstore::page::PAGE_SIZE as f64)),
+        (
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_owned(),
+            ),
+        ),
+        ("seed", Json::Num(seed as f64)),
+    ])
+}
+
+/// Write a bench results file:
+/// `{"bench": <name>, "host": {...}, "results": [...]}`, pretty-printed.
+/// `host` carries core count, page size, build profile and the generator
+/// seed (see [`host_json`]). Each result element is harness-specific but
+/// always carries the query and, for algebraic evaluators, a `profile`
+/// field with the per-operator EXPLAIN ANALYZE export.
+pub fn write_results_json(path: &str, bench: &str, seed: u64, results: Vec<Json>) {
     let doc = Json::obj(vec![
         ("bench", Json::Str(bench.to_owned())),
+        ("host", host_json(seed)),
         ("results", Json::Arr(results)),
     ]);
     match std::fs::write(path, doc.pretty()) {

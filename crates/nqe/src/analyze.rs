@@ -58,6 +58,8 @@ pub struct StorageReport {
     pub page_hits: u64,
     /// Pin requests that read a page from disk.
     pub pages_read: u64,
+    /// Frames evicted to make room for a read.
+    pub evictions: u64,
     /// Pages whose CRC32C trailer was verified after a read.
     pub pages_verified: u64,
     /// Pages whose trailer did not match (each surfaced as a typed
@@ -116,10 +118,34 @@ pub fn explain_analyze_governed(
     ctx: NodeId,
     vars: &HashMap<String, Value>,
 ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), PipelineError> {
+    observe_governed(store, query, opts, limits, ctx, vars, true)
+}
+
+/// The engine observability entry point behind both EXPLAIN ANALYZE and
+/// engine telemetry: compile with trace, lower (profiled or plain),
+/// execute governed, capture the storage delta and resource accounting.
+/// `profiled` selects between [`build_physical_profiled`] (per-operator
+/// timings, needed for EXPLAIN and slow-query capture) and the untimed
+/// [`crate::codegen::build_physical`] path (the report's profile is then
+/// empty, but the trace/resource/storage sections are still filled) —
+/// telemetry-enabled engines use the cheap path for plain evaluation.
+pub fn observe_governed(
+    store: &dyn XmlStore,
+    query: &str,
+    opts: &TranslateOptions,
+    limits: &ResourceLimits,
+    ctx: NodeId,
+    vars: &HashMap<String, Value>,
+    profiled: bool,
+) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), PipelineError> {
     let (compiled, mut trace) = compile_traced(query, opts)?;
 
     let t0 = Instant::now();
-    let (mut phys, profile) = build_physical_profiled(&compiled);
+    let (mut phys, profile) = if profiled {
+        build_physical_profiled(&compiled)
+    } else {
+        (crate::codegen::build_physical(&compiled), Profile::default())
+    };
     trace.add_phase("codegen", t0.elapsed().as_nanos() as u64);
 
     let gov = ResourceGovernor::new(*limits);
@@ -131,6 +157,7 @@ pub fn explain_analyze_governed(
         (Some(b), Some(a)) => Some(StorageReport {
             page_hits: a.hits - b.hits,
             pages_read: a.misses - b.misses,
+            evictions: a.evictions - b.evictions,
             pages_verified: a.pages_verified - b.pages_verified,
             checksum_failures: a.checksum_failures - b.checksum_failures,
         }),
@@ -194,8 +221,9 @@ impl AnalyzeReport {
         ));
         if let Some(s) = &self.storage {
             out.push_str(&format!(
-                "storage: {} page reads ({} hits), {} verified, {} checksum failures\n",
-                s.pages_read, s.page_hits, s.pages_verified, s.checksum_failures,
+                "storage: {} page reads ({} hits, {} evictions), {} verified, \
+                 {} checksum failures\n",
+                s.pages_read, s.page_hits, s.evictions, s.pages_verified, s.checksum_failures,
             ));
         }
         for (i, stats) in self.profile.parallel.iter().enumerate() {
@@ -246,7 +274,7 @@ impl AnalyzeReport {
     ///                  "tuples": 10, "nanos": 123, "self_nanos": 50,
     ///                  "gauges": {"dup_dropped": 2, "mem_charged": 0,
     ///                             "mem_peak": 0, ...}}, ...],
-    ///   "storage": {"page_hits": 0, "pages_read": 0,
+    ///   "storage": {"page_hits": 0, "pages_read": 0, "evictions": 0,
     ///               "pages_verified": 0, "checksum_failures": 0},
     ///   "parallel": [{"workers": 4, "partitions": 16,
     ///                 "source_tuples": 500, "worker_tuples": [120, ...],
@@ -279,6 +307,7 @@ impl AnalyzeReport {
                     Json::obj(vec![
                         ("page_hits", Json::Num(s.page_hits as f64)),
                         ("pages_read", Json::Num(s.pages_read as f64)),
+                        ("evictions", Json::Num(s.evictions as f64)),
                         ("pages_verified", Json::Num(s.pages_verified as f64)),
                         ("checksum_failures", Json::Num(s.checksum_failures as f64)),
                     ])

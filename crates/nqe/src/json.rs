@@ -478,6 +478,62 @@ mod tests {
     }
 
     #[test]
+    fn escapes_control_chars_as_u_sequences() {
+        // Every C0 control char must leave the writer as \uXXXX (or the
+        // short escapes \n \r \t) — raw control bytes in a JSONL query
+        // log would break line-oriented consumers.
+        let all_controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let written = Json::Str(all_controls.clone()).to_string();
+        for b in written.bytes() {
+            assert!(b >= 0x20, "raw control byte {b:#04x} in {written:?}");
+        }
+        assert!(written.contains("\\u0000"));
+        assert!(written.contains("\\u0001"));
+        assert!(written.contains("\\u001f"));
+        assert!(written.contains("\\n") || written.contains("\\u000a"));
+        assert_eq!(Json::parse(&written).unwrap(), Json::Str(all_controls));
+        // DEL (0x7f) is not a C0 control and passes through raw per JSON.
+        assert_eq!(Json::Str("\u{7f}".into()).to_string(), "\"\u{7f}\"");
+    }
+
+    #[test]
+    fn non_bmp_round_trips_both_spellings() {
+        // Non-BMP chars: written raw (UTF-8), parsed back identically —
+        // and the equivalent \u surrogate-pair spelling parses to the
+        // same string.
+        for s in ["😀", "𝄞 clef", "a😀b𝕏c", "🂡🂢🂣"] {
+            let v = Json::Str(s.into());
+            let written = v.to_string();
+            assert!(!written.contains("\\u"), "non-BMP written raw: {written}");
+            assert_eq!(Json::parse(&written).unwrap(), v);
+        }
+        assert_eq!(
+            Json::parse("\"\\ud834\\udd1e\"").unwrap(),
+            Json::Str("\u{1d11e}".into()),
+            "surrogate-pair spelling of U+1D11E"
+        );
+        // A lone high surrogate is malformed, not replaced.
+        assert!(Json::parse("\"\\ud834\"").is_err());
+        assert!(Json::parse("\"\\ud834x\"").is_err());
+    }
+
+    #[test]
+    fn nested_empty_containers_round_trip() {
+        let v = Json::obj(vec![
+            ("a", Json::Obj(vec![])),
+            ("b", Json::Arr(vec![Json::Obj(vec![]), Json::Arr(vec![])])),
+            ("c", Json::obj(vec![("inner", Json::obj(vec![("deepest", Json::Obj(vec![]))]))])),
+        ]);
+        let compact = v.to_string();
+        assert_eq!(compact, r#"{"a":{},"b":[{},[]],"c":{"inner":{"deepest":{}}}}"#);
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+        // Pretty form keeps empty containers parseable too.
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+        assert_eq!(Json::parse("[[]]").unwrap(), Json::Arr(vec![Json::Arr(vec![])]));
+    }
+
+    #[test]
     fn accessors() {
         let v = Json::parse(r#"{"a": 1, "b": "x", "c": [true]}"#).unwrap();
         assert_eq!(v.get("a").and_then(Json::as_num), Some(1.0));

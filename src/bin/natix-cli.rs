@@ -15,10 +15,12 @@
 //! store (the one-line diagnostic carries page/slot coordinates).
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
 
 use natix::{
     parse_duration, parse_limits_of, parse_mem_size, verify_store, Document, Json, NatixError,
-    QueryOutput, ResourceLimits, TranslateOptions, XPathEngine,
+    QueryLogger, QueryOutput, ResourceLimits, Telemetry, TranslateOptions, XPathEngine,
 };
 use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
 use xmlstore::XmlStore;
@@ -57,6 +59,9 @@ struct Args {
     time: bool,
     threads: usize,
     limits: ResourceLimits,
+    metrics_out: Option<String>,
+    query_log: Option<String>,
+    slow_ms: Option<u64>,
     queries: Vec<String>,
 }
 
@@ -75,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
         time: false,
         threads: 1,
         limits: ResourceLimits::unlimited(),
+        metrics_out: None,
+        query_log: None,
+        slow_ms: None,
         queries: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -113,6 +121,17 @@ fn parse_args() -> Result<Args, String> {
                 args.persist = Some(it.next().ok_or("--persist needs a path")?);
             }
             "--verify-store" => args.verify_store = true,
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
+            "--query-log" => {
+                args.query_log = Some(it.next().ok_or("--query-log needs a path")?);
+            }
+            "--slow-ms" => {
+                let v = it.next().ok_or("--slow-ms needs a millisecond threshold")?;
+                args.slow_ms =
+                    Some(v.parse().map_err(|_| format!("--slow-ms: `{v}` is not a number"))?);
+            }
             "--max-depth" => {
                 let v = it.next().ok_or("--max-depth needs a count")?;
                 args.limits.max_parse_depth =
@@ -166,6 +185,11 @@ fn print_help() {
          \x20 --timeout <dur>      deadline per query (500ms, 2s, 1m, …)\n\
          \x20 --max-tuples <n>     cap on materialized tuples per query\n\
          \x20 --max-depth <n>      cap on XML nesting depth at parse time\n\
+         \x20 --metrics-out <p>    write the Prometheus-style metrics exposition\n\
+         \x20                      on exit (engine-wide counters/histograms)\n\
+         \x20 --query-log <p>      append one JSON record per query (JSONL)\n\
+         \x20 --slow-ms <n>        slow-query threshold: mark offenders in the\n\
+         \x20                      query log and capture their EXPLAIN ANALYZE\n\
          \x20 --persist <path>     write the document as a Natix page file\n\
          \x20 --verify-store       full integrity check of a .natix file\n\
          \x20                      (page checksums, node records, links,\n\
@@ -399,7 +423,32 @@ fn main() {
         TranslateOptions::improved()
     };
     let options = options.with_threads(args.threads);
-    let mut engine = XPathEngine { options, limits: args.limits };
+    // Telemetry is always on in the CLI (the REPL's `:metrics` needs it);
+    // the zero-overhead-when-disabled path is for embedders.
+    let slow = args.slow_ms.map(Duration::from_millis);
+    let logger = match &args.query_log {
+        Some(path) => match QueryLogger::to_file(std::path::Path::new(path), slow) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(EXIT_IO);
+            }
+        },
+        None => QueryLogger::in_memory(slow),
+    };
+    let telemetry = Arc::new(Telemetry::with_logger(logger));
+    telemetry.record_parse(
+        args.source
+            .as_ref()
+            .and_then(|p| std::fs::metadata(p).ok())
+            .map_or(0, |m| m.len()),
+        doc.store().node_count() as u64,
+    );
+    let mut engine = XPathEngine {
+        options,
+        limits: args.limits,
+        telemetry: Some(telemetry.clone()),
+    };
 
     // First non-zero query exit code wins, so a corruption hit (5) is not
     // masked by a later compile error (1).
@@ -433,7 +482,8 @@ fn main() {
     if args.interactive || (args.queries.is_empty() && args.persist.is_none()) {
         println!(
             "natix ({} nodes loaded) — enter XPath, `:explain <q>`, `:profile <q>`, \
-             `:analyze <q>`, `:limits [spec]`, `:threads [n]`, or `:quit`",
+             `:analyze <q>`, `:limits [spec]`, `:threads [n]`, `:metrics [reset]`, \
+             `:slowlog`, or `:quit`",
             doc.store().node_count()
         );
         let stdin = std::io::stdin();
@@ -469,6 +519,33 @@ fn main() {
                     Ok(()) => println!("{}", render_limits(&engine.limits)),
                     Err(e) => eprintln!("error: {e}"),
                 }
+            } else if line == ":metrics" {
+                print!("{}", telemetry.render_text());
+            } else if line == ":metrics reset" {
+                telemetry.reset_metrics();
+                println!("metrics reset");
+            } else if line == ":slowlog" {
+                let entries = telemetry.logger.slowlog();
+                if entries.is_empty() {
+                    match telemetry.logger.slow_threshold() {
+                        Some(t) => println!("slowlog empty (threshold {}ms)", t.as_millis()),
+                        None => {
+                            println!(
+                                "slowlog off — start with --slow-ms <n> to capture slow queries"
+                            )
+                        }
+                    }
+                } else {
+                    for e in entries {
+                        println!(
+                            "#{} {:.3}ms {} — {}",
+                            e.seq,
+                            e.record.latency_nanos as f64 / 1e6,
+                            e.record.outcome,
+                            e.record.query,
+                        );
+                    }
+                }
             } else if let Some(q) = line.strip_prefix(":explain ") {
                 run_query(&doc, &engine, q.trim(), true, false, false, None);
             } else if let Some(q) = line.strip_prefix(":profile ") {
@@ -485,7 +562,17 @@ fn main() {
                 run_query(&doc, &engine, line, false, false, true, None);
             }
         }
-    } else if fail_code != 0 {
+    }
+    if let Some(path) = &args.metrics_out {
+        match std::fs::write(path, telemetry.render_text()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(EXIT_IO);
+            }
+        }
+    }
+    if fail_code != 0 {
         std::process::exit(fail_code);
     }
 }

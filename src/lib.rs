@@ -30,11 +30,16 @@ pub use compiler::{
     TranslateOptions,
 };
 pub use nqe::{build_physical, AnalyzeReport, Json, PhysicalQuery, ResourceGovernor};
+pub use telemetry::{
+    expr_hash, Histogram, LoggedQuery, MetricsRegistry, QueryLogger, QueryRecord, Telemetry,
+};
 pub use xmlstore::diskstore::VerifyReport;
 pub use xmlstore::{Axis, DiskError, NodeId, NodeKind, ParseLimits, XmlStore};
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Unified error type of the facade.
 #[derive(Debug)]
@@ -182,13 +187,24 @@ pub fn verify_store(path: &Path, buffer_pages: usize) -> Result<VerifyReport, Na
 }
 
 /// The algebraic XPath engine: compile once, execute against any store.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Optionally carries an engine-wide [`Telemetry`] bundle (metrics
+/// registry + query log). With `telemetry: None` — the default — every
+/// evaluation method takes exactly the pre-telemetry code path behind a
+/// single `Option` branch; with telemetry attached, each query is routed
+/// through [`nqe::observe_governed`] and its report folded into the
+/// registry and the JSONL query log. The registry lives on the engine
+/// value, not in a process global: independent engines aggregate
+/// independently.
+#[derive(Clone, Debug, Default)]
 pub struct XPathEngine {
     /// Translation options (improved by default).
     pub options: TranslateOptions,
     /// Per-query execution budget (unlimited by default). Enforced by
     /// every evaluation method; trips surface as [`NatixError::Resource`].
     pub limits: ResourceLimits,
+    /// Engine-wide metrics/query-log bundle (`None` = telemetry off).
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl XPathEngine {
@@ -197,6 +213,7 @@ impl XPathEngine {
         XPathEngine {
             options: TranslateOptions::improved(),
             limits: ResourceLimits::unlimited(),
+            telemetry: None,
         }
     }
 
@@ -205,12 +222,19 @@ impl XPathEngine {
         XPathEngine {
             options: TranslateOptions::canonical(),
             limits: ResourceLimits::unlimited(),
+            telemetry: None,
         }
     }
 
     /// This engine with a resource budget (builder style).
     pub fn with_limits(mut self, limits: ResourceLimits) -> XPathEngine {
         self.limits = limits;
+        self
+    }
+
+    /// This engine with a telemetry bundle attached (builder style).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> XPathEngine {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -244,14 +268,29 @@ impl XPathEngine {
     /// engine's [`ResourceLimits`]: a tripped budget, deadline or
     /// cancellation surfaces as [`NatixError::Resource`].
     pub fn evaluate(&self, store: &dyn XmlStore, query: &str) -> Result<QueryOutput, NatixError> {
-        Ok(nqe::evaluate_governed(
-            store,
-            query,
-            &self.options,
-            &self.limits,
-            store.root(),
-            &HashMap::new(),
-        )?)
+        match &self.telemetry {
+            // Telemetry off: the hot path touches no telemetry atomics
+            // beyond this one branch (asserted by tests/telemetry.rs).
+            None => Ok(nqe::evaluate_governed(
+                store,
+                query,
+                &self.options,
+                &self.limits,
+                store.root(),
+                &HashMap::new(),
+            )?),
+            Some(t) => {
+                let (out, _) = self.observe(
+                    t,
+                    store,
+                    query,
+                    store.root(),
+                    &HashMap::new(),
+                    t.wants_profile(),
+                )?;
+                Ok(out?)
+            }
+        }
     }
 
     /// Execute with per-operator profiling; returns the result and the
@@ -261,10 +300,19 @@ impl XPathEngine {
         store: &dyn XmlStore,
         query: &str,
     ) -> Result<(QueryOutput, String), NatixError> {
-        let compiled = self.compile(query)?;
-        let (mut phys, profile) = nqe::build_physical_profiled(&compiled);
-        let out = phys.execute(store, &std::collections::HashMap::new(), store.root())?;
-        Ok((out, profile.report()))
+        match &self.telemetry {
+            None => {
+                let compiled = self.compile(query)?;
+                let (mut phys, profile) = nqe::build_physical_profiled(&compiled);
+                let out = phys.execute(store, &std::collections::HashMap::new(), store.root())?;
+                Ok((out, profile.report()))
+            }
+            Some(t) => {
+                let (out, report) =
+                    self.observe(t, store, query, store.root(), &HashMap::new(), true)?;
+                Ok((out?, report.profile.report()))
+            }
+        }
     }
 
     /// EXPLAIN ANALYZE: compile, lower and execute with full
@@ -276,14 +324,7 @@ impl XPathEngine {
         store: &dyn XmlStore,
         query: &str,
     ) -> Result<(QueryOutput, AnalyzeReport), NatixError> {
-        let (out, report) = nqe::explain_analyze_governed(
-            store,
-            query,
-            &self.options,
-            &self.limits,
-            store.root(),
-            &HashMap::new(),
-        )?;
+        let (out, report) = self.analyze_governed(store, query)?;
         Ok((out?, report))
     }
 
@@ -295,14 +336,17 @@ impl XPathEngine {
         store: &dyn XmlStore,
         query: &str,
     ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), NatixError> {
-        Ok(nqe::explain_analyze_governed(
-            store,
-            query,
-            &self.options,
-            &self.limits,
-            store.root(),
-            &HashMap::new(),
-        )?)
+        match &self.telemetry {
+            None => Ok(nqe::explain_analyze_governed(
+                store,
+                query,
+                &self.options,
+                &self.limits,
+                store.root(),
+                &HashMap::new(),
+            )?),
+            Some(t) => self.observe(t, store, query, store.root(), &HashMap::new(), true),
+        }
     }
 
     /// Compile and execute while tracing the pipeline phases only (no
@@ -313,14 +357,29 @@ impl XPathEngine {
         store: &dyn XmlStore,
         query: &str,
     ) -> Result<(QueryOutput, QueryTrace), NatixError> {
-        let (compiled, mut trace) = compiler::compile_traced(query, &self.options)?;
-        let t0 = std::time::Instant::now();
-        let mut phys = nqe::build_physical(&compiled);
-        trace.add_phase("codegen", t0.elapsed().as_nanos() as u64);
-        let t0 = std::time::Instant::now();
-        let out = phys.execute(store, &HashMap::new(), store.root());
-        trace.add_phase("execute", t0.elapsed().as_nanos() as u64);
-        Ok((out?, trace))
+        match &self.telemetry {
+            None => {
+                let (compiled, mut trace) = compiler::compile_traced(query, &self.options)?;
+                let t0 = Instant::now();
+                let mut phys = nqe::build_physical(&compiled);
+                trace.add_phase("codegen", t0.elapsed().as_nanos() as u64);
+                let t0 = Instant::now();
+                let out = phys.execute(store, &HashMap::new(), store.root());
+                trace.add_phase("execute", t0.elapsed().as_nanos() as u64);
+                Ok((out?, trace))
+            }
+            Some(t) => {
+                let (out, report) = self.observe(
+                    t,
+                    store,
+                    query,
+                    store.root(),
+                    &HashMap::new(),
+                    t.wants_profile(),
+                )?;
+                Ok((out?, report.trace))
+            }
+        }
     }
 
     /// Compile and execute with explicit context node and variables,
@@ -332,7 +391,41 @@ impl XPathEngine {
         ctx: NodeId,
         vars: &HashMap<String, Value>,
     ) -> Result<QueryOutput, NatixError> {
-        Ok(nqe::evaluate_governed(store, query, &self.options, &self.limits, ctx, vars)?)
+        match &self.telemetry {
+            None => {
+                Ok(nqe::evaluate_governed(store, query, &self.options, &self.limits, ctx, vars)?)
+            }
+            Some(t) => {
+                let (out, _) = self.observe(t, store, query, ctx, vars, t.wants_profile())?;
+                Ok(out?)
+            }
+        }
+    }
+
+    /// The telemetry-enabled execution path: run through
+    /// [`nqe::observe_governed`], fold the report into the registry and
+    /// query log (compile failures count too), hand both back.
+    fn observe(
+        &self,
+        t: &Telemetry,
+        store: &dyn XmlStore,
+        query: &str,
+        ctx: NodeId,
+        vars: &HashMap<String, Value>,
+        profiled: bool,
+    ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), NatixError> {
+        let t0 = Instant::now();
+        match nqe::observe_governed(store, query, &self.options, &self.limits, ctx, vars, profiled)
+        {
+            Ok((out, report)) => {
+                t.record_query(t0.elapsed(), &report, out.as_ref().err());
+                Ok((out, report))
+            }
+            Err(e) => {
+                t.record_compile_error(query, t0.elapsed(), &e.to_string());
+                Err(e.into())
+            }
+        }
     }
 }
 
