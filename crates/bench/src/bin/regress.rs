@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use bench::{
     arg_seed, arg_value, dblp_document_seeded, host_json, tree_document, Evaluator, FIG10_QUERIES,
-    FIG5_QUERIES,
+    FIG5_QUERIES, SERVICE_CORPUS,
 };
 use nqe::Json;
 use telemetry::Histogram;
@@ -30,6 +30,10 @@ use xmlstore::ArenaStore;
 
 /// Default baseline location (committed to the repo).
 const BASELINE: &str = "results/BENCH_6_baseline.json";
+
+/// The B7 throughput baseline carrying the warm-cache p50 gate (written
+/// by `bench/bin/throughput --update-baseline`).
+const B7_BASELINE: &str = "results/BENCH_7_baseline.json";
 
 /// Default headroom multiplier for the `--check` gate.
 const TOLERANCE: f64 = 2.0;
@@ -165,6 +169,28 @@ fn results_json(seed: u64, summaries: &[Summary]) -> Json {
     ])
 }
 
+/// Warm-cache per-query latency p50 (nanos): [`SERVICE_CORPUS`] through
+/// a pre-warmed shared-engine session, matching the `bench/bin/
+/// throughput` measurement the B7 baseline pins.
+fn warm_cache_p50(seed: u64, records: usize, reps: usize) -> u64 {
+    let engine = natix::Engine::with_config(natix::EngineConfig::default(), None);
+    let doc = engine
+        .register_document("dblp", natix::Document::Arena(dblp_document_seeded(records, seed)));
+    let session = engine.session();
+    for q in SERVICE_CORPUS {
+        std::hint::black_box(session.evaluate(doc.store(), q).expect("corpus query"));
+    }
+    let h = Histogram::new();
+    for _ in 0..reps.max(1) {
+        for q in SERVICE_CORPUS {
+            let t0 = Instant::now();
+            std::hint::black_box(session.evaluate(doc.store(), q).expect("corpus query"));
+            h.record_nanos(t0.elapsed());
+        }
+    }
+    h.summary().p50
+}
+
 /// `workload → p50_nanos` from a results document.
 fn baseline_p50s(doc: &Json) -> Vec<(String, f64)> {
     doc.get("results")
@@ -272,6 +298,53 @@ fn main() {
             if ok { "ok" } else { "REGRESSED" }
         );
     }
+    // B7 warm-cache gate: the compiled-plan cache's warm per-query p50,
+    // calibration-normalised against the committed throughput baseline.
+    let b7_path = arg_value(&args, "--bench7-baseline").unwrap_or_else(|| B7_BASELINE.to_owned());
+    let b7_text = match std::fs::read_to_string(&b7_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: no B7 baseline at {b7_path}: {e}");
+            eprintln!("hint: run `throughput --update-baseline` to create one");
+            std::process::exit(2);
+        }
+    };
+    let b7 = match Json::parse(&b7_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {b7_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (Some(b7_warm), Some(b7_cal)) = (
+        b7.get("warm_p50_nanos").and_then(Json::as_num),
+        b7.get("calibrate_p50_nanos").and_then(Json::as_num),
+    ) else {
+        eprintln!("error: {b7_path} lacks warm_p50_nanos/calibrate_p50_nanos");
+        std::process::exit(2);
+    };
+    if b7_cal <= 0.0 {
+        eprintln!("error: {b7_path} has a zero calibrate p50");
+        std::process::exit(2);
+    }
+    let records = b7.get("records").and_then(Json::as_num).unwrap_or(12.0) as usize;
+    let cur_warm = warm_cache_p50(seed, records, iterations);
+    let base_norm = b7_warm / b7_cal;
+    let cur_norm = cur_warm as f64 / cur_cal as f64;
+    let ratio = cur_norm / base_norm;
+    let ok = ratio <= tolerance;
+    if !ok {
+        failed = true;
+    }
+    println!(
+        "{:<12} {:>14.3} {:>14.3} {:>7.2}× {:>8}",
+        "warm_cache",
+        base_norm,
+        cur_norm,
+        ratio,
+        if ok { "ok" } else { "REGRESSED" }
+    );
+
     if failed {
         eprintln!("perf regression detected (normalised p50 over {tolerance:.2}× baseline)");
         std::process::exit(1);

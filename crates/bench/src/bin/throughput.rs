@@ -1,0 +1,195 @@
+//! Experiment B7 — service throughput: queries/sec of the shared-engine
+//! query service at 1–64 concurrent clients, cold cache (every query
+//! compiles) vs warm cache (plans served from the compiled-plan cache).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin throughput -- --json results/BENCH_7.json
+//! cargo run --release -p bench --bin throughput -- --quick          # CI smoke
+//! cargo run --release -p bench --bin throughput -- --update-baseline
+//! ```
+//!
+//! Each client is a thread with its own [`Session`] over one shared
+//! [`Engine`], replaying [`SERVICE_CORPUS`] (compile-heavy queries on a
+//! small DBLP document — see the corpus docs) `--reps` times. Cold runs
+//! disable the cache (`cache_entries = 0`); warm runs pre-warm it with
+//! one corpus pass, so every measured query is a cache hit.
+//!
+//! Besides per-client-count qps the harness records `warm_p50_nanos`
+//! (single-client warm per-query latency p50) and `calibrate_p50_nanos`
+//! (the regress harness's machine-speed unit: `count(//*)` on the
+//! 2000-element tree), which `bench/bin/regress --check` uses to gate
+//! the warm-cache latency against `results/BENCH_7_baseline.json`
+//! calibration-normalised.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{arg_seed, arg_value, dblp_document_seeded, host_json, tree_document, SERVICE_CORPUS};
+use natix::{Document, Engine, EngineConfig, Session};
+use nqe::Json;
+use telemetry::Histogram;
+
+/// DBLP records in the service document: small enough that execution is
+/// cheap and compilation dominates (the quantity the cache removes).
+const RECORDS: usize = 12;
+
+/// Default corpus replays per client per measurement.
+const REPS: usize = 30;
+
+/// Baseline location for the regress warm-cache gate.
+const BASELINE: &str = "results/BENCH_7_baseline.json";
+
+/// Build the shared engine (cache on or off) with the corpus document
+/// registered.
+fn engine(seed: u64, cache: bool) -> (Arc<Engine>, Arc<Document>) {
+    let config = EngineConfig {
+        cache_entries: if cache { 256 } else { 0 },
+        ..EngineConfig::default()
+    };
+    let eng = Engine::with_config(config, None);
+    let doc = eng.register_document("dblp", Document::Arena(dblp_document_seeded(RECORDS, seed)));
+    (eng, doc)
+}
+
+/// Replay the corpus `reps` times on one session.
+fn replay(session: &Session, doc: &Document, reps: usize) {
+    for _ in 0..reps {
+        for q in SERVICE_CORPUS {
+            std::hint::black_box(session.evaluate(doc.store(), q).expect("corpus query"));
+        }
+    }
+}
+
+/// Queries/sec of `clients` concurrent sessions over one shared engine.
+fn qps(seed: u64, clients: usize, reps: usize, warm: bool) -> f64 {
+    let (eng, doc) = engine(seed, warm);
+    if warm {
+        // One pre-warming pass: every measured query hits the cache.
+        replay(&eng.session(), &doc, 1);
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let session = eng.session();
+            let doc = &doc;
+            scope.spawn(move || replay(&session, doc, reps));
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    (clients * reps * SERVICE_CORPUS.len()) as f64 / elapsed
+}
+
+/// Single-client per-query latency p50 (nanos), warm cache.
+fn warm_p50(seed: u64, reps: usize) -> u64 {
+    let (eng, doc) = engine(seed, true);
+    let session = eng.session();
+    replay(&session, &doc, 1);
+    let h = Histogram::new();
+    for _ in 0..reps {
+        for q in SERVICE_CORPUS {
+            let t0 = Instant::now();
+            std::hint::black_box(session.evaluate(doc.store(), q).expect("corpus query"));
+            h.record_nanos(t0.elapsed());
+        }
+    }
+    h.summary().p50
+}
+
+/// The regress harness's calibration unit, re-measured here so the
+/// baseline file is self-contained: `count(//*)` on the 2000-element
+/// tree, p50 of 21 runs.
+fn calibrate_p50() -> u64 {
+    let tree = tree_document(2000);
+    let opts = compiler::TranslateOptions::improved();
+    std::hint::black_box(nqe::evaluate(&tree, "count(//*)", &opts).expect("calibrate"));
+    let h = Histogram::new();
+    for _ in 0..21 {
+        let t0 = Instant::now();
+        std::hint::black_box(nqe::evaluate(&tree, "count(//*)", &opts).expect("calibrate"));
+        h.record_nanos(t0.elapsed());
+    }
+    h.summary().p50
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg_seed(&args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let update = args.iter().any(|a| a == "--update-baseline");
+    let reps = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(if quick {
+        8
+    } else {
+        REPS
+    });
+    let clients: Vec<usize> = match arg_value(&args, "--clients") {
+        Some(list) => list.split(',').filter_map(|v| v.parse().ok()).collect(),
+        None if quick => vec![1, 8, 16],
+        None => vec![1, 2, 4, 8, 16, 32, 64],
+    };
+
+    eprintln!(
+        "B7 service throughput: {} corpus queries × {reps} reps, dblp:{RECORDS} (seed {seed})",
+        SERVICE_CORPUS.len()
+    );
+    println!("{:>8} {:>12} {:>12} {:>8}", "clients", "cold_qps", "warm_qps", "ratio");
+    let rounds: usize = arg_value(&args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 3 } else { 5 });
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let mut rows = Vec::new();
+    for &n in &clients {
+        // Interleave cold/warm rounds so machine-speed drift (this may
+        // run on a shared host) hits both sides alike, and gate on the
+        // medians.
+        let mut cold_rounds = Vec::new();
+        let mut warm_rounds = Vec::new();
+        for _ in 0..rounds {
+            cold_rounds.push(qps(seed, n, reps, false));
+            warm_rounds.push(qps(seed, n, reps, true));
+        }
+        let cold = median(cold_rounds);
+        let warm = median(warm_rounds);
+        let ratio = warm / cold;
+        println!("{n:>8} {cold:>12.0} {warm:>12.0} {ratio:>7.2}×");
+        rows.push(Json::obj(vec![
+            ("clients", Json::Num(n as f64)),
+            ("cold_qps", Json::Num(cold)),
+            ("warm_qps", Json::Num(warm)),
+            ("warm_over_cold", Json::Num(ratio)),
+        ]));
+    }
+    let warm_p50 = warm_p50(seed, reps);
+    let cal_p50 = calibrate_p50();
+    eprintln!("warm p50 {warm_p50}ns, calibrate p50 {cal_p50}ns");
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("throughput".to_owned())),
+        ("host", host_json(seed)),
+        ("records", Json::Num(RECORDS as f64)),
+        ("reps", Json::Num(reps as f64)),
+        ("warm_p50_nanos", Json::Num(warm_p50 as f64)),
+        ("calibrate_p50_nanos", Json::Num(cal_p50 as f64)),
+        ("results", Json::Arr(rows)),
+    ]);
+    if let Some(path) = arg_value(&args, "--json") {
+        match std::fs::write(&path, doc.pretty()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if update {
+        match std::fs::write(BASELINE, doc.pretty()) {
+            Ok(()) => eprintln!("baseline updated: {BASELINE}"),
+            Err(e) => {
+                eprintln!("error: {BASELINE}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

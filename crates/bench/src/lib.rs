@@ -42,6 +42,29 @@ pub const FIG10_QUERIES: [&str; 13] = [
     "/dblp/inproceedings[author='Guido Moerkotte'][position()=last()]/title",
 ];
 
+/// The experiment B7 service corpus: compile-heavy queries (long
+/// unions, multi-step paths, stacked predicates) that execute cheaply on
+/// a small DBLP document, so the compiled-plan cache's savings —
+/// skipping parse/semantic/fold/translate — dominate the per-query cost.
+/// Shared by `bench/bin/throughput` and the `regress` warm-cache gate so
+/// their measurements are comparable.
+pub const SERVICE_CORPUS: [&str; 12] = [
+    "/dblp/article/title | /dblp/inproceedings/title | /dblp/article/year | /dblp/inproceedings/year",
+    "/dblp/article[position()=1]/title | /dblp/article[position()=last()]/title",
+    "count(/dblp/article/author) + count(/dblp/inproceedings/author) + count(/dblp/article/title)",
+    "/dblp/*[author and year]/title",
+    "/dblp/article[count(author)=2]/@key",
+    "string(/dblp/article[1]/title)",
+    "/dblp/article[year='1991' or year='1992' or year='1993']/@key",
+    "/dblp/inproceedings[position() < 5]/title",
+    "/dblp/child::*/child::title/parent::*/child::author",
+    "boolean(/dblp/article) and boolean(/dblp/inproceedings)",
+    "/dblp/article[last()]/preceding-sibling::article[1]/title",
+    "/dblp/inproceedings[author][title][year]/@key | /dblp/article[author][title][year]/@key \
+     | /dblp/inproceedings[author][year]/title | /dblp/article[author][year]/title \
+     | /dblp/inproceedings[title]/year | /dblp/article[title]/year",
+];
+
 /// The paper's small documents: 2000–8000 elements (fanout 6).
 pub const SMALL_SIZES: [usize; 4] = [2000, 4000, 6000, 8000];
 

@@ -138,13 +138,31 @@ pub fn observe_governed(
     vars: &HashMap<String, Value>,
     profiled: bool,
 ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), PipelineError> {
-    let (compiled, mut trace) = compile_traced(query, opts)?;
+    let (compiled, trace) = compile_traced(query, opts)?;
+    Ok(execute_observed(store, &compiled, trace, limits, ctx, vars, profiled))
+}
 
+/// Execute an already-compiled query under full observability: lower it
+/// (profiled or plain), run governed, capture the storage delta and
+/// resource accounting, and append the `codegen`/`execute` phases to the
+/// caller-provided `trace`. This is [`observe_governed`] minus the
+/// compile step — the entry point behind the plan cache, where a hit
+/// skips parse/semantic/fold/translate entirely and the trace carries
+/// only the per-execution phases.
+pub fn execute_observed(
+    store: &dyn XmlStore,
+    compiled: &compiler::CompiledQuery,
+    mut trace: QueryTrace,
+    limits: &ResourceLimits,
+    ctx: NodeId,
+    vars: &HashMap<String, Value>,
+    profiled: bool,
+) -> (Result<QueryOutput, QueryError>, AnalyzeReport) {
     let t0 = Instant::now();
     let (mut phys, profile) = if profiled {
-        build_physical_profiled(&compiled)
+        build_physical_profiled(compiled)
     } else {
-        (crate::codegen::build_physical(&compiled), Profile::default())
+        (crate::codegen::build_physical(compiled), Profile::default())
     };
     trace.add_phase("codegen", t0.elapsed().as_nanos() as u64);
 
@@ -178,7 +196,7 @@ pub fn observe_governed(
         result_count,
         result_summary,
     };
-    Ok((out, report))
+    (out, report)
 }
 
 fn describe(out: &QueryOutput) -> (&'static str, usize, String) {

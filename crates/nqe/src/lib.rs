@@ -22,7 +22,8 @@ pub mod nvm;
 pub mod profile;
 
 pub use analyze::{
-    explain_analyze, explain_analyze_governed, observe_governed, AnalyzeReport, StorageReport,
+    execute_observed, explain_analyze, explain_analyze_governed, observe_governed, AnalyzeReport,
+    StorageReport,
 };
 pub use codegen::{build_physical, build_physical_profiled, FrameInfo, PhysicalQuery};
 pub use exec::{evaluate, evaluate_governed, evaluate_with, Runtime};

@@ -120,6 +120,23 @@ pub struct EngineMetrics {
     /// `natix_exchange_imbalance_hundredths` (per-run max/avg worker
     /// tuples, ×100: 100 = perfectly balanced).
     pub exchange_imbalance_hundredths: Histogram,
+    /// `natix_plan_cache_hits_total` (compiled-plan cache lookups served
+    /// from the cache).
+    pub plan_cache_hits_total: Counter,
+    /// `natix_plan_cache_misses_total`.
+    pub plan_cache_misses_total: Counter,
+    /// `natix_plan_cache_evictions_total` (LRU evictions under the entry
+    /// or byte capacity).
+    pub plan_cache_evictions_total: Counter,
+    /// `natix_plan_cache_inserts_total`.
+    pub plan_cache_inserts_total: Counter,
+    /// `natix_plan_cache_entries` (current resident plans).
+    pub plan_cache_entries: Gauge,
+    /// `natix_plan_cache_bytes` (current governor-charged plan bytes).
+    pub plan_cache_bytes: Gauge,
+    /// `natix_service_rejected_total` (queries refused by admission
+    /// control: worker-pool queue full).
+    pub service_rejected_total: Counter,
 }
 
 impl EngineMetrics {
@@ -148,6 +165,13 @@ impl EngineMetrics {
             exchange_worker_tuples_total: reg.counter("natix_exchange_worker_tuples_total"),
             exchange_chunks_claimed_total: reg.counter("natix_exchange_chunks_claimed_total"),
             exchange_imbalance_hundredths: reg.histogram("natix_exchange_imbalance_hundredths"),
+            plan_cache_hits_total: reg.counter("natix_plan_cache_hits_total"),
+            plan_cache_misses_total: reg.counter("natix_plan_cache_misses_total"),
+            plan_cache_evictions_total: reg.counter("natix_plan_cache_evictions_total"),
+            plan_cache_inserts_total: reg.counter("natix_plan_cache_inserts_total"),
+            plan_cache_entries: reg.gauge("natix_plan_cache_entries"),
+            plan_cache_bytes: reg.gauge("natix_plan_cache_bytes"),
+            service_rejected_total: reg.counter("natix_service_rejected_total"),
         };
         for phase in PHASES {
             reg.counter(&phase_series(phase));
@@ -181,6 +205,16 @@ pub struct Telemetry {
     pub metrics: EngineMetrics,
     /// The structured query log.
     pub logger: QueryLogger,
+    /// Snapshot barrier between per-query folds and `reset_metrics`:
+    /// every fold holds the read side for its (short) duration, a reset
+    /// takes the write side. One engine used to mean one `:metrics
+    /// reset` caller; with sessions sharing the registry, an unguarded
+    /// reset could land in the middle of another session's fold and
+    /// zero half of it — leaving, e.g., `natix_queries_total` and the
+    /// latency histogram count permanently disagreeing. The lock makes
+    /// each fold atomic with respect to resets; the per-tuple hot path
+    /// never touches it.
+    fold_lock: parking_lot::RwLock<()>,
 }
 
 impl Default for Telemetry {
@@ -208,7 +242,12 @@ impl Telemetry {
     pub fn with_logger(logger: QueryLogger) -> Telemetry {
         let registry = MetricsRegistry::new();
         let metrics = EngineMetrics::register(&registry);
-        Telemetry { registry, metrics, logger }
+        Telemetry {
+            registry,
+            metrics,
+            logger,
+            fold_lock: parking_lot::RwLock::new(()),
+        }
     }
 
     /// Convenience: a shareable handle.
@@ -229,12 +268,29 @@ impl Telemetry {
     }
 
     /// Zero every metric (registration and the query log survive).
+    ///
+    /// Atomic-snapshot semantics: the reset waits for in-flight query
+    /// folds to finish and blocks new ones for its duration, so every
+    /// query's counters land entirely before or entirely after the
+    /// reset — cross-counter invariants (e.g. `natix_queries_total` ==
+    /// latency histogram count) hold at all times. Safe to call from a
+    /// REPL `:metrics reset` while other sessions are mid-query.
     pub fn reset_metrics(&self) {
+        let _barrier = self.fold_lock.write();
         self.registry.reset();
+    }
+
+    /// Run `f` with folds quiesced (the same write barrier a reset
+    /// takes): no query fold is in flight while `f` runs, so reads of
+    /// multiple counters inside `f` observe a consistent snapshot.
+    pub fn quiesced<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _barrier = self.fold_lock.write();
+        f()
     }
 
     /// Fold a parsed document into the parser counters.
     pub fn record_parse(&self, bytes: u64, nodes: u64) {
+        let _fold = self.fold_lock.read();
         let m = &self.metrics;
         m.parse_docs_total.inc();
         m.parse_bytes_total.add(bytes);
@@ -252,6 +308,7 @@ impl Telemetry {
         report: &AnalyzeReport,
         error: Option<&QueryError>,
     ) -> LoggedQuery {
+        let _fold = self.fold_lock.read();
         let m = &self.metrics;
         let latency_nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
         m.queries_total.inc();
@@ -339,6 +396,7 @@ impl Telemetry {
     /// `natix_queries_total` and the `compile` error class, and logs a
     /// record with no profile/resource payload.
     pub fn record_compile_error(&self, query: &str, latency: Duration, detail: &str) {
+        let _fold = self.fold_lock.read();
         let m = &self.metrics;
         let latency_nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
         m.queries_total.inc();

@@ -18,9 +18,12 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
+use natix::parse_duration;
+use natix::service::{apply_limits_directive, render_limits, serve_stdio, serve_tcp};
 use natix::{
-    parse_duration, parse_limits_of, parse_mem_size, verify_store, Document, Json, NatixError,
-    QueryLogger, QueryOutput, ResourceLimits, Telemetry, TranslateOptions, XPathEngine,
+    parse_limits_of, parse_mem_size, verify_store, Document, Engine, EngineConfig, Json,
+    NatixError, QueryLogger, QueryOutput, QueryService, ResourceLimits, ServiceConfig, Session,
+    Telemetry, TranslateOptions,
 };
 use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
 use xmlstore::XmlStore;
@@ -62,6 +65,11 @@ struct Args {
     metrics_out: Option<String>,
     query_log: Option<String>,
     slow_ms: Option<u64>,
+    serve: Option<String>,
+    workers: usize,
+    queue_depth: usize,
+    cache_entries: usize,
+    cache_bytes: u64,
     queries: Vec<String>,
 }
 
@@ -83,6 +91,11 @@ fn parse_args() -> Result<Args, String> {
         metrics_out: None,
         query_log: None,
         slow_ms: None,
+        serve: None,
+        workers: 4,
+        queue_depth: 64,
+        cache_entries: 256,
+        cache_bytes: 8 << 20,
         queries: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -131,6 +144,28 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--slow-ms needs a millisecond threshold")?;
                 args.slow_ms =
                     Some(v.parse().map_err(|_| format!("--slow-ms: `{v}` is not a number"))?);
+            }
+            "--serve" => {
+                args.serve = Some(it.next().ok_or("--serve needs `stdio` or an address")?);
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                args.workers =
+                    v.parse().map_err(|_| format!("--workers: `{v}` is not a number"))?;
+            }
+            "--queue-depth" => {
+                let v = it.next().ok_or("--queue-depth needs a count")?;
+                args.queue_depth =
+                    v.parse().map_err(|_| format!("--queue-depth: `{v}` is not a number"))?;
+            }
+            "--cache-entries" => {
+                let v = it.next().ok_or("--cache-entries needs a count (0 disables)")?;
+                args.cache_entries =
+                    v.parse().map_err(|_| format!("--cache-entries: `{v}` is not a number"))?;
+            }
+            "--cache-bytes" => {
+                let v = it.next().ok_or("--cache-bytes needs a size (e.g. 8MiB)")?;
+                args.cache_bytes = parse_mem_size(&v)?;
             }
             "--max-depth" => {
                 let v = it.next().ok_or("--max-depth needs a count")?;
@@ -190,6 +225,16 @@ fn print_help() {
          \x20 --query-log <p>      append one JSON record per query (JSONL)\n\
          \x20 --slow-ms <n>        slow-query threshold: mark offenders in the\n\
          \x20                      query log and capture their EXPLAIN ANALYZE\n\
+         \x20 --serve <addr>       serving mode: line protocol over TCP loopback\n\
+         \x20                      (e.g. 127.0.0.1:4000) or `stdio`; one response\n\
+         \x20                      line per request (see README)\n\
+         \x20 --workers <n>        worker threads of the serving pool (default 4)\n\
+         \x20 --queue-depth <n>    admission bound of the serving queue: beyond\n\
+         \x20                      this many waiting queries, submissions are\n\
+         \x20                      rejected with `ERR admission queue full`\n\
+         \x20 --cache-entries <n>  compiled-plan cache capacity in plans\n\
+         \x20                      (default 256; 0 disables the cache)\n\
+         \x20 --cache-bytes <sz>   compiled-plan cache byte budget (default 8MiB)\n\
          \x20 --persist <path>     write the document as a Natix page file\n\
          \x20 --verify-store       full integrity check of a .natix file\n\
          \x20                      (page checksums, node records, links,\n\
@@ -270,7 +315,7 @@ fn report(e: &NatixError) -> i32 {
 /// for storage faults) so the process can exit with the worst class.
 fn run_query(
     doc: &Document,
-    engine: &XPathEngine,
+    engine: &Session,
     q: &str,
     explain: bool,
     analyze: bool,
@@ -328,47 +373,6 @@ fn run_query(
         }
         Err(e) => report(&e),
     }
-}
-
-fn render_limits(l: &ResourceLimits) -> String {
-    if l.is_unlimited() {
-        return "limits: unlimited".to_owned();
-    }
-    let mut parts = Vec::new();
-    if let Some(b) = l.max_memory_bytes {
-        parts.push(format!("mem={b}B"));
-    }
-    if let Some(t) = l.max_tuples {
-        parts.push(format!("tuples={t}"));
-    }
-    if let Some(d) = l.timeout {
-        parts.push(format!("timeout={}ms", d.as_millis()));
-    }
-    format!("limits: {}", parts.join(" "))
-}
-
-/// Apply a `:limits` REPL directive: `mem=<size>`, `tuples=<n>`,
-/// `timeout=<dur>` in any combination, or `off` to clear everything.
-fn apply_limits_directive(limits: &mut ResourceLimits, spec: &str) -> Result<(), String> {
-    for part in spec.split_whitespace() {
-        if part == "off" || part == "none" {
-            *limits = ResourceLimits::unlimited();
-            continue;
-        }
-        let (key, val) = part
-            .split_once('=')
-            .ok_or("usage: :limits [mem=<size>] [tuples=<n>] [timeout=<dur>] | :limits off")?;
-        match key {
-            "mem" => limits.max_memory_bytes = Some(parse_mem_size(val)?),
-            "tuples" => {
-                limits.max_tuples =
-                    Some(val.parse().map_err(|_| format!("tuples: `{val}` is not a number"))?)
-            }
-            "timeout" => limits.timeout = Some(parse_duration(val)?),
-            other => return Err(format!("unknown limit `{other}` (mem, tuples, timeout)")),
-        }
-    }
-    Ok(())
 }
 
 fn main() {
@@ -444,11 +448,56 @@ fn main() {
             .map_or(0, |m| m.len()),
         doc.store().node_count() as u64,
     );
-    let mut engine = XPathEngine {
-        options,
-        limits: args.limits,
-        telemetry: Some(telemetry.clone()),
-    };
+    // One shared engine (plan cache + telemetry + document registry)
+    // behind every mode — one-shot queries, the REPL and `--serve`
+    // clients all hit the same compiled-plan cache (DESIGN.md §16).
+    let shared = Engine::with_config(
+        EngineConfig {
+            cache_entries: args.cache_entries,
+            cache_bytes: args.cache_bytes,
+            max_concurrent: 0,
+        },
+        Some(telemetry.clone()),
+    );
+    let doc = shared.register_document("main", doc);
+    let mut engine = shared.session().with_options(options).with_limits(args.limits);
+
+    if let Some(spec) = &args.serve {
+        // Serving mode: line protocol over stdio or TCP loopback. Each
+        // client session starts with default options/limits and adjusts
+        // them with the `options`/`limits`/`threads` protocol verbs.
+        let service = QueryService::new(
+            shared.clone(),
+            ServiceConfig { workers: args.workers, queue_depth: args.queue_depth },
+        );
+        if spec == "stdio" {
+            if let Err(e) = serve_stdio(&service) {
+                eprintln!("error: serve: {e}");
+                std::process::exit(EXIT_IO);
+            }
+        } else {
+            match serve_tcp(service, spec) {
+                Ok(handle) => {
+                    eprintln!("serving on {} ({} workers)", handle.addr, args.workers);
+                    // Serve until the process is killed.
+                    loop {
+                        std::thread::sleep(Duration::from_secs(3600));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: serve {spec}: {e}");
+                    std::process::exit(EXIT_IO);
+                }
+            }
+        }
+        if let Some(path) = &args.metrics_out {
+            if let Err(e) = std::fs::write(path, telemetry.render_text()) {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(EXIT_IO);
+            }
+        }
+        std::process::exit(0);
+    }
 
     // First non-zero query exit code wins, so a corruption hit (5) is not
     // masked by a later compile error (1).
@@ -483,7 +532,7 @@ fn main() {
         println!(
             "natix ({} nodes loaded) — enter XPath, `:explain <q>`, `:profile <q>`, \
              `:analyze <q>`, `:limits [spec]`, `:threads [n]`, `:metrics [reset]`, \
-             `:slowlog`, or `:quit`",
+             `:cache [clear]`, `:slowlog`, or `:quit`",
             doc.store().node_count()
         );
         let stdin = std::io::stdin();
@@ -519,6 +568,15 @@ fn main() {
                     Ok(()) => println!("{}", render_limits(&engine.limits)),
                     Err(e) => eprintln!("error: {e}"),
                 }
+            } else if line == ":cache" {
+                let s = shared.cache_stats();
+                println!(
+                    "cache: hits={} misses={} evictions={} inserts={} entries={} bytes={}",
+                    s.hits, s.misses, s.evictions, s.inserts, s.entries, s.bytes
+                );
+            } else if line == ":cache clear" {
+                shared.plan_cache().clear();
+                println!("cache cleared");
             } else if line == ":metrics" {
                 print!("{}", telemetry.render_text());
             } else if line == ":metrics reset" {

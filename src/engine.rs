@@ -1,0 +1,720 @@
+//! The `Engine`/`Session` split (DESIGN.md §16): one shared, thread-safe
+//! [`Engine`] owning everything that outlives a client — the document
+//! registry (stores and their buffer pools), the [`Telemetry`] bundle,
+//! the compiled-plan cache and the admission gate — and cheap per-client
+//! [`Session`] values carrying what is client-local: translation options,
+//! resource limits, and the session's current document.
+//!
+//! The one-shot [`crate::XPathEngine`] facade remains for embedders that
+//! compile-and-run a handful of queries; the serving surfaces (the
+//! `--serve` CLI mode, the REPL, `bench/bin/throughput`) all run through
+//! sessions so concurrent clients share one plan cache and one metrics
+//! registry.
+//!
+//! ## The plan cache
+//!
+//! Compiled plans are cached per `(expression, static-context hash)`,
+//! exactly the "cacheable compiled executables keyed by expression +
+//! static-context hash" design of the XPath 2.0 exemplar (SNIPPETS.md
+//! Snippet 1). The static context here is everything that influences
+//! what `compile` produces or how a query is admitted: the full
+//! [`TranslateOptions`] (including the parallelism degree — a plan
+//! compiled for 4 threads contains Exchange operators a serial plan must
+//! not share) and the session's [`ResourceLimits`] (two sessions with
+//! different budgets never share a cache entry, so per-session admission
+//! behaviour can never leak across clients through the cache). Logical
+//! plans are store-independent — code generation re-binds a cached plan
+//! to whichever store the query runs against — so one cache serves every
+//! registered document.
+//!
+//! Capacity is dual: an entry cap (LRU count) and a byte budget charged
+//! against a dedicated [`ResourceGovernor`] — the same accounting
+//! machinery queries run under, reused for the cache itself. Inserting a
+//! plan charges [`plan_weight`] bytes; when the charge would exceed the
+//! budget (or the entry cap is hit), least-recently-used plans are
+//! evicted (and their bytes released) until it fits. Hits, misses,
+//! evictions, inserts and the resident entry/byte gauges fold into the
+//! PR 6 metrics registry as `natix_plan_cache_*`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
+
+use compiler::{CompiledQuery, QueryTrace, ResourceLimits, TranslateOptions};
+use nqe::{AnalyzeReport, ResourceGovernor};
+use parking_lot::RwLock;
+use telemetry::{Counter, Gauge, Telemetry};
+use xmlstore::{NodeId, XmlStore};
+
+use crate::{Document, NatixError, QueryError, QueryOutput, Value};
+
+/// Compile-time proof that documents (arena and paged stores alike) can
+/// be shared across service threads.
+fn _assert_send_sync<T: Send + Sync>() {}
+#[allow(unused)]
+fn _document_is_shareable() {
+    _assert_send_sync::<Document>();
+    _assert_send_sync::<Engine>();
+}
+
+/// FNV-1a over a stream of u64 words (the same hash family as
+/// [`telemetry::expr_hash`], widened to numeric fields).
+fn fnv_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The static-context hash of a cache key: a digest of everything beside
+/// the expression text that determines the compiled plan or the budget
+/// it runs under. Sessions differing in *any* translation option,
+/// thread count, execution budget or parse limit hash differently and
+/// therefore never share plans (asserted by `tests/plancache.rs`).
+pub fn static_context_hash(opts: &TranslateOptions, limits: &ResourceLimits) -> u64 {
+    // `None` folds as the sentinel u64::MAX, distinct from any real value
+    // (real limits of u64::MAX would be indistinguishable from unlimited
+    // anyway).
+    let opt = |v: Option<u64>| v.unwrap_or(u64::MAX);
+    fnv_words([
+        opts.stacked_outer as u64,
+        opts.push_dedup as u64,
+        opts.memoize_inner as u64,
+        opts.split_expensive as u64,
+        opts.prune_properties as u64,
+        opts.threads as u64,
+        opt(limits.max_memory_bytes),
+        opt(limits.max_tuples),
+        opt(limits.timeout.map(|t| t.as_nanos().min(u64::MAX as u128) as u64)),
+        opt(limits.tick_interval.map(|t| t as u64)),
+        opt(limits.max_parse_depth.map(|d| d as u64)),
+        opt(limits.max_name_len.map(|l| l as u64)),
+        opt(limits.max_attr_count.map(|c| c as u64)),
+        opt(limits.max_entity_expansions),
+    ])
+}
+
+/// Deterministic byte weight of a cached plan: a fixed entry overhead
+/// plus the length of the plan's debug rendering, which grows with
+/// operator count and embedded name-test/literal strings. A proxy, not
+/// an exact heap measurement — but deterministic, monotone in plan
+/// complexity, and reproducible by tests that hand-compute eviction
+/// sequences against a byte budget.
+pub fn plan_weight(plan: &CompiledQuery) -> u64 {
+    64 + format!("{plan:?}").len() as u64
+}
+
+/// Configuration of the shared engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Plan-cache entry cap (LRU above this; `0` disables caching).
+    pub cache_entries: usize,
+    /// Plan-cache byte budget, charged per [`plan_weight`] against the
+    /// cache's resource governor.
+    pub cache_bytes: u64,
+    /// Admission gate: queries executing concurrently across all
+    /// sessions (`0` = unbounded). The query service layers its bounded
+    /// worker pool on top; this cap also protects embedders driving
+    /// sessions from their own threads.
+    pub max_concurrent: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig { cache_entries: 256, cache_bytes: 8 << 20, max_concurrent: 0 }
+    }
+}
+
+/// Point-in-time plan-cache statistics (monotonic counters plus the
+/// resident gauges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh compile.
+    pub misses: u64,
+    /// LRU evictions (entry cap or byte budget).
+    pub evictions: u64,
+    /// Plans inserted.
+    pub inserts: u64,
+    /// Currently resident plans.
+    pub entries: u64,
+    /// Currently charged bytes (the cache governor's live balance).
+    pub bytes: u64,
+    /// High-water mark of charged bytes over the cache's lifetime.
+    pub bytes_high_water: u64,
+}
+
+/// Metric handles the cache increments. When the engine carries
+/// telemetry they are the pre-registered `natix_plan_cache_*` series;
+/// otherwise detached instruments (still exact, just not exported).
+struct CacheCounters {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    inserts: Counter,
+    entries: Gauge,
+    bytes: Gauge,
+}
+
+impl CacheCounters {
+    fn detached() -> CacheCounters {
+        CacheCounters {
+            hits: Counter::default(),
+            misses: Counter::default(),
+            evictions: Counter::default(),
+            inserts: Counter::default(),
+            entries: Gauge::default(),
+            bytes: Gauge::default(),
+        }
+    }
+
+    fn registered(t: &Telemetry) -> CacheCounters {
+        CacheCounters {
+            hits: t.metrics.plan_cache_hits_total.clone(),
+            misses: t.metrics.plan_cache_misses_total.clone(),
+            evictions: t.metrics.plan_cache_evictions_total.clone(),
+            inserts: t.metrics.plan_cache_inserts_total.clone(),
+            entries: t.metrics.plan_cache_entries.clone(),
+            bytes: t.metrics.plan_cache_bytes.clone(),
+        }
+    }
+}
+
+struct CacheEntry {
+    plan: Arc<CompiledQuery>,
+    bytes: u64,
+    /// LRU stamp, updated through a shared read lock on hits (the hot
+    /// path never takes the cache's write lock).
+    last_used: AtomicU64,
+}
+
+struct CacheInner {
+    map: HashMap<(String, u64), CacheEntry>,
+    /// Byte accounting, reusing the query-side governor machinery: the
+    /// budget is `cache_bytes`, every resident plan holds a charge, and
+    /// eviction releases it. Charges only ever happen after eviction
+    /// made room, so the governor never trips.
+    gov: ResourceGovernor,
+}
+
+/// The shared compiled-plan cache (see the module docs). Hits take the
+/// read side of the lock (warm concurrent clients don't serialise on
+/// each other); only inserts, evictions and `clear` take the write side.
+pub struct PlanCache {
+    inner: RwLock<CacheInner>,
+    /// Monotonic use clock for LRU ordering.
+    tick: AtomicU64,
+    counters: CacheCounters,
+    max_entries: usize,
+    max_bytes: u64,
+}
+
+impl PlanCache {
+    fn new(config: &EngineConfig, counters: CacheCounters) -> PlanCache {
+        PlanCache {
+            inner: RwLock::new(CacheInner {
+                map: HashMap::new(),
+                gov: ResourceGovernor::new(ResourceLimits::unlimited().with_max_memory(
+                    // A zero-byte governor budget would trip on any
+                    // charge; entry-cap-only caches get an open budget.
+                    if config.cache_bytes == 0 {
+                        u64::MAX
+                    } else {
+                        config.cache_bytes
+                    },
+                )),
+            }),
+            tick: AtomicU64::new(0),
+            counters,
+            max_entries: config.cache_entries,
+            max_bytes: config.cache_bytes,
+        }
+    }
+
+    /// Look up a plan, counting a hit or a miss and touching the LRU
+    /// clock on hit.
+    pub fn get(&self, expr: &str, ctx_hash: u64) -> Option<Arc<CompiledQuery>> {
+        if self.max_entries == 0 {
+            self.counters.misses.inc();
+            return None;
+        }
+        let inner = self.inner.read();
+        match inner.map.get(&(expr.to_owned(), ctx_hash)) {
+            Some(e) => {
+                let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                e.last_used.store(tick, Ordering::Relaxed);
+                self.counters.hits.inc();
+                Some(e.plan.clone())
+            }
+            None => {
+                self.counters.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled plan, evicting least-recently-used
+    /// entries until both the entry cap and the byte budget hold. A plan
+    /// heavier than the whole byte budget is not cached at all.
+    pub fn insert(&self, expr: &str, ctx_hash: u64, plan: Arc<CompiledQuery>) {
+        if self.max_entries == 0 {
+            return;
+        }
+        let bytes = plan_weight(&plan);
+        if bytes > self.max_bytes {
+            return;
+        }
+        let mut inner = self.inner.write();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        // Racing sessions may both miss and both compile; the second
+        // insert wins and the first entry's charge is released.
+        if let Some(old) = inner.map.remove(&(expr.to_owned(), ctx_hash)) {
+            inner.gov.release(old.bytes);
+        }
+        // Evict until the entry cap and the byte budget both hold.
+        while inner.map.len() >= self.max_entries
+            || inner.gov.mem_used().saturating_add(bytes) > self.max_bytes
+        {
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = inner.map.remove(&victim).expect("victim resident");
+            inner.gov.release(evicted.bytes);
+            self.counters.evictions.inc();
+        }
+        if !inner.gov.charge(bytes) {
+            // Unreachable by construction (eviction made room), but a
+            // failed charge must not corrupt the books.
+            return;
+        }
+        inner.map.insert(
+            (expr.to_owned(), ctx_hash),
+            CacheEntry { plan, bytes, last_used: AtomicU64::new(tick) },
+        );
+        self.counters.inserts.inc();
+        self.counters.entries.set(inner.map.len() as u64);
+        self.counters.bytes.set(inner.gov.mem_used());
+    }
+
+    /// Current statistics (counters are lifetime totals; `entries`/
+    /// `bytes` are the live residency).
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.read();
+        CacheStats {
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            evictions: self.counters.evictions.get(),
+            inserts: self.counters.inserts.get(),
+            entries: inner.map.len() as u64,
+            bytes: inner.gov.mem_used(),
+            bytes_high_water: inner.gov.high_water(),
+        }
+    }
+
+    /// Drop every cached plan (counters keep their lifetime totals).
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        let held: u64 = inner.map.values().map(|e| e.bytes).sum();
+        inner.map.clear();
+        inner.gov.release(held);
+        self.counters.entries.set(0);
+        self.counters.bytes.set(0);
+    }
+}
+
+/// A counting semaphore gating concurrent query execution (admission
+/// control). `max == 0` disables the gate.
+struct Admission {
+    max: usize,
+    inflight: StdMutex<usize>,
+    freed: Condvar,
+}
+
+/// An admission slot; releases on drop.
+pub struct AdmitPermit<'a> {
+    gate: Option<&'a Admission>,
+}
+
+impl Drop for AdmitPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.gate {
+            let mut n = gate.inflight.lock().expect("admission mutex");
+            *n -= 1;
+            gate.freed.notify_one();
+        }
+    }
+}
+
+impl Admission {
+    fn new(max: usize) -> Admission {
+        Admission { max, inflight: StdMutex::new(0), freed: Condvar::new() }
+    }
+
+    /// Block until a slot frees up.
+    fn admit(&self) -> AdmitPermit<'_> {
+        if self.max == 0 {
+            return AdmitPermit { gate: None };
+        }
+        let mut n = self.inflight.lock().expect("admission mutex");
+        while *n >= self.max {
+            n = self.freed.wait(n).expect("admission mutex");
+        }
+        *n += 1;
+        AdmitPermit { gate: Some(self) }
+    }
+
+    /// A slot if one is free right now.
+    fn try_admit(&self) -> Option<AdmitPermit<'_>> {
+        if self.max == 0 {
+            return Some(AdmitPermit { gate: None });
+        }
+        let mut n = self.inflight.lock().expect("admission mutex");
+        if *n >= self.max {
+            return None;
+        }
+        *n += 1;
+        Some(AdmitPermit { gate: Some(self) })
+    }
+}
+
+/// The shared, thread-safe engine: document registry, telemetry, plan
+/// cache, admission gate. Wrap it in an [`Arc`] and mint a [`Session`]
+/// per client; everything on the engine is interior-mutable and safe
+/// under concurrent sessions.
+pub struct Engine {
+    config: EngineConfig,
+    telemetry: Option<Arc<Telemetry>>,
+    plan_cache: PlanCache,
+    admission: Admission,
+    documents: RwLock<HashMap<String, Arc<Document>>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("cache", &self.plan_cache.stats())
+            .field("documents", &self.documents.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// An engine with the default configuration and no telemetry.
+    pub fn new() -> Arc<Engine> {
+        Engine::with_config(EngineConfig::default(), None)
+    }
+
+    /// An engine with an explicit configuration and optional telemetry
+    /// bundle. With telemetry, the plan-cache counters are the
+    /// registry's `natix_plan_cache_*` series; without, they are
+    /// detached (still queryable through [`Engine::cache_stats`]).
+    pub fn with_config(config: EngineConfig, telemetry: Option<Arc<Telemetry>>) -> Arc<Engine> {
+        let counters = match &telemetry {
+            Some(t) => CacheCounters::registered(t),
+            None => CacheCounters::detached(),
+        };
+        Arc::new(Engine {
+            plan_cache: PlanCache::new(&config, counters),
+            admission: Admission::new(config.max_concurrent),
+            documents: RwLock::new(HashMap::new()),
+            telemetry,
+            config,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The telemetry bundle, if attached.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mint a session with default options (improved translation,
+    /// unlimited budget).
+    pub fn session(self: &Arc<Engine>) -> Session {
+        Session {
+            engine: self.clone(),
+            options: TranslateOptions::improved(),
+            limits: ResourceLimits::unlimited(),
+        }
+    }
+
+    /// Register a document under `name`, returning the shared handle.
+    /// Re-registering a name replaces the previous document.
+    pub fn register_document(&self, name: &str, doc: Document) -> Arc<Document> {
+        let doc = Arc::new(doc);
+        self.documents.write().insert(name.to_owned(), doc.clone());
+        doc
+    }
+
+    /// Look up a registered document.
+    pub fn document(&self, name: &str) -> Option<Arc<Document>> {
+        self.documents.read().get(name).cloned()
+    }
+
+    /// Names of all registered documents (sorted).
+    pub fn document_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.documents.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Plan-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// The plan cache itself (tests hand-drive eviction sequences).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Block until the admission gate grants a slot.
+    pub fn admit(&self) -> AdmitPermit<'_> {
+        self.admission.admit()
+    }
+
+    /// A slot if the gate has one free right now (`None` = saturated).
+    pub fn try_admit(&self) -> Option<AdmitPermit<'_>> {
+        self.admission.try_admit()
+    }
+}
+
+/// A per-client session: translation options + resource limits over a
+/// shared [`Engine`]. Cloning a session shares the engine but copies the
+/// client-local state — the natural way to fan a connection's settings
+/// out to a worker. The evaluation surface mirrors
+/// [`crate::XPathEngine`] so the CLI and REPL drive either.
+#[derive(Clone)]
+pub struct Session {
+    engine: Arc<Engine>,
+    /// Translation options (improved by default). Part of the plan-cache
+    /// key: changing them mid-session simply keys into other entries.
+    pub options: TranslateOptions,
+    /// Per-query execution budget, enforced on every evaluation and part
+    /// of the plan-cache key.
+    pub limits: ResourceLimits,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("options", &self.options)
+            .field("limits", &self.limits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// This session with a resource budget (builder style).
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Session {
+        self.limits = limits;
+        self
+    }
+
+    /// This session with explicit translation options (builder style).
+    pub fn with_options(mut self, options: TranslateOptions) -> Session {
+        self.options = options;
+        self
+    }
+
+    /// This session with a worker-thread count for intra-query parallel
+    /// execution (`1` = serial, `0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Session {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        self.options = self.options.with_threads(threads);
+        self
+    }
+
+    fn ctx_hash(&self) -> u64 {
+        static_context_hash(&self.options, &self.limits)
+    }
+
+    /// Resolve `query` through the plan cache: on a hit the returned
+    /// trace carries no compile phases (nothing was compiled); on a miss
+    /// the query is compiled with full phase tracing and the plan is
+    /// inserted. Compile errors are *not* cached — a mistyped query
+    /// costs a compile each time but can never poison the cache.
+    pub fn compile_cached(
+        &self,
+        query: &str,
+    ) -> Result<(Arc<CompiledQuery>, QueryTrace, bool), NatixError> {
+        let hash = self.ctx_hash();
+        if let Some(plan) = self.engine.plan_cache.get(query, hash) {
+            let mut trace = QueryTrace { query: query.to_owned(), ..QueryTrace::default() };
+            trace.record_plan(&plan);
+            return Ok((plan, trace, true));
+        }
+        let (compiled, trace) = compiler::compile_traced(query, &self.options)?;
+        let plan = Arc::new(compiled);
+        self.engine.plan_cache.insert(query, hash, plan.clone());
+        Ok((plan, trace, false))
+    }
+
+    /// The telemetry-integrated execution core shared by every session
+    /// entry point: admission, cached compile, governed execution,
+    /// registry fold.
+    fn observe(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+        ctx: NodeId,
+        vars: &HashMap<String, Value>,
+        profiled: bool,
+    ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), NatixError> {
+        let _permit = self.engine.admit();
+        let t0 = Instant::now();
+        let (plan, trace, _hit) = match self.compile_cached(query) {
+            Ok(v) => v,
+            Err(e) => {
+                if let Some(t) = &self.engine.telemetry {
+                    t.record_compile_error(query, t0.elapsed(), &e.to_string());
+                }
+                return Err(e);
+            }
+        };
+        let (out, report) =
+            nqe::execute_observed(store, &plan, trace, &self.limits, ctx, vars, profiled);
+        if let Some(t) = &self.engine.telemetry {
+            t.record_query(t0.elapsed(), &report, out.as_ref().err());
+        }
+        Ok((out, report))
+    }
+
+    fn wants_profile(&self) -> bool {
+        self.engine.telemetry.as_ref().is_some_and(|t| t.wants_profile())
+    }
+
+    /// Compile and execute with the document node as context.
+    pub fn evaluate(&self, store: &dyn XmlStore, query: &str) -> Result<QueryOutput, NatixError> {
+        self.evaluate_with(store, query, store.root(), &HashMap::new())
+    }
+
+    /// Compile and execute with explicit context node and variables.
+    pub fn evaluate_with(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+        ctx: NodeId,
+        vars: &HashMap<String, Value>,
+    ) -> Result<QueryOutput, NatixError> {
+        let (out, _) = self.observe(store, query, ctx, vars, self.wants_profile())?;
+        Ok(out?)
+    }
+
+    /// Render the query plan in the paper's operator notation.
+    pub fn explain(&self, query: &str) -> Result<String, NatixError> {
+        let (plan, _, _) = self.compile_cached(query)?;
+        Ok(match &*plan {
+            CompiledQuery::Sequence(p) => algebra::explain::explain(p),
+            CompiledQuery::Scalar(s) => format!("scalar: {s}\n"),
+        })
+    }
+
+    /// Execute with per-operator profiling; returns the result and the
+    /// rendered profile report.
+    pub fn profile(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(QueryOutput, String), NatixError> {
+        let (out, report) = self.observe(store, query, store.root(), &HashMap::new(), true)?;
+        Ok((out?, report.profile.report()))
+    }
+
+    /// EXPLAIN ANALYZE through the session (plan-cache hits report no
+    /// compile phases — the plan came from the cache).
+    pub fn analyze(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(QueryOutput, AnalyzeReport), NatixError> {
+        let (out, report) = self.analyze_governed(store, query)?;
+        Ok((out?, report))
+    }
+
+    /// EXPLAIN ANALYZE keeping the report when execution stops on a
+    /// governor trip (outer error = compile, inner = execution).
+    pub fn analyze_governed(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), NatixError> {
+        self.observe(store, query, store.root(), &HashMap::new(), true)
+    }
+
+    /// Compile (or fetch) and execute with phase tracing only.
+    pub fn evaluate_traced(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(QueryOutput, QueryTrace), NatixError> {
+        let (out, report) =
+            self.observe(store, query, store.root(), &HashMap::new(), self.wants_profile())?;
+        Ok((out?, report.trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_hash_discriminates() {
+        let base = TranslateOptions::improved();
+        let unlimited = ResourceLimits::unlimited();
+        let h = static_context_hash(&base, &unlimited);
+        assert_eq!(h, static_context_hash(&base, &unlimited), "deterministic");
+        assert_ne!(h, static_context_hash(&TranslateOptions::canonical(), &unlimited));
+        assert_ne!(h, static_context_hash(&base.with_threads(4), &unlimited));
+        assert_ne!(h, static_context_hash(&base, &unlimited.with_max_tuples(10)));
+        assert_ne!(h, static_context_hash(&base, &unlimited.with_max_parse_depth(5)));
+    }
+
+    #[test]
+    fn session_evaluates_and_caches() {
+        let doc = Document::parse("<a><b>x</b></a>").unwrap();
+        let engine = Engine::new();
+        let s = engine.session();
+        assert_eq!(s.evaluate(doc.store(), "string(/a/b)").unwrap(), QueryOutput::Str("x".into()));
+        assert_eq!(s.evaluate(doc.store(), "string(/a/b)").unwrap(), QueryOutput::Str("x".into()));
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn admission_gate_counts() {
+        let engine = Engine::with_config(
+            EngineConfig { max_concurrent: 1, ..EngineConfig::default() },
+            None,
+        );
+        let p1 = engine.try_admit().expect("first slot");
+        assert!(engine.try_admit().is_none(), "gate of 1 is saturated");
+        drop(p1);
+        assert!(engine.try_admit().is_some(), "slot released on drop");
+    }
+}

@@ -24,12 +24,19 @@
 //! * [`interp`] — baseline main-memory interpreters (the paper's
 //!   comparison subjects).
 
+pub mod engine;
+pub mod service;
+
 pub use algebra::{explain, LogicalOp, QueryError, QueryOutput, ScalarExpr, Value};
 pub use compiler::{
     parse_duration, parse_mem_size, CompiledQuery, PipelineError, QueryTrace, ResourceLimits,
     TranslateOptions,
 };
+pub use engine::{
+    plan_weight, static_context_hash, CacheStats, Engine, EngineConfig, PlanCache, Session,
+};
 pub use nqe::{build_physical, AnalyzeReport, Json, PhysicalQuery, ResourceGovernor};
+pub use service::{QueryService, ServiceConfig};
 pub use telemetry::{
     expr_hash, Histogram, LoggedQuery, MetricsRegistry, QueryLogger, QueryRecord, Telemetry,
 };

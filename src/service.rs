@@ -1,0 +1,596 @@
+//! The concurrent query service: a bounded worker pool executing
+//! [`Session`] queries for many clients over a simple line protocol
+//! (DESIGN.md §16). The CLI surfaces it as `--serve stdio` / `--serve
+//! <addr>`; `bench/bin/throughput` drives it in-process.
+//!
+//! ## Line protocol
+//!
+//! One request per line, one response line per request:
+//!
+//! ```text
+//! >> doc dblp                 << OK doc dblp
+//! >> query count(//inproceedings)
+//! << OK num 42
+//! >> limits mem=1MiB timeout=500ms
+//! << OK limits: mem=1048576B timeout=500ms
+//! >> query //a[huge]          << ERR memory memory budget exceeded …
+//! >> stats                    << OK cache hits=… misses=… …
+//! >> quit                     << OK bye
+//! ```
+//!
+//! A bare line that is not a command is treated as `query <line>`.
+//! Node-set results list the node ids (stable document order), so two
+//! runs of the same corpus are byte-comparable — the differential suite
+//! in `tests/service.rs` leans on this.
+//!
+//! ## Admission
+//!
+//! The pool's submission queue is bounded ([`ServiceConfig::queue_depth`]);
+//! when it is full the service answers `ERR admission queue full` rather
+//! than queueing without bound (counted as `natix_service_rejected_total`).
+//! Per-session budgets ride on every query: a governor trip is a typed
+//! `ERR <class> …` response, never a worker panic.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use telemetry::Counter;
+
+use crate::engine::{Engine, Session};
+use crate::{
+    parse_duration, parse_mem_size, Document, NatixError, QueryOutput, ResourceLimits,
+    TranslateOptions,
+};
+
+/// Configuration of the query service's worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bound of the submission queue (admission control): submissions
+    /// beyond `queue_depth` waiting jobs are rejected, not queued.
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig { workers: 4, queue_depth: 64 }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed pool of worker threads fed by a bounded queue.
+struct WorkerPool {
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    rejected: Counter,
+}
+
+impl WorkerPool {
+    fn new(config: &ServiceConfig, rejected: Counter) -> WorkerPool {
+        let workers = config.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("natix-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing, so
+                        // workers drain the queue concurrently.
+                        let job = {
+                            let rx: std::sync::MutexGuard<'_, Receiver<Job>> = match rx.lock() {
+                                Ok(g) => g,
+                                Err(_) => return,
+                            };
+                            rx.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // queue closed: shut down
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { queue: Some(tx), workers: handles, rejected }
+    }
+
+    /// Submit a job; `Err` means the queue is full (admission rejection).
+    fn submit(&self, job: Job) -> Result<(), Rejected> {
+        let Some(queue) = &self.queue else {
+            return Err(Rejected);
+        };
+        match queue.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.rejected.inc();
+                Err(Rejected)
+            }
+        }
+    }
+}
+
+/// Admission rejection: the service's bounded queue was full (or the
+/// pool is shutting down), so the query was shed rather than enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("admission queue full")
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue = None; // close the queue; workers exit on recv error
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The multi-client query service: a shared [`Engine`] plus a bounded
+/// worker pool. Clone-free — share it behind an [`Arc`]; each client
+/// gets a [`ClientSession`].
+pub struct QueryService {
+    engine: Arc<Engine>,
+    pool: WorkerPool,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// A service over `engine` with the given pool shape.
+    pub fn new(engine: Arc<Engine>, config: ServiceConfig) -> Arc<QueryService> {
+        let rejected = match engine.telemetry() {
+            Some(t) => t.metrics.service_rejected_total.clone(),
+            None => Counter::default(),
+        };
+        Arc::new(QueryService { pool: WorkerPool::new(&config, rejected), engine, config })
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Open a protocol session for one client. `doc` picks the initial
+    /// document (must be registered on the engine) — `None` starts with
+    /// the engine's first registered document, if any.
+    pub fn client(self: &Arc<QueryService>, doc: Option<&str>) -> ClientSession {
+        let current = match doc {
+            Some(name) => self.engine.document(name).map(|d| (name.to_owned(), d)),
+            None => {
+                let names = self.engine.document_names();
+                names.first().and_then(|n| self.engine.document(n).map(|d| (n.clone(), d)))
+            }
+        };
+        ClientSession {
+            service: self.clone(),
+            session: self.engine.session(),
+            current,
+        }
+    }
+
+    /// Execute `session`'s query against `doc` on the worker pool,
+    /// blocking until the worker replies. `Err(Rejected)` = admission
+    /// rejection (queue full).
+    pub fn execute(
+        &self,
+        session: &Session,
+        doc: &Arc<Document>,
+        query: &str,
+    ) -> Result<Result<QueryOutput, NatixError>, Rejected> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let session = session.clone();
+        let doc = doc.clone();
+        let query = query.to_owned();
+        self.pool.submit(Box::new(move || {
+            let out = session.evaluate(doc.store(), &query);
+            let _ = reply_tx.send(out);
+        }))?;
+        // The worker owns the only sender; a dropped reply means the
+        // worker died, which the pool's panic-free invariant rules out —
+        // but degrade to a rejection rather than unwinding.
+        reply_rx.recv().map_err(|_| Rejected)
+    }
+}
+
+/// The error class token of an `ERR` response (stable protocol surface).
+pub fn error_token(e: &NatixError) -> &'static str {
+    match e {
+        NatixError::Xml(_) => "xml",
+        NatixError::Compile(_) => "compile",
+        NatixError::Resource(q) => telemetry::error_class(q),
+        NatixError::Disk(d) if d.is_corrupt() => "storage_corrupt",
+        NatixError::Disk(_) => "storage_io",
+    }
+}
+
+/// Render a query result as a single protocol line.
+pub fn render_output(out: &QueryOutput) -> String {
+    match out {
+        QueryOutput::Nodes(ns) => {
+            let mut s = format!("OK nodes {}", ns.len());
+            for n in ns {
+                s.push(' ');
+                s.push_str(&n.0.to_string());
+            }
+            s
+        }
+        QueryOutput::Num(n) => format!("OK num {n}"),
+        QueryOutput::Bool(b) => format!("OK bool {b}"),
+        QueryOutput::Str(v) => format!("OK str {}", escape_line(v)),
+    }
+}
+
+/// Escape a string payload so the response stays one line.
+fn escape_line(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n").replace('\r', "\\r")
+}
+
+/// Render the engine's execution limits (`:limits` REPL command and the
+/// `limits` protocol verb share this).
+pub fn render_limits(l: &ResourceLimits) -> String {
+    if l.is_unlimited() {
+        return "limits: unlimited".to_owned();
+    }
+    let mut parts = Vec::new();
+    if let Some(b) = l.max_memory_bytes {
+        parts.push(format!("mem={b}B"));
+    }
+    if let Some(t) = l.max_tuples {
+        parts.push(format!("tuples={t}"));
+    }
+    if let Some(d) = l.timeout {
+        parts.push(format!("timeout={}ms", d.as_millis()));
+    }
+    format!("limits: {}", parts.join(" "))
+}
+
+/// Apply a `limits` directive: `mem=<size>`, `tuples=<n>`,
+/// `timeout=<dur>` in any combination, or `off` to clear everything.
+/// Shared by the REPL (`:limits`) and the serve-mode protocol.
+pub fn apply_limits_directive(limits: &mut ResourceLimits, spec: &str) -> Result<(), String> {
+    for part in spec.split_whitespace() {
+        if part == "off" || part == "none" {
+            *limits = ResourceLimits::unlimited();
+            continue;
+        }
+        let (key, val) = part
+            .split_once('=')
+            .ok_or("usage: limits [mem=<size>] [tuples=<n>] [timeout=<dur>] | limits off")?;
+        match key {
+            "mem" => limits.max_memory_bytes = Some(parse_mem_size(val)?),
+            "tuples" => {
+                limits.max_tuples =
+                    Some(val.parse().map_err(|_| format!("tuples: `{val}` is not a number"))?)
+            }
+            "timeout" => limits.timeout = Some(parse_duration(val)?),
+            other => return Err(format!("unknown limit `{other}` (mem, tuples, timeout)")),
+        }
+    }
+    Ok(())
+}
+
+/// What [`ClientSession::handle`] decided about the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Send this line and keep the connection open.
+    Line(String),
+    /// Send this line and close the connection.
+    Close(String),
+}
+
+impl Reply {
+    /// The response text, whichever variant.
+    pub fn text(&self) -> &str {
+        match self {
+            Reply::Line(s) | Reply::Close(s) => s,
+        }
+    }
+}
+
+/// One client's protocol state: a [`Session`] (options + limits) and the
+/// currently selected document.
+pub struct ClientSession {
+    service: Arc<QueryService>,
+    session: Session,
+    current: Option<(String, Arc<Document>)>,
+}
+
+impl ClientSession {
+    /// The underlying session (tests tweak options directly).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Handle one protocol line, producing exactly one response line.
+    pub fn handle(&mut self, line: &str) -> Reply {
+        let line = line.trim();
+        if line.is_empty() {
+            return Reply::Line("OK".to_owned());
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "quit" => Reply::Close("OK bye".to_owned()),
+            "limits" => {
+                if rest.is_empty() {
+                    return Reply::Line(format!("OK {}", render_limits(&self.session.limits)));
+                }
+                match apply_limits_directive(&mut self.session.limits, rest) {
+                    Ok(()) => Reply::Line(format!("OK {}", render_limits(&self.session.limits))),
+                    Err(e) => Reply::Line(format!("ERR usage {e}")),
+                }
+            }
+            "threads" => {
+                if rest.is_empty() {
+                    return Reply::Line(format!("OK threads {}", self.session.options.threads));
+                }
+                match rest.parse::<usize>() {
+                    Ok(n) => {
+                        self.session = self.session.clone().with_threads(n);
+                        Reply::Line(format!("OK threads {}", self.session.options.threads))
+                    }
+                    Err(_) => Reply::Line(format!("ERR usage threads: `{rest}` is not a number")),
+                }
+            }
+            "options" => match rest {
+                "canonical" => {
+                    let threads = self.session.options.threads;
+                    self.session.options = TranslateOptions::canonical().with_threads(threads);
+                    Reply::Line("OK options canonical".to_owned())
+                }
+                "improved" => {
+                    let threads = self.session.options.threads;
+                    self.session.options = TranslateOptions::improved().with_threads(threads);
+                    Reply::Line("OK options improved".to_owned())
+                }
+                "extended" => {
+                    let threads = self.session.options.threads;
+                    self.session.options = TranslateOptions::extended().with_threads(threads);
+                    Reply::Line("OK options extended".to_owned())
+                }
+                _ => Reply::Line("ERR usage options <canonical|improved|extended>".to_owned()),
+            },
+            "doc" => {
+                if rest.is_empty() {
+                    let names = self.service.engine().document_names();
+                    let current = self.current.as_ref().map(|(n, _)| n.as_str());
+                    let listing: Vec<String> = names
+                        .iter()
+                        .map(|n| {
+                            if Some(n.as_str()) == current {
+                                format!("*{n}")
+                            } else {
+                                n.clone()
+                            }
+                        })
+                        .collect();
+                    return Reply::Line(format!("OK docs {}", listing.join(" ")));
+                }
+                match self.service.engine().document(rest) {
+                    Some(d) => {
+                        self.current = Some((rest.to_owned(), d));
+                        Reply::Line(format!("OK doc {rest}"))
+                    }
+                    None => Reply::Line(format!("ERR usage unknown document `{rest}`")),
+                }
+            }
+            "stats" => {
+                let s = self.service.engine().cache_stats();
+                Reply::Line(format!(
+                    "OK cache hits={} misses={} evictions={} inserts={} entries={} bytes={}",
+                    s.hits, s.misses, s.evictions, s.inserts, s.entries, s.bytes
+                ))
+            }
+            "explain" => {
+                if rest.is_empty() {
+                    return Reply::Line("ERR usage explain <xpath>".to_owned());
+                }
+                match self.session.explain(rest) {
+                    Ok(plan) => Reply::Line(format!("OK plan {}", escape_line(plan.trim_end()))),
+                    Err(e) => Reply::Line(format!("ERR {} {}", error_token(&e), e)),
+                }
+            }
+            "query" => self.run_query(rest),
+            // Anything else is an XPath expression.
+            _ => self.run_query(line),
+        }
+    }
+
+    fn run_query(&mut self, query: &str) -> Reply {
+        if query.is_empty() {
+            return Reply::Line("ERR usage query <xpath>".to_owned());
+        }
+        let Some((_, doc)) = &self.current else {
+            return Reply::Line("ERR usage no document selected (use `doc <name>`)".to_owned());
+        };
+        match self.service.execute(&self.session, doc, query) {
+            Ok(Ok(out)) => Reply::Line(render_output(&out)),
+            Ok(Err(e)) => {
+                Reply::Line(format!("ERR {} {}", error_token(&e), escape_line(&e.to_string())))
+            }
+            Err(Rejected) => Reply::Line("ERR admission queue full".to_owned()),
+        }
+    }
+
+    /// Drive the session over a line stream until `quit`/EOF (the stdio
+    /// and TCP front-ends share this loop).
+    pub fn serve(&mut self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            match self.handle(&line) {
+                Reply::Line(r) => {
+                    output.write_all(r.as_bytes())?;
+                    output.write_all(b"\n")?;
+                    output.flush()?;
+                }
+                Reply::Close(r) => {
+                    output.write_all(r.as_bytes())?;
+                    output.write_all(b"\n")?;
+                    output.flush()?;
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serve the line protocol over stdin/stdout (blocks until EOF/`quit`).
+pub fn serve_stdio(service: &Arc<QueryService>) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    service.client(None).serve(stdin.lock(), stdout.lock())
+}
+
+/// A running TCP server; dropping (or [`ServerHandle::stop`]) shuts the
+/// accept loop down and joins it. Live client connections each run on
+/// their own thread and end at EOF/`quit`.
+pub struct ServerHandle {
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signal shutdown and join the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serve the line protocol on a TCP loopback address (e.g.
+/// `127.0.0.1:0`). Returns immediately with the handle; each accepted
+/// connection gets its own [`ClientSession`] on its own thread.
+pub fn serve_tcp(service: Arc<QueryService>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = shutdown.clone();
+    let accept_thread =
+        std::thread::Builder::new().name("natix-accept".to_owned()).spawn(move || {
+            let mut clients: Vec<JoinHandle<()>> = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let service = service.clone();
+                        clients.push(
+                            std::thread::Builder::new()
+                                .name("natix-client".to_owned())
+                                .spawn(move || {
+                                    let _ = serve_connection(&service, stream);
+                                })
+                                .expect("spawn client thread"),
+                        );
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for c in clients {
+                let _ = c.join();
+            }
+        })?;
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+fn serve_connection(service: &Arc<QueryService>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut client = service.client(None);
+    client.serve(reader, stream)
+}
+
+/// Convenience used by tests and the throughput bench: run a whole query
+/// corpus serially on a fresh session (no pool, no cache bypass) and
+/// return the rendered protocol lines — the reference output the
+/// concurrent paths must match byte-for-byte.
+pub fn serial_reference(doc: &Arc<Document>, session: &Session, corpus: &[String]) -> Vec<String> {
+    corpus
+        .iter()
+        .map(|q| match session.evaluate(doc.store(), q) {
+            Ok(out) => render_output(&out),
+            Err(e) => format!("ERR {} {}", error_token(&e), escape_line(&e.to_string())),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn service_with_doc() -> Arc<QueryService> {
+        let engine = Engine::with_config(EngineConfig::default(), None);
+        engine.register_document("main", Document::parse("<a><b>1</b><b>2</b></a>").unwrap());
+        QueryService::new(engine, ServiceConfig { workers: 2, queue_depth: 8 })
+    }
+
+    #[test]
+    fn protocol_roundtrip() {
+        let service = service_with_doc();
+        let mut c = service.client(None);
+        assert_eq!(c.handle("count(/a/b)").text(), "OK num 2");
+        assert_eq!(c.handle("query string(/a/b[2])").text(), "OK str 2");
+        assert_eq!(c.handle("doc").text(), "OK docs *main");
+        assert!(c.handle("stats").text().starts_with("OK cache hits="));
+        assert_eq!(c.handle("quit"), Reply::Close("OK bye".to_owned()));
+    }
+
+    #[test]
+    fn typed_errors_over_protocol() {
+        let service = service_with_doc();
+        let mut c = service.client(None);
+        assert!(c.handle("query ///").text().starts_with("ERR compile "));
+        c.handle("limits mem=1");
+        let r = c.handle("query //b[. = '1']").text().to_owned();
+        assert!(r.starts_with("ERR memory "), "{r}");
+    }
+
+    #[test]
+    fn stream_loop_closes_on_quit() {
+        let service = service_with_doc();
+        let mut c = service.client(None);
+        let input = b"count(/a/b)\nquit\ncount(/a/b)\n" as &[u8];
+        let mut out = Vec::new();
+        c.serve(input, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "OK num 2\nOK bye\n");
+    }
+}

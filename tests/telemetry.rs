@@ -421,3 +421,70 @@ fn cli_writes_exposition_and_query_log() {
     }
     let _ = std::fs::remove_dir(&dir);
 }
+
+/// Regression test for the `:metrics reset` race: the reset used to
+/// zero series one at a time while query folds were landing, so a
+/// concurrent reader could observe `natix_queries_total` disagreeing
+/// with the latency histogram count (a fold half-applied across the
+/// reset). `reset_metrics` now takes the fold write barrier, and
+/// `Telemetry::quiesced` exposes the same barrier to readers. This
+/// hammers the registry with query folds, resets and consistency
+/// snapshots concurrently; every snapshot must see the cross-counter
+/// invariant intact.
+#[test]
+fn metrics_reset_is_atomic_under_concurrent_queries() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let store = dblp(10);
+    let t = Telemetry::new().shared();
+    let engine = XPathEngine::new().with_telemetry(t.clone());
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Query hammers: keep folds landing for the whole test.
+        for w in 0..3 {
+            let (engine, store, stop) = (&engine, &store, &stop);
+            scope.spawn(move || {
+                let mut i = w;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = BATCH_QUERIES[i % BATCH_QUERIES.len()];
+                    let (out, _) = engine.analyze_governed(store, q).expect("compiles");
+                    out.expect("corpus query runs");
+                    i += 1;
+                }
+            });
+        }
+        // Resetter: a REPL `:metrics reset` firing mid-traffic, repeatedly.
+        let resetter = {
+            let t = &t;
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    t.reset_metrics();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        // Checker: consistent snapshots interleaved with the resets.
+        // Before the fix this tripped within a handful of iterations.
+        for _ in 0..300 {
+            t.quiesced(|| {
+                let total = registry_value(&t, "natix_queries_total");
+                let folded = t.metrics.query_latency_nanos.count();
+                assert_eq!(
+                    total, folded,
+                    "queries_total must equal the latency histogram count in every snapshot"
+                );
+            });
+        }
+        resetter.join().expect("resetter");
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // One final quiesced snapshot after the dust settles.
+    t.quiesced(|| {
+        assert_eq!(
+            registry_value(&t, "natix_queries_total"),
+            t.metrics.query_latency_nanos.count()
+        );
+    });
+}
