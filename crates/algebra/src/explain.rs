@@ -1,7 +1,7 @@
 //! Plan pretty-printer: renders query trees in the paper's operator
 //! notation (Fig. 2–4), for diagnostics and plan-shape tests.
 
-use crate::ops::LogicalOp;
+use crate::ops::{LogicalOp, ScanHint};
 use crate::scalar::ScalarExpr;
 
 /// Render a plan as an indented operator tree.
@@ -30,9 +30,13 @@ pub fn op_label(plan: &LogicalOp) -> String {
         LogicalOp::Cross { .. } => "×".to_owned(),
         LogicalOp::SemiJoin { pred, .. } => format!("⋉[{pred}]"),
         LogicalOp::AntiJoin { pred, .. } => format!("▷[{pred}]"),
-        LogicalOp::UnnestMap { context, attr, axis, test, .. } => {
-            format!("Υ[{attr}:{context}/{axis}::{test}]")
-        }
+        LogicalOp::UnnestMap { context, attr, axis, test, hint, .. } => match hint {
+            // `Auto` renders exactly as before the hint existed, so
+            // every `CostMode::Off` plan keeps its historical label.
+            ScanHint::Auto => format!("Υ[{attr}:{context}/{axis}::{test}]"),
+            ScanHint::Range => format!("Υ[{attr}:{context}/{axis}::{test} hint=range]"),
+            ScanHint::Cursor => format!("Υ[{attr}:{context}/{axis}::{test} hint=cursor]"),
+        },
         LogicalOp::TokenizeMap { attr, expr, .. } => format!("Υ[{attr}:tokenize({expr})]"),
         LogicalOp::Concat { .. } => "⊕".to_owned(),
         LogicalOp::SortBy { attr, .. } => format!("Sort[{attr}]"),

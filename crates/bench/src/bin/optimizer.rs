@@ -1,0 +1,196 @@
+//! Experiment B8 — the cost-based optimizer ablation: canonical
+//! translation vs the always-on §4 improvements vs cost-based selection
+//! ([`CostMode::CostBased`]) across the Fig. 10 query set over a
+//! document sweep.
+//!
+//! Warm-plan measurement: each configuration evaluates through its own
+//! shared-engine session, so compilation — including the cost pass
+//! itself — is paid once into the plan cache and the timed samples
+//! compare the *chosen plans*, matching the multi-client service path
+//! the optimizer serves. Each cost-based cell additionally runs one
+//! EXPLAIN ANALYZE to export the `optimizer:` section: the decisions
+//! taken (rule, choice, both sides' estimated costs) and the
+//! estimated-vs-actual cardinality error per operator.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin optimizer \
+//!     [--records N,N,..] [--runs N] [--seed N] [--json PATH] [--update-baseline]
+//! ```
+//!
+//! `--update-baseline` pins the gate quantity — the geometric-mean
+//! warm-plan speedup of cost-based over always-improved on the
+//! misprediction rows ([`bench::OPTIMIZER_GATE_QUERIES`]) — which
+//! `bench/bin/regress --check` re-measures and gates.
+
+use bench::{
+    arg_seed, arg_value, dblp_document_seeded, host_json, ms, ms_f, optimizer_gate_speedup,
+    warm_session_times, FIG10_QUERIES,
+};
+use compiler::cost::Decision;
+use compiler::TranslateOptions;
+use natix::{Document, Engine, EngineConfig};
+use nqe::Json;
+
+/// Default document sweep (DBLP records), ending on the Fig. 10 scale.
+const SWEEP: [usize; 3] = [5_000, 20_000, 50_000];
+
+/// The committed gate baseline (see `bench/bin/regress`).
+const BASELINE: &str = "results/BENCH_8_baseline.json";
+
+/// Document size the gate quantity is measured at: large enough for the
+/// memo overhead to dominate noise, small enough for a CI run.
+const GATE_RECORDS: usize = 20_000;
+
+/// `rule:choice×count` summary of a cell's decisions, rewrite order.
+fn decision_summary(decisions: &[Decision]) -> String {
+    let mut counts: Vec<((&str, &str), usize)> = Vec::new();
+    for d in decisions {
+        match counts.iter_mut().find(|((r, c), _)| *r == d.rule && *c == d.choice) {
+            Some((_, n)) => *n += 1,
+            None => counts.push(((d.rule, d.choice), 1)),
+        }
+    }
+    if counts.is_empty() {
+        return "-".to_owned();
+    }
+    counts
+        .iter()
+        .map(|((r, c), n)| {
+            if *n == 1 {
+                format!("{r}:{c}")
+            } else {
+                format!("{r}:{c}×{n}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg_seed(&args);
+    let runs: usize = arg_value(&args, "--runs").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let sweep: Vec<usize> = arg_value(&args, "--records")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|| SWEEP.to_vec());
+    let json_path = arg_value(&args, "--json");
+    let update = args.iter().any(|a| a == "--update-baseline");
+
+    let mut results = Vec::new();
+    // Speedups on the largest sweep document, for the verdict line.
+    let mut final_speedups: Vec<(&str, f64, bool)> = Vec::new();
+    let largest = sweep.last().copied().unwrap_or(0);
+
+    for &records in &sweep {
+        eprintln!("generating synthetic DBLP with {records} records…");
+        let engine = Engine::with_config(EngineConfig::default(), None);
+        let doc =
+            engine.register_document("dblp", Document::Arena(dblp_document_seeded(records, seed)));
+        let store = doc.store();
+        let canonical = engine.session().with_options(TranslateOptions::canonical());
+        let improved = engine.session().with_options(TranslateOptions::improved());
+        let cost = engine.session().with_options(TranslateOptions::cost_based());
+
+        println!("\n# B8: Fig. 10 over {records} records, warm-plan median of {runs} (ms)");
+        println!(
+            "{:<75} {:>10} {:>10} {:>10} {:>7} {:>5}  decisions",
+            "query", "canonical", "improved", "cost", "×impr", "plan"
+        );
+        for q in FIG10_QUERIES {
+            let times = warm_session_times(&[&canonical, &improved, &cost], store, q, runs);
+            let (t_can, t_imp, t_cost) = (times[0], times[1], times[2]);
+            let (_, rep) = cost.analyze(store, q).expect("analyze");
+            let decisions =
+                rep.trace.optimizer.as_ref().map(|o| o.decisions.clone()).unwrap_or_default();
+            let speedup = t_imp.as_secs_f64() / t_cost.as_secs_f64();
+            // Did the optimizer actually pick a different plan than the
+            // always-on improvements? When it didn't, the two sessions
+            // run byte-identical plans and any timing delta is noise.
+            let (imp_plan, _, _) = improved.compile_cached_for(store, q).expect("compile");
+            let (cost_plan, _, _) = cost.compile_cached_for(store, q).expect("compile");
+            let changed = *imp_plan != *cost_plan;
+            println!(
+                "{q:<75} {:>10} {:>10} {:>10} {:>6.2}× {:>5}  {}",
+                ms(t_can),
+                ms(t_imp),
+                ms(t_cost),
+                speedup,
+                if changed { "new" } else { "same" },
+                decision_summary(&decisions)
+            );
+            if records == largest {
+                final_speedups.push((q, speedup, changed));
+            }
+            if json_path.is_some() {
+                let report = rep.to_json();
+                results.push(Json::obj(vec![
+                    ("records", Json::Num(records as f64)),
+                    ("query", Json::Str(q.to_owned())),
+                    ("canonical_ms", Json::Num(ms_f(t_can))),
+                    ("improved_ms", Json::Num(ms_f(t_imp))),
+                    ("cost_based_ms", Json::Num(ms_f(t_cost))),
+                    ("speedup_vs_improved", Json::Num(speedup)),
+                    ("plan_changed", Json::Bool(changed)),
+                    ("speedup_vs_canonical", Json::Num(t_can.as_secs_f64() / t_cost.as_secs_f64())),
+                    (
+                        "mean_est_error_pct",
+                        rep.mean_est_error_pct().map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    ("optimizer", report.get("optimizer").cloned().unwrap_or(Json::Null)),
+                ]));
+            }
+        }
+    }
+
+    let changed: Vec<_> = final_speedups.iter().filter(|(_, _, c)| *c).collect();
+    let same = final_speedups.len() - changed.len();
+    let wins = changed.iter().filter(|(_, s, _)| *s > 1.1).count();
+    let min = changed.iter().map(|(_, s, _)| *s).fold(f64::INFINITY, f64::min);
+    println!(
+        "\n# verdict ({largest} records): {} queries re-planned (min speedup vs \
+         always-improved {min:.2}×, {wins} > 1.10×); {same} kept the improved plan \
+         (1.00× by construction)",
+        changed.len()
+    );
+
+    eprintln!("measuring gate quantity at {GATE_RECORDS} records…");
+    let gate = optimizer_gate_speedup(GATE_RECORDS, seed, runs.max(5));
+    println!(
+        "gate: geometric-mean speedup on misprediction rows {gate:.2}× ({GATE_RECORDS} records)"
+    );
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("bench", Json::Str("optimizer".to_owned())),
+            ("host", host_json(seed)),
+            ("gate_records", Json::Num(GATE_RECORDS as f64)),
+            ("gate_speedup", Json::Num(gate)),
+            ("results", Json::Arr(results)),
+        ]);
+        match std::fs::write(&path, doc.pretty()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if update {
+        // The baseline pins only the machine-independent gate ratio (the
+        // per-cell timings live in BENCH_8.json).
+        let base = Json::obj(vec![
+            ("bench", Json::Str("optimizer".to_owned())),
+            ("host", host_json(seed)),
+            ("gate_records", Json::Num(GATE_RECORDS as f64)),
+            ("gate_runs", Json::Num(runs as f64)),
+            ("gate_speedup", Json::Num(gate)),
+        ]);
+        match std::fs::write(BASELINE, base.pretty()) {
+            Ok(()) => eprintln!("baseline updated: {BASELINE}"),
+            Err(e) => {
+                eprintln!("error: {BASELINE}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -35,6 +35,10 @@ const BASELINE: &str = "results/BENCH_6_baseline.json";
 /// by `bench/bin/throughput --update-baseline`).
 const B7_BASELINE: &str = "results/BENCH_7_baseline.json";
 
+/// The B8 optimizer baseline carrying the cost-based-vs-improved gate
+/// (written by `bench/bin/optimizer --update-baseline`).
+const B8_BASELINE: &str = "results/BENCH_8_baseline.json";
+
 /// Default headroom multiplier for the `--check` gate.
 const TOLERANCE: f64 = 2.0;
 
@@ -341,6 +345,53 @@ fn main() {
         "warm_cache",
         base_norm,
         cur_norm,
+        ratio,
+        if ok { "ok" } else { "REGRESSED" }
+    );
+
+    // B8 optimizer gate: the cost-based optimizer's warm-plan speedup
+    // over the always-on improvements on the misprediction rows
+    // (`OPTIMIZER_GATE_QUERIES`). Both sides of the speedup run in this
+    // process, so the ratio is machine-normalised by construction; a
+    // regression means the optimizer stopped (or mis-)re-planning.
+    let b8_path = arg_value(&args, "--bench8-baseline").unwrap_or_else(|| B8_BASELINE.to_owned());
+    let b8_text = match std::fs::read_to_string(&b8_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: no B8 baseline at {b8_path}: {e}");
+            eprintln!("hint: run `optimizer --update-baseline` to create one");
+            std::process::exit(2);
+        }
+    };
+    let b8 = match Json::parse(&b8_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {b8_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (Some(b8_speedup), Some(b8_records)) = (
+        b8.get("gate_speedup").and_then(Json::as_num),
+        b8.get("gate_records").and_then(Json::as_num),
+    ) else {
+        eprintln!("error: {b8_path} lacks gate_speedup/gate_records");
+        std::process::exit(2);
+    };
+    if b8_speedup <= 0.0 {
+        eprintln!("error: {b8_path} has a non-positive gate speedup");
+        std::process::exit(2);
+    }
+    let cur_speedup = bench::optimizer_gate_speedup(b8_records as usize, seed, iterations);
+    let ratio = b8_speedup / cur_speedup;
+    let ok = ratio <= tolerance;
+    if !ok {
+        failed = true;
+    }
+    println!(
+        "{:<12} {:>13.3}× {:>13.3}× {:>7.2}× {:>8}",
+        "optimizer",
+        b8_speedup,
+        cur_speedup,
         ratio,
         if ok { "ok" } else { "REGRESSED" }
     );

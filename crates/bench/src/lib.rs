@@ -65,6 +65,78 @@ pub const SERVICE_CORPUS: [&str; 12] = [
      | /dblp/inproceedings[title]/year | /dblp/article[title]/year",
 ];
 
+/// The experiment B8 gate queries: the Fig. 10 rows whose inner-path
+/// memos have no key reuse (every article is a distinct memo key), so
+/// the always-on §4 improvements pay memo bookkeeping for nothing and
+/// the cost-based optimizer's drop/fuse decisions are a measurable win.
+/// Shared by `bench/bin/optimizer` (which pins the baseline) and the
+/// `regress` gate (which re-measures it).
+pub const OPTIMIZER_GATE_QUERIES: [&str; 3] = [
+    "/dblp/article[count(author)=4]/@key",
+    "/dblp/article[year='1991']/@key",
+    "/dblp/*[author='Guido Moerkotte']/@key",
+];
+
+/// Median warm-plan latency of `runs` session evaluations: the first,
+/// unmeasured, call compiles into the engine's plan cache, so the timed
+/// samples compare the chosen plans rather than compile cost.
+pub fn warm_session_time(
+    session: &natix::Session,
+    store: &dyn XmlStore,
+    query: &str,
+    runs: usize,
+) -> Duration {
+    warm_session_times(&[session], store, query, runs)[0]
+}
+
+/// [`warm_session_time`] over several sessions at once, round-robin: one
+/// sample per session per round, so clock-frequency drift and cache
+/// warmth land on every configuration equally instead of biasing
+/// whichever was timed last. Returns one median per session.
+pub fn warm_session_times(
+    sessions: &[&natix::Session],
+    store: &dyn XmlStore,
+    query: &str,
+    runs: usize,
+) -> Vec<Duration> {
+    for s in sessions {
+        std::hint::black_box(s.evaluate(store, query).expect("warm query"));
+    }
+    let mut samples = vec![Vec::with_capacity(runs.max(1)); sessions.len()];
+    for _ in 0..runs.max(1) {
+        for (s, out) in sessions.iter().zip(samples.iter_mut()) {
+            let t0 = Instant::now();
+            std::hint::black_box(s.evaluate(store, query).expect("query"));
+            out.push(t0.elapsed());
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut v| {
+            v.sort();
+            v[v.len() / 2]
+        })
+        .collect()
+}
+
+/// Geometric-mean warm-plan speedup of the cost-based optimizer over
+/// the always-on improvements on [`OPTIMIZER_GATE_QUERIES`]. Both sides
+/// run on the same machine in the same process, so the ratio needs no
+/// calibration workload.
+pub fn optimizer_gate_speedup(records: usize, seed: u64, runs: usize) -> f64 {
+    let engine = natix::Engine::with_config(natix::EngineConfig::default(), None);
+    let doc = engine
+        .register_document("dblp", natix::Document::Arena(dblp_document_seeded(records, seed)));
+    let improved = engine.session();
+    let cost = engine.session().with_options(TranslateOptions::cost_based());
+    let mut log_sum = 0.0;
+    for q in OPTIMIZER_GATE_QUERIES {
+        let times = warm_session_times(&[&improved, &cost], doc.store(), q, runs);
+        log_sum += (times[0].as_secs_f64() / times[1].as_secs_f64()).ln();
+    }
+    (log_sum / OPTIMIZER_GATE_QUERIES.len() as f64).exp()
+}
+
 /// The paper's small documents: 2000–8000 elements (fanout 6).
 pub const SMALL_SIZES: [usize; 4] = [2000, 4000, 6000, 8000];
 

@@ -6,13 +6,18 @@
 //! between the canonical and improved translations and exposes each §4
 //! improvement separately for ablation studies.
 
+pub mod cost;
 pub mod options;
 pub mod pipeline;
 pub mod properties;
 pub mod trace;
 pub mod translate;
 
-pub use options::{parse_duration, parse_mem_size, ResourceLimits, TranslateOptions};
-pub use pipeline::{compile, compile_ast, compile_traced, PipelineError};
+pub use cost::{Decision, OpEstimate, OptimizerTrace};
+pub use options::{parse_duration, parse_mem_size, CostMode, ResourceLimits, TranslateOptions};
+pub use pipeline::{
+    compile, compile_ast, compile_ast_with_stats, compile_traced, compile_traced_with_stats,
+    compile_with_stats, cost_active, PipelineError,
+};
 pub use trace::{PhaseTiming, QueryTrace};
 pub use translate::{translate, CompileError, CompiledQuery};

@@ -8,6 +8,27 @@
 
 use std::time::Duration;
 
+/// Whether the post-translation cost-based optimizer pass runs.
+///
+/// `Off` (the default and every paper preset) compiles exactly the plan
+/// the translation flags dictate — byte-identical to the engine before
+/// the optimizer existed. `CostBased` re-examines the translation's
+/// unconditional choices (MemoX, χ^mat split, stacked vs. d-join outer
+/// paths, range-scan vs. cursor axis kernels) against cardinality
+/// estimates seeded from the store's [`StructuralIndex`] statistics and
+/// keeps each one only where the estimates say it pays. Without store
+/// statistics (no index, or compile without a store) `CostBased`
+/// degrades to `Off`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CostMode {
+    /// No optimizer pass: translation flags decide everything.
+    #[default]
+    Off,
+    /// Choose translation alternatives per plan site from store
+    /// statistics.
+    CostBased,
+}
+
 /// Options controlling the translation into the algebra.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TranslateOptions {
@@ -31,6 +52,9 @@ pub struct TranslateOptions {
     /// expensive spine segments; 1 (the default and every preset)
     /// compiles the exact serial plan, with no Exchange anywhere.
     pub threads: usize,
+    /// Cost-based optimizer pass over the translated plan; `Off` in
+    /// every preset so the paper translations stay byte-exact.
+    pub optimize: CostMode,
 }
 
 impl TranslateOptions {
@@ -44,6 +68,7 @@ impl TranslateOptions {
             split_expensive: false,
             prune_properties: false,
             threads: 1,
+            optimize: CostMode::Off,
         }
     }
 
@@ -56,6 +81,7 @@ impl TranslateOptions {
             split_expensive: true,
             prune_properties: false,
             threads: 1,
+            optimize: CostMode::Off,
         }
     }
 
@@ -63,6 +89,21 @@ impl TranslateOptions {
     /// (an extension beyond the paper; see DESIGN.md).
     pub fn extended() -> TranslateOptions {
         TranslateOptions { prune_properties: true, ..TranslateOptions::improved() }
+    }
+
+    /// The improved translation with the cost-based optimizer enabled:
+    /// §4's rewrites become per-site decisions instead of defaults.
+    pub fn cost_based() -> TranslateOptions {
+        TranslateOptions {
+            optimize: CostMode::CostBased,
+            ..TranslateOptions::improved()
+        }
+    }
+
+    /// Builder: cost-based optimizer mode.
+    pub fn with_optimize(mut self, mode: CostMode) -> TranslateOptions {
+        self.optimize = mode;
+        self
     }
 
     /// Builder: intra-query parallelism degree (0 is normalised to the
@@ -282,5 +323,12 @@ mod tests {
         assert_eq!(c.threads, 1, "every preset compiles serially");
         assert_eq!(i.threads, 1);
         assert_eq!(TranslateOptions::extended().with_threads(4).threads, 4);
+        assert_eq!(c.optimize, CostMode::Off, "paper presets never optimize");
+        assert_eq!(i.optimize, CostMode::Off);
+        assert_eq!(TranslateOptions::extended().optimize, CostMode::Off);
+        let cb = TranslateOptions::cost_based();
+        assert_eq!(cb.optimize, CostMode::CostBased);
+        assert_eq!(TranslateOptions { optimize: CostMode::Off, ..cb }, i);
+        assert_eq!(i.with_optimize(CostMode::CostBased), cb);
     }
 }

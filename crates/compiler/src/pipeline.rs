@@ -9,9 +9,11 @@
 
 use std::time::Instant;
 
+use xmlstore::StoreStats;
 use xpath_syntax::{analyze, fold::fold, frontend, parse, Expr, FrontendError};
 
-use crate::options::TranslateOptions;
+use crate::cost::{self, Decision, OptimizerTrace};
+use crate::options::{CostMode, TranslateOptions};
 use crate::trace::{record_fired_rewrites, QueryTrace};
 use crate::translate::{translate, CompileError, CompiledQuery};
 
@@ -70,6 +72,114 @@ pub fn compile_ast(ast: &Expr, opts: &TranslateOptions) -> Result<CompiledQuery,
     Ok(translate(ast, opts)?)
 }
 
+/// Does the cost-based optimizer pass run for this (options, stats)
+/// pair? `CostMode::Off` and stat-less stores (fingerprint 0 — no
+/// structural index) both degrade to the exact [`compile`] path.
+pub fn cost_active(opts: &TranslateOptions, stats: Option<&StoreStats>) -> bool {
+    opts.optimize == CostMode::CostBased && stats.is_some_and(|s| s.fingerprint != 0)
+}
+
+/// Compile with document statistics: like [`compile`], plus the
+/// cost-based optimizer pass between translation and property pruning
+/// when [`cost_active`]. Returns the optimizer's record alongside the
+/// plan (`None` when the pass did not run, in which case the produced
+/// plan is byte-identical to [`compile`]'s).
+pub fn compile_with_stats(
+    query: &str,
+    opts: &TranslateOptions,
+    stats: Option<&StoreStats>,
+) -> Result<(CompiledQuery, Option<OptimizerTrace>), PipelineError> {
+    let ast = frontend(query)?;
+    compile_ast_with_stats(&ast, opts, stats)
+}
+
+/// AST-level variant of [`compile_with_stats`].
+pub fn compile_ast_with_stats(
+    ast: &Expr,
+    opts: &TranslateOptions,
+    stats: Option<&StoreStats>,
+) -> Result<(CompiledQuery, Option<OptimizerTrace>), PipelineError> {
+    if !cost_active(opts, stats) {
+        return Ok((translate(ast, opts)?, None));
+    }
+    let stats = stats.expect("cost_active implies stats");
+    // Factor prune/parallelize out of translation (the same split
+    // compile_traced uses, with the same tested equivalence) so the
+    // optimizer sees the raw translated plan.
+    let unpruned = TranslateOptions { prune_properties: false, threads: 1, ..*opts };
+    let compiled = translate(ast, &unpruned)?;
+    let (compiled, trace) = optimize_phase(ast, compiled, opts, stats)?;
+    let compiled = if opts.prune_properties {
+        match compiled {
+            CompiledQuery::Sequence(plan) => {
+                CompiledQuery::Sequence(crate::properties::prune(plan))
+            }
+            CompiledQuery::Scalar(expr) => {
+                CompiledQuery::Scalar(crate::properties::prune_scalar_expr(expr))
+            }
+        }
+    } else {
+        compiled
+    };
+    let compiled = match compiled {
+        CompiledQuery::Sequence(plan) => {
+            CompiledQuery::Sequence(crate::properties::parallelize(plan, opts.threads).0)
+        }
+        CompiledQuery::Scalar(expr) => {
+            CompiledQuery::Scalar(crate::properties::parallelize_scalar(expr, opts.threads).0)
+        }
+    };
+    Ok((compiled, Some(trace)))
+}
+
+/// The cost-based optimizer phase: per-site rewrites over the translated
+/// plan, plus the whole-query outer-shape decision (stacked §4.2.1 vs.
+/// canonical d-join §3), which needs the AST to translate the
+/// alternative.
+fn optimize_phase(
+    ast: &Expr,
+    compiled: CompiledQuery,
+    opts: &TranslateOptions,
+    stats: &StoreStats,
+) -> Result<(CompiledQuery, OptimizerTrace), PipelineError> {
+    let (best, mut decisions) = cost::optimize(compiled, stats);
+    let (best, decisions) = if opts.stacked_outer {
+        let alt_opts = TranslateOptions {
+            stacked_outer: false,
+            prune_properties: false,
+            threads: 1,
+            ..*opts
+        };
+        let alt = translate(ast, &alt_opts)?;
+        let (alt, alt_decisions) = cost::optimize(alt, stats);
+        let est_stacked = cost::estimate_total(&best, stats);
+        let est_djoin = cost::estimate_total(&alt, stats);
+        if est_djoin < est_stacked {
+            let mut decisions = alt_decisions;
+            decisions.push(Decision {
+                site: "outer path".to_owned(),
+                rule: "outer-shape",
+                choice: "d-join",
+                est_chosen: est_djoin,
+                est_rejected: est_stacked,
+            });
+            (alt, decisions)
+        } else {
+            decisions.push(Decision {
+                site: "outer path".to_owned(),
+                rule: "outer-shape",
+                choice: "stacked",
+                est_chosen: est_stacked,
+                est_rejected: est_djoin,
+            });
+            (best, decisions)
+        }
+    } else {
+        (best, decisions)
+    };
+    Ok((best, OptimizerTrace { stats_fingerprint: stats.fingerprint, decisions }))
+}
+
 /// Compile with per-phase tracing: each pipeline phase is timed
 /// separately, fired rewrites are recorded and the final plan's
 /// statistics captured. Produces the same query as [`compile`]; the
@@ -78,6 +188,18 @@ pub fn compile_ast(ast: &Expr, opts: &TranslateOptions) -> Result<CompiledQuery,
 pub fn compile_traced(
     query: &str,
     opts: &TranslateOptions,
+) -> Result<(CompiledQuery, QueryTrace), PipelineError> {
+    compile_traced_with_stats(query, opts, None)
+}
+
+/// [`compile_traced`] with document statistics: when [`cost_active`],
+/// the optimizer runs as its own timed `optimize` phase and its record
+/// lands in [`QueryTrace::optimizer`]. Produces the same query as
+/// [`compile_with_stats`].
+pub fn compile_traced_with_stats(
+    query: &str,
+    opts: &TranslateOptions,
+    stats: Option<&StoreStats>,
 ) -> Result<(CompiledQuery, QueryTrace), PipelineError> {
     let mut trace = QueryTrace { query: query.to_owned(), ..QueryTrace::default() };
 
@@ -106,20 +228,33 @@ pub fn compile_traced(
     trace.add_phase("translate", t0.elapsed().as_nanos() as u64);
 
     trace.record_plan(&compiled);
+    let compiled = if cost_active(opts, stats) {
+        let stats = stats.expect("cost_active implies stats");
+        let t0 = Instant::now();
+        let (optimized, opt_trace) = optimize_phase(&folded, compiled, opts, stats)?;
+        trace.add_phase("optimize", t0.elapsed().as_nanos() as u64);
+        trace.optimizer = Some(opt_trace);
+        trace.record_plan(&optimized);
+        optimized
+    } else {
+        compiled
+    };
     let compiled = if opts.prune_properties {
         let ops_before = trace.plan_ops;
         let t0 = Instant::now();
+        let mut pruned_labels = Vec::new();
         let pruned = match compiled {
-            CompiledQuery::Sequence(plan) => {
-                CompiledQuery::Sequence(crate::properties::prune(plan))
-            }
-            CompiledQuery::Scalar(expr) => {
-                CompiledQuery::Scalar(crate::properties::prune_scalar_expr(expr))
-            }
+            CompiledQuery::Sequence(plan) => CompiledQuery::Sequence(
+                crate::properties::prune_with_report(plan, &mut pruned_labels),
+            ),
+            CompiledQuery::Scalar(expr) => CompiledQuery::Scalar(
+                crate::properties::prune_scalar_expr_with_report(expr, &mut pruned_labels),
+            ),
         };
         trace.add_phase("prune", t0.elapsed().as_nanos() as u64);
         trace.record_plan(&pruned);
         trace.pruned_ops = ops_before.saturating_sub(trace.plan_ops);
+        trace.pruned_labels = pruned_labels;
         if trace.pruned_ops > 0 {
             trace.rewrites.push(format!("property-prune (-{} ops)", trace.pruned_ops));
         }
@@ -467,6 +602,74 @@ mod tests {
         // Tracing must not change the produced query.
         let plain = compile("//a//b", &opts).unwrap();
         assert_eq!(plain, compiled);
+    }
+
+    #[test]
+    fn cost_off_or_statless_is_byte_identical_to_plain_compile() {
+        use xmlstore::gen::{generate_dblp, DblpParams};
+        use xmlstore::XmlStore;
+        let store = generate_dblp(DblpParams { records: 20, seed: 3 });
+        let stats = store.structural_index().unwrap().stats().clone();
+        for q in [
+            "/dblp/article/title",
+            "//article[author]",
+            "count(/dblp/article)",
+        ] {
+            // Off mode ignores stats entirely.
+            let (with, trace) =
+                compile_with_stats(q, &TranslateOptions::improved(), Some(&stats)).unwrap();
+            assert!(trace.is_none(), "{q}");
+            assert_eq!(with, compile(q, &TranslateOptions::improved()).unwrap(), "{q}");
+            // CostBased without stats degrades to Off.
+            let (no_stats, trace) =
+                compile_with_stats(q, &TranslateOptions::cost_based(), None).unwrap();
+            assert!(trace.is_none(), "{q}");
+            assert_eq!(no_stats, compile(q, &TranslateOptions::cost_based()).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn cost_based_traced_matches_untraced_and_records_decisions() {
+        use xmlstore::gen::{generate_dblp, DblpParams};
+        use xmlstore::XmlStore;
+        let store = generate_dblp(DblpParams { records: 20, seed: 3 });
+        let stats = store.structural_index().unwrap().stats().clone();
+        let opts = TranslateOptions::cost_based();
+        for q in [
+            "/dblp/article/title",
+            "//article[author/text()]",
+            "/dblp/article[count(author)=4]/@key",
+            "count(/dblp/article)",
+        ] {
+            let (plain, opt_trace) = compile_with_stats(q, &opts, Some(&stats)).unwrap();
+            let (traced, trace) = compile_traced_with_stats(q, &opts, Some(&stats)).unwrap();
+            assert_eq!(plain, traced, "{q}");
+            let ot = opt_trace.expect("optimizer ran");
+            let tt = trace.optimizer.expect("traced optimizer ran");
+            assert_eq!(ot, tt, "{q}");
+            assert_eq!(ot.stats_fingerprint, stats.fingerprint);
+            assert!(trace.phases.iter().any(|p| p.name == "optimize"), "{:?}", trace.phases);
+            // Every path query makes at least a scan-kernel or outer-shape
+            // decision.
+            assert!(!ot.decisions.is_empty(), "{q}");
+        }
+    }
+
+    #[test]
+    fn traced_prune_names_elided_operators() {
+        let (_, trace) = compile_traced("/a/b/c", &TranslateOptions::extended()).unwrap();
+        assert!(trace.pruned_ops > 0);
+        assert_eq!(trace.pruned_labels.len(), trace.pruned_ops, "{:?}", trace.pruned_labels);
+        assert!(
+            trace
+                .pruned_labels
+                .iter()
+                .all(|l| l.starts_with("Π^D") || l.starts_with("Sort")),
+            "{:?}",
+            trace.pruned_labels
+        );
+        let report = trace.report();
+        assert!(report.contains("pruned: "), "{report}");
     }
 
     #[test]

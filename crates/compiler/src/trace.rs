@@ -7,6 +7,7 @@
 use algebra::explain::{nested_plans, scalar_plans};
 use algebra::{LogicalOp, ScalarExpr};
 
+use crate::cost::OptimizerTrace;
 use crate::translate::CompiledQuery;
 
 /// One timed pipeline phase.
@@ -37,6 +38,12 @@ pub struct QueryTrace {
     pub op_counts: Vec<(String, usize)>,
     /// Operators removed by the property-based pruning extension.
     pub pruned_ops: usize,
+    /// Labels of the operators the pruning extension elided, one per
+    /// site in bottom-up elision order (`Π^D[cn]`, `Sort[u1]`, …).
+    pub pruned_labels: Vec<String>,
+    /// The cost-based optimizer's record (`None` when the pass did not
+    /// run: `CostMode::Off`, or no statistics available).
+    pub optimizer: Option<OptimizerTrace>,
 }
 
 impl QueryTrace {
@@ -93,6 +100,23 @@ impl QueryTrace {
             out.push_str("rewrites: (none fired)\n");
         } else {
             out.push_str(&format!("rewrites: {}\n", self.rewrites.join(", ")));
+        }
+        if !self.pruned_labels.is_empty() {
+            out.push_str(&format!("pruned: {}\n", self.pruned_labels.join(", ")));
+        }
+        if let Some(opt) = &self.optimizer {
+            out.push_str(&format!(
+                "optimizer: stats fp {:#018x}, {} decision{}\n",
+                opt.stats_fingerprint,
+                opt.decisions.len(),
+                if opt.decisions.len() == 1 { "" } else { "s" }
+            ));
+            for d in &opt.decisions {
+                out.push_str(&format!(
+                    "  {} @ {}: {} (est {:.1} vs {:.1})\n",
+                    d.rule, d.site, d.choice, d.est_chosen, d.est_rejected
+                ));
+            }
         }
         let classes: Vec<String> =
             self.op_counts.iter().map(|(k, n)| format!("{k} ×{n}")).collect();

@@ -14,7 +14,7 @@ use xpath_syntax::semantic::static_type;
 use xpath_syntax::{CompOp, Expr, PathExpr, PathStart, Predicate, Step, XPathType};
 
 use algebra::scalar::{AggExpr, AggFunc, CmpMode, ConvKind, NodeFn, NumFn, StrFn};
-use algebra::{Attr, LogicalOp, ScalarExpr};
+use algebra::{Attr, LogicalOp, ScalarExpr, ScanHint};
 
 use crate::options::TranslateOptions;
 
@@ -355,6 +355,7 @@ impl Translator {
             attr: ci.clone(),
             axis: step.axis,
             test: step.node_test.clone(),
+            hint: ScanHint::Auto,
         };
         for pred in &step.predicates {
             let np = normalize_predicate(pred.expr.clone());

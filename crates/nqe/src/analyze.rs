@@ -9,7 +9,10 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use algebra::{QueryError, QueryOutput, Value};
-use compiler::{compile_traced, PipelineError, QueryTrace, ResourceLimits, TranslateOptions};
+use compiler::{
+    compile_traced_with_stats, cost, OptimizerTrace, PipelineError, QueryTrace, ResourceLimits,
+    TranslateOptions,
+};
 use xmlstore::{NodeId, XmlStore};
 
 use crate::codegen::build_physical_profiled;
@@ -67,6 +70,27 @@ pub struct StorageReport {
     pub checksum_failures: u64,
 }
 
+/// One operator's estimated vs. actual cardinality, the reconciliation
+/// the cost-based optimizer is audited by: `est_tuples` is what the
+/// estimator predicted for the operator before execution, `actual_tuples`
+/// what the profiled run produced. Rows exist only when the plan was
+/// optimized cost-based, the execution was profiled, and the store's
+/// statistics fingerprint still matches the one the plan was optimized
+/// under (a cache hit against a restatted store reports nothing rather
+/// than stale estimates).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CardinalityCheck {
+    /// Operator label (same [`algebra::explain::op_label`] form as the
+    /// profile entry it was paired with).
+    pub label: String,
+    /// The optimizer's predicted output cardinality.
+    pub est_tuples: f64,
+    /// Tuples the operator actually produced.
+    pub actual_tuples: u64,
+    /// `|est - actual| / max(actual, 1)` as a percentage.
+    pub error_pct: f64,
+}
+
 /// The result of an `EXPLAIN ANALYZE` run: compile trace, operator
 /// profile, resource accounting, and the shape of the result.
 pub struct AnalyzeReport {
@@ -80,6 +104,10 @@ pub struct AnalyzeReport {
     /// Buffer-manager gauges for paged stores (`None` for main-memory
     /// stores).
     pub storage: Option<StorageReport>,
+    /// Estimated-vs-actual cardinality per operator, in plan pre-order.
+    /// Empty unless the cost-based optimizer ran and the execution was
+    /// profiled (see [`CardinalityCheck`]).
+    pub cardinality: Vec<CardinalityCheck>,
     /// Kind of the result (`nodes`, `bool`, `num`, `str`, or `error`).
     pub result_kind: &'static str,
     /// Node count for node-set results, 1 otherwise (0 for errors).
@@ -138,7 +166,8 @@ pub fn observe_governed(
     vars: &HashMap<String, Value>,
     profiled: bool,
 ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), PipelineError> {
-    let (compiled, trace) = compile_traced(query, opts)?;
+    let stats = store.structural_index().map(|idx| idx.stats());
+    let (compiled, trace) = compile_traced_with_stats(query, opts, stats)?;
     Ok(execute_observed(store, &compiled, trace, limits, ctx, vars, profiled))
 }
 
@@ -187,16 +216,71 @@ pub fn execute_observed(
         Ok(out) => describe(out),
         Err(e) => ("error", 0, e.to_string()),
     };
+    let cardinality = match &trace.optimizer {
+        Some(opt) => reconcile_cardinalities(store, compiled, opt, &profile),
+        None => Vec::new(),
+    };
     let report = AnalyzeReport {
         trace,
         profile,
         resources,
         storage,
+        cardinality,
         result_kind,
         result_count,
         result_summary,
     };
     (out, report)
+}
+
+/// Pair the optimizer's pre-execution estimates with the measured
+/// profile, positionally and label-guarded: both walks emit operators in
+/// the same pre-order, so position `i` refers to the same operator in
+/// both — but if a label ever disagrees (a plan-shape drift bug, or a
+/// cache entry replayed against a different plan) the pair is dropped
+/// rather than reported wrong. Reconciliation only happens when the
+/// store's current statistics fingerprint equals the one the plan was
+/// optimized under.
+fn reconcile_cardinalities(
+    store: &dyn XmlStore,
+    compiled: &compiler::CompiledQuery,
+    opt: &OptimizerTrace,
+    profile: &Profile,
+) -> Vec<CardinalityCheck> {
+    let Some(stats) = store.structural_index().map(|idx| idx.stats()) else {
+        return Vec::new();
+    };
+    if stats.fingerprint != opt.stats_fingerprint {
+        return Vec::new();
+    }
+    cost::estimate_operators(compiled, stats)
+        .iter()
+        .zip(&profile.entries)
+        .filter(|(est, entry)| est.label == entry.label)
+        .map(|(est, entry)| {
+            let actual = entry.stats.lock().tuples;
+            CardinalityCheck {
+                label: est.label.clone(),
+                est_tuples: est.est_tuples,
+                actual_tuples: actual,
+                error_pct: (est.est_tuples - actual as f64).abs() / (actual as f64).max(1.0)
+                    * 100.0,
+            }
+        })
+        .collect()
+}
+
+impl AnalyzeReport {
+    /// Mean absolute cardinality-estimation error across all reconciled
+    /// operators, as a percentage — the single number telemetry tracks
+    /// (`None` when nothing was reconciled).
+    pub fn mean_est_error_pct(&self) -> Option<f64> {
+        if self.cardinality.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.cardinality.iter().map(|c| c.error_pct).sum();
+        Some(sum / self.cardinality.len() as f64)
+    }
 }
 
 fn describe(out: &QueryOutput) -> (&'static str, usize, String) {
@@ -267,6 +351,20 @@ impl AnalyzeReport {
                 p.worker_tuples, p.worker_chunks,
             ));
         }
+        if !self.cardinality.is_empty() {
+            out.push_str("optimizer cardinalities (est vs actual):\n");
+            let label_w =
+                self.cardinality.iter().map(|c| c.label.chars().count()).max().unwrap_or(0);
+            for c in &self.cardinality {
+                out.push_str(&format!(
+                    "  {:<label_w$}  est {:>10.1}  actual {:>8}  err {:6.1}%\n",
+                    c.label, c.est_tuples, c.actual_tuples, c.error_pct,
+                ));
+            }
+            if let Some(mean) = self.mean_est_error_pct() {
+                out.push_str(&format!("  mean estimation error: {mean:.1}%\n"));
+            }
+        }
         if let Some(e) = &r.error {
             out.push_str(&format!("stopped: {e}\n"));
         }
@@ -298,6 +396,15 @@ impl AnalyzeReport {
     ///                 "source_tuples": 500, "worker_tuples": [120, ...],
     ///                 "worker_chunks": [4, ...], "merge_nanos": 123,
     ///                 "runs": 1}],
+    ///   "optimizer": {"stats_fingerprint": "0x00000304998a8f1b",
+    ///                 "decisions": [{"rule": "memo-keep-or-drop",
+    ///                                "site": "𝔐[c1]", "choice": "keep",
+    ///                                "est_chosen": 40.0,
+    ///                                "est_rejected": 160.0}],
+    ///                 "cardinalities": [{"label": "Π^D[cn]",
+    ///                                    "est_tuples": 12.0,
+    ///                                    "actual_tuples": 10,
+    ///                                    "error_pct": 20.0}]},
     ///   "resources": {"high_water_bytes": 0, "charged_bytes": 0,
     ///                 "tuples_charged": 0, "transient_bytes": 0,
     ///                 "limits": {"max_memory_bytes": null,
@@ -313,7 +420,10 @@ impl AnalyzeReport {
     /// tree. All times are wall-clock nanoseconds. Materialising
     /// operators report `mem_charged`/`mem_peak` gauges; `resources` is
     /// the governor's plan-wide accounting of the same charges. `storage`
-    /// is `null` for main-memory stores.
+    /// is `null` for main-memory stores. `optimizer` is `null` unless the
+    /// cost-based pass ran; its `cardinalities` array is empty when the
+    /// execution was unprofiled or the store's statistics fingerprint no
+    /// longer matches the plan's.
     pub fn to_json(&self) -> Json {
         let mut root = trace_json_fields(&self.trace);
         root.push(("operators".to_owned(), profile_json(&self.profile)));
@@ -355,6 +465,14 @@ impl AnalyzeReport {
                     .collect(),
             ),
         ));
+        root.push((
+            "optimizer".to_owned(),
+            self.trace
+                .optimizer
+                .as_ref()
+                .map(|opt| optimizer_json(opt, &self.cardinality))
+                .unwrap_or(Json::Null),
+        ));
         root.push(("resources".to_owned(), resources_json(&self.resources)));
         root.push((
             "result".to_owned(),
@@ -366,6 +484,40 @@ impl AnalyzeReport {
         root.push(("total_nanos".to_owned(), Json::Num(self.trace.total_nanos() as f64)));
         Json::Obj(root)
     }
+}
+
+fn optimizer_json(opt: &OptimizerTrace, cardinality: &[CardinalityCheck]) -> Json {
+    let decisions = opt
+        .decisions
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("rule", Json::Str(d.rule.to_owned())),
+                ("site", Json::Str(d.site.clone())),
+                ("choice", Json::Str(d.choice.to_owned())),
+                ("est_chosen", Json::Num(d.est_chosen)),
+                ("est_rejected", Json::Num(d.est_rejected)),
+            ])
+        })
+        .collect();
+    let cards = cardinality
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("label", Json::Str(c.label.clone())),
+                ("est_tuples", Json::Num(c.est_tuples)),
+                ("actual_tuples", Json::Num(c.actual_tuples as f64)),
+                ("error_pct", Json::Num(c.error_pct)),
+            ])
+        })
+        .collect();
+    // The fingerprint is a full 64-bit hash — rendered as a hex string
+    // because JSON numbers are f64 and would silently round it.
+    Json::obj(vec![
+        ("stats_fingerprint", Json::Str(format!("{:#018x}", opt.stats_fingerprint))),
+        ("decisions", Json::Arr(decisions)),
+        ("cardinalities", Json::Arr(cards)),
+    ])
 }
 
 fn resources_json(r: &ResourceReport) -> Json {
@@ -522,6 +674,48 @@ mod tests {
         let (_, serial) = run("/r/a/descendant::b");
         assert!(serial.profile.parallel.is_empty());
         assert!(!serial.text().contains("parallel["));
+    }
+
+    #[test]
+    fn cost_based_run_reports_optimizer_section() {
+        let store = parse_document("<r><a><b>x</b><b>y</b></a><a><b>x</b></a></r>").unwrap();
+        let opts = TranslateOptions::cost_based();
+        let (out, rep) =
+            explain_analyze(&store, "/r/a[b = 'x']/b", &opts, store.root(), &HashMap::new())
+                .unwrap();
+        assert!(matches!(out, QueryOutput::Nodes(ref ns) if ns.len() == 3), "{out:?}");
+        let opt = rep.trace.optimizer.as_ref().expect("cost pass must record a trace");
+        assert_ne!(opt.stats_fingerprint, 0);
+        // Every profiled operator reconciles: same pre-order, same labels.
+        assert_eq!(rep.cardinality.len(), rep.profile.entries.len());
+        for (c, e) in rep.cardinality.iter().zip(&rep.profile.entries) {
+            assert_eq!(c.label, e.label);
+            assert!(c.est_tuples.is_finite() && c.est_tuples >= 0.0);
+        }
+        assert!(rep.mean_est_error_pct().is_some());
+        let text = rep.text();
+        assert!(text.contains("optimizer: stats fp 0x"), "{text}");
+        assert!(text.contains("optimizer cardinalities (est vs actual):"), "{text}");
+        assert!(text.contains("mean estimation error:"), "{text}");
+        let json = rep.to_json();
+        let opt_json = json.get("optimizer").expect("optimizer key");
+        let cards = opt_json.get("cardinalities").and_then(Json::as_arr).unwrap();
+        assert_eq!(cards.len(), rep.cardinality.len());
+        for c in cards {
+            for key in ["label", "est_tuples", "actual_tuples", "error_pct"] {
+                assert!(c.get(key).is_some(), "cardinality missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_off_run_has_no_optimizer_section() {
+        let (_, rep) = run("/r/a/b");
+        assert!(rep.trace.optimizer.is_none());
+        assert!(rep.cardinality.is_empty());
+        assert_eq!(rep.mean_est_error_pct(), None);
+        assert!(!rep.text().contains("optimizer"), "{}", rep.text());
+        assert_eq!(rep.to_json().get("optimizer"), Some(&Json::Null));
     }
 
     #[test]

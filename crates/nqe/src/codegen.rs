@@ -225,11 +225,11 @@ impl Codegen<'_> {
             }
             LogicalOp::SemiJoin { left, right, pred } => self.build_semi(left, right, pred, false),
             LogicalOp::AntiJoin { left, right, pred } => self.build_semi(left, right, pred, true),
-            LogicalOp::UnnestMap { input, context, attr, axis, test } => {
+            LogicalOp::UnnestMap { input, context, attr, axis, test, hint } => {
                 let input = self.build_iter(input);
                 let ctx = self.mgr.slot(context);
                 let out = self.mgr.slot(attr);
-                Box::new(UnnestMapIter::new(input, ctx, out, *axis, test.clone()))
+                Box::new(UnnestMapIter::new(input, ctx, out, *axis, test.clone(), *hint))
             }
             LogicalOp::TokenizeMap { input, attr, expr } => {
                 let input = self.build_iter(input);

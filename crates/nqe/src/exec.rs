@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use xmlstore::{NodeId, XmlStore};
 
 use algebra::{QueryError, QueryOutput, Tuple, Value};
-use compiler::{compile, PipelineError, ResourceLimits, TranslateOptions};
+use compiler::{compile_with_stats, PipelineError, ResourceLimits, TranslateOptions};
 
 use crate::codegen::{build_physical, PhysicalQuery};
 use crate::governor::{tuple_bytes, ChargeLedger, ResourceGovernor};
@@ -173,7 +173,8 @@ pub fn evaluate_with(
     ctx: NodeId,
     vars: &HashMap<String, Value>,
 ) -> Result<QueryOutput, PipelineError> {
-    let compiled = compile(query, opts)?;
+    let stats = store.structural_index().map(|idx| idx.stats());
+    let (compiled, _) = compile_with_stats(query, opts, stats)?;
     let mut phys = build_physical(&compiled);
     Ok(phys.execute(store, vars, ctx)?)
 }
@@ -189,7 +190,8 @@ pub fn evaluate_governed(
     ctx: NodeId,
     vars: &HashMap<String, Value>,
 ) -> Result<QueryOutput, PipelineError> {
-    let compiled = compile(query, opts)?;
+    let stats = store.structural_index().map(|idx| idx.stats());
+    let (compiled, _) = compile_with_stats(query, opts, stats)?;
     let mut phys = build_physical(&compiled);
     let gov = ResourceGovernor::new(*limits);
     Ok(phys.execute_governed(store, vars, ctx, &gov)?)

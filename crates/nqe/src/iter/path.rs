@@ -7,7 +7,7 @@ use xmlstore::{Axis, AxisCursor, NameId, NodeId, NodeKind, RangeScan, Structural
 use xpath_syntax::{KindTest, NodeTest};
 
 use algebra::attrmgr::Slot;
-use algebra::{Tuple, Value};
+use algebra::{ScanHint, Tuple, Value};
 
 use crate::exec::Runtime;
 use crate::governor::{tuple_bytes, ChargeLedger};
@@ -117,6 +117,9 @@ pub struct UnnestMapIter {
     out: Slot,
     axis: Axis,
     test: NodeTest,
+    /// Optimizer kernel hint: `Cursor` skips the per-context index probe
+    /// entirely; `Auto`/`Range` probe the index and fall back.
+    hint: ScanHint,
     resolved: Option<ResolvedTest>,
     current: Option<(Tuple, Scan)>,
     /// Statistics: context nodes served by an interval range scan.
@@ -134,6 +137,7 @@ impl UnnestMapIter {
         out: Slot,
         axis: Axis,
         test: NodeTest,
+        hint: ScanHint,
     ) -> UnnestMapIter {
         UnnestMapIter {
             input,
@@ -141,6 +145,7 @@ impl UnnestMapIter {
             out,
             axis,
             test,
+            hint,
             resolved: None,
             current: None,
             range_scans: 0,
@@ -214,19 +219,26 @@ impl PhysIter for UnnestMapIter {
             let Some(node) = t.get(self.ctx).and_then(|v| v.as_node()) else {
                 continue; // unbound context yields nothing
             };
-            let scan =
-                match rt.store.structural_index().and_then(|idx| idx.range_scan(self.axis, node)) {
-                    Some(range) => {
-                        self.range_scans += 1;
-                        Scan::Range(range)
+            // A `Cursor` hint skips the index probe: the optimizer
+            // estimated the scan span to dwarf the axis output, so the
+            // cursor is the chosen kernel, not a fallback.
+            let probed = if self.hint == ScanHint::Cursor {
+                None
+            } else {
+                rt.store.structural_index().and_then(|idx| idx.range_scan(self.axis, node))
+            };
+            let scan = match probed {
+                Some(range) => {
+                    self.range_scans += 1;
+                    Scan::Range(range)
+                }
+                None => {
+                    if Self::interval_axis(self.axis) && self.hint != ScanHint::Cursor {
+                        self.cursor_fallbacks += 1;
                     }
-                    None => {
-                        if Self::interval_axis(self.axis) {
-                            self.cursor_fallbacks += 1;
-                        }
-                        Scan::Cursor(AxisCursor::new(rt.store, self.axis, node))
-                    }
-                };
+                    Scan::Cursor(AxisCursor::new(rt.store, self.axis, node))
+                }
+            };
             self.current = Some((t, scan));
         }
     }

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use algebra::scalar::{AggFunc, CmpMode};
-use algebra::{Const, Tuple, Value};
+use algebra::{Const, ScanHint, Tuple, Value};
 use xmlstore::{parse_document, ArenaStore, Axis, XmlStore};
 use xpath_syntax::{CompOp, NodeTest};
 
@@ -48,7 +48,14 @@ fn drain(it: &mut dyn PhysIter, rt: &Runtime<'_>, seed: &Tuple) -> Vec<Tuple> {
 }
 
 fn unnest(ctx: usize, out: usize, axis: Axis, test: NodeTest) -> Box<dyn PhysIter> {
-    Box::new(UnnestMapIter::new(Box::new(SingletonIter::new()), ctx, out, axis, test))
+    Box::new(UnnestMapIter::new(
+        Box::new(SingletonIter::new()),
+        ctx,
+        out,
+        axis,
+        test,
+        ScanHint::Auto,
+    ))
 }
 
 #[test]
@@ -93,6 +100,7 @@ fn djoin_reopens_dependent_side_per_left_tuple() {
         2,
         Axis::Child,
         NodeTest::Name("b".into()),
+        ScanHint::Auto,
     ));
     let mut join = DJoinIter::new(left, right);
     let out = drain(&mut join, &rt, &seed(&s));
@@ -111,7 +119,14 @@ fn counter_resets_on_group_change() {
     let gov = ResourceGovernor::unlimited();
     let rt = rt(&s, &vars, &gov);
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
-    let step = Box::new(UnnestMapIter::new(left, 1, 2, Axis::Child, NodeTest::Name("b".into())));
+    let step = Box::new(UnnestMapIter::new(
+        left,
+        1,
+        2,
+        Axis::Child,
+        NodeTest::Name("b".into()),
+        ScanHint::Auto,
+    ));
     let mut counter = CounterIter::new(step, 3, Some(1));
     let out = drain(&mut counter, &rt, &seed(&s));
     let positions: Vec<f64> = out
@@ -131,7 +146,14 @@ fn tmpcs_annotates_group_sizes() {
     let gov = ResourceGovernor::unlimited();
     let rt = rt(&s, &vars, &gov);
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
-    let step = Box::new(UnnestMapIter::new(left, 1, 2, Axis::Child, NodeTest::Name("b".into())));
+    let step = Box::new(UnnestMapIter::new(
+        left,
+        1,
+        2,
+        Axis::Child,
+        NodeTest::Name("b".into()),
+        ScanHint::Auto,
+    ));
     let mut tmpcs = TmpCsIter::new(step, 3, Some(1));
     let out = drain(&mut tmpcs, &rt, &seed(&s));
     let sizes: Vec<f64> = out
@@ -144,7 +166,14 @@ fn tmpcs_annotates_group_sizes() {
     assert_eq!(sizes, [2.0, 2.0, 1.0], "per-context sizes");
     // Ungrouped variant counts the whole input (Tmp^cs).
     let left = unnest(0, 1, Axis::Descendant, NodeTest::Name("a".into()));
-    let step = Box::new(UnnestMapIter::new(left, 1, 2, Axis::Child, NodeTest::Name("b".into())));
+    let step = Box::new(UnnestMapIter::new(
+        left,
+        1,
+        2,
+        Axis::Child,
+        NodeTest::Name("b".into()),
+        ScanHint::Auto,
+    ));
     let mut tmpcs = TmpCsIter::new(step, 3, None);
     let out = drain(&mut tmpcs, &rt, &seed(&s));
     assert!(out.iter().all(|t| matches!(t[3], Value::Num(n) if n == 3.0)));
@@ -158,7 +187,8 @@ fn dedup_keeps_first_occurrence() {
     let rt = rt(&s, &vars, &gov);
     // b/parent::a produces each <a> per child b.
     let bs = unnest(0, 1, Axis::Descendant, NodeTest::Name("b".into()));
-    let parents = Box::new(UnnestMapIter::new(bs, 1, 2, Axis::Parent, NodeTest::Wildcard));
+    let parents =
+        Box::new(UnnestMapIter::new(bs, 1, 2, Axis::Parent, NodeTest::Wildcard, ScanHint::Auto));
     let mut dedup = DedupIter::new(parents, 2);
     let out = drain(&mut dedup, &rt, &seed(&s));
     assert_eq!(out.len(), 2, "three b-parents collapse to two distinct <a>");
@@ -182,6 +212,7 @@ fn sort_establishes_document_order() {
         2,
         Axis::Preceding,
         NodeTest::Name("b".into()),
+        ScanHint::Auto,
     ));
     let mut sort = SortIter::new(prec, 2);
     let out = drain(&mut sort, &rt, &last_b);

@@ -35,11 +35,12 @@ pub use registry::{parse_exposition, Counter, Gauge, MetricsRegistry};
 
 /// The compile/execute pipeline phases, pre-registered so the exposition
 /// shows a stable series set from the first scrape.
-const PHASES: [&str; 7] = [
+const PHASES: [&str; 8] = [
     "parse",
     "semantic",
     "fold",
     "translate",
+    "optimize",
     "prune",
     "codegen",
     "execute",
@@ -137,6 +138,13 @@ pub struct EngineMetrics {
     /// `natix_service_rejected_total` (queries refused by admission
     /// control: worker-pool queue full).
     pub service_rejected_total: Counter,
+    /// `natix_optimizer_decisions_total` (cost-based alternatives
+    /// chosen, summed over every optimized compile).
+    pub optimizer_decisions_total: Counter,
+    /// `natix_optimizer_est_error_pct` (per-query mean absolute
+    /// cardinality-estimation error, percent — profiled cost-based runs
+    /// only; the estimator's accuracy over time).
+    pub optimizer_est_error_pct: Histogram,
 }
 
 impl EngineMetrics {
@@ -172,6 +180,8 @@ impl EngineMetrics {
             plan_cache_entries: reg.gauge("natix_plan_cache_entries"),
             plan_cache_bytes: reg.gauge("natix_plan_cache_bytes"),
             service_rejected_total: reg.counter("natix_service_rejected_total"),
+            optimizer_decisions_total: reg.counter("natix_optimizer_decisions_total"),
+            optimizer_est_error_pct: reg.histogram("natix_optimizer_est_error_pct"),
         };
         for phase in PHASES {
             reg.counter(&phase_series(phase));
@@ -323,6 +333,16 @@ impl Telemetry {
             self.registry.counter(&rewrite_series(name)).add(count);
         }
 
+        // Cost-based optimizer: decisions in force for this query (cache
+        // hits replay the compile-time record) and, when the run was
+        // profiled, the estimator's mean absolute cardinality error.
+        if let Some(opt) = &report.trace.optimizer {
+            m.optimizer_decisions_total.add(opt.decisions.len() as u64);
+        }
+        if let Some(err) = report.mean_est_error_pct() {
+            m.optimizer_est_error_pct.record(err as u64);
+        }
+
         // Operator profile (profiled runs; plain runs contribute zero).
         let mut opens = 0u64;
         let tuples = report.profile.total_tuples();
@@ -465,7 +485,10 @@ mod tests {
         let text = t.render_text();
         assert!(text.contains("natix_queries_total 0"), "{text}");
         assert!(text.contains("natix_compile_nanos_total{phase=\"parse\"} 0"), "{text}");
+        assert!(text.contains("natix_compile_nanos_total{phase=\"optimize\"} 0"), "{text}");
         assert!(text.contains("natix_query_errors_total{class=\"memory\"} 0"), "{text}");
+        assert!(text.contains("natix_optimizer_decisions_total 0"), "{text}");
+        assert!(text.contains("natix_optimizer_est_error_pct"), "{text}");
         parse_exposition(&text).expect("pre-registered exposition parses");
     }
 

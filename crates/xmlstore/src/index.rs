@@ -19,6 +19,7 @@
 
 use crate::axes::Axis;
 use crate::node::{NameId, NodeId, NodeKind};
+use crate::stats::StoreStats;
 use crate::store::XmlStore;
 
 const NIL: u32 = u32::MAX;
@@ -39,6 +40,9 @@ pub struct StructuralIndex {
     kind: Vec<NodeKind>,
     /// `rank → interned name` (`NIL` if unnamed).
     name: Vec<u32>,
+    /// Shape summary derived in the same build pass (never stale: every
+    /// structural update rebuilds the index and the stats with it).
+    stats: StoreStats,
 }
 
 impl StructuralIndex {
@@ -60,6 +64,7 @@ impl StructuralIndex {
             size: Vec::new(),
             kind: Vec::with_capacity(slots),
             name: Vec::with_capacity(slots),
+            stats: StoreStats::default(),
         };
         // rank → rank of the structural parent (NIL for the root), used
         // by the size accumulation below.
@@ -93,6 +98,7 @@ impl StructuralIndex {
                 idx.size[p as usize] += idx.size[r] + 1;
             }
         }
+        idx.stats = StoreStats::from_index(&idx, store);
         idx
     }
 
@@ -115,6 +121,11 @@ impl StructuralIndex {
     /// Number of ranked (reachable) nodes.
     pub fn len(&self) -> usize {
         self.node_at.len()
+    }
+
+    /// The document-statistics snapshot derived at build time.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     /// True if the index covers no nodes.

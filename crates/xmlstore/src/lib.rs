@@ -45,6 +45,7 @@ pub mod node;
 pub mod page;
 pub mod parser;
 pub mod serialize;
+pub mod stats;
 pub mod store;
 pub mod tmp;
 pub mod update;
@@ -57,4 +58,5 @@ pub use index::{RangeScan, StructuralIndex};
 pub use node::{NameId, NodeId, NodeKind};
 pub use parser::{parse_document, parse_document_with_limits, ParseLimits, XmlError};
 pub use serialize::{to_xml, to_xml_node};
+pub use stats::{StoreStats, TagStat};
 pub use store::{NoIndex, XmlStore};

@@ -1,0 +1,255 @@
+//! Document-statistics snapshot for the cost-based optimizer.
+//!
+//! A [`StoreStats`] is derived from the [`StructuralIndex`] in one O(n)
+//! pass at index-build time (the index itself is already an O(n) build,
+//! so the snapshot rides along for free) and is therefore never stale:
+//! every structural update rebuilds the index and with it the stats.
+//! Consumers read node/element/attribute totals, the maximum depth, the
+//! mean element fan-out and subtree size, and per-tag counts with
+//! per-tag subtree-size sums — everything the compiler's cardinality
+//! estimator needs. Tags are keyed by name *text* (not `NameId`)
+//! because the estimator runs in the compiler against a query's node
+//! tests, which are strings.
+//!
+//! The [`fingerprint`](StoreStats::fingerprint) hashes every integer
+//! field and tag name (FNV-1a), so two stores with the same shape share
+//! a fingerprint and any structural difference separates them. The plan
+//! cache keys cost-based plans on it: a cached plan is only reused
+//! against a store whose statistics would have produced the same
+//! optimizer inputs.
+
+use std::collections::BTreeMap;
+
+use crate::index::StructuralIndex;
+use crate::node::NodeKind;
+use crate::store::XmlStore;
+
+/// Per-tag statistics: how many named nodes (elements and attributes)
+/// carry this name, and the summed subtree sizes of the elements among
+/// them (attributes dominate nothing).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TagStat {
+    /// The name text.
+    pub name: String,
+    /// Number of nodes with this name.
+    pub count: u64,
+    /// Sum of element subtree sizes (self excluded) over those nodes.
+    pub subtree_sum: u64,
+}
+
+/// One document's shape summary, the optimizer's only input besides the
+/// plan itself.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Ranked nodes, document root included.
+    pub node_count: u64,
+    /// Element nodes.
+    pub element_count: u64,
+    /// Attribute nodes.
+    pub attribute_count: u64,
+    /// Text nodes.
+    pub text_count: u64,
+    /// Maximum node depth (document root = 0).
+    pub max_depth: u32,
+    /// Mean children per parent (elements + the document node), all
+    /// non-attribute child kinds counted.
+    pub mean_fanout: f64,
+    /// Mean element subtree size, self excluded.
+    pub mean_subtree: f64,
+    /// Per-tag statistics, sorted by name for binary search.
+    tags: Vec<TagStat>,
+    /// FNV-1a over every integer field and the sorted tag table.
+    pub fingerprint: u64,
+}
+
+impl StoreStats {
+    /// Derive the snapshot from a built index in one pass over the rank
+    /// arrays (`store` is consulted once per *distinct* name, for its
+    /// text). Depth uses the interval nesting directly: a stack of
+    /// inclusive subtree ends `[r, r + size]`, popped as ranks leave
+    /// the enclosing intervals.
+    pub fn from_index(idx: &StructuralIndex, store: &dyn XmlStore) -> StoreStats {
+        let n = idx.len() as u32;
+        if n == 0 {
+            return StoreStats::default();
+        }
+        let mut s = StoreStats { node_count: u64::from(n), ..StoreStats::default() };
+        // Interned id → (count, subtree_sum, any node carrying it).
+        let mut by_name: BTreeMap<u32, (u64, u64, u32)> = BTreeMap::new();
+        let mut ends: Vec<u32> = Vec::new();
+        let mut subtree_sum = 0u64;
+        for r in 0..n {
+            while ends.last().is_some_and(|&end| r > end) {
+                ends.pop();
+            }
+            s.max_depth = s.max_depth.max(ends.len() as u32);
+            ends.push(r + idx.size_at(r));
+            match idx.kind_at(r) {
+                NodeKind::Element => {
+                    s.element_count += 1;
+                    let size = u64::from(idx.size_at(r));
+                    subtree_sum += size;
+                    if let Some(name) = idx.name_at(r) {
+                        let slot = by_name.entry(name.0).or_insert((0, 0, r));
+                        slot.0 += 1;
+                        slot.1 += size;
+                    }
+                }
+                NodeKind::Attribute => {
+                    s.attribute_count += 1;
+                    if let Some(name) = idx.name_at(r) {
+                        by_name.entry(name.0).or_insert((0, 0, r)).0 += 1;
+                    }
+                }
+                NodeKind::Text => s.text_count += 1,
+                _ => {}
+            }
+        }
+        // Every non-attribute node except the document root is somebody's
+        // child; parents are the elements plus the document node.
+        let child_edges = s.node_count - 1 - s.attribute_count;
+        s.mean_fanout = child_edges as f64 / (s.element_count + 1) as f64;
+        s.mean_subtree = if s.element_count > 0 {
+            subtree_sum as f64 / s.element_count as f64
+        } else {
+            0.0
+        };
+        s.tags = by_name
+            .into_values()
+            .map(|(count, subtree_sum, rank)| TagStat {
+                name: store.node_name(idx.node_at(rank)),
+                count,
+                subtree_sum,
+            })
+            .collect();
+        s.tags.sort_by(|a, b| a.name.cmp(&b.name));
+        s.fingerprint = s.compute_fingerprint();
+        s
+    }
+
+    /// Number of named nodes (element or attribute) carrying `name`.
+    pub fn tag_count(&self, name: &str) -> u64 {
+        self.tag(name).map_or(0, |t| t.count)
+    }
+
+    /// Mean subtree size of elements named `name` (0 if unseen).
+    pub fn tag_mean_subtree(&self, name: &str) -> f64 {
+        match self.tag(name) {
+            Some(t) if t.count > 0 => t.subtree_sum as f64 / t.count as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// The sorted per-tag table.
+    pub fn tags(&self) -> &[TagStat] {
+        &self.tags
+    }
+
+    fn tag(&self, name: &str) -> Option<&TagStat> {
+        self.tags
+            .binary_search_by(|t| t.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.tags[i])
+    }
+
+    /// FNV-1a 64 over the integer fields and the sorted tag table; the
+    /// derived means are excluded (they are functions of the hashed
+    /// integers).
+    fn compute_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(self.node_count);
+        mix(self.element_count);
+        mix(self.attribute_count);
+        mix(self.text_count);
+        mix(u64::from(self.max_depth));
+        mix(self.tags.len() as u64);
+        for t in &self.tags {
+            for &b in t.name.as_bytes() {
+                mix(u64::from(b));
+            }
+            mix(t.count);
+            mix(t.subtree_sum);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::{ArenaBuilder, ArenaStore};
+
+    /// <r a="1"><x p="2"><y/></x><z>t</z></r> — the index module's hand
+    /// sample: ranks 0 doc, 1 r, 2 @a, 3 x, 4 @p, 5 y, 6 z, 7 text.
+    fn sample() -> ArenaStore {
+        let mut b = ArenaBuilder::new();
+        b.start_element("r");
+        b.attribute("a", "1");
+        b.start_element("x");
+        b.attribute("p", "2");
+        b.start_element("y");
+        b.end_element();
+        b.end_element();
+        b.start_element("z");
+        b.text("t");
+        b.end_element();
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn hand_computed_sample_stats() {
+        let s = sample();
+        let st = s.structural_index().unwrap().stats();
+        assert_eq!(st.node_count, 8);
+        assert_eq!(st.element_count, 4, "r x y z");
+        assert_eq!(st.attribute_count, 2, "@a @p");
+        assert_eq!(st.text_count, 1);
+        // doc 0 · r 1 · {@a,x,z} 2 · {@p,y,text} 3.
+        assert_eq!(st.max_depth, 3);
+        // Child edges r,x,y,z,t = 5 over parents {doc,r,x,y,z} = 5.
+        assert!((st.mean_fanout - 1.0).abs() < 1e-12);
+        // Subtree sizes r=6, x=2, y=0, z=1 → mean 9/4.
+        assert!((st.mean_subtree - 2.25).abs() < 1e-12);
+
+        assert_eq!(st.tag_count("x"), 1);
+        assert!((st.tag_mean_subtree("x") - 2.0).abs() < 1e-12, "x dominates @p and y");
+        assert_eq!(st.tag_count("r"), 1);
+        assert!((st.tag_mean_subtree("r") - 6.0).abs() < 1e-12);
+        assert_eq!(st.tag_count("a"), 1, "attribute names are counted");
+        assert_eq!(st.tag_mean_subtree("a"), 0.0, "attributes dominate nothing");
+        assert_eq!(st.tag_count("nope"), 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_shapes_and_is_stable() {
+        let a = sample();
+        let b = sample();
+        let fa = a.structural_index().unwrap().stats().fingerprint;
+        let fb = b.structural_index().unwrap().stats().fingerprint;
+        assert_eq!(fa, fb, "identical builds share a fingerprint");
+
+        let mut builder = ArenaBuilder::new();
+        builder.start_element("r");
+        builder.end_element();
+        let c = builder.finish();
+        let fc = c.structural_index().unwrap().stats().fingerprint;
+        assert_ne!(fa, fc, "different shapes separate");
+        assert_ne!(fc, 0);
+    }
+
+    #[test]
+    fn empty_index_yields_default_stats() {
+        let b = ArenaBuilder::new();
+        let store = b.finish();
+        let st = StoreStats::from_index(&StructuralIndex::empty(), &store);
+        assert_eq!(st, StoreStats::default());
+        assert_eq!(st.fingerprint, 0, "no-index stores read as fingerprint 0");
+    }
+}

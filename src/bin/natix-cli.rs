@@ -59,6 +59,7 @@ struct Args {
     interactive: bool,
     canonical: bool,
     extended: bool,
+    cost_based: bool,
     time: bool,
     threads: usize,
     limits: ResourceLimits,
@@ -85,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         interactive: false,
         canonical: false,
         extended: false,
+        cost_based: false,
         time: false,
         threads: 1,
         limits: ResourceLimits::unlimited(),
@@ -109,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
             "--interactive" | "-i" => args.interactive = true,
             "--canonical" => args.canonical = true,
             "--extended" => args.extended = true,
+            "--cost-based" => args.cost_based = true,
             "--time" => args.time = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count (0 = all cores)")?;
@@ -213,6 +216,8 @@ fn print_help() {
          \x20                      (an array, one element per query)\n\
          \x20 --canonical          use the canonical §3 translation\n\
          \x20 --extended           improved translation + property pruning\n\
+         \x20 --cost-based         improved + per-query cost-based selection of\n\
+         \x20                      translation alternatives from store statistics\n\
          \x20 --time               print compile-phase + evaluation times\n\
          \x20 --threads <n>        worker threads for parallel execution\n\
          \x20                      (1 = serial, 0 = all cores; see DESIGN.md §14)\n\
@@ -423,6 +428,8 @@ fn main() {
         TranslateOptions::canonical()
     } else if args.extended {
         TranslateOptions::extended()
+    } else if args.cost_based {
+        TranslateOptions::cost_based()
     } else {
         TranslateOptions::improved()
     };

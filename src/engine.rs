@@ -13,19 +13,28 @@
 //!
 //! ## The plan cache
 //!
-//! Compiled plans are cached per `(expression, static-context hash)`,
-//! exactly the "cacheable compiled executables keyed by expression +
-//! static-context hash" design of the XPath 2.0 exemplar (SNIPPETS.md
-//! Snippet 1). The static context here is everything that influences
-//! what `compile` produces or how a query is admitted: the full
-//! [`TranslateOptions`] (including the parallelism degree — a plan
-//! compiled for 4 threads contains Exchange operators a serial plan must
-//! not share) and the session's [`ResourceLimits`] (two sessions with
-//! different budgets never share a cache entry, so per-session admission
-//! behaviour can never leak across clients through the cache). Logical
-//! plans are store-independent — code generation re-binds a cached plan
-//! to whichever store the query runs against — so one cache serves every
-//! registered document.
+//! Compiled plans are cached per `(expression, static-context hash,
+//! statistics fingerprint)`, extending the "cacheable compiled
+//! executables keyed by expression + static-context hash" design of the
+//! XPath 2.0 exemplar (SNIPPETS.md Snippet 1). The static context is
+//! everything that influences what `compile` produces or how a query is
+//! admitted: the full [`TranslateOptions`] (including the parallelism
+//! degree and the [`CostMode`] — a plan compiled for 4 threads contains
+//! Exchange operators a serial plan must not share) and the session's
+//! [`ResourceLimits`] (two sessions with different budgets never share a
+//! cache entry, so per-session admission behaviour can never leak across
+//! clients through the cache).
+//!
+//! The statistics fingerprint is the third key component: a cost-based
+//! plan is shaped by the statistics of the store it was optimized for, so
+//! it may only be replayed against a store whose [`StoreStats`]
+//! fingerprint matches — two stores with different statistics never share
+//! a cost-based entry (asserted by `tests/plancache.rs`). With
+//! `CostMode::Off` (or a store without a structural index) the
+//! fingerprint is pinned to `0`: such plans are store-independent — code
+//! generation re-binds them to whichever store the query runs against —
+//! so one entry still serves every registered document, exactly as before
+//! the optimizer existed.
 //!
 //! Capacity is dual: an entry cap (LRU count) and a byte budget charged
 //! against a dedicated [`ResourceGovernor`] — the same accounting
@@ -41,11 +50,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
 
-use compiler::{CompiledQuery, QueryTrace, ResourceLimits, TranslateOptions};
+use compiler::{
+    CompiledQuery, CostMode, OptimizerTrace, QueryTrace, ResourceLimits, TranslateOptions,
+};
 use nqe::{AnalyzeReport, ResourceGovernor};
 use parking_lot::RwLock;
 use telemetry::{Counter, Gauge, Telemetry};
-use xmlstore::{NodeId, XmlStore};
+use xmlstore::{NodeId, StoreStats, XmlStore};
 
 use crate::{Document, NatixError, QueryError, QueryOutput, Value};
 
@@ -87,6 +98,7 @@ pub fn static_context_hash(opts: &TranslateOptions, limits: &ResourceLimits) -> 
         opts.memoize_inner as u64,
         opts.split_expensive as u64,
         opts.prune_properties as u64,
+        (opts.optimize == CostMode::CostBased) as u64,
         opts.threads as u64,
         opt(limits.max_memory_bytes),
         opt(limits.max_tuples),
@@ -188,6 +200,11 @@ impl CacheCounters {
 
 struct CacheEntry {
     plan: Arc<CompiledQuery>,
+    /// The optimizer's decision record, replayed on every hit so EXPLAIN
+    /// ANALYZE of a cached cost-based plan still shows what was chosen
+    /// and can reconcile estimates against actuals (`None` for plans
+    /// compiled with the cost pass off).
+    optimizer: Option<OptimizerTrace>,
     bytes: u64,
     /// LRU stamp, updated through a shared read lock on hits (the hot
     /// path never takes the cache's write lock).
@@ -195,7 +212,10 @@ struct CacheEntry {
 }
 
 struct CacheInner {
-    map: HashMap<(String, u64), CacheEntry>,
+    /// Keyed by `(expression, static-context hash, stats fingerprint)` —
+    /// see the module docs; the fingerprint is `0` for non-cost-based
+    /// plans.
+    map: HashMap<(String, u64, u64), CacheEntry>,
     /// Byte accounting, reusing the query-side governor machinery: the
     /// budget is `cache_bytes`, every resident plan holds a charge, and
     /// eviction releases it. Charges only ever happen after eviction
@@ -238,19 +258,26 @@ impl PlanCache {
     }
 
     /// Look up a plan, counting a hit or a miss and touching the LRU
-    /// clock on hit.
-    pub fn get(&self, expr: &str, ctx_hash: u64) -> Option<Arc<CompiledQuery>> {
+    /// clock on hit. `stats_fp` is the statistics fingerprint the caller
+    /// wants the plan optimized under (`0` for non-cost-based compiles).
+    /// The optimizer trace recorded at insert time rides along on hits.
+    pub fn get(
+        &self,
+        expr: &str,
+        ctx_hash: u64,
+        stats_fp: u64,
+    ) -> Option<(Arc<CompiledQuery>, Option<OptimizerTrace>)> {
         if self.max_entries == 0 {
             self.counters.misses.inc();
             return None;
         }
         let inner = self.inner.read();
-        match inner.map.get(&(expr.to_owned(), ctx_hash)) {
+        match inner.map.get(&(expr.to_owned(), ctx_hash, stats_fp)) {
             Some(e) => {
                 let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
                 e.last_used.store(tick, Ordering::Relaxed);
                 self.counters.hits.inc();
-                Some(e.plan.clone())
+                Some((e.plan.clone(), e.optimizer.clone()))
             }
             None => {
                 self.counters.misses.inc();
@@ -262,7 +289,14 @@ impl PlanCache {
     /// Insert a freshly compiled plan, evicting least-recently-used
     /// entries until both the entry cap and the byte budget hold. A plan
     /// heavier than the whole byte budget is not cached at all.
-    pub fn insert(&self, expr: &str, ctx_hash: u64, plan: Arc<CompiledQuery>) {
+    pub fn insert(
+        &self,
+        expr: &str,
+        ctx_hash: u64,
+        stats_fp: u64,
+        plan: Arc<CompiledQuery>,
+        optimizer: Option<OptimizerTrace>,
+    ) {
         if self.max_entries == 0 {
             return;
         }
@@ -274,7 +308,7 @@ impl PlanCache {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         // Racing sessions may both miss and both compile; the second
         // insert wins and the first entry's charge is released.
-        if let Some(old) = inner.map.remove(&(expr.to_owned(), ctx_hash)) {
+        if let Some(old) = inner.map.remove(&(expr.to_owned(), ctx_hash, stats_fp)) {
             inner.gov.release(old.bytes);
         }
         // Evict until the entry cap and the byte budget both hold.
@@ -299,8 +333,8 @@ impl PlanCache {
             return;
         }
         inner.map.insert(
-            (expr.to_owned(), ctx_hash),
-            CacheEntry { plan, bytes, last_used: AtomicU64::new(tick) },
+            (expr.to_owned(), ctx_hash, stats_fp),
+            CacheEntry { plan, optimizer, bytes, last_used: AtomicU64::new(tick) },
         );
         self.counters.inserts.inc();
         self.counters.entries.set(inner.map.len() as u64);
@@ -559,19 +593,52 @@ impl Session {
     /// the query is compiled with full phase tracing and the plan is
     /// inserted. Compile errors are *not* cached — a mistyped query
     /// costs a compile each time but can never poison the cache.
+    ///
+    /// Store-statistics-free variant: with `CostMode::CostBased` the
+    /// cost pass needs the target store's statistics, so this compiles
+    /// (and keys the cache) as if no statistics were available —
+    /// fingerprint `0`, historical plan shape. Store-bound evaluation
+    /// goes through [`Session::compile_cached_for`].
     pub fn compile_cached(
         &self,
         query: &str,
     ) -> Result<(Arc<CompiledQuery>, QueryTrace, bool), NatixError> {
+        self.compile_cached_with_stats(query, None)
+    }
+
+    /// [`Session::compile_cached`] against a concrete store: the store's
+    /// statistics feed the cost-based optimizer and their fingerprint
+    /// becomes part of the cache key.
+    pub fn compile_cached_for(
+        &self,
+        store: &dyn XmlStore,
+        query: &str,
+    ) -> Result<(Arc<CompiledQuery>, QueryTrace, bool), NatixError> {
+        self.compile_cached_with_stats(query, store.structural_index().map(|idx| idx.stats()))
+    }
+
+    fn compile_cached_with_stats(
+        &self,
+        query: &str,
+        stats: Option<&StoreStats>,
+    ) -> Result<(Arc<CompiledQuery>, QueryTrace, bool), NatixError> {
         let hash = self.ctx_hash();
-        if let Some(plan) = self.engine.plan_cache.get(query, hash) {
-            let mut trace = QueryTrace { query: query.to_owned(), ..QueryTrace::default() };
+        let stats_fp = if compiler::cost_active(&self.options, stats) {
+            stats.map_or(0, |s| s.fingerprint)
+        } else {
+            0
+        };
+        if let Some((plan, optimizer)) = self.engine.plan_cache.get(query, hash, stats_fp) {
+            let mut trace =
+                QueryTrace { query: query.to_owned(), optimizer, ..QueryTrace::default() };
             trace.record_plan(&plan);
             return Ok((plan, trace, true));
         }
-        let (compiled, trace) = compiler::compile_traced(query, &self.options)?;
+        let (compiled, trace) = compiler::compile_traced_with_stats(query, &self.options, stats)?;
         let plan = Arc::new(compiled);
-        self.engine.plan_cache.insert(query, hash, plan.clone());
+        self.engine
+            .plan_cache
+            .insert(query, hash, stats_fp, plan.clone(), trace.optimizer.clone());
         Ok((plan, trace, false))
     }
 
@@ -588,7 +655,7 @@ impl Session {
     ) -> Result<(Result<QueryOutput, QueryError>, AnalyzeReport), NatixError> {
         let _permit = self.engine.admit();
         let t0 = Instant::now();
-        let (plan, trace, _hit) = match self.compile_cached(query) {
+        let (plan, trace, _hit) = match self.compile_cached_for(store, query) {
             Ok(v) => v,
             Err(e) => {
                 if let Some(t) = &self.engine.telemetry {
@@ -690,6 +757,7 @@ mod tests {
         let h = static_context_hash(&base, &unlimited);
         assert_eq!(h, static_context_hash(&base, &unlimited), "deterministic");
         assert_ne!(h, static_context_hash(&TranslateOptions::canonical(), &unlimited));
+        assert_ne!(h, static_context_hash(&TranslateOptions::cost_based(), &unlimited));
         assert_ne!(h, static_context_hash(&base.with_threads(4), &unlimited));
         assert_ne!(h, static_context_hash(&base, &unlimited.with_max_tuples(10)));
         assert_ne!(h, static_context_hash(&base, &unlimited.with_max_parse_depth(5)));

@@ -369,7 +369,14 @@ impl ClientSession {
                     self.session.options = TranslateOptions::extended().with_threads(threads);
                     Reply::Line("OK options extended".to_owned())
                 }
-                _ => Reply::Line("ERR usage options <canonical|improved|extended>".to_owned()),
+                "cost-based" => {
+                    let threads = self.session.options.threads;
+                    self.session.options = TranslateOptions::cost_based().with_threads(threads);
+                    Reply::Line("OK options cost-based".to_owned())
+                }
+                _ => Reply::Line(
+                    "ERR usage options <canonical|improved|extended|cost-based>".to_owned(),
+                ),
             },
             "doc" => {
                 if rest.is_empty() {

@@ -1,0 +1,77 @@
+//! The shared differential query corpus, used by `tests/differential.rs`
+//! and `tests/optimizer.rs`: 40 tree-document queries exercising every
+//! axis, positional machinery, nested predicates, scalars and unions,
+//! plus 17 dblp-shaped queries matching the generated bibliography
+//! documents (root `dblp`, `article`/`inproceedings` records).
+
+/// Queries over the generated tree documents (root `xdoc`, elements
+/// named a–e with consecutive `id` attributes).
+pub const TREE_QUERIES: &[&str] = &[
+    // The paper's Fig. 5 queries.
+    "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id",
+    "/child::xdoc/descendant::*/preceding-sibling::*/following::*/attribute::id",
+    "/child::xdoc/descendant::*/ancestor::*/ancestor::*/attribute::id",
+    "/child::xdoc/child::*/parent::*/descendant::*/attribute::id",
+    // Axis soup.
+    "//a/following-sibling::*[1]/@id",
+    "//b/preceding-sibling::*/@id",
+    "//c/ancestor-or-self::*/@id",
+    "//d/descendant-or-self::*/@id",
+    "//e/preceding::b/@id",
+    "//a/following::c/@id",
+    "/xdoc/*/*/parent::*/@id",
+    "//*[@id='17']/ancestor::*/@id",
+    "//*[@id='17']/following::*[3]/@id",
+    // Positional.
+    "/xdoc/*[1]/@id",
+    "/xdoc/*[last()]/@id",
+    "/xdoc/*/*[position() = last()]/@id",
+    "/xdoc/*/*[position() mod 3 = 1]/@id",
+    "(//b)[4]/@id",
+    "(//c)[last()]/@id",
+    "(//a | //b)[position() < 5]/@id",
+    // Predicates with nested paths.
+    "//*[count(*) > 2]/@id",
+    "//*[*[@id]]/@id",
+    "//*[not(*)][3]/@id",
+    "//a[following-sibling::b]/@id",
+    "//*[count(ancestor::*) = 2][5]/@id",
+    // Scalars.
+    "count(//*)",
+    "count(//a/descendant::*)",
+    "sum(/xdoc/*/@id)",
+    "string(//*[@id='3'])",
+    "count(//*[@id='5']/ancestor::*)",
+    "boolean(//e)",
+    "name((//*)[7])",
+    // Unions and filters.
+    "//a | //b | //c",
+    "(//a/parent::* | //b/parent::*)/@id",
+    "id('12 7 99999')/@id",
+    // Duplicate-heavy bases under filters and aggregates.
+    "(//b/parent::*)[2]/@id",
+    "(//c/ancestor::*)[last()]/@id",
+    "count(//c/parent::*/child::c)",
+    "(//b/parent::*)[position() < 3]/@id",
+];
+
+/// Queries matching the generated dblp documents.
+pub const DBLP_QUERIES: &[&str] = &[
+    "/dblp/article/title",
+    "/dblp/*/title",
+    "/dblp/article[position() = 3]/title",
+    "/dblp/article[position() < 10]/title",
+    "/dblp/article[position() = last()]/title",
+    "/dblp/article[position()=last()-10]/title",
+    "/dblp/article/title | /dblp/inproceedings/title",
+    "/dblp/article[count(author)=4]/@key",
+    "/dblp/article[year='1991']/@key",
+    "/dblp/inproceedings[year='1991']/@key",
+    "/dblp/*[author='Guido Moerkotte']/@key",
+    "/dblp/inproceedings[@key='conf/er/LockemannM91']/title",
+    "/dblp/inproceedings[author='Guido Moerkotte'][position()=last()]/title",
+    "count(/dblp/*/author)",
+    "/dblp/phdthesis/author",
+    "/dblp/*[ee][position() mod 50 = 0]/@key",
+    "/dblp/article[starts-with(@key, 'journals/tods')]/year",
+];

@@ -2,83 +2,14 @@
 //! context-list/naive interpreters) must produce identical results on a
 //! broad query corpus over the paper's generated documents.
 
-use compiler::TranslateOptions;
+use compiler::{CostMode, TranslateOptions};
 use interp::{InterpOptions, Interpreter};
 use natix::QueryOutput;
 use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
 use xmlstore::{ArenaStore, XmlStore};
 
-/// Queries exercising every axis, positional machinery, nested paths,
-/// functions and unions on the generated tree documents (root `xdoc`,
-/// elements named a–e with consecutive `id` attributes).
-const TREE_QUERIES: &[&str] = &[
-    // The paper's Fig. 5 queries.
-    "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id",
-    "/child::xdoc/descendant::*/preceding-sibling::*/following::*/attribute::id",
-    "/child::xdoc/descendant::*/ancestor::*/ancestor::*/attribute::id",
-    "/child::xdoc/child::*/parent::*/descendant::*/attribute::id",
-    // Axis soup.
-    "//a/following-sibling::*[1]/@id",
-    "//b/preceding-sibling::*/@id",
-    "//c/ancestor-or-self::*/@id",
-    "//d/descendant-or-self::*/@id",
-    "//e/preceding::b/@id",
-    "//a/following::c/@id",
-    "/xdoc/*/*/parent::*/@id",
-    "//*[@id='17']/ancestor::*/@id",
-    "//*[@id='17']/following::*[3]/@id",
-    // Positional.
-    "/xdoc/*[1]/@id",
-    "/xdoc/*[last()]/@id",
-    "/xdoc/*/*[position() = last()]/@id",
-    "/xdoc/*/*[position() mod 3 = 1]/@id",
-    "(//b)[4]/@id",
-    "(//c)[last()]/@id",
-    "(//a | //b)[position() < 5]/@id",
-    // Predicates with nested paths.
-    "//*[count(*) > 2]/@id",
-    "//*[*[@id]]/@id",
-    "//*[not(*)][3]/@id",
-    "//a[following-sibling::b]/@id",
-    "//*[count(ancestor::*) = 2][5]/@id",
-    // Scalars.
-    "count(//*)",
-    "count(//a/descendant::*)",
-    "sum(/xdoc/*/@id)",
-    "string(//*[@id='3'])",
-    "count(//*[@id='5']/ancestor::*)",
-    "boolean(//e)",
-    "name((//*)[7])",
-    // Unions and filters.
-    "//a | //b | //c",
-    "(//a/parent::* | //b/parent::*)/@id",
-    "id('12 7 99999')/@id",
-    // Duplicate-heavy bases under filters and aggregates.
-    "(//b/parent::*)[2]/@id",
-    "(//c/ancestor::*)[last()]/@id",
-    "count(//c/parent::*/child::c)",
-    "(//b/parent::*)[position() < 3]/@id",
-];
-
-const DBLP_QUERIES: &[&str] = &[
-    "/dblp/article/title",
-    "/dblp/*/title",
-    "/dblp/article[position() = 3]/title",
-    "/dblp/article[position() < 10]/title",
-    "/dblp/article[position() = last()]/title",
-    "/dblp/article[position()=last()-10]/title",
-    "/dblp/article/title | /dblp/inproceedings/title",
-    "/dblp/article[count(author)=4]/@key",
-    "/dblp/article[year='1991']/@key",
-    "/dblp/inproceedings[year='1991']/@key",
-    "/dblp/*[author='Guido Moerkotte']/@key",
-    "/dblp/inproceedings[@key='conf/er/LockemannM91']/title",
-    "/dblp/inproceedings[author='Guido Moerkotte'][position()=last()]/title",
-    "count(/dblp/*/author)",
-    "/dblp/phdthesis/author",
-    "/dblp/*[ee][position() mod 50 = 0]/@key",
-    "/dblp/article[starts-with(@key, 'journals/tods')]/year",
-];
+mod corpus;
+use corpus::{DBLP_QUERIES, TREE_QUERIES};
 
 fn run_all(store: &ArenaStore, queries: &[&str]) {
     for q in queries {
@@ -172,20 +103,26 @@ fn parallel_threads_agree_with_serial() {
 
 #[test]
 fn ablation_combinations_agree() {
-    // Every combination of the four §4 improvements must preserve
-    // semantics; only performance may change.
+    // Every combination of the four §4 improvements — with and without
+    // the cost-based optimizer on top — must preserve semantics; only
+    // performance may change.
     let store = generate_tree(TreeParams { max_elements: 120, fanout: 4, max_depth: 3 });
     let reference: Vec<QueryOutput> = TREE_QUERIES
         .iter()
         .map(|q| nqe::evaluate(&store, q, &TranslateOptions::improved()).unwrap())
         .collect();
-    for bits in 0..32u32 {
+    for bits in 0..64u32 {
         let opts = TranslateOptions {
             stacked_outer: bits & 1 != 0,
             push_dedup: bits & 2 != 0,
             memoize_inner: bits & 4 != 0,
             split_expensive: bits & 8 != 0,
             prune_properties: bits & 16 != 0,
+            optimize: if bits & 32 != 0 {
+                CostMode::CostBased
+            } else {
+                CostMode::Off
+            },
             threads: 1,
         };
         for (q, expect) in TREE_QUERIES.iter().zip(&reference) {

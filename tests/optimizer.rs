@@ -1,0 +1,117 @@
+//! Cost-based optimizer differential battery: whatever alternatives the
+//! optimizer picks, results must be byte-identical to `CostMode::Off` —
+//! across random documents, the full 40-query corpus, and every
+//! `TranslateOptions` preset. The cost pass may only change *how* a
+//! query runs, never *what* it returns. Run in CI as the
+//! `optimizer-differential` job under a fixed `PROPTEST_SEED`.
+
+use proptest::prelude::*;
+
+use compiler::{CostMode, TranslateOptions};
+use natix::{Document, Engine, EngineConfig, Telemetry};
+use xmlstore::gen::{generate_dblp, generate_tree, DblpParams, TreeParams};
+use xmlstore::XmlStore;
+
+mod corpus;
+use corpus::{DBLP_QUERIES, TREE_QUERIES};
+
+/// The option presets the battery crosses with the cost mode. Each is
+/// compiled twice — `Off` and `CostBased` — and compared query by query.
+fn presets() -> [TranslateOptions; 3] {
+    [
+        TranslateOptions::canonical(),
+        TranslateOptions::improved(),
+        TranslateOptions::extended(),
+    ]
+}
+
+fn assert_cost_mode_is_transparent(store: &dyn XmlStore, queries: &[&str], doc: &str) {
+    for base in presets() {
+        let off = base.with_optimize(CostMode::Off);
+        let on = base.with_optimize(CostMode::CostBased);
+        for q in queries {
+            let want =
+                nqe::evaluate(store, q, &off).unwrap_or_else(|e| panic!("{doc}: off `{q}`: {e}"));
+            let got = nqe::evaluate(store, q, &on)
+                .unwrap_or_else(|e| panic!("{doc}: cost-based `{q}`: {e}"));
+            assert_eq!(got, want, "{doc}: cost-based vs off on `{q}` ({base:?})");
+        }
+    }
+}
+
+/// Body of `cost_based_matches_off_on_random_trees`, hoisted out of the
+/// `proptest!` block (the vendored macro munches its input token by
+/// token, so long bodies overflow the recursion limit): a random tree
+/// document × the 40-query corpus × every preset.
+fn check_random_tree(shape: (usize, usize, usize)) {
+    let (max_elements, fanout, max_depth) = shape;
+    let store = generate_tree(TreeParams { max_elements, fanout, max_depth });
+    assert_cost_mode_is_transparent(
+        &store,
+        TREE_QUERIES,
+        &format!("tree({max_elements},{fanout},{max_depth})"),
+    );
+}
+
+/// Body of `cost_based_matches_off_on_random_dblp`: a random dblp
+/// document (varying record counts and seeds — and with them tag
+/// histograms, fan-outs and fingerprints) × the dblp corpus.
+fn check_random_dblp(shape: (usize, u64)) {
+    let (records, seed) = shape;
+    let store = generate_dblp(DblpParams { records, seed });
+    assert_cost_mode_is_transparent(&store, DBLP_QUERIES, &format!("dblp({records},{seed})"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cost_based_matches_off_on_random_trees(shape in (20usize..300, 1usize..8, 1usize..6)) {
+        check_random_tree(shape);
+    }
+
+    #[test]
+    fn cost_based_matches_off_on_random_dblp(shape in (1usize..80, 0u64..1000)) {
+        check_random_dblp(shape);
+    }
+}
+
+/// A store without a structural index has no statistics, so
+/// `CostMode::CostBased` must fall back to the exact `Off` plan — and
+/// the exact `Off` results.
+#[test]
+fn cost_based_without_stats_matches_off() {
+    let store = generate_tree(TreeParams { max_elements: 150, fanout: 5, max_depth: 3 });
+    let plain = xmlstore::NoIndex(&store);
+    assert_cost_mode_is_transparent(&plain, TREE_QUERIES, "tree-without-index");
+}
+
+/// End-to-end metrics fold: a cost-based query through a
+/// telemetry-carrying engine lands decisions in
+/// `natix_optimizer_decisions_total` and (profiled) its estimation error
+/// in the `natix_optimizer_est_error_pct` histogram; the `optimize`
+/// phase series is populated.
+#[test]
+fn optimizer_metrics_fold_into_registry() {
+    let t = Telemetry::new().shared();
+    let eng = Engine::with_config(EngineConfig::default(), Some(t.clone()));
+    let doc = eng.register_document(
+        "dblp",
+        Document::Arena(generate_dblp(DblpParams { records: 50, seed: 42 })),
+    );
+    let s = eng.session().with_options(TranslateOptions::cost_based());
+    let (_, rep) = s.analyze(doc.store(), "/dblp/article[year='1991']/@key").unwrap();
+    let decisions = rep.trace.optimizer.as_ref().map_or(0, |o| o.decisions.len() as u64);
+    assert!(decisions > 0, "the corpus query must exercise at least one decision");
+    assert_eq!(t.registry.value("natix_optimizer_decisions_total"), Some(decisions));
+    assert!(!rep.cardinality.is_empty(), "profiled run must reconcile estimates");
+    let text = t.render_text();
+    assert!(
+        text.contains("natix_optimizer_est_error_pct_count 1"),
+        "one profiled cost-based run, one error observation: {text}"
+    );
+    assert!(
+        text.contains("natix_compile_nanos_total{phase=\"optimize\"}"),
+        "optimize phase series present"
+    );
+}

@@ -226,3 +226,76 @@ fn cached_plan_rebinds_across_stores() {
     };
     assert!(b > a, "results still reflect each store ({a} vs {b})");
 }
+
+/// Cost-based plans are shaped by store statistics, so two stores with
+/// different statistics fingerprints must never share a cache entry —
+/// each store compiles (and caches) its own plan. The same session in
+/// `CostMode::Off` keeps the historical sharing behaviour.
+#[test]
+fn stats_fingerprints_isolate_cost_based_entries() {
+    let eng = Engine::new();
+    let small = eng.register_document(
+        "small",
+        Document::Arena(generate_dblp(DblpParams { records: 5, seed: 42 })),
+    );
+    let large = eng.register_document(
+        "large",
+        Document::Arena(generate_dblp(DblpParams { records: 25, seed: 42 })),
+    );
+    let fp_small = small.store().structural_index().unwrap().stats().fingerprint;
+    let fp_large = large.store().structural_index().unwrap().stats().fingerprint;
+    assert_ne!(fp_small, fp_large, "different documents, different fingerprints");
+
+    let s = eng.session().with_options(TranslateOptions::cost_based());
+    let q = QUERIES[3];
+    let on_small = s.evaluate(small.store(), q).unwrap();
+    let on_large = s.evaluate(large.store(), q).unwrap();
+    let st = eng.cache_stats();
+    assert_eq!((st.misses, st.hits, st.entries), (2, 0, 2), "one cost-based plan per store");
+
+    // Re-running against each store hits that store's own entry.
+    assert_eq!(s.evaluate(small.store(), q).unwrap(), on_small);
+    assert_eq!(s.evaluate(large.store(), q).unwrap(), on_large);
+    let st = eng.cache_stats();
+    assert_eq!((st.misses, st.hits, st.entries), (2, 2, 2));
+}
+
+/// A cache hit on a cost-based plan replays the optimizer's decision
+/// record: EXPLAIN ANALYZE of the second run still carries the trace
+/// (with the store's fingerprint) and reconciles estimates against
+/// actuals, even though nothing was compiled.
+#[test]
+fn cache_hit_replays_optimizer_trace() {
+    let eng = Engine::new();
+    let doc = eng.register_document(
+        "dblp",
+        Document::Arena(generate_dblp(DblpParams { records: 30, seed: 42 })),
+    );
+    let s = eng.session().with_options(TranslateOptions::cost_based());
+    let q = QUERIES[0];
+    let (_, first) = s.analyze(doc.store(), q).unwrap();
+    let (_, second) = s.analyze(doc.store(), q).unwrap();
+    let st = eng.cache_stats();
+    assert_eq!((st.misses, st.hits), (1, 1));
+
+    let fp = doc.store().structural_index().unwrap().stats().fingerprint;
+    for (rep, label) in [(&first, "miss"), (&second, "hit")] {
+        let opt = rep.trace.optimizer.as_ref().unwrap_or_else(|| panic!("{label}: no trace"));
+        assert_eq!(opt.stats_fingerprint, fp, "{label}");
+        assert!(!rep.cardinality.is_empty(), "{label}: est-vs-actual must reconcile");
+    }
+    assert_eq!(
+        first.trace.optimizer.as_ref().unwrap().decisions,
+        second.trace.optimizer.as_ref().unwrap().decisions,
+        "the hit replays the decisions recorded at compile time"
+    );
+    // The hit compiled nothing: no compile phases in its trace.
+    assert!(second.trace.phases.iter().all(|p| p.name == "codegen" || p.name == "execute"));
+
+    // Off-mode sessions on the same engine key separately (optimize is
+    // part of the static context) and record no optimizer trace.
+    let off = eng.session();
+    let (_, rep) = off.analyze(doc.store(), q).unwrap();
+    assert!(rep.trace.optimizer.is_none());
+    assert!(rep.cardinality.is_empty());
+}
