@@ -39,6 +39,15 @@ const B7_BASELINE: &str = "results/BENCH_7_baseline.json";
 /// (written by `bench/bin/optimizer --update-baseline`).
 const B8_BASELINE: &str = "results/BENCH_8_baseline.json";
 
+/// The B9 updates baseline carrying the incremental-repair-vs-full-
+/// renumber gate (written by `bench/bin/updates --update-baseline`).
+const B9_BASELINE: &str = "results/BENCH_9_baseline.json";
+
+/// Hard floor on the B9 speedup regardless of baseline drift: the
+/// experiment plan requires incremental repair to beat the full
+/// renumber by at least this much on the gate document.
+const B9_FLOOR: f64 = 10.0;
+
 /// Default headroom multiplier for the `--check` gate.
 const TOLERANCE: f64 = 2.0;
 
@@ -391,6 +400,57 @@ fn main() {
         "{:<12} {:>13.3}× {:>13.3}× {:>7.2}× {:>8}",
         "optimizer",
         b8_speedup,
+        cur_speedup,
+        ratio,
+        if ok { "ok" } else { "REGRESSED" }
+    );
+
+    // B9 updates gate: incremental index repair vs full renumber on a
+    // small update batch. The baseline's headline number runs on 50k
+    // records (seconds per renumber batch), so the gate replays the
+    // committed `check_records` configuration instead; both sides of
+    // the speedup run in this process, so the ratio is machine-
+    // normalised by construction. A hard floor applies on top of the
+    // drift tolerance: incremental repair must stay ≥ 10× faster.
+    let b9_path = arg_value(&args, "--bench9-baseline").unwrap_or_else(|| B9_BASELINE.to_owned());
+    let b9_text = match std::fs::read_to_string(&b9_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: no B9 baseline at {b9_path}: {e}");
+            eprintln!("hint: run `updates --update-baseline` to create one");
+            std::process::exit(2);
+        }
+    };
+    let b9 = match Json::parse(&b9_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {b9_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (Some(b9_speedup), Some(b9_records), Some(b9_ops)) = (
+        b9.get("check_speedup").and_then(Json::as_num),
+        b9.get("check_records").and_then(Json::as_num),
+        b9.get("gate_ops").and_then(Json::as_num),
+    ) else {
+        eprintln!("error: {b9_path} lacks check_speedup/check_records/gate_ops");
+        std::process::exit(2);
+    };
+    if b9_speedup <= 0.0 {
+        eprintln!("error: {b9_path} has a non-positive check speedup");
+        std::process::exit(2);
+    }
+    let cur_speedup =
+        bench::update_gate_speedup(b9_records as usize, seed, b9_ops as usize, iterations.min(7));
+    let ratio = b9_speedup / cur_speedup;
+    let ok = ratio <= tolerance && cur_speedup >= B9_FLOOR;
+    if !ok {
+        failed = true;
+    }
+    println!(
+        "{:<12} {:>13.3}× {:>13.3}× {:>7.2}× {:>8}",
+        "updates",
+        b9_speedup,
         cur_speedup,
         ratio,
         if ok { "ok" } else { "REGRESSED" }

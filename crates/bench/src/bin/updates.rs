@@ -1,0 +1,201 @@
+//! Experiment B9 — online updates: small-batch commit latency with
+//! incremental structural-index repair vs the full-`renumber()`
+//! fallback, plus reader latency while a writer publishes epochs.
+//!
+//! The headline gate: on a 50k-record DBLP store, a small update batch
+//! must commit at least 10× faster with incremental repair (gap-based
+//! order keys, localized splice) than with a full renumber per
+//! mutation — the repair is O(touched), the fallback O(n).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin updates \
+//!     [--records N] [--ops N] [--runs N] [--seed N] \
+//!     [--json PATH] [--update-baseline]
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{arg_seed, arg_value, dblp_document_seeded, host_json, update_batch_median};
+use nqe::Json;
+use telemetry::Histogram;
+use xmlstore::{RepairMode, XmlStore};
+
+/// The committed baseline the `regress --check` B9 gate diffs against.
+const BASELINE: &str = "results/BENCH_9_baseline.json";
+
+/// The speedup floor from the experiment plan (§B9 acceptance).
+const GATE_FLOOR: f64 = 10.0;
+
+/// Reader-side query: cheap enough to sample often, touches the region
+/// the writer mutates (the tail of `/dblp`).
+const READER_QUERY: &str = "/dblp/article[position() = last()]/title";
+
+/// p50/p99 of `READER_QUERY` against pinned snapshots while `writer`
+/// batches commit concurrently (or not, for the quiescent baseline).
+fn reader_latency(
+    engine: &Arc<natix::Engine>,
+    iterations: usize,
+    with_writer: bool,
+) -> (u64, u64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = with_writer.then(|| {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut commits = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let mut b = engine.write_batch("dblp").expect("writer batch");
+                let root = b.store().first_child(b.store().root()).expect("dblp");
+                let e = b.append_element(root, "article").expect("append");
+                b.set_attribute(e, "key", "bench/b9/live").expect("attr");
+                b.commit().expect("commit");
+                commits += 1;
+            }
+            commits
+        })
+    });
+
+    let h = Histogram::new();
+    let mut last_epoch = 0;
+    for _ in 0..iterations {
+        let pin = engine.pin("dblp").expect("document registered");
+        last_epoch = pin.epoch();
+        let t0 = Instant::now();
+        std::hint::black_box(
+            nqe::evaluate(pin.doc().store(), READER_QUERY, &compiler::TranslateOptions::improved())
+                .expect("reader query"),
+        );
+        h.record_nanos(t0.elapsed());
+    }
+    stop.store(true, Ordering::Relaxed);
+    let commits = writer.map_or(0, |w| w.join().expect("writer thread"));
+    if with_writer {
+        assert!(commits > 0, "writer never committed");
+    }
+    let s = h.summary();
+    eprintln!(
+        "readers {}: p50 {:>9}ns  p99 {:>9}ns  (epoch {last_epoch}, {commits} commits)",
+        if with_writer {
+            "racing writer"
+        } else {
+            "quiescent    "
+        },
+        s.p50,
+        s.p99,
+    );
+    (s.p50, s.p99, commits)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: usize| -> usize {
+        arg_value(&args, flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let records = get("--records", 50_000);
+    let ops = get("--ops", 16);
+    let runs = get("--runs", 9);
+    let reader_iters = get("--reader-iterations", 200);
+    let seed = arg_seed(&args);
+    let update = args.iter().any(|a| a == "--update-baseline");
+
+    eprintln!("generating DBLP document with {records} records (seed {seed})…");
+    let mut store = dblp_document_seeded(records, seed);
+    let nodes = store.structural_index().expect("arena index").len();
+
+    println!("# B9: small-batch update commit, {records} records ({nodes} nodes), {ops} ops/batch");
+    // Warm both paths once before measuring.
+    update_batch_median(&mut store, RepairMode::Incremental, ops, 1);
+    update_batch_median(&mut store, RepairMode::FullRenumber, ops, 1);
+    let inc = update_batch_median(&mut store, RepairMode::Incremental, ops, runs);
+    let full = update_batch_median(&mut store, RepairMode::FullRenumber, ops, runs);
+    let speedup = full.as_secs_f64() / inc.as_secs_f64().max(f64::EPSILON);
+    let stats = store.repair_stats();
+    println!("incremental repair : {:>12} ns/batch (median of {runs})", inc.as_nanos());
+    println!("full renumber      : {:>12} ns/batch (median of {runs})", full.as_nanos());
+    println!(
+        "speedup            : {speedup:>11.1}×  (gate ≥ {GATE_FLOOR}×: {})",
+        if speedup >= GATE_FLOOR {
+            "ok"
+        } else {
+            "FAILED"
+        }
+    );
+    println!(
+        "repairs            : {} incremental, {} relabels, {} full renumbers",
+        stats.incremental, stats.relabels, stats.full_renumbers
+    );
+
+    // A scaled-down replica of the gate for `regress --check`: the full
+    // 50k-record renumber side costs seconds per batch, so CI replays
+    // the same measurement on a tenth of the document (the speedup is
+    // size-dependent, so the baseline records the check size too).
+    let check_records = (records / 10).max(1000);
+    eprintln!("measuring CI check gate at {check_records} records…");
+    let check_speedup = bench::update_gate_speedup(check_records, seed, ops, 5);
+    println!("check speedup      : {check_speedup:>11.1}×  ({check_records} records)");
+
+    // Engine-level: epoch commits under live readers. The document
+    // registered here is a fresh clone-by-construction (the batch clones
+    // the arena), so the store above is unaffected.
+    let engine = natix::Engine::with_config(natix::EngineConfig::default(), None);
+    engine.register_document(
+        "dblp",
+        natix::Document::Arena(dblp_document_seeded(records.min(5000), seed)),
+    );
+    let (quiet_p50, quiet_p99, _) = reader_latency(&engine, reader_iters, false);
+    let (racy_p50, racy_p99, commits) = reader_latency(&engine, reader_iters, true);
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("updates".to_owned())),
+        ("host", host_json(seed)),
+        ("gate_records", Json::Num(records as f64)),
+        ("gate_ops", Json::Num(ops as f64)),
+        ("gate_speedup", Json::Num(speedup)),
+        ("check_records", Json::Num(check_records as f64)),
+        ("check_speedup", Json::Num(check_speedup)),
+        (
+            "results",
+            Json::Arr(vec![Json::obj(vec![
+                ("records", Json::Num(records as f64)),
+                ("nodes", Json::Num(nodes as f64)),
+                ("batch_ops", Json::Num(ops as f64)),
+                ("incremental_nanos", Json::Num(inc.as_nanos() as f64)),
+                ("full_renumber_nanos", Json::Num(full.as_nanos() as f64)),
+                ("speedup", Json::Num(speedup)),
+                ("incremental_repairs", Json::Num(stats.incremental as f64)),
+                ("full_renumbers", Json::Num(stats.full_renumbers as f64)),
+                ("reader_quiescent_p50_nanos", Json::Num(quiet_p50 as f64)),
+                ("reader_quiescent_p99_nanos", Json::Num(quiet_p99 as f64)),
+                ("reader_racing_p50_nanos", Json::Num(racy_p50 as f64)),
+                ("reader_racing_p99_nanos", Json::Num(racy_p99 as f64)),
+                ("writer_commits", Json::Num(commits as f64)),
+            ])]),
+        ),
+    ]);
+
+    if let Some(path) = arg_value(&args, "--json") {
+        match std::fs::write(&path, doc.pretty()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if update {
+        let path = arg_value(&args, "--baseline").unwrap_or_else(|| BASELINE.to_owned());
+        match std::fs::write(&path, doc.pretty()) {
+            Ok(()) => eprintln!("baseline updated: {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if speedup < GATE_FLOOR {
+        eprintln!("B9 gate failed: {speedup:.1}× < {GATE_FLOOR}×");
+        std::process::exit(1);
+    }
+}

@@ -137,6 +137,59 @@ pub fn optimizer_gate_speedup(records: usize, seed: u64, runs: usize) -> f64 {
     (log_sum / OPTIMIZER_GATE_QUERIES.len() as f64).exp()
 }
 
+/// Time one B9 update batch: append `ops` publication records (an
+/// element with a `key` attribute and a `title` child with text) under
+/// the store's current repair mode, then remove them again so the next
+/// sample sees the same document. Append and remove both splice the
+/// structural index, so the sample covers insert- and delete-side
+/// repair.
+pub fn update_batch_time(store: &mut ArenaStore, ops: usize) -> Duration {
+    let dblp = store.first_child(store.root()).expect("dblp root element");
+    let t0 = Instant::now();
+    let mut added = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let e = store.append_element(dblp, "article").expect("append record");
+        store.set_attribute(e, "key", &format!("bench/b9/{i}")).expect("key attr");
+        let t = store.append_element(e, "title").expect("title child");
+        store.append_text(t, "Incremental Repair Probe").expect("title text");
+        added.push(e);
+    }
+    for e in added {
+        store.remove_subtree(e).expect("remove record");
+    }
+    t0.elapsed()
+}
+
+/// Median over `runs` of [`update_batch_time`] under `mode`.
+pub fn update_batch_median(
+    store: &mut ArenaStore,
+    mode: xmlstore::RepairMode,
+    ops: usize,
+    runs: usize,
+) -> Duration {
+    store.set_repair_mode(mode);
+    let mut samples: Vec<Duration> =
+        (0..runs.max(1)).map(|_| update_batch_time(store, ops)).collect();
+    store.set_repair_mode(xmlstore::RepairMode::Incremental);
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// The B9 gate measurement: how many times faster a small update batch
+/// commits with incremental index repair than with the full-`renumber()`
+/// fallback, on a `records`-record DBLP document. Both sides run on the
+/// same store in the same process, so the ratio needs no calibration
+/// workload.
+pub fn update_gate_speedup(records: usize, seed: u64, ops: usize, runs: usize) -> f64 {
+    let mut store = dblp_document_seeded(records, seed);
+    // Warm both paths once outside the measurement.
+    update_batch_median(&mut store, xmlstore::RepairMode::Incremental, ops, 1);
+    update_batch_median(&mut store, xmlstore::RepairMode::FullRenumber, ops, 1);
+    let inc = update_batch_median(&mut store, xmlstore::RepairMode::Incremental, ops, runs);
+    let full = update_batch_median(&mut store, xmlstore::RepairMode::FullRenumber, ops, runs);
+    full.as_secs_f64() / inc.as_secs_f64().max(f64::EPSILON)
+}
+
 /// The paper's small documents: 2000–8000 elements (fanout 6).
 pub const SMALL_SIZES: [usize; 4] = [2000, 4000, 6000, 8000];
 

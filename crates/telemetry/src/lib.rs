@@ -135,9 +135,20 @@ pub struct EngineMetrics {
     pub plan_cache_entries: Gauge,
     /// `natix_plan_cache_bytes` (current governor-charged plan bytes).
     pub plan_cache_bytes: Gauge,
+    /// `natix_plan_cache_stale_evictions_total` (entries dropped eagerly
+    /// because an epoch publish superseded their statistics fingerprint).
+    pub plan_cache_stale_evictions_total: Counter,
     /// `natix_service_rejected_total` (queries refused by admission
     /// control: worker-pool queue full).
     pub service_rejected_total: Counter,
+    /// `natix_store_epoch` (the most recently published document epoch).
+    pub store_epoch: Gauge,
+    /// `natix_epoch_readers` (readers currently pinning a snapshot).
+    pub epoch_readers: Gauge,
+    /// `natix_index_repairs_total` (structural-index repair operations
+    /// folded in at epoch publish: incremental splices + relabels +
+    /// full renumbers).
+    pub index_repairs_total: Counter,
     /// `natix_optimizer_decisions_total` (cost-based alternatives
     /// chosen, summed over every optimized compile).
     pub optimizer_decisions_total: Counter,
@@ -179,7 +190,11 @@ impl EngineMetrics {
             plan_cache_inserts_total: reg.counter("natix_plan_cache_inserts_total"),
             plan_cache_entries: reg.gauge("natix_plan_cache_entries"),
             plan_cache_bytes: reg.gauge("natix_plan_cache_bytes"),
+            plan_cache_stale_evictions_total: reg.counter("natix_plan_cache_stale_evictions_total"),
             service_rejected_total: reg.counter("natix_service_rejected_total"),
+            store_epoch: reg.gauge("natix_store_epoch"),
+            epoch_readers: reg.gauge("natix_epoch_readers"),
+            index_repairs_total: reg.counter("natix_index_repairs_total"),
             optimizer_decisions_total: reg.counter("natix_optimizer_decisions_total"),
             optimizer_est_error_pct: reg.histogram("natix_optimizer_est_error_pct"),
         };

@@ -215,7 +215,11 @@ fn write_store(
         put_u32(rec, 20, enc(store.next_sibling(n)));
         put_u32(rec, 24, enc(store.prev_sibling(n)));
         put_u32(rec, 28, enc(store.first_attribute(n)));
-        put_u32(rec, 32, store.order(n) as u32);
+        // The arena's sparse u64 gap keys would overflow the u32 record
+        // field; persisting compacts them to dense index ranks (same
+        // relative order, tombstones get NIL — they are unreachable).
+        let dense_order = store.structural_index().and_then(|idx| idx.rank_of(n)).unwrap_or(NIL);
+        put_u32(rec, 32, dense_order);
         match store.value_ref(n) {
             None => {
                 put_u32(rec, 36, NIL);
@@ -823,7 +827,17 @@ mod tests {
         assert_eq!(arena.node_count(), disk.node_count());
         for i in 0..arena.node_count() as u32 {
             let n = NodeId(i);
-            assert_eq!(arena.order(n), disk.order(n));
+            // Disk orders are the arena's index ranks (dense compaction
+            // of the sparse gap keys): same relative order.
+            assert_eq!(
+                disk.order(n),
+                u64::from(arena.structural_index().unwrap().rank_of(n).unwrap())
+            );
+            assert_eq!(
+                arena.order(n),
+                disk.order(n) << crate::arena::ORDER_GAP_SHIFT,
+                "fresh-build gap keys are scaled ranks"
+            );
             assert_eq!(arena.kind(n), disk.kind(n));
             assert_eq!(arena.parent(n), disk.parent(n));
             assert_eq!(arena.next_sibling(n), disk.next_sibling(n));

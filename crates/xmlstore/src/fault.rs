@@ -42,6 +42,27 @@ impl IoFailPoint {
     }
 }
 
+/// Injected incremental-repair faults (the update-path sibling of
+/// [`IoFailPoint`]). `Default` injects nothing.
+///
+/// A triggered abort leaves the store's index in an undefined state —
+/// deliberately: the `WriteBatch` layer applies every update to a private
+/// clone and discards the whole clone on any error, so the published
+/// document is untouched. The counter is 1-based and deterministic, like
+/// every other fault point in this codebase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairFailPoint {
+    /// Abort the Nth incremental index repair attempted on this store.
+    pub fail_repair_at: Option<u64>,
+}
+
+impl RepairFailPoint {
+    /// No injected faults.
+    pub fn none() -> RepairFailPoint {
+        RepairFailPoint::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +73,6 @@ mod tests {
         assert_eq!(fp.fail_pin_at, None);
         assert_eq!(fp.fail_write_at, None);
         assert!(!fp.fail_sync && !fp.fail_rename);
+        assert_eq!(RepairFailPoint::none().fail_repair_at, None);
     }
 }

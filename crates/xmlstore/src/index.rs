@@ -26,7 +26,11 @@ const NIL: u32 = u32::MAX;
 
 /// Immutable (order, subtree-size) encoding of one document, plus dense
 /// per-rank kind/name arrays so scan loops never touch the store.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` exists for the repair differential tests: an incrementally
+/// repaired index must equal a from-scratch [`StructuralIndex::build`]
+/// over the same store, array for array and statistic for statistic.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct StructuralIndex {
     /// `NodeId.index() → rank`; `NIL` for unreachable slots (tombstones
     /// left behind by updates).
@@ -193,6 +197,84 @@ impl StructuralIndex {
         Some(self.rank_of(a)? < self.rank_of(b)?)
     }
 
+    // ----- incremental repair (crate-internal; ArenaStore drives it) -----
+    //
+    // The rank arrays are dense, so a structural update cannot avoid
+    // shifting the tail — but a `Vec` splice plus a rank-bump loop over
+    // plain `u32`s is a memmove and a scattered add, not a preorder walk
+    // through `dyn XmlStore` with stats BTreeMaps and an id-index rebuild.
+    // That difference is what makes small-batch commits O(touched-ish)
+    // in practice (bench B9).
+
+    /// Splice one freshly allocated node in at `rank` with subtree size 0.
+    /// Extends the slot table if the node id is new.
+    pub(crate) fn splice_insert(
+        &mut self,
+        rank: u32,
+        n: NodeId,
+        kind: NodeKind,
+        name: Option<NameId>,
+    ) {
+        if self.rank_of.len() <= n.index() {
+            self.rank_of.resize(n.index() + 1, NIL);
+        }
+        let r = rank as usize;
+        self.node_at.insert(r, n);
+        self.kind.insert(r, kind);
+        self.name.insert(r, name.map_or(NIL, |i| i.0));
+        self.size.insert(r, 0);
+        self.rank_of[n.index()] = rank;
+        for i in (r + 1)..self.node_at.len() {
+            self.rank_of[self.node_at[i].index()] += 1;
+        }
+    }
+
+    /// Splice the contiguous block `[rank, rank+count)` out, tombstoning
+    /// its nodes (rank `NIL`). The block keeps its internal layout so a
+    /// subtree move can splice it back in elsewhere.
+    pub(crate) fn splice_remove(&mut self, rank: u32, count: u32) -> SplicedBlock {
+        let r = rank as usize;
+        let c = count as usize;
+        let node_at: Vec<NodeId> = self.node_at.drain(r..r + c).collect();
+        let kind: Vec<NodeKind> = self.kind.drain(r..r + c).collect();
+        let name: Vec<u32> = self.name.drain(r..r + c).collect();
+        let size: Vec<u32> = self.size.drain(r..r + c).collect();
+        for n in &node_at {
+            self.rank_of[n.index()] = NIL;
+        }
+        for i in r..self.node_at.len() {
+            self.rank_of[self.node_at[i].index()] -= count;
+        }
+        SplicedBlock { node_at, kind, name, size }
+    }
+
+    /// Splice a previously removed block back in at `rank` (subtree move).
+    pub(crate) fn splice_insert_block(&mut self, rank: u32, block: SplicedBlock) {
+        let r = rank as usize;
+        let cnt = block.node_at.len() as u32;
+        for (i, n) in block.node_at.iter().enumerate() {
+            self.rank_of[n.index()] = rank + i as u32;
+        }
+        self.node_at.splice(r..r, block.node_at);
+        self.kind.splice(r..r, block.kind);
+        self.name.splice(r..r, block.name);
+        self.size.splice(r..r, block.size);
+        for i in (r + cnt as usize)..self.node_at.len() {
+            self.rank_of[self.node_at[i].index()] += cnt;
+        }
+    }
+
+    /// Adjust the subtree size at `rank` (ancestors of a spliced node).
+    pub(crate) fn add_size(&mut self, rank: u32, delta: i64) {
+        let s = &mut self.size[rank as usize];
+        *s = (i64::from(*s) + delta).max(0) as u32;
+    }
+
+    /// Mutable statistics access for the incremental repair.
+    pub(crate) fn stats_mut(&mut self) -> &mut StoreStats {
+        &mut self.stats
+    }
+
     /// A range scan over the axis, if it is one of the four interval
     /// axes and `n` is ranked. Other axes (and tombstoned nodes) return
     /// `None` — callers fall back to the cursor.
@@ -218,6 +300,15 @@ impl StructuralIndex {
         };
         Some(RangeScan { mode })
     }
+}
+
+/// A contiguous rank interval removed by [`StructuralIndex::splice_remove`],
+/// preserving internal layout for re-insertion (subtree moves).
+pub(crate) struct SplicedBlock {
+    pub(crate) node_at: Vec<NodeId>,
+    pub(crate) kind: Vec<NodeKind>,
+    pub(crate) name: Vec<u32>,
+    pub(crate) size: Vec<u32>,
 }
 
 enum Mode {
@@ -339,9 +430,13 @@ mod tests {
         assert_eq!(idx.subtree_range(y), Some((5, 5)), "leaf element subtree is empty");
         assert_eq!(idx.subtree_range(z), Some((6, 7)));
         assert_eq!(idx.subtree_range(t), Some((7, 7)));
-        // Ranks agree with the store's document order on a fresh build.
+        // Ranks agree with the store's document order on a fresh build:
+        // gap keys are the rank scaled by the gap stride.
         for rank in 0..idx.len() as u32 {
-            assert_eq!(s.order(idx.node_at(rank)), u64::from(rank));
+            assert_eq!(
+                s.order(idx.node_at(rank)),
+                u64::from(rank) << crate::arena::ORDER_GAP_SHIFT
+            );
         }
         // O(1) containment agrees with the pointer-chasing walk.
         assert_eq!(idx.is_ancestor(x, y), Some(true));

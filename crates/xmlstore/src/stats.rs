@@ -58,6 +58,9 @@ pub struct StoreStats {
     pub mean_subtree: f64,
     /// Per-tag statistics, sorted by name for binary search.
     tags: Vec<TagStat>,
+    /// Summed element subtree sizes (the integer `mean_subtree` is
+    /// derived from), kept exact across incremental repairs.
+    subtree_total: u64,
     /// FNV-1a over every integer field and the sorted tag table.
     pub fingerprint: u64,
 }
@@ -105,15 +108,7 @@ impl StoreStats {
                 _ => {}
             }
         }
-        // Every non-attribute node except the document root is somebody's
-        // child; parents are the elements plus the document node.
-        let child_edges = s.node_count - 1 - s.attribute_count;
-        s.mean_fanout = child_edges as f64 / (s.element_count + 1) as f64;
-        s.mean_subtree = if s.element_count > 0 {
-            subtree_sum as f64 / s.element_count as f64
-        } else {
-            0.0
-        };
+        s.subtree_total = subtree_sum;
         s.tags = by_name
             .into_values()
             .map(|(count, subtree_sum, rank)| TagStat {
@@ -123,8 +118,66 @@ impl StoreStats {
             })
             .collect();
         s.tags.sort_by(|a, b| a.name.cmp(&b.name));
-        s.fingerprint = s.compute_fingerprint();
+        s.refresh_derived();
         s
+    }
+
+    /// Adjust (or create/retire) the tag entry for `name`. Used by the
+    /// incremental index repair; a count reaching zero removes the entry
+    /// so the table stays identical to a from-scratch rebuild.
+    pub(crate) fn tag_adjust(&mut self, name: &str, count_delta: i64, subtree_delta: i64) {
+        match self.tags.binary_search_by(|t| t.name.as_str().cmp(name)) {
+            Ok(i) => {
+                let t = &mut self.tags[i];
+                t.count = t.count.checked_add_signed(count_delta).unwrap_or(0);
+                t.subtree_sum = t.subtree_sum.checked_add_signed(subtree_delta).unwrap_or(0);
+                if t.count == 0 {
+                    self.tags.remove(i);
+                }
+            }
+            Err(i) => {
+                if count_delta > 0 {
+                    self.tags.insert(
+                        i,
+                        TagStat {
+                            name: name.to_owned(),
+                            count: count_delta as u64,
+                            subtree_sum: subtree_delta.max(0) as u64,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Shift the summed element subtree sizes by `delta`.
+    pub(crate) fn add_subtree_total(&mut self, delta: i64) {
+        self.subtree_total = self.subtree_total.checked_add_signed(delta).unwrap_or(0);
+    }
+
+    /// Direct mutable access for the incremental repair (same crate only).
+    pub(crate) fn set_max_depth(&mut self, depth: u32) {
+        self.max_depth = depth;
+    }
+
+    /// Recompute the derived means and the fingerprint from the integer
+    /// fields. Every mutation path (full rebuild or incremental repair)
+    /// must end here so equal shapes always hash equally.
+    pub(crate) fn refresh_derived(&mut self) {
+        if self.node_count == 0 {
+            *self = StoreStats::default();
+            return;
+        }
+        // Every non-attribute node except the document root is somebody's
+        // child; parents are the elements plus the document node.
+        let child_edges = self.node_count - 1 - self.attribute_count;
+        self.mean_fanout = child_edges as f64 / (self.element_count + 1) as f64;
+        self.mean_subtree = if self.element_count > 0 {
+            self.subtree_total as f64 / self.element_count as f64
+        } else {
+            0.0
+        };
+        self.fingerprint = self.compute_fingerprint();
     }
 
     /// Number of named nodes (element or attribute) carrying `name`.

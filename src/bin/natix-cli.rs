@@ -44,7 +44,7 @@ fn exit_code(e: &NatixError) -> i32 {
         NatixError::Xml(_) => EXIT_PARSE,
         NatixError::Disk(d) if d.is_corrupt() => EXIT_CORRUPT,
         NatixError::Disk(_) => EXIT_IO,
-        NatixError::Compile(_) | NatixError::Resource(_) => 1,
+        NatixError::Compile(_) | NatixError::Resource(_) | NatixError::Update(_) => 1,
     }
 }
 

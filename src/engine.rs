@@ -44,8 +44,32 @@
 //! evicted (and their bytes released) until it fits. Hits, misses,
 //! evictions, inserts and the resident entry/byte gauges fold into the
 //! PR 6 metrics registry as `natix_plan_cache_*`.
+//!
+//! ## Epoch snapshots and write batches
+//!
+//! Documents are registered as *epoch snapshots* (DESIGN.md §18): the
+//! registry maps each name to an immutable `Arc<Document>` plus a
+//! monotonically increasing epoch number. Readers [`Engine::pin`] the
+//! current snapshot and keep evaluating against it for as long as they
+//! hold the pin — a concurrent writer can never tear their view. A
+//! single writer per document opens a [`WriteBatch`]: a private clone of
+//! the arena store that absorbs updates (with incremental structural-
+//! index repair) while readers keep the old epoch. [`WriteBatch::commit`]
+//! atomically swaps the registry entry to the new snapshot and bumps the
+//! epoch; abort (or drop) discards the clone — the published store is
+//! never in a half-updated state, even when a fault injector aborts the
+//! batch mid-repair. Every batch runs under a [`ResourceGovernor`]:
+//! each op charges an estimated byte cost, and commit/abort release the
+//! whole charge, so `transient_bytes() == 0` after the batch resolves is
+//! the same machine-checkable no-leak invariant queries have.
+//!
+//! Publishing a new epoch also invalidates derived state eagerly: plan
+//! cache entries keyed to the superseded statistics fingerprint are
+//! evicted at commit ([`PlanCache::evict_fingerprint`], counted as
+//! `natix_plan_cache_stale_evictions_total`) instead of lingering until
+//! LRU pressure pushes them out.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
@@ -53,10 +77,12 @@ use std::time::Instant;
 use compiler::{
     CompiledQuery, CostMode, OptimizerTrace, QueryTrace, ResourceLimits, TranslateOptions,
 };
-use nqe::{AnalyzeReport, ResourceGovernor};
-use parking_lot::RwLock;
+use nqe::{AnalyzeReport, FailPoint, ResourceGovernor};
+use parking_lot::{Mutex, RwLock};
 use telemetry::{Counter, Gauge, Telemetry};
-use xmlstore::{NodeId, StoreStats, XmlStore};
+use xmlstore::{
+    ArenaStore, NodeId, RepairFailPoint, RepairStats, StoreStats, UpdateError, XmlStore,
+};
 
 use crate::{Document, NatixError, QueryError, QueryOutput, Value};
 
@@ -152,6 +178,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// LRU evictions (entry cap or byte budget).
     pub evictions: u64,
+    /// Eager evictions of entries whose statistics fingerprint was
+    /// superseded by an epoch publish (not counted under `evictions`).
+    pub stale_evictions: u64,
     /// Plans inserted.
     pub inserts: u64,
     /// Currently resident plans.
@@ -169,6 +198,7 @@ struct CacheCounters {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    stale_evictions: Counter,
     inserts: Counter,
     entries: Gauge,
     bytes: Gauge,
@@ -180,6 +210,7 @@ impl CacheCounters {
             hits: Counter::default(),
             misses: Counter::default(),
             evictions: Counter::default(),
+            stale_evictions: Counter::default(),
             inserts: Counter::default(),
             entries: Gauge::default(),
             bytes: Gauge::default(),
@@ -191,6 +222,7 @@ impl CacheCounters {
             hits: t.metrics.plan_cache_hits_total.clone(),
             misses: t.metrics.plan_cache_misses_total.clone(),
             evictions: t.metrics.plan_cache_evictions_total.clone(),
+            stale_evictions: t.metrics.plan_cache_stale_evictions_total.clone(),
             inserts: t.metrics.plan_cache_inserts_total.clone(),
             entries: t.metrics.plan_cache_entries.clone(),
             bytes: t.metrics.plan_cache_bytes.clone(),
@@ -341,6 +373,32 @@ impl PlanCache {
         self.counters.bytes.set(inner.gov.mem_used());
     }
 
+    /// Eagerly evict every entry whose statistics fingerprint is
+    /// `stats_fp`, returning how many were dropped. Called at epoch
+    /// publish: a plan optimized for superseded statistics would never
+    /// be looked up again (the new fingerprint keys differently), so
+    /// leaving it resident only wastes budget until LRU pressure finds
+    /// it. Fingerprint `0` (store-independent plans) is never evicted —
+    /// those plans remain valid across every epoch.
+    pub fn evict_fingerprint(&self, stats_fp: u64) -> u64 {
+        if stats_fp == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.write();
+        let stale: Vec<(String, u64, u64)> =
+            inner.map.keys().filter(|k| k.2 == stats_fp).cloned().collect();
+        let count = stale.len() as u64;
+        for key in stale {
+            if let Some(e) = inner.map.remove(&key) {
+                inner.gov.release(e.bytes);
+                self.counters.stale_evictions.inc();
+            }
+        }
+        self.counters.entries.set(inner.map.len() as u64);
+        self.counters.bytes.set(inner.gov.mem_used());
+        count
+    }
+
     /// Current statistics (counters are lifetime totals; `entries`/
     /// `bytes` are the live residency).
     pub fn stats(&self) -> CacheStats {
@@ -349,6 +407,7 @@ impl PlanCache {
             hits: self.counters.hits.get(),
             misses: self.counters.misses.get(),
             evictions: self.counters.evictions.get(),
+            stale_evictions: self.counters.stale_evictions.get(),
             inserts: self.counters.inserts.get(),
             entries: inner.map.len() as u64,
             bytes: inner.gov.mem_used(),
@@ -422,6 +481,67 @@ impl Admission {
     }
 }
 
+/// Epoch-related metric handles (detached when the engine carries no
+/// telemetry, the `natix_store_epoch`/`natix_epoch_readers`/
+/// `natix_index_repairs_total` series otherwise).
+struct EpochMetrics {
+    store_epoch: Gauge,
+    epoch_readers: Gauge,
+    index_repairs: Counter,
+}
+
+impl EpochMetrics {
+    fn new(telemetry: Option<&Arc<Telemetry>>) -> EpochMetrics {
+        match telemetry {
+            Some(t) => EpochMetrics {
+                store_epoch: t.metrics.store_epoch.clone(),
+                epoch_readers: t.metrics.epoch_readers.clone(),
+                index_repairs: t.metrics.index_repairs_total.clone(),
+            },
+            None => EpochMetrics {
+                store_epoch: Gauge::default(),
+                epoch_readers: Gauge::default(),
+                index_repairs: Counter::default(),
+            },
+        }
+    }
+}
+
+/// A registered document: the immutable snapshot readers share, plus
+/// its epoch number (bumped on every publish).
+struct DocEntry {
+    doc: Arc<Document>,
+    epoch: u64,
+}
+
+/// A reader's pin on one epoch snapshot: holds the `Arc<Document>` the
+/// registry pointed at when the pin was taken, so concurrent commits
+/// publish new epochs without disturbing this reader. Accounted in the
+/// `natix_epoch_readers` gauge while alive.
+pub struct PinnedDoc {
+    doc: Arc<Document>,
+    epoch: u64,
+    readers: Gauge,
+}
+
+impl PinnedDoc {
+    /// The pinned snapshot.
+    pub fn doc(&self) -> &Arc<Document> {
+        &self.doc
+    }
+
+    /// The epoch this pin captured.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for PinnedDoc {
+    fn drop(&mut self) {
+        self.readers.sub(1);
+    }
+}
+
 /// The shared, thread-safe engine: document registry, telemetry, plan
 /// cache, admission gate. Wrap it in an [`Arc`] and mint a [`Session`]
 /// per client; everything on the engine is interior-mutable and safe
@@ -431,7 +551,10 @@ pub struct Engine {
     telemetry: Option<Arc<Telemetry>>,
     plan_cache: PlanCache,
     admission: Admission,
-    documents: RwLock<HashMap<String, Arc<Document>>>,
+    documents: RwLock<HashMap<String, DocEntry>>,
+    /// Names with an open [`WriteBatch`] (single writer per document).
+    writers: Mutex<HashSet<String>>,
+    epoch_metrics: EpochMetrics,
 }
 
 impl std::fmt::Debug for Engine {
@@ -463,6 +586,8 @@ impl Engine {
             plan_cache: PlanCache::new(&config, counters),
             admission: Admission::new(config.max_concurrent),
             documents: RwLock::new(HashMap::new()),
+            writers: Mutex::new(HashSet::new()),
+            epoch_metrics: EpochMetrics::new(telemetry.as_ref()),
             telemetry,
             config,
         })
@@ -489,16 +614,37 @@ impl Engine {
     }
 
     /// Register a document under `name`, returning the shared handle.
-    /// Re-registering a name replaces the previous document.
+    /// Re-registering a name replaces the previous document and bumps
+    /// its epoch (readers pinned on the old snapshot keep it alive).
     pub fn register_document(&self, name: &str, doc: Document) -> Arc<Document> {
         let doc = Arc::new(doc);
-        self.documents.write().insert(name.to_owned(), doc.clone());
+        let mut docs = self.documents.write();
+        let epoch = docs.get(name).map_or(1, |e| e.epoch + 1);
+        docs.insert(name.to_owned(), DocEntry { doc: doc.clone(), epoch });
+        self.epoch_metrics.store_epoch.set(epoch);
         doc
     }
 
-    /// Look up a registered document.
+    /// Look up a registered document (its current epoch snapshot).
     pub fn document(&self, name: &str) -> Option<Arc<Document>> {
-        self.documents.read().get(name).cloned()
+        self.documents.read().get(name).map(|e| e.doc.clone())
+    }
+
+    /// The current epoch of a registered document.
+    pub fn document_epoch(&self, name: &str) -> Option<u64> {
+        self.documents.read().get(name).map(|e| e.epoch)
+    }
+
+    /// Pin the current epoch snapshot of `name` for reading: the
+    /// returned guard keeps that snapshot (and its epoch number) stable
+    /// for its lifetime no matter how many commits publish in the
+    /// meantime, and is counted in the `natix_epoch_readers` gauge.
+    pub fn pin(&self, name: &str) -> Option<PinnedDoc> {
+        let docs = self.documents.read();
+        let entry = docs.get(name)?;
+        let readers = self.epoch_metrics.epoch_readers.clone();
+        readers.add(1);
+        Some(PinnedDoc { doc: entry.doc.clone(), epoch: entry.epoch, readers })
     }
 
     /// Names of all registered documents (sorted).
@@ -526,6 +672,360 @@ impl Engine {
     /// A slot if the gate has one free right now (`None` = saturated).
     pub fn try_admit(&self) -> Option<AdmitPermit<'_>> {
         self.admission.try_admit()
+    }
+
+    /// Open a [`WriteBatch`] on `name` with an unlimited budget and no
+    /// fault injection. See [`Engine::write_batch_with`].
+    pub fn write_batch(self: &Arc<Engine>, name: &str) -> Result<WriteBatch, NatixError> {
+        self.write_batch_with(
+            name,
+            ResourceLimits::unlimited(),
+            FailPoint::none(),
+            RepairFailPoint::none(),
+        )
+    }
+
+    /// Open a write batch on the registered arena document `name`: a
+    /// private clone of the current snapshot that absorbs updates while
+    /// readers keep the published epoch. One writer per document —
+    /// a second concurrent batch is refused with
+    /// [`UpdateError::WriterConflict`]. Disk-backed documents are
+    /// immutable snapshots ([`UpdateError::ImmutableSnapshot`]).
+    ///
+    /// The batch runs under a [`ResourceGovernor`] built from `limits`
+    /// and `failpoint` (alloc-failure/cancellation injection); the
+    /// `repair_failpoint` aborts the Nth structural-index repair inside
+    /// the working store. Any injected fault poisons the batch: commit
+    /// is refused and the working clone is discarded whole.
+    pub fn write_batch_with(
+        self: &Arc<Engine>,
+        name: &str,
+        limits: ResourceLimits,
+        failpoint: FailPoint,
+        repair_failpoint: RepairFailPoint,
+    ) -> Result<WriteBatch, NatixError> {
+        if !self.writers.lock().insert(name.to_owned()) {
+            return Err(UpdateError::WriterConflict(name.to_owned()).into());
+        }
+        // Writer slot held from here: every early return must release it.
+        let release = |engine: &Engine| {
+            engine.writers.lock().remove(name);
+        };
+        let (working, base_epoch) = {
+            let docs = self.documents.read();
+            let Some(entry) = docs.get(name) else {
+                release(self);
+                return Err(UpdateError::UnknownDocument(name.to_owned()).into());
+            };
+            match &*entry.doc {
+                Document::Arena(a) => (a.clone(), entry.epoch),
+                Document::Disk(_) => {
+                    release(self);
+                    return Err(UpdateError::ImmutableSnapshot.into());
+                }
+            }
+        };
+        let mut working = working;
+        working.set_repair_failpoint(repair_failpoint);
+        let base_repairs = working.repair_stats();
+        Ok(WriteBatch {
+            engine: self.clone(),
+            name: name.to_owned(),
+            base_epoch,
+            base_repairs,
+            working: Some(working),
+            gov: Arc::new(ResourceGovernor::with_failpoint(limits, failpoint)),
+            charged: 0,
+            ops: 0,
+            poisoned: false,
+            resolved: false,
+        })
+    }
+}
+
+/// What a committed write batch published.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// The epoch the new snapshot was published under.
+    pub epoch: u64,
+    /// Update operations the batch applied.
+    pub ops: u64,
+    /// Structural-index repair work this batch's ops required.
+    pub repairs: RepairStats,
+    /// Plan-cache entries eagerly evicted because their statistics
+    /// fingerprint was superseded by this publish.
+    pub stale_plans_evicted: u64,
+}
+
+/// A single-writer batch of updates against a private clone of one
+/// registered arena document (see the module docs). Mirrors the
+/// [`ArenaStore`] update API, plus XPath target selection; commit
+/// publishes the clone as the next epoch snapshot, abort (or drop)
+/// discards it — readers never observe an intermediate state.
+///
+/// Budgeting: every op ticks and charges the batch's governor (op cost
+/// = a fixed overhead plus the payload length); commit and abort both
+/// release the whole charge, so `governor().transient_bytes() == 0`
+/// once the batch resolves — the no-leak invariant the fault-injection
+/// suite asserts under injected alloc failures, cancellation and
+/// repair aborts.
+pub struct WriteBatch {
+    engine: Arc<Engine>,
+    name: String,
+    base_epoch: u64,
+    base_repairs: RepairStats,
+    /// `None` only after commit moved the store out (drop runs after).
+    working: Option<ArenaStore>,
+    gov: Arc<ResourceGovernor>,
+    charged: u64,
+    ops: u64,
+    poisoned: bool,
+    resolved: bool,
+}
+
+impl std::fmt::Debug for WriteBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteBatch")
+            .field("doc", &self.name)
+            .field("base_epoch", &self.base_epoch)
+            .field("ops", &self.ops)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fixed accounting overhead per update op (node record + index splice).
+const OP_BASE_COST: u64 = 64;
+
+impl WriteBatch {
+    /// The document this batch writes.
+    pub fn doc_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The epoch the working clone was taken from.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// Ops applied so far.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether an earlier op failed (only rollback is possible).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The batch's governor (fault tests assert `transient_bytes() == 0`
+    /// after the batch resolves).
+    pub fn governor(&self) -> Arc<ResourceGovernor> {
+        self.gov.clone()
+    }
+
+    /// The private working store (reads see this batch's uncommitted
+    /// updates; published readers do not).
+    pub fn store(&self) -> &ArenaStore {
+        self.working.as_ref().expect("batch not yet resolved")
+    }
+
+    /// Switch the working store's index-repair mode (benchmark harness;
+    /// [`xmlstore::RepairMode::Incremental`] is the default).
+    pub fn set_repair_mode(&mut self, mode: xmlstore::RepairMode) {
+        if let Some(w) = self.working.as_mut() {
+            w.set_repair_mode(mode);
+        }
+    }
+
+    /// Evaluate an XPath expression against the working store and
+    /// return the matched node-set (scalar results are a
+    /// [`UpdateError::TargetNotFound`] — update targets are nodes).
+    pub fn select(&self, xpath: &str) -> Result<Vec<NodeId>, NatixError> {
+        if self.poisoned {
+            return Err(UpdateError::BatchPoisoned.into());
+        }
+        let out = nqe::evaluate_governed(
+            self.store(),
+            xpath,
+            &TranslateOptions::improved(),
+            self.gov.limits(),
+            self.store().root(),
+            &HashMap::new(),
+        )?;
+        match out {
+            QueryOutput::Nodes(ns) => Ok(ns),
+            _ => Err(UpdateError::TargetNotFound(xpath.to_owned()).into()),
+        }
+    }
+
+    /// The first node (document order) matched by `xpath`;
+    /// [`UpdateError::TargetNotFound`] when the selection is empty.
+    pub fn select_one(&self, xpath: &str) -> Result<NodeId, NatixError> {
+        self.select(xpath)?
+            .into_iter()
+            .next()
+            .ok_or_else(|| UpdateError::TargetNotFound(xpath.to_owned()).into())
+    }
+
+    /// Tick + charge the governor for one op; a trip poisons the batch.
+    fn account(&mut self, cost: u64) -> Result<(), NatixError> {
+        let ok = self.gov.tick() && self.gov.check_now() && self.gov.charge(cost);
+        if !ok {
+            self.poisoned = true;
+            return Err(NatixError::Resource(self.gov.error().unwrap_or(QueryError::Cancelled)));
+        }
+        self.charged += cost;
+        Ok(())
+    }
+
+    /// Run one update op under accounting; any failure poisons the batch
+    /// (later ops get [`UpdateError::BatchPoisoned`], only rollback
+    /// remains).
+    fn apply<T>(
+        &mut self,
+        cost: u64,
+        f: impl FnOnce(&mut ArenaStore) -> Result<T, UpdateError>,
+    ) -> Result<T, NatixError> {
+        if self.poisoned {
+            return Err(UpdateError::BatchPoisoned.into());
+        }
+        self.account(OP_BASE_COST + cost)?;
+        let w = self.working.as_mut().expect("batch not yet resolved");
+        match f(w) {
+            Ok(v) => {
+                self.ops += 1;
+                Ok(v)
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Replace the content of a text/comment/PI/attribute node.
+    pub fn set_content(&mut self, n: NodeId, content: &str) -> Result<(), NatixError> {
+        self.apply(content.len() as u64, |w| w.set_content(n, content))
+    }
+
+    /// Set (or add) an attribute on an element.
+    pub fn set_attribute(
+        &mut self,
+        element: NodeId,
+        name: &str,
+        value: &str,
+    ) -> Result<NodeId, NatixError> {
+        self.apply((name.len() + value.len()) as u64, |w| w.set_attribute(element, name, value))
+    }
+
+    /// Append a new element as the last child of `parent`.
+    pub fn append_element(&mut self, parent: NodeId, name: &str) -> Result<NodeId, NatixError> {
+        self.apply(name.len() as u64, |w| w.append_element(parent, name))
+    }
+
+    /// Append a new text node as the last child of `parent`.
+    pub fn append_text(&mut self, parent: NodeId, content: &str) -> Result<NodeId, NatixError> {
+        self.apply(content.len() as u64, |w| w.append_text(parent, content))
+    }
+
+    /// Insert a new element immediately before `sibling`.
+    pub fn insert_element_before(
+        &mut self,
+        sibling: NodeId,
+        name: &str,
+    ) -> Result<NodeId, NatixError> {
+        self.apply(name.len() as u64, |w| w.insert_element_before(sibling, name))
+    }
+
+    /// Detach the subtree rooted at `n`.
+    pub fn remove_subtree(&mut self, n: NodeId) -> Result<(), NatixError> {
+        self.apply(0, |w| w.remove_subtree(n))
+    }
+
+    /// Remove an attribute from its element.
+    pub fn remove_attribute(&mut self, element: NodeId, name: &str) -> Result<bool, NatixError> {
+        self.apply(name.len() as u64, |w| w.remove_attribute(element, name))
+    }
+
+    /// Relocate the subtree rooted at `n` under `new_parent`.
+    pub fn move_subtree(&mut self, n: NodeId, new_parent: NodeId) -> Result<(), NatixError> {
+        self.apply(0, |w| w.move_subtree(n, new_parent))
+    }
+
+    /// Publish the working store as the document's next epoch snapshot.
+    /// All-or-nothing: a poisoned batch refuses to commit (the caller
+    /// sees the injected/typed failure, readers never see the clone),
+    /// and the swap itself is a single registry write — concurrent
+    /// readers observe either the old epoch or the new one, never a mix.
+    pub fn commit(mut self) -> Result<CommitReceipt, NatixError> {
+        if self.poisoned {
+            return Err(UpdateError::BatchPoisoned.into());
+        }
+        let working = self.working.take().expect("batch not yet resolved");
+        let end = working.repair_stats();
+        let repairs = RepairStats {
+            incremental: end.incremental - self.base_repairs.incremental,
+            relabels: end.relabels - self.base_repairs.relabels,
+            full_renumbers: end.full_renumbers - self.base_repairs.full_renumbers,
+        };
+        let new_fp = working.structural_index().map_or(0, |i| i.stats().fingerprint);
+        let new_doc = Arc::new(Document::Arena(working));
+        let published = {
+            let mut docs = self.engine.documents.write();
+            match docs.get_mut(&self.name) {
+                // The document was dropped from the registry while the
+                // batch ran; nothing to publish onto.
+                None => None,
+                Some(entry) => {
+                    let old_fp =
+                        entry.doc.store().structural_index().map_or(0, |i| i.stats().fingerprint);
+                    entry.doc = new_doc;
+                    entry.epoch += 1;
+                    Some((entry.epoch, old_fp))
+                }
+            }
+        };
+        let Some((epoch, old_fp)) = published else {
+            self.resolve();
+            return Err(UpdateError::UnknownDocument(self.name.clone()).into());
+        };
+        self.engine.epoch_metrics.store_epoch.set(epoch);
+        self.engine
+            .epoch_metrics
+            .index_repairs
+            .add(repairs.incremental + repairs.relabels + repairs.full_renumbers);
+        let stale_plans_evicted = if old_fp != new_fp {
+            self.engine.plan_cache.evict_fingerprint(old_fp)
+        } else {
+            0
+        };
+        self.resolve();
+        Ok(CommitReceipt { epoch, ops: self.ops, repairs, stale_plans_evicted })
+    }
+
+    /// Discard the working store; the published snapshot is untouched.
+    pub fn abort(mut self) {
+        self.working = None;
+        self.resolve();
+    }
+
+    /// Release the writer slot and the governor charge (idempotent;
+    /// commit, abort and drop all funnel here).
+    fn resolve(&mut self) {
+        if self.resolved {
+            return;
+        }
+        self.resolved = true;
+        self.engine.writers.lock().remove(&self.name);
+        self.gov.release(self.charged);
+        self.charged = 0;
+    }
+}
+
+impl Drop for WriteBatch {
+    fn drop(&mut self) {
+        self.resolve();
     }
 }
 

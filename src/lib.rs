@@ -33,15 +33,19 @@ pub use compiler::{
     TranslateOptions,
 };
 pub use engine::{
-    plan_weight, static_context_hash, CacheStats, Engine, EngineConfig, PlanCache, Session,
+    plan_weight, static_context_hash, CacheStats, CommitReceipt, Engine, EngineConfig, PinnedDoc,
+    PlanCache, Session, WriteBatch,
 };
-pub use nqe::{build_physical, AnalyzeReport, Json, PhysicalQuery, ResourceGovernor};
+pub use nqe::{build_physical, AnalyzeReport, FailPoint, Json, PhysicalQuery, ResourceGovernor};
 pub use service::{QueryService, ServiceConfig};
 pub use telemetry::{
     expr_hash, Histogram, LoggedQuery, MetricsRegistry, QueryLogger, QueryRecord, Telemetry,
 };
 pub use xmlstore::diskstore::VerifyReport;
-pub use xmlstore::{Axis, DiskError, NodeId, NodeKind, ParseLimits, XmlStore};
+pub use xmlstore::{
+    Axis, DiskError, NodeId, NodeKind, ParseLimits, RepairFailPoint, RepairMode, RepairStats,
+    UpdateError, XmlStore,
+};
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -60,6 +64,9 @@ pub enum NatixError {
     Resource(QueryError),
     /// Disk store I/O or corruption.
     Disk(xmlstore::diskstore::DiskError),
+    /// An update operation or write batch failed (typed; the service
+    /// renders these as `ERR update <class>` lines).
+    Update(xmlstore::UpdateError),
 }
 
 impl std::fmt::Display for NatixError {
@@ -69,6 +76,7 @@ impl std::fmt::Display for NatixError {
             NatixError::Compile(e) => write!(f, "{e}"),
             NatixError::Resource(e) => write!(f, "{e}"),
             NatixError::Disk(e) => write!(f, "{e}"),
+            NatixError::Update(e) => write!(f, "{e}"),
         }
     }
 }
@@ -111,6 +119,12 @@ impl From<QueryError> for NatixError {
 impl From<xmlstore::diskstore::DiskError> for NatixError {
     fn from(e: xmlstore::diskstore::DiskError) -> Self {
         NatixError::Disk(e)
+    }
+}
+
+impl From<xmlstore::UpdateError> for NatixError {
+    fn from(e: xmlstore::UpdateError) -> Self {
+        NatixError::Update(e)
     }
 }
 

@@ -15,6 +15,9 @@
 //! << OK limits: mem=1048576B timeout=500ms
 //! >> query //a[huge]          << ERR memory memory budget exceeded …
 //! >> stats                    << OK cache hits=… misses=… …
+//! >> update append-element /a sec
+//! << OK update append-element ops=1
+//! >> commit                   << OK committed epoch=2 ops=1 …
 //! >> quit                     << OK bye
 //! ```
 //!
@@ -22,6 +25,18 @@
 //! Node-set results list the node ids (stable document order), so two
 //! runs of the same corpus are byte-comparable — the differential suite
 //! in `tests/service.rs` leans on this.
+//!
+//! ## Updates
+//!
+//! The first `update …` verb opens a [`WriteBatch`] on the session's
+//! current document; further updates accumulate in the same batch until
+//! `commit` publishes them as the next epoch snapshot or `rollback`
+//! discards them. Queries — this session's and every other client's —
+//! keep reading the published epoch until the commit lands (each query
+//! re-pins the registry's current snapshot, and is pinned to exactly
+//! one epoch for its whole execution). Update failures are typed:
+//! `ERR update <class> …` with the stable [`xmlstore::UpdateError`]
+//! class token.
 //!
 //! ## Admission
 //!
@@ -41,10 +56,10 @@ use std::time::Duration;
 
 use telemetry::Counter;
 
-use crate::engine::{Engine, Session};
+use crate::engine::{Engine, Session, WriteBatch};
 use crate::{
     parse_duration, parse_mem_size, Document, NatixError, QueryOutput, ResourceLimits,
-    TranslateOptions,
+    TranslateOptions, UpdateError,
 };
 
 /// Configuration of the query service's worker pool.
@@ -184,6 +199,7 @@ impl QueryService {
             service: self.clone(),
             session: self.engine.session(),
             current,
+            batch: None,
         }
     }
 
@@ -212,6 +228,9 @@ impl QueryService {
 }
 
 /// The error class token of an `ERR` response (stable protocol surface).
+/// Update failures all share the `update` token; the typed subclass is
+/// the first word of the detail (`ERR update cycle: …`), so clients can
+/// dispatch on `ERR update <class>` without parsing prose.
 pub fn error_token(e: &NatixError) -> &'static str {
     match e {
         NatixError::Xml(_) => "xml",
@@ -219,6 +238,7 @@ pub fn error_token(e: &NatixError) -> &'static str {
         NatixError::Resource(q) => telemetry::error_class(q),
         NatixError::Disk(d) if d.is_corrupt() => "storage_corrupt",
         NatixError::Disk(_) => "storage_io",
+        NatixError::Update(_) => "update",
     }
 }
 
@@ -306,12 +326,13 @@ impl Reply {
     }
 }
 
-/// One client's protocol state: a [`Session`] (options + limits) and the
-/// currently selected document.
+/// One client's protocol state: a [`Session`] (options + limits), the
+/// currently selected document, and the open write batch, if any.
 pub struct ClientSession {
     service: Arc<QueryService>,
     session: Session,
     current: Option<(String, Arc<Document>)>,
+    batch: Option<WriteBatch>,
 }
 
 impl ClientSession {
@@ -405,10 +426,43 @@ impl ClientSession {
             "stats" => {
                 let s = self.service.engine().cache_stats();
                 Reply::Line(format!(
-                    "OK cache hits={} misses={} evictions={} inserts={} entries={} bytes={}",
-                    s.hits, s.misses, s.evictions, s.inserts, s.entries, s.bytes
+                    "OK cache hits={} misses={} evictions={} stale={} inserts={} entries={} bytes={}",
+                    s.hits, s.misses, s.evictions, s.stale_evictions, s.inserts, s.entries, s.bytes
                 ))
             }
+            "epoch" => match &self.current {
+                Some((name, _)) => match self.service.engine().document_epoch(name) {
+                    Some(e) => Reply::Line(format!("OK epoch {e}")),
+                    None => Reply::Line(format!("ERR usage unknown document `{name}`")),
+                },
+                None => Reply::Line("ERR usage no document selected (use `doc <name>`)".to_owned()),
+            },
+            "update" => self.run_update(rest),
+            "commit" => match self.batch.take() {
+                None => Reply::Line("ERR usage no open write batch".to_owned()),
+                Some(batch) => match batch.commit() {
+                    Ok(r) => Reply::Line(format!(
+                        "OK committed epoch={} ops={} repairs={} stale-plans={}",
+                        r.epoch,
+                        r.ops,
+                        r.repairs.incremental + r.repairs.relabels + r.repairs.full_renumbers,
+                        r.stale_plans_evicted
+                    )),
+                    Err(e) => Reply::Line(format!(
+                        "ERR {} {}",
+                        error_token(&e),
+                        escape_line(&e.to_string())
+                    )),
+                },
+            },
+            "rollback" => match self.batch.take() {
+                None => Reply::Line("ERR usage no open write batch".to_owned()),
+                Some(batch) => {
+                    let ops = batch.ops_applied();
+                    batch.abort();
+                    Reply::Line(format!("OK rolled back ops={ops}"))
+                }
+            },
             "explain" => {
                 if rest.is_empty() {
                     return Reply::Line("ERR usage explain <xpath>".to_owned());
@@ -428,8 +482,19 @@ impl ClientSession {
         if query.is_empty() {
             return Reply::Line("ERR usage query <xpath>".to_owned());
         }
-        let Some((_, doc)) = &self.current else {
+        let Some((name, doc)) = &self.current else {
             return Reply::Line("ERR usage no document selected (use `doc <name>`)".to_owned());
+        };
+        // Re-pin the registry's current epoch snapshot: between queries
+        // the session observes newly committed epochs; within one query
+        // the pin keeps exactly one snapshot alive (a mid-query commit
+        // cannot tear the result). If the document was deregistered the
+        // session keeps its last snapshot — pinned readers outlive the
+        // registry entry by design.
+        let pin = self.service.engine().pin(name);
+        let doc = match &pin {
+            Some(p) => p.doc(),
+            None => doc,
         };
         match self.service.execute(&self.session, doc, query) {
             Ok(Ok(out)) => Reply::Line(render_output(&out)),
@@ -437,6 +502,92 @@ impl ClientSession {
                 Reply::Line(format!("ERR {} {}", error_token(&e), escape_line(&e.to_string())))
             }
             Err(Rejected) => Reply::Line("ERR admission queue full".to_owned()),
+        }
+    }
+
+    /// Apply one `update <op> …` directive to this session's write
+    /// batch, opening the batch on the current document if none is open.
+    fn run_update(&mut self, rest: &str) -> Reply {
+        const USAGE: &str = "ERR usage update <set-content|set-attr|append-element|append-text|\
+                             insert-before|remove|remove-attr|move> <xpath> [args…]";
+        let mut words = rest.splitn(2, char::is_whitespace);
+        let (Some(op), Some(args)) = (words.next(), words.next().map(str::trim)) else {
+            return Reply::Line(USAGE.to_owned());
+        };
+        const OPS: [&str; 8] = [
+            "set-content",
+            "set-attr",
+            "append-element",
+            "append-text",
+            "insert-before",
+            "remove",
+            "remove-attr",
+            "move",
+        ];
+        if !OPS.contains(&op) {
+            return Reply::Line(USAGE.to_owned());
+        }
+        // Ops beyond the XPath target that require a non-empty payload.
+        let needs_payload =
+            matches!(op, "set-attr" | "append-element" | "insert-before" | "remove-attr" | "move");
+        if self.batch.is_none() {
+            let Some((name, _)) = &self.current else {
+                return Reply::Line("ERR usage no document selected (use `doc <name>`)".to_owned());
+            };
+            match self.service.engine().write_batch(name) {
+                Ok(b) => self.batch = Some(b),
+                Err(e) => {
+                    return Reply::Line(format!(
+                        "ERR {} {}",
+                        error_token(&e),
+                        escape_line(&e.to_string())
+                    ))
+                }
+            }
+        }
+        let batch = self.batch.as_mut().expect("batch just ensured");
+        // First word of `args` is the target XPath; the remainder is the
+        // op's payload (content may contain spaces, names may not).
+        let mut parts = args.splitn(2, char::is_whitespace);
+        let xpath = parts.next().unwrap_or_default();
+        let payload = parts.next().map(str::trim);
+        if xpath.is_empty() || (needs_payload && payload.is_none()) {
+            return Reply::Line(USAGE.to_owned());
+        }
+        let applied = batch.select_one(xpath).and_then(|target| match op {
+            "set-content" => batch.set_content(target, payload.unwrap_or("")),
+            "set-attr" => {
+                let Some((name, value)) = payload.and_then(|p| p.split_once(char::is_whitespace))
+                else {
+                    return Err(UpdateError::TargetNotFound(
+                        "set-attr needs <xpath> <name> <value>".to_owned(),
+                    )
+                    .into());
+                };
+                batch.set_attribute(target, name, value.trim()).map(|_| ())
+            }
+            "append-element" => {
+                batch.append_element(target, payload.unwrap_or_default()).map(|_| ())
+            }
+            "append-text" => batch.append_text(target, payload.unwrap_or("")).map(|_| ()),
+            "insert-before" => {
+                batch.insert_element_before(target, payload.unwrap_or_default()).map(|_| ())
+            }
+            "remove" => batch.remove_subtree(target),
+            "remove-attr" => {
+                batch.remove_attribute(target, payload.unwrap_or_default()).map(|_| ())
+            }
+            "move" => {
+                let dest = batch.select_one(payload.unwrap_or_default())?;
+                batch.move_subtree(target, dest)
+            }
+            other => unreachable!("op `{other}` was validated against OPS"),
+        });
+        match applied {
+            Ok(()) => Reply::Line(format!("OK update {op} ops={}", batch.ops_applied())),
+            Err(e) => {
+                Reply::Line(format!("ERR {} {}", error_token(&e), escape_line(&e.to_string())))
+            }
         }
     }
 

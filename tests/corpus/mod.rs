@@ -1,8 +1,11 @@
-//! The shared differential query corpus, used by `tests/differential.rs`
-//! and `tests/optimizer.rs`: 40 tree-document queries exercising every
-//! axis, positional machinery, nested predicates, scalars and unions,
-//! plus 17 dblp-shaped queries matching the generated bibliography
-//! documents (root `dblp`, `article`/`inproceedings` records).
+//! The shared differential query corpus, used by `tests/differential.rs`,
+//! `tests/optimizer.rs` and `tests/updates.rs`: 40 tree-document queries
+//! exercising every axis, positional machinery, nested predicates,
+//! scalars and unions, plus 17 dblp-shaped queries matching the
+//! generated bibliography documents (root `dblp`,
+//! `article`/`inproceedings` records). Not every test binary uses both
+//! corpora, hence the allow.
+#![allow(dead_code)]
 
 /// Queries over the generated tree documents (root `xdoc`, elements
 /// named a–e with consecutive `id` attributes).

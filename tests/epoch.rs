@@ -1,0 +1,372 @@
+//! Epoch-snapshot concurrency (DESIGN.md §18): online updates under
+//! live readers. The headline property is the race differential —
+//! readers racing a committing writer always see results byte-identical
+//! to a serial run against either the pre-commit or the post-commit
+//! snapshot, never a torn mix — plus the fault-injection matrix: an
+//! injected alloc failure, cancellation or index-repair abort anywhere
+//! inside a batch leaves the published epoch untouched and the batch's
+//! governor with zero transient bytes.
+
+use std::sync::Arc;
+
+use natix::service::render_output;
+use natix::{
+    Document, Engine, EngineConfig, FailPoint, NatixError, QueryOutput, RepairFailPoint,
+    ResourceLimits, TranslateOptions, UpdateError,
+};
+use telemetry::Telemetry;
+use xmlstore::to_xml;
+
+fn engine_with(xml: &str) -> Arc<Engine> {
+    let engine = Engine::new();
+    engine.register_document("main", Document::parse(xml).unwrap());
+    engine
+}
+
+#[test]
+fn registry_epochs_and_pins() {
+    let engine = engine_with("<r><item>1</item></r>");
+    assert_eq!(engine.document_epoch("main"), Some(1));
+
+    // A reader pins epoch 1.
+    let pin = engine.pin("main").unwrap();
+    assert_eq!(pin.epoch(), 1);
+
+    // A writer appends an item and commits.
+    let mut batch = engine.write_batch("main").unwrap();
+    let r = batch.select_one("/r").unwrap();
+    let item = batch.append_element(r, "item").unwrap();
+    batch.append_text(item, "2").unwrap();
+    let receipt = batch.commit().unwrap();
+    assert_eq!(receipt.epoch, 2);
+    assert_eq!(receipt.ops, 2);
+    assert_eq!(engine.document_epoch("main"), Some(2));
+
+    // The pinned reader still sees the old snapshot; a fresh pin sees
+    // the new epoch.
+    let session = engine.session();
+    assert_eq!(
+        session.evaluate(pin.doc().store(), "count(/r/item)").unwrap(),
+        QueryOutput::Num(1.0)
+    );
+    let fresh = engine.pin("main").unwrap();
+    assert_eq!(fresh.epoch(), 2);
+    assert_eq!(
+        session.evaluate(fresh.doc().store(), "count(/r/item)").unwrap(),
+        QueryOutput::Num(2.0)
+    );
+}
+
+#[test]
+fn single_writer_per_document() {
+    let engine = engine_with("<r/>");
+    let first = engine.write_batch("main").unwrap();
+    match engine.write_batch("main") {
+        Err(NatixError::Update(UpdateError::WriterConflict(doc))) => assert_eq!(doc, "main"),
+        other => panic!("expected writer conflict, got {other:?}"),
+    }
+    drop(first);
+    // The slot frees on drop (abort path).
+    engine.write_batch("main").unwrap();
+    assert_eq!(engine.document_epoch("main"), Some(1), "aborted batches publish nothing");
+}
+
+#[test]
+fn disk_documents_are_immutable_snapshots() {
+    use xmlstore::tmp::TempPath;
+    let t = TempPath::new(".natix");
+    let arena = Document::parse("<r><a/></r>").unwrap();
+    let disk = arena.persist(t.path(), 8).unwrap();
+    let engine = Engine::new();
+    engine.register_document("frozen", disk);
+    match engine.write_batch("frozen") {
+        Err(NatixError::Update(UpdateError::ImmutableSnapshot)) => {}
+        other => panic!("expected immutable-snapshot, got {other:?}"),
+    }
+    // The refused batch must not leak the writer slot.
+    match engine.write_batch("frozen") {
+        Err(NatixError::Update(UpdateError::ImmutableSnapshot)) => {}
+        other => panic!("writer slot leaked: {other:?}"),
+    }
+}
+
+/// The race differential: N reader threads race a writer that commits
+/// one append per epoch. Every reader pins a snapshot, runs several
+/// queries under that single pin, and checks the rendered protocol
+/// lines against the closed-form serial answer for the pinned epoch —
+/// epoch k has exactly k-1 items with texts 1..k-1, so a reader that
+/// ever observed a half-applied batch (or two different epochs inside
+/// one pin) would produce a line no serial run could.
+#[test]
+fn readers_race_writer_without_tearing() {
+    let engine = engine_with("<r></r>");
+    const COMMITS: u64 = 40;
+    const READERS: usize = 4;
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                let session = engine.session();
+                let mut distinct_epochs = std::collections::BTreeSet::new();
+                for _ in 0..150 {
+                    let pin = engine.pin("main").unwrap();
+                    let store = pin.doc().store();
+                    let items = pin.epoch() - 1;
+                    // Three queries under one pin: all must agree with
+                    // the pinned epoch's serial answer, byte for byte.
+                    let count = render_output(&session.evaluate(store, "count(/r/item)").unwrap());
+                    assert_eq!(count, format!("OK num {items}"), "epoch {}", pin.epoch());
+                    let sum = render_output(&session.evaluate(store, "sum(/r/item)").unwrap());
+                    assert_eq!(
+                        sum,
+                        format!("OK num {}", items * (items + 1) / 2),
+                        "epoch {}",
+                        pin.epoch()
+                    );
+                    let last =
+                        render_output(&session.evaluate(store, "string(/r/item[last()])").unwrap());
+                    let expect_last = if items == 0 {
+                        "OK str ".to_owned()
+                    } else {
+                        format!("OK str {items}")
+                    };
+                    assert_eq!(last, expect_last, "epoch {}", pin.epoch());
+                    distinct_epochs.insert(pin.epoch());
+                }
+                distinct_epochs.len()
+            })
+        })
+        .collect();
+
+    let writer = {
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            for k in 1..=COMMITS {
+                let mut batch = engine.write_batch("main").unwrap();
+                let r = batch.select_one("/r").unwrap();
+                let item = batch.append_element(r, "item").unwrap();
+                batch.append_text(item, &k.to_string()).unwrap();
+                let receipt = batch.commit().unwrap();
+                assert_eq!(receipt.epoch, k + 1);
+            }
+        })
+    };
+    for r in readers {
+        assert!(r.join().unwrap() > 0, "every reader made progress");
+    }
+    writer.join().unwrap();
+    assert_eq!(engine.document_epoch("main"), Some(COMMITS + 1));
+}
+
+/// The fault-injection matrix: whatever aborts a batch — an injected
+/// allocation failure, an injected cancellation, or an injected
+/// structural-index repair abort — the published snapshot stays
+/// byte-identical, the epoch does not move, and the batch's governor
+/// releases every transient byte.
+#[test]
+fn injected_faults_discard_the_batch_whole() {
+    let faults: &[(FailPoint, RepairFailPoint, &str)] = &[
+        (
+            FailPoint { fail_at_alloc: Some(2), cancel_at_tick: None },
+            RepairFailPoint::none(),
+            "alloc",
+        ),
+        (
+            FailPoint { fail_at_alloc: None, cancel_at_tick: Some(3) },
+            RepairFailPoint::none(),
+            "cancel",
+        ),
+        (FailPoint::none(), RepairFailPoint { fail_repair_at: Some(2) }, "repair"),
+    ];
+    for (fp, rfp, label) in faults {
+        let engine = engine_with("<r><a>1</a><b>2</b></r>");
+        let before_xml = to_xml(engine.document("main").unwrap().store());
+        let mut batch =
+            engine.write_batch_with("main", ResourceLimits::unlimited(), *fp, *rfp).unwrap();
+        let gov = batch.governor();
+
+        // Keep applying ops until the injected fault fires.
+        let mut failed = None;
+        for i in 0..10u32 {
+            let r = match batch.select_one("/r") {
+                Ok(r) => r,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            };
+            if let Err(e) = batch.append_element(r, &format!("x{i}")) {
+                failed = Some(e);
+                break;
+            }
+        }
+        let failed = failed.unwrap_or_else(|| panic!("{label}: fault never fired"));
+        match (*label, &failed) {
+            ("alloc", NatixError::Resource(natix::QueryError::MemoryExceeded { .. })) => {}
+            ("cancel", NatixError::Resource(natix::QueryError::Cancelled)) => {}
+            ("repair", NatixError::Update(UpdateError::RepairAborted)) => {}
+            other => panic!("{label}: unexpected failure {other:?}"),
+        }
+        assert!(batch.is_poisoned(), "{label}: fault poisons the batch");
+
+        // Every further op (and commit) is refused.
+        match batch.select_one("/r") {
+            Err(NatixError::Update(UpdateError::BatchPoisoned)) => {}
+            other => panic!("{label}: poisoned batch accepted an op: {other:?}"),
+        }
+        match batch.commit() {
+            Err(NatixError::Update(UpdateError::BatchPoisoned)) => {}
+            other => panic!("{label}: poisoned batch committed: {other:?}"),
+        }
+
+        // Atomicity: the published snapshot is byte-identical, the epoch
+        // did not move, and no transient governor state leaked.
+        assert_eq!(engine.document_epoch("main"), Some(1), "{label}");
+        assert_eq!(to_xml(engine.document("main").unwrap().store()), before_xml, "{label}");
+        assert_eq!(gov.transient_bytes(), 0, "{label}: governor leak");
+
+        // The writer slot is free again and a clean batch succeeds.
+        let mut retry = engine.write_batch("main").unwrap();
+        let retry_gov = retry.governor();
+        let r = retry.select_one("/r").unwrap();
+        retry.append_element(r, "c").unwrap();
+        let receipt = retry.commit().unwrap();
+        assert_eq!(receipt.epoch, 2, "{label}: retry after fault publishes");
+        assert_eq!(retry_gov.transient_bytes(), 0, "{label}");
+    }
+}
+
+#[test]
+fn commit_releases_governor_and_counts_repairs() {
+    let engine = engine_with("<r><a/><b/></r>");
+    let mut batch = engine.write_batch("main").unwrap();
+    let gov = batch.governor();
+    let r = batch.select_one("/r").unwrap();
+    batch.append_element(r, "c").unwrap();
+    let a = batch.select_one("/r/a").unwrap();
+    batch.remove_subtree(a).unwrap();
+    assert!(gov.transient_bytes() > 0, "open batch holds its op charges");
+    let receipt = batch.commit().unwrap();
+    assert_eq!(gov.transient_bytes(), 0, "commit releases the whole charge");
+    assert_eq!(receipt.repairs.incremental, 2);
+    assert_eq!(receipt.repairs.full_renumbers, 0);
+}
+
+#[test]
+fn stale_plans_evicted_on_epoch_publish() {
+    let engine = engine_with("<r><a>1</a><a>2</a><b>3</b></r>");
+    let session = engine.session().with_options(TranslateOptions::cost_based());
+
+    // Compile a cost-based plan: keyed under the current statistics
+    // fingerprint.
+    let doc = engine.document("main").unwrap();
+    assert_eq!(session.evaluate(doc.store(), "count(//a)").unwrap(), QueryOutput::Num(2.0));
+    let stats = engine.cache_stats();
+    assert_eq!((stats.entries, stats.stale_evictions), (1, 0));
+
+    // A structural commit changes the statistics fingerprint: the old
+    // entry is eagerly evicted at publish, not left to LRU pressure.
+    let mut batch = engine.write_batch("main").unwrap();
+    let r = batch.select_one("/r").unwrap();
+    batch.append_element(r, "a").unwrap();
+    let receipt = batch.commit().unwrap();
+    assert_eq!(receipt.stale_plans_evicted, 1);
+    let stats = engine.cache_stats();
+    assert_eq!((stats.entries, stats.stale_evictions), (0, 1));
+
+    // The next evaluation recompiles under the new fingerprint and
+    // sees the new document.
+    let doc = engine.document("main").unwrap();
+    assert_eq!(session.evaluate(doc.store(), "count(//a)").unwrap(), QueryOutput::Num(3.0));
+    assert_eq!(engine.cache_stats().entries, 1);
+}
+
+#[test]
+fn content_only_commits_keep_plans() {
+    // A content-only update leaves the structural statistics (and their
+    // fingerprint) untouched, so cached plans stay valid and resident.
+    let engine = engine_with("<r><a>1</a></r>");
+    let session = engine.session().with_options(TranslateOptions::cost_based());
+    let doc = engine.document("main").unwrap();
+    session.evaluate(doc.store(), "count(//a)").unwrap();
+    assert_eq!(engine.cache_stats().entries, 1);
+
+    let mut batch = engine.write_batch("main").unwrap();
+    let text = batch.select_one("/r/a/text()").unwrap();
+    batch.set_content(text, "updated").unwrap();
+    let receipt = batch.commit().unwrap();
+    assert_eq!(receipt.stale_plans_evicted, 0);
+    let stats = engine.cache_stats();
+    assert_eq!((stats.entries, stats.stale_evictions), (1, 0));
+}
+
+#[test]
+fn epoch_metrics_flow_to_telemetry() {
+    let telemetry = Telemetry::new().shared();
+    let engine = Engine::with_config(EngineConfig::default(), Some(telemetry.clone()));
+    engine.register_document("main", Document::parse("<r><a/></r>").unwrap());
+    assert_eq!(telemetry.registry.value("natix_store_epoch"), Some(1));
+    assert_eq!(telemetry.registry.value("natix_epoch_readers"), Some(0));
+
+    {
+        let _pin1 = engine.pin("main").unwrap();
+        let _pin2 = engine.pin("main").unwrap();
+        assert_eq!(telemetry.registry.value("natix_epoch_readers"), Some(2));
+    }
+    assert_eq!(telemetry.registry.value("natix_epoch_readers"), Some(0));
+
+    let mut batch = engine.write_batch("main").unwrap();
+    let r = batch.select_one("/r").unwrap();
+    batch.append_element(r, "b").unwrap();
+    batch.append_element(r, "c").unwrap();
+    batch.commit().unwrap();
+    assert_eq!(telemetry.registry.value("natix_store_epoch"), Some(2));
+    assert_eq!(telemetry.registry.value("natix_index_repairs_total"), Some(2));
+    assert_eq!(
+        telemetry.registry.value("natix_plan_cache_stale_evictions_total"),
+        Some(0),
+        "no cost-based plans were cached"
+    );
+}
+
+#[test]
+fn update_protocol_roundtrip() {
+    use natix::{QueryService, ServiceConfig};
+    let engine = engine_with("<r><a>1</a><b>2</b></r>");
+    let service = QueryService::new(engine, ServiceConfig { workers: 2, queue_depth: 8 });
+    let mut c = service.client(None);
+
+    assert_eq!(c.handle("epoch").text(), "OK epoch 1");
+    assert_eq!(c.handle("count(/r/*)").text(), "OK num 2");
+
+    // Batched updates: invisible to queries until commit.
+    assert_eq!(c.handle("update append-element /r c").text(), "OK update append-element ops=1");
+    assert_eq!(c.handle("update set-attr /r/a x 9").text(), "OK update set-attr ops=2");
+    assert_eq!(c.handle("count(/r/*)").text(), "OK num 2", "uncommitted batch is invisible");
+    let commit = c.handle("commit").text().to_owned();
+    assert!(commit.starts_with("OK committed epoch=2 ops=2"), "{commit}");
+    assert_eq!(c.handle("count(/r/*)").text(), "OK num 3");
+    assert_eq!(c.handle("string(/r/a/@x)").text(), "OK str 9");
+    assert_eq!(c.handle("epoch").text(), "OK epoch 2");
+
+    // Rollback discards.
+    assert_eq!(c.handle("update remove /r/b").text(), "OK update remove ops=1");
+    assert_eq!(c.handle("rollback").text(), "OK rolled back ops=1");
+    assert_eq!(c.handle("count(/r/b)").text(), "OK num 1");
+
+    // Typed error classes on the wire: `ERR update <class>: …`.
+    let r = c.handle("update move /r/a /r/a").text().to_owned();
+    assert!(r.starts_with("ERR update cycle:"), "{r}");
+    // The failed op poisoned the batch.
+    let r = c.handle("update remove /r/b").text().to_owned();
+    assert!(r.starts_with("ERR update batch-poisoned:"), "{r}");
+    assert_eq!(c.handle("rollback").text(), "OK rolled back ops=0");
+    // A missed target is a typed error but does not poison the batch.
+    let r = c.handle("update remove /r/nosuch").text().to_owned();
+    assert!(r.starts_with("ERR update target-not-found:"), "{r}");
+    assert_eq!(c.handle("update remove /r/b").text(), "OK update remove ops=1");
+    assert_eq!(c.handle("rollback").text(), "OK rolled back ops=1");
+    assert_eq!(c.handle("commit").text(), "ERR usage no open write batch");
+    assert_eq!(c.handle("rollback").text(), "ERR usage no open write batch");
+}

@@ -284,7 +284,8 @@ proptest! {
         for i in 0..arena.node_count() as u32 {
             let n = NodeId(i);
             prop_assert_eq!(arena.kind(n), disk.kind(n));
-            prop_assert_eq!(arena.order(n), disk.order(n));
+            // Disk orders are dense ranks; arena keys are gap-scaled.
+            prop_assert_eq!(arena.order(n), disk.order(n) << xmlstore::ORDER_GAP_SHIFT);
             prop_assert_eq!(arena.parent(n), disk.parent(n));
         }
     }

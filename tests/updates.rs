@@ -1,11 +1,17 @@
 //! Integration: document updates followed by queries on all evaluators.
 //! Updates must be equally visible to the algebraic engine and the
 //! interpreter, and re-persisting an updated arena must round-trip.
+//! The randomized differential at the bottom drives long random update
+//! sequences and checks the incrementally repaired store against a
+//! rebuilt-from-scratch (serialize → reparse) store over the full
+//! 40-query corpus.
 
 use compiler::TranslateOptions;
 use interp::{InterpOptions, Interpreter};
 use natix::QueryOutput;
 use xmlstore::{parse_document, ArenaStore, XmlStore};
+
+mod corpus;
 
 fn agree(store: &ArenaStore, q: &str) -> QueryOutput {
     let a = nqe::evaluate(store, q, &TranslateOptions::improved()).unwrap();
@@ -89,4 +95,116 @@ fn updated_document_persists_and_requeries() {
         nqe::evaluate(&disk, "count(/log/entry)", &TranslateOptions::improved()).unwrap(),
         QueryOutput::Num(50.0)
     );
+}
+
+/// Deterministic splitmix64 (seeded; no external PRNG dependency).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random reachable node (by index rank, so tombstones are excluded).
+fn random_node(s: &ArenaStore, rng: &mut Rng) -> xmlstore::NodeId {
+    let idx = s.structural_index().unwrap();
+    idx.node_at(rng.below(idx.len() as u64) as u32)
+}
+
+/// Node-id-free rendering of a query output, so results are comparable
+/// across two stores whose ids differ (the updated store keeps
+/// tombstoned slots; the reparsed store is dense).
+fn canonical(s: &ArenaStore, out: &QueryOutput) -> String {
+    match out {
+        QueryOutput::Nodes(ns) => ns
+            .iter()
+            .map(|&n| {
+                let name = s.name(n).map_or(String::new(), |id| s.names().text(id).to_owned());
+                format!("{:?}|{name}|{}", s.kind(n), s.string_value(n))
+            })
+            .collect::<Vec<_>>()
+            .join("\u{1e}"),
+        other => format!("{other:?}"),
+    }
+}
+
+/// The randomized update-sequence differential: starting from a
+/// generated tree document, apply batches of random structural and
+/// content updates (invalid picks — cycles, tombstones, root conflicts —
+/// are skipped as typed errors), and after every batch require the
+/// incrementally repaired store to agree with a store rebuilt from
+/// scratch by serializing and reparsing, across the whole 40-query
+/// corpus. Every answer the repaired index produces must be one a
+/// fresh parse would also produce.
+#[test]
+fn random_update_sequences_match_rebuilt_store() {
+    use xmlstore::gen::{generate_tree, TreeParams};
+    let mut rng = Rng(0x5eed_2026_0805);
+    let mut s = generate_tree(TreeParams { max_elements: 60, fanout: 4, max_depth: 3 });
+    let names = ["a", "b", "c", "d", "e"];
+    let mut next_id = 10_000u64;
+
+    for batch in 0..12 {
+        for _ in 0..10 {
+            let target = random_node(&s, &mut rng);
+            let name = names[rng.below(names.len() as u64) as usize];
+            // Any typed error (wrong kind, cycle, root occupied, …) just
+            // skips the op: the generator probes, the store validates.
+            let _ = match rng.below(8) {
+                0 => {
+                    next_id += 1;
+                    s.append_element(target, name).map(|e| {
+                        let _ = s.set_attribute(e, "id", &next_id.to_string());
+                    })
+                }
+                1 => s.append_text(target, "t").map(|_| ()),
+                2 => s.insert_element_before(target, name).map(|e| {
+                    next_id += 1;
+                    let _ = s.set_attribute(e, "id", &next_id.to_string());
+                }),
+                3 => s.set_attribute(target, "tag", "v").map(|_| ()),
+                4 => s.set_content(target, "rewritten"),
+                5 => s.remove_attribute(target, "tag").map(|_| ()),
+                6 => {
+                    // Bound subtree removals so the document stays
+                    // interesting for the whole run.
+                    let idx = s.structural_index().unwrap();
+                    if idx.len() > 40 {
+                        s.remove_subtree(target)
+                    } else {
+                        Ok(())
+                    }
+                }
+                _ => {
+                    let dest = random_node(&s, &mut rng);
+                    s.move_subtree(target, dest)
+                }
+            };
+        }
+
+        // Rebuild from scratch: serialize + reparse is the oracle.
+        let rebuilt = parse_document(&xmlstore::to_xml(&s)).unwrap();
+        for q in corpus::TREE_QUERIES {
+            let live = nqe::evaluate(&s, q, &TranslateOptions::improved())
+                .unwrap_or_else(|e| panic!("batch {batch} live `{q}`: {e}"));
+            let fresh = nqe::evaluate(&rebuilt, q, &TranslateOptions::improved())
+                .unwrap_or_else(|e| panic!("batch {batch} rebuilt `{q}`: {e}"));
+            assert_eq!(
+                canonical(&s, &live),
+                canonical(&rebuilt, &fresh),
+                "batch {batch}, query `{q}`"
+            );
+        }
+    }
+    // The sequence must have exercised the incremental path.
+    assert!(s.repair_stats().incremental > 50, "{:?}", s.repair_stats());
 }
