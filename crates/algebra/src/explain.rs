@@ -30,13 +30,20 @@ pub fn op_label(plan: &LogicalOp) -> String {
         LogicalOp::Cross { .. } => "×".to_owned(),
         LogicalOp::SemiJoin { pred, .. } => format!("⋉[{pred}]"),
         LogicalOp::AntiJoin { pred, .. } => format!("▷[{pred}]"),
-        LogicalOp::UnnestMap { context, attr, axis, test, hint, .. } => match hint {
-            // `Auto` renders exactly as before the hint existed, so
-            // every `CostMode::Off` plan keeps its historical label.
-            ScanHint::Auto => format!("Υ[{attr}:{context}/{axis}::{test}]"),
-            ScanHint::Range => format!("Υ[{attr}:{context}/{axis}::{test} hint=range]"),
-            ScanHint::Cursor => format!("Υ[{attr}:{context}/{axis}::{test} hint=cursor]"),
-        },
+        LogicalOp::UnnestMap { context, attr, axis, test, hint, probe, .. } => {
+            let mut label = match hint {
+                // `Auto` renders exactly as before the hint existed, so
+                // every `CostMode::Off` plan keeps its historical label.
+                ScanHint::Auto => format!("Υ[{attr}:{context}/{axis}::{test}]"),
+                ScanHint::Range => format!("Υ[{attr}:{context}/{axis}::{test} hint=range]"),
+                ScanHint::Cursor => format!("Υ[{attr}:{context}/{axis}::{test} hint=cursor]"),
+            };
+            if let Some(p) = probe {
+                label.pop();
+                label.push_str(&format!(" probe={p}]"));
+            }
+            label
+        }
         LogicalOp::TokenizeMap { attr, expr, .. } => format!("Υ[{attr}:tokenize({expr})]"),
         LogicalOp::Concat { .. } => "⊕".to_owned(),
         LogicalOp::SortBy { attr, .. } => format!("Sort[{attr}]"),

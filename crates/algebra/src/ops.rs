@@ -36,6 +36,42 @@ pub enum ScanHint {
     Cursor,
 }
 
+/// What a content-index probe addresses (mirrors
+/// `xmlstore::ContentKind` without a crate dependency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Probe attribute values: `step[@name='value']`.
+    Attribute,
+    /// Probe element text values: `step[name='value']`.
+    Element,
+}
+
+/// A content-index probe pinned on an [`LogicalOp::UnnestMap`] by the
+/// cost-based optimizer: the Υ's predicate demands an exact
+/// `name = value` match, so the runtime can intersect the context's
+/// subtree interval with the index postings instead of scanning the
+/// axis. Purely an access-path annotation — the σ/χ^mat predicate above
+/// the Υ still re-checks every emitted tuple, so an unindexed store (or
+/// an uncovered key) degrades to the plain scan with identical results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// Attribute-value or element-text probe.
+    pub kind: ProbeKind,
+    /// The attribute/element name whose value is constrained.
+    pub name: String,
+    /// The constant the value must equal.
+    pub value: String,
+}
+
+impl std::fmt::Display for ProbeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            ProbeKind::Attribute => write!(f, "@{}='{}'", self.name, self.value),
+            ProbeKind::Element => write!(f, "{}='{}'", self.name, self.value),
+        }
+    }
+}
+
 /// A sequence-valued logical operator.
 #[derive(Clone, Debug, PartialEq)]
 pub enum LogicalOp {
@@ -151,6 +187,10 @@ pub enum LogicalOp {
         /// Physical axis-kernel hint (`Auto` unless the optimizer pinned
         /// a kernel).
         hint: ScanHint,
+        /// Content-index probe pinned by the cost-based optimizer
+        /// (`None` unless an equality predicate above this Υ was
+        /// recognised as index-answerable).
+        probe: Option<ProbeSpec>,
     },
     /// Υ_{t:tokenize(e)} — unnest a whitespace-tokenised string (used only
     /// by the `id()` translation on non-node-set input, §3.6.3).
@@ -230,6 +270,7 @@ impl LogicalOp {
             axis,
             test,
             hint: ScanHint::Auto,
+            probe: None,
         }
     }
 

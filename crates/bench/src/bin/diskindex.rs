@@ -1,0 +1,174 @@
+//! Experiment B10 — persistent disk indexes: the same page file opened
+//! with its persisted structural + content indexes (`DiskStore::open`,
+//! cost-based probes) versus index-blind (`DiskStore::open_plain`, the
+//! pre-index cursor walks), over a DBLP document sweep.
+//!
+//! Warm-plan measurement: each side evaluates through its own shared-
+//! engine session so compilation is paid once into the plan cache, and
+//! the samples are taken round-robin so clock drift lands on both sides
+//! equally. An `indexed/improved` column separates the structural-index
+//! effect (range-scan kernels, real statistics) from the content-index
+//! effect (Υ probe annotations), and one EXPLAIN ANALYZE per query
+//! confirms the probes actually fired (`index_probes` gauge).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin diskindex \
+//!     [--records N,N,..] [--runs N] [--seed N] [--buffer-pages N] \
+//!     [--json PATH] [--update-baseline]
+//! ```
+//!
+//! `--update-baseline` pins the gate quantity — the geometric-mean
+//! speedup of indexed-cost-based over plain-improved on
+//! [`bench::DISK_GATE_QUERIES`] — which `bench/bin/regress --check`
+//! re-measures and gates (hard floor 1.2×).
+
+use bench::{
+    arg_seed, arg_value, dblp_document_seeded, disk_index_gate_speedup, disk_pair_times, host_json,
+    ms, ms_f, warm_session_time, DISK_GATE_QUERIES,
+};
+use compiler::TranslateOptions;
+use natix::{Document, Engine, EngineConfig};
+use nqe::Json;
+use xmlstore::diskstore::{create_store_file, DiskStore};
+use xmlstore::tmp::TempPath;
+
+/// Default document sweep (DBLP records). The largest store spans tens
+/// of MB of pages; pass `--records 2000000` (and a real scratch disk)
+/// for the multi-GB configuration — the format and the gate are
+/// identical, only the page counts grow.
+const SWEEP: [usize; 3] = [20_000, 100_000, 200_000];
+
+/// The committed gate baseline (see `bench/bin/regress`).
+const BASELINE: &str = "results/BENCH_10_baseline.json";
+
+/// Document size the gate quantity is measured at: big enough that
+/// execution dominates compilation, small enough for a CI run.
+const GATE_RECORDS: usize = 20_000;
+
+/// Buffer pool size (pages) for every store in the sweep — small
+/// relative to the larger documents, so the plain side really pays for
+/// its full-region cursor walks.
+const BUFFER_PAGES: usize = 256;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg_seed(&args);
+    let runs: usize = arg_value(&args, "--runs").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let buffer_pages: usize = arg_value(&args, "--buffer-pages")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(BUFFER_PAGES);
+    let sweep: Vec<usize> = arg_value(&args, "--records")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|| SWEEP.to_vec());
+    let json_path = arg_value(&args, "--json");
+    let update = args.iter().any(|a| a == "--update-baseline");
+
+    let mut results = Vec::new();
+    for &records in &sweep {
+        eprintln!("generating and persisting synthetic DBLP with {records} records…");
+        let tmp = TempPath::new(".natix");
+        create_store_file(&dblp_document_seeded(records, seed), tmp.path()).expect("persist");
+        let pages = std::fs::metadata(tmp.path()).expect("stat").len() / 8192;
+
+        let engine = Engine::with_config(EngineConfig::default(), None);
+        let indexed = engine.register_document(
+            "indexed",
+            Document::Disk(DiskStore::open(tmp.path(), buffer_pages).expect("open")),
+        );
+        let plain = engine.register_document(
+            "plain",
+            Document::Disk(DiskStore::open_plain(tmp.path(), buffer_pages).expect("open_plain")),
+        );
+        let cost = engine.session().with_options(TranslateOptions::cost_based());
+        let improved = engine.session().with_options(TranslateOptions::improved());
+
+        println!(
+            "\n# B10: {records} records ({pages} pages, {buffer_pages}-page buffer), \
+             warm-plan median of {runs} (ms)"
+        );
+        println!(
+            "{:<55} {:>10} {:>10} {:>10} {:>7}  probes",
+            "query", "plain", "idx/impr", "idx/cost", "speedup"
+        );
+        for q in DISK_GATE_QUERIES {
+            let (t_cost, t_plain) =
+                disk_pair_times(&cost, indexed.store(), &improved, plain.store(), q, runs);
+            let t_impr = warm_session_time(&improved, indexed.store(), q, runs);
+            let speedup = t_plain.as_secs_f64() / t_cost.as_secs_f64();
+            // Did the probe path actually fire? (Structural-only queries
+            // legitimately report 0 and win on range scans alone.)
+            let (_, rep) = cost.analyze(indexed.store(), q).expect("analyze");
+            let probes: u64 = rep
+                .profile
+                .entries
+                .iter()
+                .flat_map(|e| e.stats.lock().gauges.clone())
+                .filter(|(k, _)| *k == "index_probes")
+                .map(|(_, v)| v)
+                .sum();
+            println!(
+                "{q:<55} {:>10} {:>10} {:>10} {:>6.2}×  {probes}",
+                ms(t_plain),
+                ms(t_impr),
+                ms(t_cost),
+                speedup
+            );
+            if json_path.is_some() {
+                results.push(Json::obj(vec![
+                    ("records", Json::Num(records as f64)),
+                    ("pages", Json::Num(pages as f64)),
+                    ("query", Json::Str(q.to_owned())),
+                    ("plain_ms", Json::Num(ms_f(t_plain))),
+                    ("indexed_improved_ms", Json::Num(ms_f(t_impr))),
+                    ("indexed_cost_ms", Json::Num(ms_f(t_cost))),
+                    ("speedup", Json::Num(speedup)),
+                    ("index_probes", Json::Num(probes as f64)),
+                ]));
+            }
+        }
+    }
+
+    eprintln!("measuring gate quantity at {GATE_RECORDS} records…");
+    let gate = disk_index_gate_speedup(GATE_RECORDS, seed, runs.max(5), buffer_pages);
+    println!(
+        "\ngate: geometric-mean speedup of indexed/cost over plain/improved \
+         {gate:.2}× ({GATE_RECORDS} records)"
+    );
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("bench", Json::Str("diskindex".to_owned())),
+            ("host", host_json(seed)),
+            ("gate_records", Json::Num(GATE_RECORDS as f64)),
+            ("buffer_pages", Json::Num(buffer_pages as f64)),
+            ("gate_speedup", Json::Num(gate)),
+            ("results", Json::Arr(results)),
+        ]);
+        match std::fs::write(&path, doc.pretty()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if update {
+        // The baseline pins only the machine-independent gate ratio (the
+        // per-cell timings live in BENCH_10.json).
+        let base = Json::obj(vec![
+            ("bench", Json::Str("diskindex".to_owned())),
+            ("host", host_json(seed)),
+            ("gate_records", Json::Num(GATE_RECORDS as f64)),
+            ("gate_runs", Json::Num(runs as f64)),
+            ("buffer_pages", Json::Num(buffer_pages as f64)),
+            ("gate_speedup", Json::Num(gate)),
+        ]);
+        match std::fs::write(BASELINE, base.pretty()) {
+            Ok(()) => eprintln!("baseline updated: {BASELINE}"),
+            Err(e) => {
+                eprintln!("error: {BASELINE}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -48,6 +48,15 @@ const B9_BASELINE: &str = "results/BENCH_9_baseline.json";
 /// renumber by at least this much on the gate document.
 const B9_FLOOR: f64 = 10.0;
 
+/// The B10 disk-index baseline carrying the indexed-vs-plain DiskStore
+/// gate (written by `bench/bin/diskindex --update-baseline`).
+const B10_BASELINE: &str = "results/BENCH_10_baseline.json";
+
+/// Hard floor on the B10 speedup regardless of baseline drift: the
+/// experiment plan requires the persisted indexes to beat the plain
+/// cursor path by at least this much on the gate document.
+const B10_FLOOR: f64 = 1.2;
+
 /// Default headroom multiplier for the `--check` gate.
 const TOLERANCE: f64 = 2.0;
 
@@ -451,6 +460,60 @@ fn main() {
         "{:<12} {:>13.3}× {:>13.3}× {:>7.2}× {:>8}",
         "updates",
         b9_speedup,
+        cur_speedup,
+        ratio,
+        if ok { "ok" } else { "REGRESSED" }
+    );
+
+    // B10 disk-index gate: the persisted structural + content indexes'
+    // warm-plan speedup over the index-blind `open_plain` cursor path,
+    // on the same page file. Both sides run in this process, so the
+    // ratio is machine-normalised by construction; a hard floor applies
+    // on top of the drift tolerance (the indexes must stay ≥ 1.2×).
+    let b10_path =
+        arg_value(&args, "--bench10-baseline").unwrap_or_else(|| B10_BASELINE.to_owned());
+    let b10_text = match std::fs::read_to_string(&b10_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: no B10 baseline at {b10_path}: {e}");
+            eprintln!("hint: run `diskindex --update-baseline` to create one");
+            std::process::exit(2);
+        }
+    };
+    let b10 = match Json::parse(&b10_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {b10_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (Some(b10_speedup), Some(b10_records), Some(b10_pages)) = (
+        b10.get("gate_speedup").and_then(Json::as_num),
+        b10.get("gate_records").and_then(Json::as_num),
+        b10.get("buffer_pages").and_then(Json::as_num),
+    ) else {
+        eprintln!("error: {b10_path} lacks gate_speedup/gate_records/buffer_pages");
+        std::process::exit(2);
+    };
+    if b10_speedup <= 0.0 {
+        eprintln!("error: {b10_path} has a non-positive gate speedup");
+        std::process::exit(2);
+    }
+    let cur_speedup = bench::disk_index_gate_speedup(
+        b10_records as usize,
+        seed,
+        iterations.min(7),
+        b10_pages as usize,
+    );
+    let ratio = b10_speedup / cur_speedup;
+    let ok = ratio <= tolerance && cur_speedup >= B10_FLOOR;
+    if !ok {
+        failed = true;
+    }
+    println!(
+        "{:<12} {:>13.3}× {:>13.3}× {:>7.2}× {:>8}",
+        "disk_index",
+        b10_speedup,
         cur_speedup,
         ratio,
         if ok { "ok" } else { "REGRESSED" }

@@ -137,6 +137,80 @@ pub fn optimizer_gate_speedup(records: usize, seed: u64, runs: usize) -> f64 {
     (log_sum / OPTIMIZER_GATE_QUERIES.len() as f64).exp()
 }
 
+/// Queries the B10 disk-index gate replays: three content-index probes
+/// (attribute and element value predicates, point and multi-hit) and a
+/// structural sweep the persisted structural index turns into
+/// range-scan kernels instead of cursor walks.
+pub const DISK_GATE_QUERIES: [&str; 4] = [
+    "/dblp/inproceedings[@key='conf/er/LockemannM91']/title",
+    "/dblp/article[year='1991']/@key",
+    "/dblp/inproceedings[year='1991']/@key",
+    "count(//author)",
+];
+
+/// Median warm-plan latencies of one query on the indexed and plain
+/// stores, sampled round-robin so clock drift lands on both sides
+/// equally. The first, unmeasured round fills the plan cache and the
+/// buffer pool.
+pub fn disk_pair_times(
+    fast: &natix::Session,
+    indexed: &dyn XmlStore,
+    slow: &natix::Session,
+    plain: &dyn XmlStore,
+    query: &str,
+    runs: usize,
+) -> (Duration, Duration) {
+    std::hint::black_box(fast.evaluate(indexed, query).expect("warm indexed"));
+    std::hint::black_box(slow.evaluate(plain, query).expect("warm plain"));
+    let mut tf = Vec::with_capacity(runs.max(1));
+    let mut tp = Vec::with_capacity(runs.max(1));
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(fast.evaluate(indexed, query).expect("indexed query"));
+        tf.push(t0.elapsed());
+        let t0 = Instant::now();
+        std::hint::black_box(slow.evaluate(plain, query).expect("plain query"));
+        tp.push(t0.elapsed());
+    }
+    tf.sort();
+    tp.sort();
+    (tf[tf.len() / 2], tp[tp.len() / 2])
+}
+
+/// The B10 gate measurement: geometric-mean warm-plan speedup of an
+/// indexed `DiskStore` (persisted structural + content indexes, cost-
+/// based probes) over `DiskStore::open_plain` (the pre-index cursor
+/// path) on [`DISK_GATE_QUERIES`]. Both sides read the same page file
+/// through same-sized buffer pools in the same process, so the ratio
+/// needs no calibration workload.
+pub fn disk_index_gate_speedup(records: usize, seed: u64, runs: usize, buffer_pages: usize) -> f64 {
+    let tmp = xmlstore::tmp::TempPath::new(".natix");
+    xmlstore::diskstore::create_store_file(&dblp_document_seeded(records, seed), tmp.path())
+        .expect("persist gate document");
+    let engine = natix::Engine::with_config(natix::EngineConfig::default(), None);
+    let indexed = engine.register_document(
+        "b10-indexed",
+        natix::Document::Disk(
+            xmlstore::diskstore::DiskStore::open(tmp.path(), buffer_pages).expect("open indexed"),
+        ),
+    );
+    let plain = engine.register_document(
+        "b10-plain",
+        natix::Document::Disk(
+            xmlstore::diskstore::DiskStore::open_plain(tmp.path(), buffer_pages)
+                .expect("open plain"),
+        ),
+    );
+    let fast = engine.session().with_options(TranslateOptions::cost_based());
+    let slow = engine.session().with_options(TranslateOptions::improved());
+    let mut log_sum = 0.0;
+    for q in DISK_GATE_QUERIES {
+        let (tf, tp) = disk_pair_times(&fast, indexed.store(), &slow, plain.store(), q, runs);
+        log_sum += (tp.as_secs_f64() / tf.as_secs_f64().max(f64::EPSILON)).ln();
+    }
+    (log_sum / DISK_GATE_QUERIES.len() as f64).exp()
+}
+
 /// Time one B9 update batch: append `ops` publication records (an
 /// element with a `key` attribute and a `title` child with text) under
 /// the store's current repair mode, then remove them again so the next

@@ -24,6 +24,13 @@
 //! * **scan-kernel** — pin the Υ axis kernel (`hint=range|cursor`) on
 //!   the four interval axes by estimated scan span: tiny spans are
 //!   cheaper to walk by pointer than to probe the index for.
+//! * **index-probe** — annotate the Υ under a `step[@a='v']` /
+//!   `step[e='v']` predicate with a [`ProbeSpec`] when the store's
+//!   persistent content index is estimated to enumerate fewer
+//!   candidates than the axis scan visits nodes. The annotation is a
+//!   pre-filter hint: stores without a content index (or with the name
+//!   uncovered) fall back to the plain scan at runtime, so the
+//!   predicate is never removed.
 //! * **outer-shape** — (driven by the pipeline, which owns the AST)
 //!   estimate the stacked §4.2.1 outer-path plan against the canonical
 //!   d-join §3 plan and keep the cheaper whole-query shape.
@@ -44,7 +51,8 @@ use xpath_syntax::{KindTest, NodeTest};
 
 use algebra::explain::op_label;
 use algebra::scalar::AggFunc;
-use algebra::{LogicalOp, ScalarExpr, ScanHint};
+use algebra::{ConvKind, LogicalOp, ProbeKind, ProbeSpec, ScalarExpr, ScanHint};
+use xpath_syntax::CompOp;
 
 use crate::translate::CompiledQuery;
 
@@ -64,6 +72,11 @@ const RANGE_PROBE: f64 = 4.0;
 const CURSOR_HOP: f64 = 2.0;
 /// Selectivity of a comparison predicate.
 const CMP_SEL: f64 = 0.25;
+/// Selectivity of an equality against a constant over a content-indexed
+/// name: the fraction of that name's nodes expected to carry one
+/// specific value (a generic distinct-values guess, deliberately
+/// pessimistic enough that probes only win when the scan is wide).
+const EQ_SEL: f64 = 1.0 / 64.0;
 /// Selectivity of anything we cannot classify.
 const DEFAULT_SEL: f64 = 0.5;
 
@@ -74,10 +87,10 @@ pub struct Decision {
     /// Operator label at the decision site (`𝔐[c1]`, `χ^mat[…]`, …).
     pub site: String,
     /// Decision family: `memoize-inner`, `split-expensive`,
-    /// `scan-kernel` or `outer-shape`.
+    /// `scan-kernel`, `index-probe` or `outer-shape`.
     pub rule: &'static str,
     /// What was chosen (`keep`, `drop`, `fuse`, `range`, `cursor`,
-    /// `stacked`, `d-join`).
+    /// `probe`, `scan`, `stacked`, `d-join`).
     pub choice: &'static str,
     /// Estimated cost of the chosen alternative.
     pub est_chosen: f64,
@@ -529,7 +542,8 @@ impl Optimizer<'_> {
                 let input = self.rewrite(*input, opens, env);
                 let in_rows = self.probe(&input, opens, env).rows;
                 let pred = self.rewrite_scalar(pred, opens * in_rows, env);
-                self.try_fuse_split(input, pred, opens, env)
+                let fused = self.try_fuse_split(input, pred, opens, env);
+                self.try_index_probe(fused, env)
             }
             L::MemoX { input, key } => {
                 let input = self.rewrite(*input, opens, env);
@@ -558,7 +572,7 @@ impl Optimizer<'_> {
                     input
                 }
             }
-            L::UnnestMap { input, context, attr, axis, test, hint } => {
+            L::UnnestMap { input, context, attr, axis, test, hint, probe } => {
                 let input = self.rewrite(*input, opens, env);
                 let ctx_scope =
                     env.scope.get(&context).copied().unwrap_or(self.est.stats.mean_subtree);
@@ -591,7 +605,15 @@ impl Optimizer<'_> {
                 };
                 env.scope.insert(attr.clone(), self.est.result_scope(axis, &test));
                 env.domain.insert(attr.clone(), self.est.test_count(axis, &test).max(1.0));
-                L::UnnestMap { input: Box::new(input), context, attr, axis, test, hint }
+                L::UnnestMap {
+                    input: Box::new(input),
+                    context,
+                    attr,
+                    axis,
+                    test,
+                    hint,
+                    probe,
+                }
             }
             L::DJoin { left, right } => {
                 let left = self.rewrite(*left, opens, env);
@@ -740,6 +762,54 @@ impl Optimizer<'_> {
         }
     }
 
+    /// The content-index pre-filter: annotate the Υ feeding a
+    /// `step[@a='v']` / `step[e='v']` predicate with a [`ProbeSpec`]
+    /// when the persistent content index is expected to enumerate fewer
+    /// candidates than the axis scan visits nodes. Recognises both the
+    /// fused (`σ[𝔄] ∘ Π[cn:u] ∘ Υ`) and kept-split
+    /// (`σ[m] ∘ χ^mat[m:𝔄 key u] ∘ Π[cn:u] ∘ Υ`) emissions of the
+    /// improved translation; anything else passes through untouched.
+    /// The probe is a candidate pre-filter only — stores without a
+    /// content index reject it at runtime and the kernel falls back to
+    /// the plain scan, so the predicate always stays in the plan.
+    fn try_index_probe(&mut self, mut plan: LogicalOp, env: &Env) -> LogicalOp {
+        let Some((spec, context, attr, axis, test)) = match_probe_site(&plan) else {
+            return plan;
+        };
+        let ctx_scope = env.scope.get(context).copied().unwrap_or(self.est.stats.mean_subtree);
+        let card = self.est.axis_card(axis, test, ctx_scope);
+        let span = self.est.scan_span(axis, ctx_scope);
+        let scan = span.max(card) + card;
+        // The probe enumerates the postings of one (name, value) key
+        // clipped to the context's subtree window: the key's node count
+        // times an equality selectivity, scaled by the fraction of the
+        // document the context dominates.
+        let n = (self.est.stats.node_count as f64).max(1.0);
+        let window = (ctx_scope / n).min(1.0);
+        let candidates = self.est.stats.tag_count(&spec.name) as f64 * EQ_SEL * window;
+        let probe = RANGE_PROBE + candidates;
+        let site = format!("Υ[{attr}:{context}/{axis}::{test}]");
+        if probe <= scan {
+            self.decisions.push(Decision {
+                site,
+                rule: "index-probe",
+                choice: "probe",
+                est_chosen: probe,
+                est_rejected: scan,
+            });
+            set_probe(&mut plan, spec);
+        } else {
+            self.decisions.push(Decision {
+                site,
+                rule: "index-probe",
+                choice: "scan",
+                est_chosen: scan,
+                est_rejected: probe,
+            });
+        }
+        plan
+    }
+
     fn rewrite_scalar(&mut self, e: ScalarExpr, opens: f64, env: &mut Env) -> ScalarExpr {
         use ScalarExpr as S;
         match e {
@@ -780,6 +850,140 @@ impl Optimizer<'_> {
             S::RootOf(a) => S::RootOf(Box::new(self.rewrite_scalar(*a, opens, env))),
             leaf @ (S::Const(_) | S::Attr(_) | S::Var(_)) => leaf,
         }
+    }
+}
+
+/// Match a Select whose predicate is a single value-equality step
+/// predicate over the Υ below it, returning the probe spec plus the
+/// outer Υ's shape (context attribute, defined attribute, axis, test)
+/// for cost estimation. `None` when the plan is any other shape.
+fn match_probe_site(plan: &LogicalOp) -> Option<(ProbeSpec, &str, &str, Axis, &NodeTest)> {
+    use LogicalOp as L;
+    let L::Select { input, pred } = plan else {
+        return None;
+    };
+    // Both emissions end in `Π[cn:u] ∘ Υ[u:…]`; the kept-split form has
+    // the χ^mat (keyed on u) between σ and Π.
+    let (rename, agg, memo_key) = match (&**input, pred) {
+        (L::MemoMap { input, attr, expr: ScalarExpr::Agg(a), key }, ScalarExpr::Attr(v))
+            if v == attr =>
+        {
+            (&**input, a, Some(key.as_str()))
+        }
+        (r @ L::Rename { .. }, ScalarExpr::Agg(a)) => (r, a, None),
+        _ => return None,
+    };
+    let L::Rename { input, from, to } = rename else {
+        return None;
+    };
+    if to != "cn" || memo_key.is_some_and(|k| k != from) {
+        return None;
+    }
+    let L::UnnestMap { context, attr, axis, test, probe, .. } = &**input else {
+        return None;
+    };
+    if attr != from
+        || probe.is_some()
+        || !matches!(*axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf)
+    {
+        return None;
+    }
+    let spec = match_probe_pred(agg)?;
+    Some((spec, context.as_str(), attr.as_str(), *axis, test))
+}
+
+/// Match the nested `𝔄[Exists](σ[string(v) = 'c'] ∘ <>(χ[s:cn] ∘ □, Υ[v:s/axis::name] ∘ □))`
+/// aggregate the predicate translation emits for `[@a='v']` / `[e='v']`
+/// and extract the (kind, name, value) probe key.
+fn match_probe_pred(agg: &algebra::AggExpr) -> Option<ProbeSpec> {
+    use LogicalOp as L;
+    if agg.func != AggFunc::Exists {
+        return None;
+    }
+    let L::Select { input, pred } = &*agg.plan else {
+        return None;
+    };
+    let L::DJoin { left, right } = &**input else {
+        return None;
+    };
+    let L::MapExpr { input: ml, attr: step_ctx, expr: ScalarExpr::Attr(src) } = &**left else {
+        return None;
+    };
+    if !matches!(&**ml, L::Singleton) || src != "cn" {
+        return None;
+    }
+    let L::UnnestMap { input: ui, context, attr, axis, test, probe, .. } = &**right else {
+        return None;
+    };
+    if !matches!(&**ui, L::Singleton) || context != step_ctx || attr != &agg.over || probe.is_some()
+    {
+        return None;
+    }
+    let kind = match axis {
+        Axis::Attribute => ProbeKind::Attribute,
+        Axis::Child => ProbeKind::Element,
+        _ => return None,
+    };
+    let NodeTest::Name(name) = test else {
+        return None;
+    };
+    let value = eq_const_value(pred, &agg.over)?;
+    if value.len() > xmlstore::VALUE_CAP {
+        // The store never indexes over-length values; a probe would
+        // only ever fall back to the scan at runtime.
+        return None;
+    }
+    Some(ProbeSpec { kind, name: name.clone(), value })
+}
+
+/// `string(over) = 'v'` (either operand order) → `v`.
+fn eq_const_value(pred: &ScalarExpr, over: &str) -> Option<String> {
+    let ScalarExpr::Compare { op: CompOp::Eq, lhs, rhs, .. } = pred else {
+        return None;
+    };
+    if is_string_of(lhs, over) {
+        const_str(rhs)
+    } else if is_string_of(rhs, over) {
+        const_str(lhs)
+    } else {
+        None
+    }
+}
+
+fn is_string_of(e: &ScalarExpr, over: &str) -> bool {
+    match e {
+        ScalarExpr::Convert(ConvKind::ToString, a) => {
+            matches!(&**a, ScalarExpr::Attr(x) if x == over)
+        }
+        _ => false,
+    }
+}
+
+fn const_str(e: &ScalarExpr) -> Option<String> {
+    match e {
+        ScalarExpr::Const(algebra::Const::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Drill back down to the outer Υ a successful [`match_probe_site`]
+/// found and attach the probe annotation. The shape was just verified,
+/// so every arm simply retraces it.
+fn set_probe(plan: &mut LogicalOp, spec: ProbeSpec) {
+    use LogicalOp as L;
+    let L::Select { input, .. } = plan else {
+        return;
+    };
+    let rename = match &mut **input {
+        L::MemoMap { input, .. } => &mut **input,
+        r @ L::Rename { .. } => r,
+        _ => return,
+    };
+    let L::Rename { input, .. } = rename else {
+        return;
+    };
+    if let L::UnnestMap { probe, .. } = &mut **input {
+        *probe = Some(spec);
     }
 }
 
@@ -845,7 +1049,11 @@ mod tests {
             assert!(
                 matches!(
                     d.rule,
-                    "memoize-inner" | "split-expensive" | "scan-kernel" | "outer-shape"
+                    "memoize-inner"
+                        | "split-expensive"
+                        | "scan-kernel"
+                        | "index-probe"
+                        | "outer-shape"
                 ),
                 "{d:?}"
             );
@@ -857,6 +1065,42 @@ mod tests {
             }
             CompiledQuery::Scalar(_) => panic!("path query is sequence-valued"),
         }
+    }
+
+    #[test]
+    fn value_predicates_get_probe_annotations() {
+        let stats = dblp_stats();
+        for (query, rendered) in [
+            ("/dblp/article[@key='x']/title", "probe=@key='x'"),
+            ("/dblp/article[year='2002']/author", "probe=year='2002'"),
+        ] {
+            let q = compile(query, &TranslateOptions::improved()).unwrap();
+            let (opt, decisions) = optimize(q, &stats);
+            let d = decisions
+                .iter()
+                .find(|d| d.rule == "index-probe")
+                .unwrap_or_else(|| panic!("{query}: no index-probe decision in {decisions:?}"));
+            assert_eq!(d.choice, "probe", "{query}: dblp root is a hub, probe must win: {d:?}");
+            let CompiledQuery::Sequence(plan) = opt else {
+                panic!("sequence query")
+            };
+            let text = algebra::explain(&plan);
+            assert!(text.contains(rendered), "{query}: probe missing from plan:\n{text}");
+        }
+    }
+
+    #[test]
+    fn structural_predicates_are_never_probe_annotated() {
+        let stats = dblp_stats();
+        // No value equality → no probe site, not even a decision.
+        let q =
+            compile("/dblp/article[author/text()]/title", &TranslateOptions::improved()).unwrap();
+        let (opt, decisions) = optimize(q, &stats);
+        assert!(decisions.iter().all(|d| d.rule != "index-probe"), "{decisions:?}");
+        let CompiledQuery::Sequence(plan) = opt else {
+            panic!("sequence query")
+        };
+        assert!(!algebra::explain(&plan).contains("probe="));
     }
 
     #[test]

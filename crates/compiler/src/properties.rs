@@ -231,13 +231,14 @@ fn map_children<R>(
             right: Box::new(f(r, *right)),
             pred: g(r, pred),
         },
-        L::UnnestMap { input, context, attr, axis, test, hint } => L::UnnestMap {
+        L::UnnestMap { input, context, attr, axis, test, hint, probe } => L::UnnestMap {
             input: Box::new(f(r, *input)),
             context,
             attr,
             axis,
             test,
             hint,
+            probe,
         },
         L::TokenizeMap { input, attr, expr } => {
             L::TokenizeMap { input: Box::new(f(r, *input)), attr, expr: g(r, expr) }

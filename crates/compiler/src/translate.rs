@@ -356,6 +356,7 @@ impl Translator {
             axis: step.axis,
             test: step.node_test.clone(),
             hint: ScanHint::Auto,
+            probe: None,
         };
         for pred in &step.predicates {
             let np = normalize_predicate(pred.expr.clone());

@@ -225,11 +225,19 @@ impl Codegen<'_> {
             }
             LogicalOp::SemiJoin { left, right, pred } => self.build_semi(left, right, pred, false),
             LogicalOp::AntiJoin { left, right, pred } => self.build_semi(left, right, pred, true),
-            LogicalOp::UnnestMap { input, context, attr, axis, test, hint } => {
+            LogicalOp::UnnestMap { input, context, attr, axis, test, hint, probe } => {
                 let input = self.build_iter(input);
                 let ctx = self.mgr.slot(context);
                 let out = self.mgr.slot(attr);
-                Box::new(UnnestMapIter::new(input, ctx, out, *axis, test.clone(), *hint))
+                Box::new(UnnestMapIter::new(
+                    input,
+                    ctx,
+                    out,
+                    *axis,
+                    test.clone(),
+                    *hint,
+                    probe.clone(),
+                ))
             }
             LogicalOp::TokenizeMap { input, attr, expr } => {
                 let input = self.build_iter(input);

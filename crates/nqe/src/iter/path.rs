@@ -3,11 +3,13 @@
 
 use std::collections::VecDeque;
 
-use xmlstore::{Axis, AxisCursor, NameId, NodeId, NodeKind, RangeScan, StructuralIndex};
+use xmlstore::{
+    Axis, AxisCursor, ContentKind, NameId, NodeId, NodeKind, RangeScan, StructuralIndex,
+};
 use xpath_syntax::{KindTest, NodeTest};
 
 use algebra::attrmgr::Slot;
-use algebra::{ScanHint, Tuple, Value};
+use algebra::{ProbeKind, ProbeSpec, ScanHint, Tuple, Value};
 
 use crate::exec::Runtime;
 use crate::governor::{tuple_bytes, ChargeLedger};
@@ -105,6 +107,9 @@ impl ResolvedTest {
 enum Scan {
     Range(RangeScan),
     Cursor(AxisCursor),
+    /// Candidates pre-computed from the content index's postings,
+    /// already axis- and test-filtered, in document order.
+    Probe(std::vec::IntoIter<(u32, NodeId)>),
 }
 
 /// Υ_{c:c₀/axis::test} — for each input tuple, emit one tuple per node
@@ -120,6 +125,16 @@ pub struct UnnestMapIter {
     /// Optimizer kernel hint: `Cursor` skips the per-context index probe
     /// entirely; `Auto`/`Range` probe the index and fall back.
     hint: ScanHint,
+    /// Content-index pre-filter (`step[@a='v']` / `step[e='v']`): when
+    /// the store's persistent content index covers the key, candidates
+    /// come from its postings instead of an axis scan. A lossless
+    /// narrowing — the predicate above still verifies every candidate.
+    probe: Option<ProbeSpec>,
+    /// The probe's postings, fetched once per execution: outer `None` =
+    /// not yet fetched, inner `None` = the store cannot answer for this
+    /// key (no content index, uncovered name, over-length value) and
+    /// every context falls back to the plain scan.
+    postings: Option<Option<Vec<(u32, NodeId)>>>,
     resolved: Option<ResolvedTest>,
     current: Option<(Tuple, Scan)>,
     /// Statistics: context nodes served by an interval range scan.
@@ -127,6 +142,10 @@ pub struct UnnestMapIter {
     /// Statistics: context nodes on an interval axis that fell back to
     /// the cursor (store without an index, or unranked node).
     pub cursor_fallbacks: u64,
+    /// Statistics: context nodes served by a content-index probe.
+    pub index_probes: u64,
+    /// Statistics: postings examined across all probe windows.
+    pub probe_postings: u64,
 }
 
 impl UnnestMapIter {
@@ -138,6 +157,7 @@ impl UnnestMapIter {
         axis: Axis,
         test: NodeTest,
         hint: ScanHint,
+        probe: Option<ProbeSpec>,
     ) -> UnnestMapIter {
         UnnestMapIter {
             input,
@@ -146,10 +166,14 @@ impl UnnestMapIter {
             axis,
             test,
             hint,
+            probe,
+            postings: None,
             resolved: None,
             current: None,
             range_scans: 0,
             cursor_fallbacks: 0,
+            index_probes: 0,
+            probe_postings: 0,
         }
     }
 
@@ -209,6 +233,17 @@ impl PhysIter for UnnestMapIter {
                             }
                         }
                     }
+                    Scan::Probe(cands) => {
+                        // Candidates are already axis- and test-filtered,
+                        // so every advance emits: tick per output tuple.
+                        if rt.gov.tick() {
+                            if let Some((_, n)) = cands.next() {
+                                let mut out = tuple.clone();
+                                out[self.out] = Value::Node(n);
+                                return Some(out);
+                            }
+                        }
+                    }
                 }
                 if !rt.gov.ok() {
                     return None;
@@ -219,6 +254,33 @@ impl PhysIter for UnnestMapIter {
             let Some(node) = t.get(self.ctx).and_then(|v| v.as_node()) else {
                 continue; // unbound context yields nothing
             };
+            // A probe annotation takes precedence over either scan
+            // kernel: the candidates come straight from the content
+            // index's postings clipped to the context's subtree window.
+            if let Some(spec) = &self.probe {
+                if self.postings.is_none() {
+                    let kind = match spec.kind {
+                        ProbeKind::Attribute => ContentKind::Attribute,
+                        ProbeKind::Element => ContentKind::Element,
+                    };
+                    self.postings = Some(rt.store.content_probe(kind, &spec.name, &spec.value));
+                }
+                if let Some(Some(post)) = &self.postings {
+                    if let Some(cands) = probe_window(
+                        rt,
+                        post,
+                        spec.kind,
+                        self.axis,
+                        node,
+                        resolved,
+                        &mut self.probe_postings,
+                    ) {
+                        self.index_probes += 1;
+                        self.current = Some((t, Scan::Probe(cands.into_iter())));
+                        continue;
+                    }
+                }
+            }
             // A `Cursor` hint skips the index probe: the optimizer
             // estimated the scan span to dwarf the axis output, so the
             // cursor is the chosen kernel, not a fallback.
@@ -251,7 +313,61 @@ impl PhysIter for UnnestMapIter {
     fn gauges(&self, out: &mut Vec<Gauge>) {
         out.push(("range_scans", self.range_scans));
         out.push(("cursor_fallbacks", self.cursor_fallbacks));
+        out.push(("index_probes", self.index_probes));
+        out.push(("probe_postings", self.probe_postings));
     }
+}
+
+/// Compute one context's probe candidates: clip the rank-sorted
+/// postings to the context's subtree window, map element postings to
+/// their parent (the step's candidate), then keep only candidates that
+/// actually lie on the axis and pass the node test. `None` when the
+/// store has no structural index or the context is unranked — the
+/// caller falls back to the plain scan kernels.
+fn probe_window(
+    rt: &Runtime<'_>,
+    postings: &[(u32, NodeId)],
+    kind: ProbeKind,
+    axis: Axis,
+    ctx: NodeId,
+    resolved: &ResolvedTest,
+    examined: &mut u64,
+) -> Option<Vec<(u32, NodeId)>> {
+    let idx = rt.store.structural_index()?;
+    let (lo, hi) = idx.subtree_range(ctx)?;
+    let start = postings.partition_point(|&(r, _)| r < lo);
+    let end = postings.partition_point(|&(r, _)| r <= hi);
+    let window = &postings[start..end];
+    *examined += window.len() as u64;
+    // Attribute postings carry the owning element; element postings
+    // carry the value-matching element, whose parent is the candidate.
+    let mut cands: Vec<(u32, NodeId)> = match kind {
+        ProbeKind::Attribute => window.to_vec(),
+        ProbeKind::Element => {
+            let mut parents = Vec::with_capacity(window.len());
+            for &(_, n) in window {
+                if let Some(p) = rt.store.parent(n) {
+                    if let Some(pr) = idx.rank_of(p) {
+                        parents.push((pr, p));
+                    }
+                }
+            }
+            parents.sort_unstable_by_key(|&(r, _)| r);
+            parents.dedup_by_key(|&mut (r, _)| r);
+            parents
+        }
+    };
+    cands.retain(|&(r, n)| {
+        let on_axis = match axis {
+            Axis::Child => rt.store.parent(n) == Some(ctx),
+            Axis::Descendant => r > lo,
+            Axis::DescendantOrSelf => true,
+            // The optimizer only annotates the three axes above.
+            _ => false,
+        };
+        on_axis && resolved.matches_rank(r, idx, rt)
+    });
+    Some(cands)
 }
 
 /// Υ_{t:tokenize(e)} — one tuple per whitespace-separated token of the

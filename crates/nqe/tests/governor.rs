@@ -35,6 +35,7 @@ fn unnest(ctx: usize, out: usize, axis: Axis, test: NodeTest) -> Box<dyn PhysIte
         axis,
         test,
         ScanHint::Auto,
+        None,
     ))
 }
 

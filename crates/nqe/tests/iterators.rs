@@ -55,6 +55,7 @@ fn unnest(ctx: usize, out: usize, axis: Axis, test: NodeTest) -> Box<dyn PhysIte
         axis,
         test,
         ScanHint::Auto,
+        None,
     ))
 }
 
@@ -101,6 +102,7 @@ fn djoin_reopens_dependent_side_per_left_tuple() {
         Axis::Child,
         NodeTest::Name("b".into()),
         ScanHint::Auto,
+        None,
     ));
     let mut join = DJoinIter::new(left, right);
     let out = drain(&mut join, &rt, &seed(&s));
@@ -126,6 +128,7 @@ fn counter_resets_on_group_change() {
         Axis::Child,
         NodeTest::Name("b".into()),
         ScanHint::Auto,
+        None,
     ));
     let mut counter = CounterIter::new(step, 3, Some(1));
     let out = drain(&mut counter, &rt, &seed(&s));
@@ -153,6 +156,7 @@ fn tmpcs_annotates_group_sizes() {
         Axis::Child,
         NodeTest::Name("b".into()),
         ScanHint::Auto,
+        None,
     ));
     let mut tmpcs = TmpCsIter::new(step, 3, Some(1));
     let out = drain(&mut tmpcs, &rt, &seed(&s));
@@ -173,6 +177,7 @@ fn tmpcs_annotates_group_sizes() {
         Axis::Child,
         NodeTest::Name("b".into()),
         ScanHint::Auto,
+        None,
     ));
     let mut tmpcs = TmpCsIter::new(step, 3, None);
     let out = drain(&mut tmpcs, &rt, &seed(&s));
@@ -187,8 +192,15 @@ fn dedup_keeps_first_occurrence() {
     let rt = rt(&s, &vars, &gov);
     // b/parent::a produces each <a> per child b.
     let bs = unnest(0, 1, Axis::Descendant, NodeTest::Name("b".into()));
-    let parents =
-        Box::new(UnnestMapIter::new(bs, 1, 2, Axis::Parent, NodeTest::Wildcard, ScanHint::Auto));
+    let parents = Box::new(UnnestMapIter::new(
+        bs,
+        1,
+        2,
+        Axis::Parent,
+        NodeTest::Wildcard,
+        ScanHint::Auto,
+        None,
+    ));
     let mut dedup = DedupIter::new(parents, 2);
     let out = drain(&mut dedup, &rt, &seed(&s));
     assert_eq!(out.len(), 2, "three b-parents collapse to two distinct <a>");
@@ -213,6 +225,7 @@ fn sort_establishes_document_order() {
         Axis::Preceding,
         NodeTest::Name("b".into()),
         ScanHint::Auto,
+        None,
     ));
     let mut sort = SortIter::new(prec, 2);
     let out = drain(&mut sort, &rt, &last_b);

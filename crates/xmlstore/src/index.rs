@@ -106,6 +106,31 @@ impl StructuralIndex {
         idx
     }
 
+    /// Reassemble an index from arrays decoded off persisted pages
+    /// (`DiskStore`'s lazy load). The caller has already validated every
+    /// field (node ids in range, no duplicate ranks, kinds and names
+    /// decodable, subtree sizes inside the document); stats are derived
+    /// here so disk stores carry the same never-stale snapshot as arenas.
+    pub(crate) fn from_disk_parts(
+        rank_of: Vec<u32>,
+        node_at: Vec<NodeId>,
+        size: Vec<u32>,
+        kind: Vec<NodeKind>,
+        name: Vec<u32>,
+        store: &dyn XmlStore,
+    ) -> StructuralIndex {
+        let mut idx = StructuralIndex {
+            rank_of,
+            node_at,
+            size,
+            kind,
+            name,
+            stats: StoreStats::default(),
+        };
+        idx.stats = StoreStats::from_index(&idx, store);
+        idx
+    }
+
     fn push(
         &mut self,
         store: &dyn XmlStore,

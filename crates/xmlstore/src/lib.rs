@@ -52,6 +52,7 @@ pub mod update;
 
 pub use arena::{ArenaBuilder, ArenaStore, NameTable, ORDER_GAP_SHIFT};
 pub use axes::{axis_nodes, indexed_axis_nodes, Axis, AxisCursor, AxisIter};
+pub use diskstore::VALUE_CAP;
 pub use error::{DiskError, StorageFault};
 pub use fault::{IoFailPoint, RepairFailPoint};
 pub use index::{RangeScan, StructuralIndex};
@@ -59,5 +60,5 @@ pub use node::{NameId, NodeId, NodeKind};
 pub use parser::{parse_document, parse_document_with_limits, ParseLimits, XmlError};
 pub use serialize::{to_xml, to_xml_node};
 pub use stats::{StoreStats, TagStat};
-pub use store::{NoIndex, XmlStore};
+pub use store::{ContentKind, NoIndex, XmlStore};
 pub use update::{RepairMode, RepairStats, UpdateError};

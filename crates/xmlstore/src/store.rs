@@ -10,6 +10,18 @@ use crate::error::StorageFault;
 use crate::index::StructuralIndex;
 use crate::node::{NameId, NodeId, NodeKind};
 
+/// What a content-index key addresses: attribute values or the text
+/// content of leaf-ish elements (see [`XmlStore::content_probe`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContentKind {
+    /// `name` is an attribute name; postings are the owning elements of
+    /// attributes whose value equals the probe value.
+    Attribute,
+    /// `name` is an element name; postings are elements with that name,
+    /// no element children, and a string-value equal to the probe value.
+    Element,
+}
+
 /// Read interface over one stored XML document.
 ///
 /// Implemented by [`ArenaStore`](crate::arena::ArenaStore) (main memory) and
@@ -132,6 +144,29 @@ pub trait XmlStore: Sync {
     /// maintains one (see [`StructuralIndex`]). `None` means consumers
     /// must navigate with cursors and `order()` lookups.
     fn structural_index(&self) -> Option<&StructuralIndex> {
+        None
+    }
+
+    /// Equality probe against a persistent content index, if the store
+    /// maintains one (only [`DiskStore`](crate::diskstore::DiskStore)
+    /// does). Returns the matching postings as `(document-order rank,
+    /// node)` pairs sorted ascending by rank:
+    ///
+    /// * [`ContentKind::Attribute`] — owning elements of attributes named
+    ///   `name` whose value equals `value` exactly;
+    /// * [`ContentKind::Element`] — elements named `name` with no element
+    ///   children whose string-value equals `value` exactly.
+    ///
+    /// `None` means the key is not covered (no index, an uncovered
+    /// element name, or an over-length value) and the caller must fall back
+    /// to a scan. `Some(vec![])` is a definitive miss.
+    fn content_probe(
+        &self,
+        kind: ContentKind,
+        name: &str,
+        value: &str,
+    ) -> Option<Vec<(u32, NodeId)>> {
+        let _ = (kind, name, value);
         None
     }
 

@@ -397,8 +397,15 @@ fn main() {
         match verify_store(std::path::Path::new(path), 256) {
             Ok(r) => {
                 println!(
-                    "{path}: ok — {} page(s), {} node(s), {} name(s), {} string byte(s)",
-                    r.pages, r.nodes, r.names, r.string_bytes
+                    "{path}: ok — {} page(s), {} node(s), {} name(s), {} string byte(s), \
+                     {} index entr(ies), {} content key(s), {} posting(s)",
+                    r.pages,
+                    r.nodes,
+                    r.names,
+                    r.string_bytes,
+                    r.index_entries,
+                    r.content_keys,
+                    r.postings
                 );
                 std::process::exit(0);
             }

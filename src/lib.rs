@@ -129,6 +129,13 @@ impl From<xmlstore::UpdateError> for NatixError {
 }
 
 /// An XML document held in one of the two stores.
+///
+/// The variants differ in size (the disk store carries its loaded
+/// indexes inline), but a `Document` is built once per registration and
+/// lives behind an `Arc` in the engine registry — never in bulk
+/// collections — so boxing would only add an indirection to every
+/// navigation call.
+#[allow(clippy::large_enum_variant)]
 pub enum Document {
     /// Main-memory arena store.
     Arena(xmlstore::ArenaStore),
@@ -167,6 +174,14 @@ impl Document {
     /// Open an existing page file.
     pub fn open(path: &Path, buffer_pages: usize) -> Result<Document, NatixError> {
         Ok(Document::Disk(xmlstore::diskstore::DiskStore::open(path, buffer_pages)?))
+    }
+
+    /// Open an existing page file with its persistent indexes disabled:
+    /// no structural index, no content probes — every axis navigates by
+    /// cursor, exactly the pre-index behaviour. The baseline side of
+    /// index benchmarks and differential tests.
+    pub fn open_plain(path: &Path, buffer_pages: usize) -> Result<Document, NatixError> {
+        Ok(Document::Disk(xmlstore::diskstore::DiskStore::open_plain(path, buffer_pages)?))
     }
 
     /// The underlying store.

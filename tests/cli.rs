@@ -178,6 +178,11 @@ fn verify_store_reports_ok_and_detects_damage() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ok"), "{stdout}");
     assert!(stdout.contains("page(s)"), "{stdout}");
+    // Index regions are verified and counted: 5 nodes in the structural
+    // index, 2 content keys (@k='v', a→'text') with one posting each.
+    assert!(stdout.contains("5 index entr(ies)"), "{stdout}");
+    assert!(stdout.contains("2 content key(s)"), "{stdout}");
+    assert!(stdout.contains("2 posting(s)"), "{stdout}");
     // Damage the file: verification must fail with the corrupt exit code.
     let mut bytes = std::fs::read(&store).unwrap();
     let last = bytes.len() - 10;

@@ -114,9 +114,11 @@ fn every_header_field_mutation_is_typed_or_harmless() {
     let pristine = std::fs::read(t.path()).unwrap();
 
     // All header u32 fields: version, node_count, names_start,
-    // names_bytes, nodes_start, strings_start, name_count, total_pages.
+    // names_bytes, nodes_start, strings_start, name_count, total_pages,
+    // plus the v3 index-region fields: index_start, postings_start,
+    // meta_start, dir_start, index_count, meta_bytes.
     let damaged = TempPath::new(".natix");
-    for off in [8usize, 12, 16, 20, 24, 28, 32, 36] {
+    for off in [8usize, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60] {
         let orig = u32::from_le_bytes(pristine[off..off + 4].try_into().unwrap());
         for val in [
             0,

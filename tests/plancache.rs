@@ -260,6 +260,37 @@ fn stats_fingerprints_isolate_cost_based_entries() {
     assert_eq!((st.misses, st.hits, st.entries), (2, 2, 2));
 }
 
+/// Disk-backed documents load their persisted structural index, so
+/// cost-based sessions see real statistics: the fingerprint is nonzero,
+/// equals the source arena store's (same document, same statistics, so
+/// arena and disk share one cache entry), and a plain (index-disabled)
+/// open falls back to the store-independent fingerprint-0 class.
+#[test]
+fn disk_documents_carry_real_fingerprints() {
+    let path =
+        std::env::temp_dir().join(format!("natix-plancache-fp-{}.natix", std::process::id()));
+    let arena = Document::Arena(generate_dblp(DblpParams { records: 20, seed: 42 }));
+    let fp_arena = arena.store().structural_index().unwrap().stats().fingerprint;
+    let disk = arena.persist(&path, 64).unwrap();
+    let fp_disk = disk.store().structural_index().unwrap().stats().fingerprint;
+    assert_ne!(fp_disk, 0, "persisted index must yield real statistics");
+    assert_eq!(fp_disk, fp_arena, "persisted index reproduces the arena statistics");
+    let plain = Document::open_plain(&path, 64).unwrap();
+    assert!(plain.store().structural_index().is_none(), "plain open hides the index");
+
+    let eng = Engine::new();
+    let arena_doc = eng.register_document("arena", arena);
+    let disk_doc = eng.register_document("disk", disk);
+    let s = eng.session().with_options(TranslateOptions::cost_based());
+    let q = QUERIES[3];
+    let a = s.evaluate(arena_doc.store(), q).unwrap();
+    let d = s.evaluate(disk_doc.store(), q).unwrap();
+    assert_eq!(a, d, "arena and disk agree on {q}");
+    let st = eng.cache_stats();
+    assert_eq!((st.misses, st.hits), (1, 1), "identical fingerprints share one entry");
+    std::fs::remove_file(&path).ok();
+}
+
 /// A cache hit on a cost-based plan replays the optimizer's decision
 /// record: EXPLAIN ANALYZE of the second run still carries the trace
 /// (with the store's fingerprint) and reconciles estimates against
